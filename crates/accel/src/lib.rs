@@ -1,0 +1,123 @@
+//! # beacon-accel — spatial accelerator timing models (paper §V-C, §VII-A)
+//!
+//! BeaconGNN attaches a spatial accelerator to the SSD's internal bus:
+//! a **1-D vector array** for embedding aggregation, a **2-D systolic
+//! array** for GEMM-based embedding update, and a shared SRAM buffer.
+//! The paper models accelerators with ScaleSim-2.0; for the dense,
+//! fixed-dataflow GEMMs of GNN update layers, ScaleSim's cycle counts
+//! follow the closed-form output-stationary tiling formula implemented
+//! by [`SystolicArray::gemm_cycles`] (see DESIGN.md, substitutions).
+//!
+//! Two configurations mirror the paper's platforms:
+//! [`AcceleratorConfig::ssd_internal`] sized to SSD power/area budgets,
+//! and [`AcceleratorConfig::discrete_tpu`], the server-scale PCIe
+//! accelerator of the CPU-centric baseline.
+
+pub mod systolic;
+pub mod vector;
+
+pub use systolic::SystolicArray;
+pub use vector::VectorArray;
+
+use simkit::Duration;
+
+/// A complete spatial-accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceleratorConfig {
+    /// The GEMM engine.
+    pub systolic: SystolicArray,
+    /// The aggregation engine.
+    pub vector: VectorArray,
+    /// On-chip SRAM buffer in bytes (double-buffered halves).
+    pub sram_bytes: usize,
+    /// Sustained DRAM-side bandwidth feeding the SRAM, bytes/second.
+    pub feed_bandwidth: u64,
+}
+
+impl AcceleratorConfig {
+    /// The SSD-internal accelerator: a 128×128 systolic array and
+    /// 512-lane vector array at 500 MHz with 4 MiB of SRAM — a
+    /// TPU-lite sized to the SSD power envelope (the paper configures
+    /// its SSD-level accelerator with ScaleSim "to meet SSD resource
+    /// budgets"; in-SSD FPGA/ASIC compute of this class is what GLIST
+    /// deploys). Roughly 4× below the discrete TPU in sustained GEMM
+    /// rate (clock + SRAM + feed bandwidth).
+    pub fn ssd_internal() -> Self {
+        AcceleratorConfig {
+            systolic: SystolicArray::new(128, 128, 500_000_000),
+            vector: VectorArray::new(512, 500_000_000),
+            sram_bytes: 4 << 20,
+            feed_bandwidth: 12_800_000_000,
+        }
+    }
+
+    /// The discrete server-scale accelerator of the CC baseline: a
+    /// 128×128 array and 1024-lane vector unit at 940 MHz with 24 MiB of
+    /// SRAM (TPU-class).
+    pub fn discrete_tpu() -> Self {
+        AcceleratorConfig {
+            systolic: SystolicArray::new(128, 128, 940_000_000),
+            vector: VectorArray::new(1024, 940_000_000),
+            sram_bytes: 24 << 20,
+            feed_bandwidth: 300_000_000_000,
+        }
+    }
+
+    /// Time to run one GEMM of shape `m×k×n`, including a memory-bound
+    /// floor from streaming inputs/outputs through the feed link.
+    pub fn gemm_time(&self, m: u64, k: u64, n: u64) -> Duration {
+        let compute = self.systolic.gemm_time(m, k, n);
+        // FP16 operands: read m*k + k*n, write m*n.
+        let bytes = 2 * (m * k + k * n + m * n);
+        let feed = Duration::from_bytes_at_bandwidth(bytes, self.feed_bandwidth);
+        compute.max(feed)
+    }
+
+    /// Time to reduce (vector-sum) `vectors` vectors of `dim` elements.
+    pub fn reduce_time(&self, vectors: u64, dim: u64) -> Duration {
+        let compute = self.vector.reduce_time(vectors, dim);
+        let bytes = 2 * vectors * dim;
+        let feed = Duration::from_bytes_at_bandwidth(bytes.max(1), self.feed_bandwidth);
+        compute.max(feed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_scale() {
+        let ssd = AcceleratorConfig::ssd_internal();
+        let tpu = AcceleratorConfig::discrete_tpu();
+        assert!(tpu.systolic.clock_hz() > ssd.systolic.clock_hz());
+        assert!(tpu.sram_bytes > ssd.sram_bytes);
+        assert!(tpu.feed_bandwidth > ssd.feed_bandwidth);
+    }
+
+    #[test]
+    fn tpu_outruns_ssd_accelerator_on_big_gemm() {
+        let ssd = AcceleratorConfig::ssd_internal();
+        let tpu = AcceleratorConfig::discrete_tpu();
+        let (m, k, n) = (4096, 512, 128);
+        assert!(tpu.gemm_time(m, k, n) < ssd.gemm_time(m, k, n));
+    }
+
+    #[test]
+    fn memory_floor_applies_to_skinny_gemm() {
+        // A 1-row GEMM is feed-bound, not compute-bound.
+        let ssd = AcceleratorConfig::ssd_internal();
+        let t = ssd.gemm_time(1, 128, 128);
+        let bytes = 2 * (128 + 128 * 128 + 128);
+        let feed = Duration::from_bytes_at_bandwidth(bytes, ssd.feed_bandwidth);
+        assert!(t >= feed);
+    }
+
+    #[test]
+    fn reduce_time_scales_linearly() {
+        let ssd = AcceleratorConfig::ssd_internal();
+        let t1 = ssd.reduce_time(1_000, 128);
+        let t2 = ssd.reduce_time(2_000, 128);
+        assert!(t2 >= t1 * 2 - Duration::from_ns(10));
+    }
+}

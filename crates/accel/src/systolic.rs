@@ -1,0 +1,130 @@
+//! Output-stationary systolic-array GEMM timing.
+//!
+//! For an `R×C` array computing `M×K×N = (M×K)·(K×N)`, the output matrix
+//! tiles into `⌈M/R⌉ × ⌈N/C⌉` blocks; each block streams `K` partial
+//! sums through the array and pays a fill/drain skew of `R + C - 1`
+//! cycles. This is the closed form ScaleSim-2.0's output-stationary
+//! dataflow converges to for dense GEMMs.
+
+use simkit::Duration;
+
+/// A 2-D systolic MAC array.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_accel::SystolicArray;
+/// let a = SystolicArray::new(32, 32, 500_000_000);
+/// // One 32x32 output tile with K=128: 128 + 63 cycles.
+/// assert_eq!(a.gemm_cycles(32, 128, 32), 128 + 32 + 32 - 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystolicArray {
+    rows: u64,
+    cols: u64,
+    clock_hz: u64,
+}
+
+impl SystolicArray {
+    /// Creates an array of `rows × cols` MACs at `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(rows: u64, cols: u64, clock_hz: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        assert!(clock_hz > 0, "clock must be positive");
+        SystolicArray { rows, cols, clock_hz }
+    }
+
+    /// Array rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Array columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Peak MAC throughput per cycle.
+    pub fn macs_per_cycle(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Cycles for an `m×k×n` GEMM under output-stationary tiling.
+    ///
+    /// Zero-sized GEMMs take zero cycles.
+    pub fn gemm_cycles(&self, m: u64, k: u64, n: u64) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let tiles = m.div_ceil(self.rows) * n.div_ceil(self.cols);
+        tiles * (k + self.rows + self.cols - 1)
+    }
+
+    /// Wall time for an `m×k×n` GEMM.
+    pub fn gemm_time(&self, m: u64, k: u64, n: u64) -> Duration {
+        Duration::from_cycles(self.gemm_cycles(m, k, n), self.clock_hz)
+    }
+
+    /// MAC-utilization of an `m×k×n` GEMM: useful MACs over peak MACs
+    /// during the busy window (1.0 = perfectly filled array).
+    pub fn utilization(&self, m: u64, k: u64, n: u64) -> f64 {
+        let cycles = self.gemm_cycles(m, k, n);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let useful = (m * k * n) as f64;
+        useful / (cycles as f64 * self.macs_per_cycle() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_math() {
+        let a = SystolicArray::new(4, 4, 1_000_000_000);
+        // 8x8 output = 4 tiles; each K=16 + 7 skew = 23 cycles.
+        assert_eq!(a.gemm_cycles(8, 16, 8), 4 * 23);
+        // Ragged edges round up.
+        assert_eq!(a.gemm_cycles(5, 16, 5), 4 * 23);
+    }
+
+    #[test]
+    fn zero_gemm_is_free() {
+        let a = SystolicArray::new(8, 8, 1_000_000_000);
+        assert_eq!(a.gemm_cycles(0, 10, 10), 0);
+        assert_eq!(a.gemm_time(10, 0, 10), Duration::ZERO);
+        assert_eq!(a.utilization(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn utilization_improves_with_larger_k() {
+        let a = SystolicArray::new(32, 32, 1_000_000_000);
+        let short = a.utilization(32, 8, 32);
+        let long = a.utilization(32, 1024, 32);
+        assert!(long > short);
+        assert!(long <= 1.0 && short > 0.0);
+    }
+
+    #[test]
+    fn time_matches_cycles_at_clock() {
+        let a = SystolicArray::new(32, 32, 500_000_000);
+        let cycles = a.gemm_cycles(64, 128, 64);
+        assert_eq!(a.gemm_time(64, 128, 64), Duration::from_cycles(cycles, 500_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_array_rejected() {
+        SystolicArray::new(0, 4, 1);
+    }
+}

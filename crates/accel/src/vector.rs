@@ -1,0 +1,108 @@
+//! 1-D vector array for embedding aggregation.
+//!
+//! BeaconGNN's aggregation function is `vector_sum` (§VII-A): reducing
+//! the embeddings of a node's sampled neighbors element-wise. A 1-D
+//! SIMD array of `lanes` adders performs `lanes` element-additions per
+//! cycle.
+
+use simkit::Duration;
+
+/// A 1-D SIMD reduction array.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_accel::VectorArray;
+/// let v = VectorArray::new(64, 500_000_000);
+/// // Summing 4 vectors of 128 elements = 3 adds x 128 = 384 ops -> 6 cycles.
+/// assert_eq!(v.reduce_cycles(4, 128), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorArray {
+    lanes: u64,
+    clock_hz: u64,
+}
+
+impl VectorArray {
+    /// Creates an array with `lanes` adder lanes at `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(lanes: u64, clock_hz: u64) -> Self {
+        assert!(lanes > 0, "lanes must be positive");
+        assert!(clock_hz > 0, "clock must be positive");
+        VectorArray { lanes, clock_hz }
+    }
+
+    /// Number of adder lanes.
+    pub fn lanes(&self) -> u64 {
+        self.lanes
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Cycles to vector-sum `vectors` vectors of `dim` elements
+    /// (`(vectors-1) × dim` element additions, `lanes` per cycle).
+    pub fn reduce_cycles(&self, vectors: u64, dim: u64) -> u64 {
+        if vectors <= 1 || dim == 0 {
+            return 0;
+        }
+        ((vectors - 1) * dim).div_ceil(self.lanes)
+    }
+
+    /// Wall time for the reduction.
+    pub fn reduce_time(&self, vectors: u64, dim: u64) -> Duration {
+        Duration::from_cycles(self.reduce_cycles(vectors, dim), self.clock_hz)
+    }
+
+    /// Total element additions performed (for energy accounting).
+    pub fn reduce_ops(&self, vectors: u64, dim: u64) -> u64 {
+        if vectors <= 1 {
+            return 0;
+        }
+        (vectors - 1) * dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_vector_is_free() {
+        let v = VectorArray::new(16, 1_000_000_000);
+        assert_eq!(v.reduce_cycles(1, 128), 0);
+        assert_eq!(v.reduce_cycles(0, 128), 0);
+        assert_eq!(v.reduce_ops(1, 128), 0);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let v = VectorArray::new(16, 1_000_000_000);
+        // 2 vectors x dim 17 = 17 ops -> 2 cycles on 16 lanes.
+        assert_eq!(v.reduce_cycles(2, 17), 2);
+    }
+
+    #[test]
+    fn ops_count_for_energy() {
+        let v = VectorArray::new(64, 500_000_000);
+        assert_eq!(v.reduce_ops(4, 128), 3 * 128);
+    }
+
+    #[test]
+    fn time_uses_clock() {
+        let v = VectorArray::new(64, 500_000_000);
+        let c = v.reduce_cycles(40, 128);
+        assert_eq!(v.reduce_time(40, 128), Duration::from_cycles(c, 500_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be positive")]
+    fn zero_lanes_rejected() {
+        VectorArray::new(0, 1);
+    }
+}

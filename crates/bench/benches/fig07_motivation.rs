@@ -1,0 +1,21 @@
+//! Fig 7a bench: the die-scaling motivation experiment.
+
+use beacon_flash::FlashTiming;
+use beacon_platforms::motivation::die_scaling_point;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_die_scaling");
+    for dies in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(dies), &dies, |b, &dies| {
+            b.iter(|| {
+                black_box(die_scaling_point(&FlashTiming::ull(), dies, 4096, 200))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

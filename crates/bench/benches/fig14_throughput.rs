@@ -1,0 +1,23 @@
+//! Fig 14 bench: end-to-end platform simulation throughput comparison.
+
+use beacon_bench::bench_workload;
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let exp = Experiment::new(&w);
+    let mut g = c.benchmark_group("fig14_platform_run");
+    g.sample_size(10);
+    for p in [Platform::Cc, Platform::Bg1, Platform::BgSp, Platform::Bg2] {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| black_box(exp.run(p).throughput()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

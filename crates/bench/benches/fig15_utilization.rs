@@ -1,0 +1,27 @@
+//! Fig 15 bench: utilization-curve extraction over a platform run.
+
+use beacon_bench::bench_workload;
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::{Duration, SimTime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let exp = Experiment::new(&w);
+    let m = exp.run(Platform::Bg2);
+    let end = SimTime::ZERO + m.prep_time;
+    c.bench_function("fig15_curve_extraction", |b| {
+        b.iter(|| {
+            black_box(m.die_timeline.curve(Duration::from_us(50), end));
+            black_box(m.channel_timeline.curve(Duration::from_us(50), end));
+        })
+    });
+    c.bench_function("fig15_run_with_timelines", |b| {
+        b.iter(|| black_box(exp.run(Platform::BgDgsp).die_utilization()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

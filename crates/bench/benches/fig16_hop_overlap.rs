@@ -1,0 +1,26 @@
+//! Fig 16 bench: hop-timeline measurement (barrier vs out-of-order).
+
+use beacon_bench::{bench_workload, hop_overlap_fraction};
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let exp = Experiment::new(&w);
+    let mut g = c.benchmark_group("fig16_hop_timeline");
+    g.sample_size(10);
+    for p in [Platform::Bg1, Platform::Bg2] {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| {
+                let m = exp.run(p);
+                black_box(hop_overlap_fraction(&m))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

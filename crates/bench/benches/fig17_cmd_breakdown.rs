@@ -1,0 +1,26 @@
+//! Fig 17 bench: per-command latency-phase accounting.
+
+use beacon_bench::bench_workload;
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let exp = Experiment::new(&w);
+    let mut g = c.benchmark_group("fig17_cmd_breakdown");
+    g.sample_size(10);
+    for p in Platform::BG_CHAIN {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| {
+                let m = exp.run(p);
+                black_box(m.cmd_breakdown.fractions())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

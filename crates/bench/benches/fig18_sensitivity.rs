@@ -1,0 +1,30 @@
+//! Fig 18 bench: one sensitivity point per sweep dimension.
+
+use beacon_bench::bench_workload;
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment, SsdConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let mut g = c.benchmark_group("fig18_sensitivity_point");
+    g.sample_size(10);
+    let configs: Vec<(&str, SsdConfig)> = vec![
+        ("default", SsdConfig::paper_default()),
+        ("bw-2400", SsdConfig::paper_default().with_channel_bandwidth(2_400_000_000)),
+        ("cores-1", SsdConfig::paper_default().with_cores(1)),
+        ("channels-32", SsdConfig::paper_default().with_channels(32)),
+        ("dies-16", SsdConfig::paper_default().with_dies_per_channel(16)),
+    ];
+    for (name, ssd) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ssd, |b, ssd| {
+            let exp = Experiment::new(&w).ssd(*ssd);
+            b.iter(|| black_box(exp.run(Platform::Bg2).throughput()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig 19 bench: energy ledger accounting over a platform run.
+
+use beacon_bench::bench_workload;
+use beacon_energy::EnergyCosts;
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let exp = Experiment::new(&w);
+    let costs = EnergyCosts::default_costs();
+    let mut g = c.benchmark_group("fig19_energy");
+    g.sample_size(10);
+    for p in [Platform::Cc, Platform::Bg1, Platform::Bg2] {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| {
+                let m = exp.run(p);
+                let bd = m.energy.breakdown(&costs);
+                black_box(bd.efficiency(m.targets))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

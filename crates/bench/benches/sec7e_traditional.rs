@@ -1,0 +1,23 @@
+//! §VII-E bench: platform runs on traditional (20 µs) flash.
+
+use beacon_bench::bench_workload;
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment, SsdConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let exp = Experiment::new(&w).ssd(SsdConfig::traditional());
+    let mut g = c.benchmark_group("sec7e_traditional_ssd");
+    g.sample_size(10);
+    for p in [Platform::BgDgsp, Platform::Bg2] {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| black_box(exp.run(p).throughput()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Simulator-performance benches: how fast the reproduction itself
+//! runs (sampler executions/second, engine commands/second) — the
+//! numbers that decide how large a workload the harness can sweep.
+
+use beacon_bench::bench_workload;
+use beacon_flash::{DieSampler, GnnDieConfig, SampleCommand};
+use beacon_platforms::Platform;
+use beacongnn::{Dataset, Experiment, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sampler_throughput(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let dg = w.directgraph();
+    let cfg = GnnDieConfig {
+        num_hops: 3,
+        fanout: 3,
+        feature_bytes: w.model().feature_bytes() as u16,
+    };
+    let mut g = c.benchmark_group("simulator_perf");
+    g.throughput(Throughput::Elements(40));
+    g.bench_function("sampler_cascade_per_target", |b| {
+        let mut sampler = DieSampler::new(cfg, 11);
+        let mut next = 0u32;
+        b.iter(|| {
+            let target = NodeId::new(next % 2_000);
+            next = next.wrapping_add(1);
+            let addr = dg.directory().primary_addr(target).unwrap();
+            let mut frontier = vec![SampleCommand::root(addr, 0)];
+            let mut visited = 0u64;
+            while let Some(cmd) = frontier.pop() {
+                let out = sampler.execute(&cmd, dg.image()).unwrap();
+                if out.visited.is_some() {
+                    visited += 1;
+                }
+                frontier.extend(out.new_commands);
+            }
+            black_box(visited)
+        })
+    });
+    g.finish();
+}
+
+fn engine_event_rate(c: &mut Criterion) {
+    let w = bench_workload(Dataset::Amazon);
+    let exp = Experiment::new(&w);
+    let mut g = c.benchmark_group("simulator_perf");
+    g.sample_size(10);
+    // One run = 32 targets × ~40 visits × ~6 events.
+    g.throughput(Throughput::Elements(32 * 40 * 6));
+    g.bench_function("engine_events_bg2", |b| {
+        b.iter(|| black_box(exp.run(Platform::Bg2).flash_reads))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sampler_throughput, engine_event_rate);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table IV bench: DirectGraph conversion cost and inflation math.
+
+use beacon_graph::{Dataset, DatasetSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use directgraph::{build::DirectGraphBuilder, AddrLayout};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_directgraph_build");
+    g.sample_size(10);
+    for dataset in [Dataset::Ogbn, Dataset::Amazon] {
+        let spec = DatasetSpec::preset(dataset).at_scale(2_000);
+        let graph = spec.build_graph(1);
+        let features = spec.build_features(1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &dataset,
+            |b, _| {
+                b.iter(|| {
+                    let dg = DirectGraphBuilder::new(
+                        AddrLayout::for_page_size(4096).unwrap(),
+                    )
+                    .build(&graph, &features)
+                    .unwrap();
+                    black_box(dg.inflation(&features).inflation_ratio())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

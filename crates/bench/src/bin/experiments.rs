@@ -1,0 +1,423 @@
+//! Regenerates every table and figure of the BeaconGNN evaluation.
+//!
+//! ```sh
+//! cargo run --release -p beacon-bench --bin experiments            # everything
+//! cargo run --release -p beacon-bench --bin experiments fig14     # one figure
+//! cargo run --release -p beacon-bench --bin experiments fig18 cores
+//! ```
+
+use beacon_bench as bench;
+use beacon_bench::{Sweep, DEFAULT_BATCH, DEFAULT_NODES};
+use beacon_platforms::Platform;
+use beacongnn::report::{percent, ratio, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    match which {
+        "fig7a" => fig7a(),
+        "fig7b" => fig7b(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig15f" => fig15f(),
+        "fig16" => fig16(),
+        "fig17" => fig17(),
+        "fig18" => fig18(args.get(1).map(String::as_str)),
+        "fig19" => fig19(),
+        "table4" => table4(),
+        "trad_ssd" => trad_ssd(),
+        "config" => config(),
+        "query" => query(),
+        "array" => array(),
+        "ablation" => ablation(),
+        "interference" => interference(),
+        "all" => {
+            fig7a();
+            fig7b();
+            fig14();
+            fig15();
+            fig15f();
+            fig16();
+            fig17();
+            fig18(None);
+            fig19();
+            table4();
+            trad_ssd();
+            query();
+            array();
+            ablation();
+            interference();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected one of: fig7a fig14 fig15 fig15f \
+                 fig16 fig17 fig18 [sweep] fig19 table4 trad_ssd query array ablation \
+                 config all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn fig7a() {
+    header("Fig 7a — ULL die scaling under page-granular channel transfer");
+    let sweep = bench::fig7a();
+    let base = &sweep[0];
+    let mut t = Table::new(&["dies", "throughput (pages/s)", "vs 1 die", "avg latency", "vs 1 die"]);
+    for p in &sweep {
+        t.row_owned(vec![
+            p.dies.to_string(),
+            format!("{:.0}", p.throughput),
+            ratio(p.throughput / base.throughput),
+            format!("{}", p.avg_latency),
+            ratio(p.avg_latency.as_ns() as f64 / base.avg_latency.as_ns() as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: 8 dies give ~1.49x throughput at ~7.7x latency");
+}
+
+fn fig7b() {
+    header("Fig 7b — motivation: hop-by-hop barrier idles flash resources");
+    let rows = bench::fig7b(DEFAULT_NODES);
+    let mut t = Table::new(&[
+        "batch size",
+        "die util (barriered)",
+        "die util (out-of-order)",
+        "prep inflation",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.batch_size.to_string(),
+            percent(r.barriered_util),
+            percent(r.out_of_order_util),
+            ratio(r.prep_inflation),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: the strict hop order (Fig 5) leaves dies idle at every hop boundary;\n\
+         larger batches dilute but never remove the barrier cost"
+    );
+}
+
+fn fig14() {
+    header("Fig 14 — normalized throughput (vs CC) across workloads");
+    let rows = bench::fig14(DEFAULT_NODES, DEFAULT_BATCH);
+    let mut t = Table::new(&[
+        "platform", "reddit", "amazon", "movielens", "OGBN", "PPI", "geomean",
+    ]);
+    for p in Platform::ALL {
+        let mut cells = vec![p.to_string()];
+        for d in beacongnn::Dataset::ALL {
+            let r = rows
+                .iter()
+                .find(|r| r.platform == p && r.dataset == d)
+                .expect("cell exists");
+            cells.push(ratio(r.normalized));
+        }
+        cells.push(ratio(bench::geomean_normalized(&rows, p)));
+        t.row_owned(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (avg): SmartSage 2.11x, GList 1.42x, BG-1 2.35x, BG-SP 5.47x over BG-1,\n\
+         BG-DGSP +20% over BG-SP, BG-2 +41% over BG-DGSP, BG-2 = 21.70x CC overall"
+    );
+}
+
+fn fig15() {
+    header("Fig 15a-e — active flash channels/dies over time (amazon)");
+    for p in [Platform::BgSp, Platform::BgDgsp, Platform::Bg2] {
+        let c = bench::fig15_curves(p, DEFAULT_NODES, DEFAULT_BATCH);
+        println!(
+            "{:>8}: mean die util {} | mean channel util {} | slice {}",
+            p.to_string(),
+            percent(c.die_utilization),
+            percent(c.channel_utilization),
+            c.slice
+        );
+        let spark = |xs: &[f64], max: f64| -> String {
+            const GLYPHS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+            xs.iter()
+                .take(72)
+                .map(|&x| GLYPHS[(x / max * 7.0).min(7.0) as usize])
+                .collect()
+        };
+        println!("   dies  {}", spark(&c.dies, 128.0));
+        println!("   chans {}", spark(&c.channels, 16.0));
+    }
+    println!("\npaper: BG-SP shows low-utilization valleys at hop barriers; BG-DGSP is even;\nBG-2 lifts both utilizations by ~76% over BG-SP");
+
+    println!("\nPer-workload BG-2 utilization (Fig 15a-e's dataset comparison):\n");
+    let mut t = Table::new(&["dataset", "die util", "channel util"]);
+    for (d, die, chan) in bench::fig15_dataset_utilization(DEFAULT_NODES, DEFAULT_BATCH) {
+        t.row_owned(vec![d.to_string(), percent(die), percent(chan)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: reddit/PPI die-starved (long features saturate channels); movielens/OGBN\n\
+         channel-starved (short features); amazon highest on both — hence used for all\n\
+         single-workload experiments"
+    );
+}
+
+fn fig15f() {
+    header("Fig 15f — stage latency breakdown (amazon)");
+    let mut t = Table::new(&["platform", "flash", "channel", "firmware", "dram", "pcie", "host", "accel"]);
+    for p in Platform::ALL {
+        let m = bench::fig15f(p, DEFAULT_NODES, DEFAULT_BATCH);
+        let s = m.stages;
+        t.row_owned(vec![
+            p.to_string(),
+            format!("{}", s.flash_read),
+            format!("{}", s.channel),
+            format!("{}", s.firmware),
+            format!("{}", s.dram),
+            format!("{}", s.pcie),
+            format!("{}", s.host),
+            format!("{}", s.accel),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: CC dominated by PCIe transfer; BG-1/BG-DG by flash (page) I/O;\nhost-side delay is a minor part everywhere");
+}
+
+fn fig16() {
+    header("Fig 16 — hop timeline of the data-preparation stage (amazon)");
+    for p in [Platform::Bg1, Platform::BgDg, Platform::BgSp, Platform::BgDgsp, Platform::Bg2] {
+        let m = bench::fig16(p, DEFAULT_NODES, 64);
+        print!("{:>8}: ", p.to_string());
+        for w in &m.hop_windows {
+            print!("hop{} [{} - {}]  ", w.hop, w.start, w.end);
+        }
+        println!("overlap {}", percent(bench::hop_overlap_fraction(&m)));
+    }
+    println!("\npaper: BG-1/BG-SP have strictly ordered hops with gaps; BG-DG/BG-DGSP/BG-2\noverlap hops, BG-2 creating the largest overlap");
+}
+
+fn fig17() {
+    header("Fig 17 — flash command latency breakdown (amazon)");
+    let mut t = Table::new(&["platform", "wait_before_flash", "flash", "wait_after_flash", "mean lifetime"]);
+    for p in Platform::BG_CHAIN {
+        let m = bench::fig17(p, DEFAULT_NODES, DEFAULT_BATCH);
+        let (w, f, a) = m.cmd_breakdown.fractions();
+        t.row_owned(vec![
+            p.to_string(),
+            percent(w),
+            percent(f),
+            percent(a),
+            format!("{:.1}us", m.cmd_breakdown.mean_lifetime_ns() / 1000.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: flash-proper time is a small slice everywhere; BG-SP slashes both wait\n\
+         classes; DirectGraph lengthens wait_before (more ready commands); BG-2 cuts\n\
+         wait time ~68% vs BG-DGSP"
+    );
+}
+
+fn fig18(which: Option<&str>) {
+    let sweeps: Vec<Sweep> = match which {
+        None | Some("all") => Sweep::ALL.to_vec(),
+        Some("batch") => vec![Sweep::BatchSize],
+        Some("bandwidth") => vec![Sweep::ChannelBandwidth],
+        Some("cores") => vec![Sweep::Cores],
+        Some("channels") => vec![Sweep::Channels],
+        Some("dies") => vec![Sweep::DiesPerChannel],
+        Some("pagesize") => vec![Sweep::PageSize],
+        Some(other) => {
+            eprintln!("unknown sweep `{other}`");
+            std::process::exit(2);
+        }
+    };
+    for sweep in sweeps {
+        header(&format!("Fig 18 — sensitivity: {}", sweep.name()));
+        let rows = bench::fig18(sweep, DEFAULT_NODES);
+        let points = sweep.points();
+        let mut headers: Vec<String> = vec!["platform".into()];
+        headers.extend(points.iter().map(|p| p.to_string()));
+        let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hdr_refs);
+        for p in Platform::BG_CHAIN {
+            // Normalize to the lowest point of this platform, like the
+            // paper ("results normalized to the lowest point").
+            let vals: Vec<f64> = points
+                .iter()
+                .map(|&pt| {
+                    rows.iter()
+                        .find(|r| r.platform == p && r.point == pt)
+                        .map(|r| r.targets_per_sec)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            let base = vals.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+            let mut cells = vec![p.to_string()];
+            cells.extend(vals.iter().map(|&v| ratio(v / base)));
+            t.row_owned(cells);
+        }
+        println!("{}", t.render());
+    }
+}
+
+fn fig19() {
+    header("Fig 19 — energy breakdown and efficiency (amazon)");
+    let rows = bench::fig19(DEFAULT_NODES, DEFAULT_BATCH);
+    let cc_eff = rows.iter().find(|r| r.platform == Platform::Cc).unwrap().efficiency;
+    let mut t = Table::new(&[
+        "platform", "flash", "channel", "dram", "pcie", "cores", "host", "accel",
+        "eff vs CC", "avg power",
+    ]);
+    for r in &rows {
+        let b = &r.breakdown;
+        let total = b.total().max(1e-18);
+        t.row_owned(vec![
+            r.platform.to_string(),
+            percent(b.flash / total),
+            percent(b.channel / total),
+            percent(b.dram / total),
+            percent(b.pcie / total),
+            percent(b.cores / total),
+            percent(b.host / total),
+            percent(b.accel / total),
+            ratio(r.efficiency / cc_eff),
+            format!("{:.1} W", r.avg_power),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: CC spends 57% outside storage; BG-1/BG-DG spend 75% staging pages to\n\
+         DRAM; BG-2 = 9.86x CC and 4.25x BG-1 efficiency at 13.4 W average"
+    );
+}
+
+fn table4() {
+    header("Table IV — DirectGraph storage inflation");
+    let rows = bench::table4(DEFAULT_NODES);
+    let mut t =
+        Table::new(&["dataset", "paper raw (GB)", "measured inflation", "page utilization"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.dataset.to_string(),
+            format!("{:.1}", r.paper_raw_gb),
+            percent(r.inflation),
+            percent(r.page_utilization),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: reddit 2.8%, amazon 4.1%, movielens 3.5%, OGBN 32.3%, PPI 3.5%");
+}
+
+fn trad_ssd() {
+    header("§VII-E — traditional 20us SSD (avg normalized throughput vs CC)");
+    let rows = bench::traditional_ssd(DEFAULT_NODES, DEFAULT_BATCH);
+    let mut t = Table::new(&["platform", "vs CC (20us flash)"]);
+    for (p, x) in &rows {
+        t.row_owned(vec![p.to_string(), ratio(*x)]);
+    }
+    println!("{}", t.render());
+    println!("paper: BG-1 2.20x, BG-DG 2.50x, BG-SP 3.19x, BG-DGSP 4.19x, BG-2 4.19x\n(BG-2 ~ BG-DGSP: firmware suffices at 20us reads)");
+}
+
+fn query() {
+    header("§VIII extension — single-target GNN query latency (amazon)");
+    let rows = bench::query_latency(DEFAULT_NODES, 6);
+    let cc = rows.iter().find(|r| r.platform == Platform::Cc).expect("CC row");
+    let mut t = Table::new(&["platform", "mean latency", "max latency", "speedup vs CC"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.platform.to_string(),
+            format!("{}", r.mean),
+            format!("{}", r.max),
+            ratio(cc.mean.as_ns() as f64 / r.mean.as_ns() as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper §VIII: one host round + no channel congestion => much lower query delay");
+}
+
+fn array() {
+    header("§VIII extension — BeaconGNN storage-array scale-out (amazon, BG-2)");
+    let rows = bench::array_scaling(DEFAULT_NODES, 128);
+    let mut t = Table::new(&["SSDs", "throughput", "vs 1 SSD", "efficiency", "cross-partition"]);
+    let single = rows[0].array_throughput;
+    for r in &rows {
+        t.row_owned(vec![
+            r.ssds.to_string(),
+            format!("{:.0}/s", r.array_throughput),
+            ratio(r.array_throughput / single),
+            percent(r.efficiency()),
+            percent(r.cross_fraction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper §VIII: capacity and computation should grow linearly with SSDs over P2P");
+}
+
+fn ablation() {
+    header("§VIII extension — DRAM-bottleneck mitigation ablation (BG-2, 32 channels)");
+    let rows = bench::dram_ablation(DEFAULT_NODES, 256);
+    let base = rows[0].1;
+    let mut t = Table::new(&["configuration", "prep rate", "vs baseline"]);
+    for (name, tput) in &rows {
+        t.row_owned(vec![name.to_string(), format!("{tput:.0}/s"), ratio(tput / base)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper §VIII: at high flash throughput SSD DRAM becomes the bottleneck; higher\n\
+         memory bandwidth or direct flash->SRAM I/O relieves it"
+    );
+}
+
+fn interference() {
+    header("§VI-G extension — regular-I/O deferral during acceleration mode (BG-2)");
+    let rows = bench::interference(DEFAULT_NODES);
+    let mut t = Table::new(&["batch size", "batch window", "expected deferral"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.batch_size.to_string(),
+            format!("{}", r.batch_window),
+            format!("{}", r.expected_deferral),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper §VI-G: regular requests arriving mid-batch defer to the batch boundary;\n\
+         small batches keep the deferral window (and thus the regular-I/O latency hit)\n\
+         short"
+    );
+}
+
+fn config() {
+    header("Table II/III — configuration inputs");
+    let ssd = beacongnn::SsdConfig::paper_default();
+    println!(
+        "SSD: {} channels x {} dies, {} B pages, read {} / channel {} MB/s,\n\
+         {} cores @ {} GHz, DRAM {:.1} GB/s, PCIe {:.1} GB/s",
+        ssd.geometry.channels,
+        ssd.geometry.dies_per_channel,
+        ssd.geometry.page_size,
+        ssd.timing.read_latency,
+        ssd.timing.channel_bandwidth / 1_000_000,
+        ssd.cores,
+        ssd.core_hz as f64 / 1e9,
+        ssd.dram_bandwidth as f64 / 1e9,
+        ssd.pcie_bandwidth as f64 / 1e9,
+    );
+    let mut t = Table::new(&["dataset", "avg degree", "feature dim", "paper raw (GB)"]);
+    for d in beacongnn::Dataset::ALL {
+        let s = beacongnn::DatasetSpec::preset(d);
+        t.row_owned(vec![
+            d.to_string(),
+            format!("{:.0}", s.avg_degree),
+            s.feature_dim.to_string(),
+            format!("{:.1}", s.paper_raw_gb),
+        ]);
+    }
+    println!("\n{}", t.render());
+}

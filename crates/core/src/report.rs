@@ -1,0 +1,155 @@
+//! Paper-style text tables.
+//!
+//! The experiment binaries print fixed-width rows matching the paper's
+//! figures ("normalized throughput per platform per workload", "energy
+//! breakdown", ...). This module holds the shared formatting helpers so
+//! every table reads the same.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use beacongnn::report::Table;
+/// let mut t = Table::new(&["platform", "speedup"]);
+/// t.row(&["BG-2", "21.70x"]);
+/// let s = t.render();
+/// assert!(s.contains("BG-2"));
+/// assert!(s.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i];
+                if i + 1 == ncols {
+                    let _ = writeln!(out, "{cell:<pad$}");
+                } else {
+                    let _ = write!(out, "{cell:<pad$}  ");
+                }
+            }
+        };
+        emit(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a ratio as the paper does ("21.70x").
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage ("57.0%").
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a throughput in targets/second with thousands grouping.
+pub fn throughput(tps: f64) -> String {
+    if tps >= 1e6 {
+        format!("{:.2}M/s", tps / 1e6)
+    } else if tps >= 1e3 {
+        format!("{:.1}k/s", tps / 1e3)
+    } else {
+        format!("{tps:.0}/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["wide-cell-content", "x"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Both data columns start at the same offset in each line.
+        assert_eq!(lines[0].find("long-header"), lines[2].find('x'));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        Table::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(21.7), "21.70x");
+        assert_eq!(percent(0.573), "57.3%");
+        assert_eq!(throughput(1_500_000.0), "1.50M/s");
+        assert_eq!(throughput(1_500.0), "1.5k/s");
+        assert_eq!(throughput(15.0), "15/s");
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new(&["k"]);
+        t.row_owned(vec!["v".to_string()]);
+        assert_eq!(t.len(), 1);
+    }
+}

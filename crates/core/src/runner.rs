@@ -1,0 +1,201 @@
+//! Experiment runner: platforms × workloads × device configs.
+
+use beacon_platforms::{Engine, Platform, RunMetrics};
+use beacon_ssd::SsdConfig;
+
+use crate::workload::Workload;
+
+/// Runs platforms on a prepared workload under a device configuration.
+///
+/// # Examples
+///
+/// ```
+/// use beacongnn::{Experiment, Platform, Workload};
+///
+/// let w = Workload::builder().nodes(800).batch_size(8).batches(1).prepare()?;
+/// let metrics = Experiment::new(&w).run(Platform::Bg1);
+/// assert_eq!(metrics.platform, "BG-1");
+/// # Ok::<(), beacongnn::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment<'a> {
+    workload: &'a Workload,
+    ssd: SsdConfig,
+    seed: u64,
+}
+
+impl<'a> Experiment<'a> {
+    /// Creates an experiment over `workload` with the paper-default SSD,
+    /// matched to the workload's page size.
+    pub fn new(workload: &'a Workload) -> Self {
+        let ssd = SsdConfig::paper_default()
+            .with_page_size(workload.directgraph().layout().page_size());
+        Experiment { workload, ssd, seed: workload.seed() }
+    }
+
+    /// Overrides the device configuration (sensitivity sweeps). The
+    /// page size is forced to match the workload's DirectGraph layout.
+    pub fn ssd(mut self, ssd: SsdConfig) -> Self {
+        self.ssd = ssd.with_page_size(self.workload.directgraph().layout().page_size());
+        self
+    }
+
+    /// Overrides the simulation seed (die TRNG streams).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The device configuration in effect.
+    pub fn config(&self) -> SsdConfig {
+        self.ssd
+    }
+
+    /// Runs one platform end-to-end.
+    pub fn run(&self, platform: Platform) -> RunMetrics {
+        Engine::new(
+            platform,
+            self.ssd,
+            self.workload.model(),
+            self.workload.directgraph(),
+            self.seed,
+        )
+        .run(self.workload.batches())
+    }
+
+    /// Runs several platforms and returns `(platform, metrics)` pairs.
+    pub fn run_all(&self, platforms: &[Platform]) -> Vec<(Platform, RunMetrics)> {
+        platforms.iter().map(|&p| (p, self.run(p))).collect()
+    }
+
+    /// Runs `platforms` and returns their throughputs normalized to the
+    /// first entry (the paper normalizes to CC).
+    pub fn normalized_throughput(&self, platforms: &[Platform]) -> Vec<(Platform, f64)> {
+        let runs = self.run_all(platforms);
+        let base = runs.first().map(|(_, m)| m.throughput()).unwrap_or(1.0);
+        runs.into_iter().map(|(p, m)| (p, m.throughput() / base)).collect()
+    }
+
+    /// Runs one platform under `seeds` different TRNG seeds and returns
+    /// throughput statistics — the sampling randomness is the only
+    /// stochastic input, so this quantifies run-to-run spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is zero.
+    pub fn run_seeds(&self, platform: Platform, seeds: usize) -> ThroughputStats {
+        assert!(seeds > 0, "need at least one seed");
+        let samples: Vec<f64> = (0..seeds as u64)
+            .map(|i| {
+                Experiment { workload: self.workload, ssd: self.ssd, seed: self.seed ^ (i << 13) }
+                    .run(platform)
+                    .throughput()
+            })
+            .collect();
+        ThroughputStats::from_samples(&samples)
+    }
+}
+
+/// Throughput statistics over repeated seeded runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputStats {
+    /// Number of runs.
+    pub runs: usize,
+    /// Mean targets/second.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single run).
+    pub stdev: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl ThroughputStats {
+    fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        ThroughputStats {
+            runs: n,
+            mean,
+            stdev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation (stdev / mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            return 0.0;
+        }
+        self.stdev / self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn small_workload() -> Workload {
+        Workload::builder().nodes(1_000).batch_size(16).batches(1).seed(3).prepare().unwrap()
+    }
+
+    #[test]
+    fn run_produces_metrics() {
+        let w = small_workload();
+        let m = Experiment::new(&w).run(Platform::Bg2);
+        assert_eq!(m.platform, "BG-2");
+        assert_eq!(m.targets, 16);
+        assert!(m.throughput() > 0.0);
+    }
+
+    #[test]
+    fn normalized_throughput_base_is_one() {
+        let w = small_workload();
+        let norm = Experiment::new(&w)
+            .normalized_throughput(&[Platform::Cc, Platform::Bg1, Platform::Bg2]);
+        assert_eq!(norm[0].1, 1.0);
+        assert!(norm[2].1 > norm[0].1);
+    }
+
+    #[test]
+    fn ssd_override_keeps_workload_page_size() {
+        let w = small_workload();
+        let exp = Experiment::new(&w).ssd(SsdConfig::paper_default().with_page_size(16384));
+        assert_eq!(exp.config().geometry.page_size, 4096);
+    }
+
+    #[test]
+    fn seed_statistics_are_tight() {
+        // Sampling randomness should move throughput only slightly —
+        // the workload shape, not the draw, determines performance.
+        let w = small_workload();
+        let stats = Experiment::new(&w).run_seeds(Platform::Bg2, 4);
+        assert_eq!(stats.runs, 4);
+        assert!(stats.mean > 0.0);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+        assert!(stats.cv() < 0.15, "run-to-run CV {:.3} too high", stats.cv());
+    }
+
+    #[test]
+    fn sweeping_cores_changes_firmware_platforms_only() {
+        let w = small_workload();
+        let few = Experiment::new(&w)
+            .ssd(SsdConfig::paper_default().with_cores(1))
+            .run(Platform::Bg2);
+        let many = Experiment::new(&w)
+            .ssd(SsdConfig::paper_default().with_cores(8))
+            .run(Platform::Bg2);
+        // BG-2 removes firmware from the sampling path: core count must
+        // not matter (Fig 18c).
+        let ratio = many.throughput() / few.throughput();
+        assert!((0.95..=1.05).contains(&ratio), "BG-2 core sensitivity {ratio:.3}");
+    }
+}

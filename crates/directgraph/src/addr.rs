@@ -1,0 +1,223 @@
+//! Flash physical addressing for DirectGraph.
+//!
+//! A DirectGraph neighbor reference is a 4-byte physical address. In the
+//! paper's baseline configuration (1 TB SSD, 4 KB pages) it splits into
+//! 28 bits of flash-page index and 4 bits of in-page section index;
+//! doubling the page size frees one page bit for the slot index
+//! ("using larger pages means more bits can be used for section
+//! indexing").
+
+use std::fmt;
+
+/// The bit split of a 4-byte DirectGraph physical address.
+///
+/// # Examples
+///
+/// ```
+/// use directgraph::AddrLayout;
+/// let l = AddrLayout::for_page_size(4096).unwrap();
+/// assert_eq!(l.page_bits(), 28);
+/// assert_eq!(l.slot_bits(), 4);
+/// assert_eq!(l.max_sections_per_page(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrLayout {
+    page_bits: u32,
+    slot_bits: u32,
+    page_size: usize,
+}
+
+impl AddrLayout {
+    /// Total address width in bits (a 4-byte address).
+    pub const ADDR_BITS: u32 = 32;
+
+    /// Layout for a given flash page size, per the paper's rule: 4 KB
+    /// pages get 4 slot bits / 28 page bits; each doubling of the page
+    /// size moves one bit from page index to slot index.
+    ///
+    /// Returns `None` if `page_size` is not a power-of-two multiple of
+    /// 2 KB in `[2 KB, 64 KB]` (the paper sweeps 2–16 KB).
+    pub fn for_page_size(page_size: usize) -> Option<Self> {
+        if !(2048..=65536).contains(&page_size) || !page_size.is_power_of_two() {
+            return None;
+        }
+        // 4 KB -> 4 slot bits; 2 KB -> 3; 8 KB -> 5; ...
+        let shift = (page_size / 2048).trailing_zeros(); // 2KB->0, 4KB->1, ...
+        let slot_bits = 3 + shift;
+        Some(AddrLayout { page_bits: Self::ADDR_BITS - slot_bits, slot_bits, page_size })
+    }
+
+    /// Number of page-index bits.
+    pub const fn page_bits(self) -> u32 {
+        self.page_bits
+    }
+
+    /// Number of in-page slot-index bits.
+    pub const fn slot_bits(self) -> u32 {
+        self.slot_bits
+    }
+
+    /// The flash page size this layout was derived for, in bytes.
+    pub const fn page_size(self) -> usize {
+        self.page_size
+    }
+
+    /// Maximum number of addressable sections in one page (`2^slot_bits`).
+    pub const fn max_sections_per_page(self) -> usize {
+        1 << self.slot_bits
+    }
+
+    /// Largest addressable page index.
+    pub const fn max_page_index(self) -> u64 {
+        (1u64 << self.page_bits) - 1
+    }
+
+    /// Addressable capacity in bytes (`2^page_bits × page_size`).
+    pub fn addressable_bytes(self) -> u128 {
+        (1u128 << self.page_bits) * self.page_size as u128
+    }
+
+    /// Packs a page index and slot into a [`PhysAddr`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` or `slot` exceed the layout's field widths.
+    pub fn pack(self, page: PageIndex, slot: usize) -> PhysAddr {
+        assert!(page.as_u64() <= self.max_page_index(), "page index overflows layout");
+        assert!(slot < self.max_sections_per_page(), "slot index overflows layout");
+        PhysAddr(((page.as_u64() as u32) << self.slot_bits) | slot as u32)
+    }
+
+    /// Unpacks a [`PhysAddr`] into `(page, slot)`.
+    pub fn unpack(self, addr: PhysAddr) -> (PageIndex, usize) {
+        let slot_mask = (1u32 << self.slot_bits) - 1;
+        (PageIndex::new((addr.0 >> self.slot_bits) as u64), (addr.0 & slot_mask) as usize)
+    }
+}
+
+/// Index of a physical flash page within the DirectGraph address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageIndex(u64);
+
+impl PageIndex {
+    /// Creates a page index.
+    pub const fn new(v: u64) -> Self {
+        PageIndex(v)
+    }
+
+    /// The raw index value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The raw index as `usize`.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PageIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A packed 4-byte DirectGraph physical address (page index + in-page
+/// section slot).
+///
+/// Interpretation requires the [`AddrLayout`] it was packed with; the
+/// newtype deliberately has no accessors of its own so an address can
+/// never be unpacked with the wrong layout silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub(crate) u32);
+
+impl PhysAddr {
+    /// Raw 32-bit representation (as serialized into page bytes).
+    pub const fn to_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an address from its raw 32-bit representation.
+    pub const fn from_raw(v: u32) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#010x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_layout() {
+        let l = AddrLayout::for_page_size(4096).unwrap();
+        assert_eq!(l.page_bits(), 28);
+        assert_eq!(l.slot_bits(), 4);
+        assert_eq!(l.max_sections_per_page(), 16);
+        // 2^28 pages x 4KB = 1 TB, exactly the paper's example.
+        assert_eq!(l.addressable_bytes(), 1u128 << 40);
+    }
+
+    #[test]
+    fn larger_pages_shift_bits_to_slots() {
+        let l2 = AddrLayout::for_page_size(2048).unwrap();
+        let l8 = AddrLayout::for_page_size(8192).unwrap();
+        let l16 = AddrLayout::for_page_size(16384).unwrap();
+        assert_eq!((l2.page_bits(), l2.slot_bits()), (29, 3));
+        assert_eq!((l8.page_bits(), l8.slot_bits()), (27, 5));
+        assert_eq!((l16.page_bits(), l16.slot_bits()), (26, 6));
+        // Addressable capacity stays 1 TB across the sweep.
+        assert_eq!(l2.addressable_bytes(), 1u128 << 40);
+        assert_eq!(l16.addressable_bytes(), 1u128 << 40);
+    }
+
+    #[test]
+    fn invalid_page_sizes_rejected() {
+        assert!(AddrLayout::for_page_size(1024).is_none());
+        assert!(AddrLayout::for_page_size(3000).is_none());
+        assert!(AddrLayout::for_page_size(131072).is_none());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let l = AddrLayout::for_page_size(4096).unwrap();
+        let addr = l.pack(PageIndex::new(123_456), 9);
+        let (p, s) = l.unpack(addr);
+        assert_eq!(p, PageIndex::new(123_456));
+        assert_eq!(s, 9);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let l = AddrLayout::for_page_size(4096).unwrap();
+        let addr = l.pack(PageIndex::new(42), 3);
+        assert_eq!(PhysAddr::from_raw(addr.to_raw()), addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index overflows")]
+    fn oversized_slot_panics() {
+        let l = AddrLayout::for_page_size(4096).unwrap();
+        l.pack(PageIndex::new(0), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "page index overflows")]
+    fn oversized_page_panics() {
+        let l = AddrLayout::for_page_size(4096).unwrap();
+        l.pack(PageIndex::new(1 << 28), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = AddrLayout::for_page_size(4096).unwrap();
+        let addr = l.pack(PageIndex::new(1), 2);
+        assert_eq!(addr.to_string(), "@0x00000012");
+        assert_eq!(PageIndex::new(5).to_string(), "p5");
+    }
+}

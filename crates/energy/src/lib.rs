@@ -1,0 +1,285 @@
+//! # beacon-energy — energy accounting (paper §VII-A, §VII-D)
+//!
+//! The paper estimates power with McPAT/DRAMPower for SSD components and
+//! CACTI + scaled arithmetic energies for the accelerators. This crate
+//! reproduces the *accounting structure*: simulations record raw event
+//! quantities in an [`EnergyLedger`] (page reads, bytes moved per link,
+//! busy core time, MACs), and [`EnergyCosts`] prices them into a
+//! [`EnergyBreakdown`] whose component shares regenerate Fig 19.
+//!
+//! The default constants come from the same public literature the
+//! paper's tools embody (NAND sense energy, DDR access energy per byte,
+//! PCIe end-to-end transfer energy, scaled 32 nm MAC energy); absolute
+//! joules are approximate, component *ratios* are the reproduction
+//! target (see DESIGN.md).
+
+use simkit::Duration;
+
+/// Per-event energy constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCosts {
+    /// Joules per flash page sense.
+    pub flash_read_page: f64,
+    /// Joules per byte moved on a flash channel.
+    pub channel_per_byte: f64,
+    /// Joules per byte accessed in SSD DRAM.
+    pub dram_per_byte: f64,
+    /// Joules per byte moved end-to-end over PCIe (wire + root complex +
+    /// host memory copies).
+    pub pcie_per_byte: f64,
+    /// Watts per busy embedded core.
+    pub core_power: f64,
+    /// Watts of host CPU while sampling/translating.
+    pub host_cpu_power: f64,
+    /// Joules per multiply-accumulate (32 nm-scaled FP16).
+    pub mac: f64,
+    /// Joules per reduction element-add.
+    pub reduce_op: f64,
+    /// Joules per on-die sampler command execution.
+    pub sampler_cmd: f64,
+    /// Joules per command hop through the channel router.
+    pub router_cmd: f64,
+}
+
+impl EnergyCosts {
+    /// Literature-derived defaults (see crate docs).
+    pub fn default_costs() -> Self {
+        EnergyCosts {
+            flash_read_page: 1.2e-6,
+            channel_per_byte: 25e-12,
+            dram_per_byte: 400e-12,
+            pcie_per_byte: 600e-12,
+            core_power: 0.3,
+            // Incremental active power attributable to the host I/O /
+            // sampling path (not package power — the host would idle at
+            // tens of watts regardless; Fig 19 compares the GNN task's
+            // marginal energy).
+            host_cpu_power: 1.0,
+            mac: 2e-12,
+            reduce_op: 0.5e-12,
+            sampler_cmd: 20e-9,
+            router_cmd: 5e-9,
+        }
+    }
+}
+
+impl Default for EnergyCosts {
+    fn default() -> Self {
+        Self::default_costs()
+    }
+}
+
+/// Raw event quantities recorded by a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnergyLedger {
+    /// Flash page senses.
+    pub flash_page_reads: u64,
+    /// Bytes moved over flash channels.
+    pub channel_bytes: u64,
+    /// Bytes accessed in SSD DRAM.
+    pub dram_bytes: u64,
+    /// Bytes moved over PCIe.
+    pub pcie_bytes: u64,
+    /// Aggregate busy time across embedded cores.
+    pub core_busy: Duration,
+    /// Host CPU busy time (sampling, translation).
+    pub host_cpu_busy: Duration,
+    /// Accelerator multiply-accumulates.
+    pub macs: u64,
+    /// Accelerator reduction element-adds.
+    pub reduce_ops: u64,
+    /// On-die sampler command executions.
+    pub sampler_cmds: u64,
+    /// Router command hops.
+    pub router_cmds: u64,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.flash_page_reads += other.flash_page_reads;
+        self.channel_bytes += other.channel_bytes;
+        self.dram_bytes += other.dram_bytes;
+        self.pcie_bytes += other.pcie_bytes;
+        self.core_busy += other.core_busy;
+        self.host_cpu_busy += other.host_cpu_busy;
+        self.macs += other.macs;
+        self.reduce_ops += other.reduce_ops;
+        self.sampler_cmds += other.sampler_cmds;
+        self.router_cmds += other.router_cmds;
+    }
+
+    /// Prices the ledger into a component breakdown.
+    pub fn breakdown(&self, costs: &EnergyCosts) -> EnergyBreakdown {
+        EnergyBreakdown {
+            flash: self.flash_page_reads as f64 * costs.flash_read_page
+                + self.sampler_cmds as f64 * costs.sampler_cmd,
+            channel: self.channel_bytes as f64 * costs.channel_per_byte
+                + self.router_cmds as f64 * costs.router_cmd,
+            dram: self.dram_bytes as f64 * costs.dram_per_byte,
+            pcie: self.pcie_bytes as f64 * costs.pcie_per_byte,
+            cores: self.core_busy.as_secs_f64() * costs.core_power,
+            host: self.host_cpu_busy.as_secs_f64() * costs.host_cpu_power,
+            accel: self.macs as f64 * costs.mac + self.reduce_ops as f64 * costs.reduce_op,
+        }
+    }
+}
+
+/// Energy per component, in joules (the Fig 19 stack).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Flash array senses + on-die sampling.
+    pub flash: f64,
+    /// Channel transfers + router hops.
+    pub channel: f64,
+    /// SSD DRAM traffic.
+    pub dram: f64,
+    /// PCIe traffic (host↔SSD↔discrete accelerator).
+    pub pcie: f64,
+    /// Embedded-core (firmware) energy.
+    pub cores: f64,
+    /// Host CPU energy.
+    pub host: f64,
+    /// Accelerator compute energy.
+    pub accel: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.flash + self.channel + self.dram + self.pcie + self.cores + self.host + self.accel
+    }
+
+    /// Fraction of total spent moving data outside the SSD (PCIe +
+    /// host) — the CC baseline's 57% in Fig 19.
+    pub fn outside_storage_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.pcie + self.host) / t
+    }
+
+    /// Fraction spent on internal staging (channel + DRAM) — BG-1's 75%.
+    pub fn staging_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.channel + self.dram) / t
+    }
+
+    /// Fraction spent in the flash backend (sense + sampling + channel).
+    pub fn flash_backend_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.flash + self.channel) / t
+    }
+
+    /// Energy efficiency: work items (e.g. target nodes) per joule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if total energy is zero with nonzero work.
+    pub fn efficiency(&self, work_items: u64) -> f64 {
+        if work_items == 0 {
+            return 0.0;
+        }
+        let t = self.total();
+        assert!(t > 0.0, "nonzero work with zero energy");
+        work_items as f64 / t
+    }
+
+    /// Average power over a run of `makespan`, in watts.
+    pub fn avg_power(&self, makespan: Duration) -> f64 {
+        let s = makespan.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.total() / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_free() {
+        let b = EnergyLedger::new().breakdown(&EnergyCosts::default_costs());
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.outside_storage_fraction(), 0.0);
+        assert_eq!(b.efficiency(0), 0.0);
+        assert_eq!(b.avg_power(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn breakdown_prices_each_component() {
+        let costs = EnergyCosts::default_costs();
+        let ledger = EnergyLedger {
+            flash_page_reads: 1_000,
+            channel_bytes: 1 << 20,
+            dram_bytes: 1 << 20,
+            pcie_bytes: 1 << 20,
+            core_busy: Duration::from_ms(10),
+            host_cpu_busy: Duration::from_ms(1),
+            macs: 1_000_000,
+            reduce_ops: 1_000_000,
+            sampler_cmds: 100,
+            router_cmds: 100,
+        };
+        let b = ledger.breakdown(&costs);
+        assert!(b.flash > 0.0 && b.channel > 0.0 && b.dram > 0.0);
+        assert!(b.pcie > b.dram, "PCIe per byte costs more than DRAM");
+        assert!(b.dram > b.channel, "DRAM per byte costs more than channel");
+        let sum = b.flash + b.channel + b.dram + b.pcie + b.cores + b.host + b.accel;
+        assert!((b.total() - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_adds_quantities() {
+        let mut a = EnergyLedger { flash_page_reads: 1, ..Default::default() };
+        let b = EnergyLedger {
+            flash_page_reads: 2,
+            core_busy: Duration::from_us(5),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flash_page_reads, 3);
+        assert_eq!(a.core_busy, Duration::from_us(5));
+    }
+
+    #[test]
+    fn fractions_partition_sensibly() {
+        let ledger = EnergyLedger {
+            flash_page_reads: 10,
+            channel_bytes: 1000,
+            dram_bytes: 1000,
+            pcie_bytes: 1000,
+            host_cpu_busy: Duration::from_us(1),
+            ..Default::default()
+        };
+        let b = ledger.breakdown(&EnergyCosts::default_costs());
+        for f in [b.outside_storage_fraction(), b.staging_fraction(), b.flash_backend_fraction()]
+        {
+            assert!((0.0..=1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn efficiency_and_power() {
+        let ledger = EnergyLedger { flash_page_reads: 1_000_000, ..Default::default() };
+        let b = ledger.breakdown(&EnergyCosts::default_costs());
+        let eff = b.efficiency(1_000);
+        assert!(eff > 0.0);
+        let p = b.avg_power(Duration::from_secs(1));
+        assert!((p - b.total()).abs() < 1e-12);
+    }
+}

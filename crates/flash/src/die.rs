@@ -1,0 +1,259 @@
+//! Flash die state machine: planes, registers, and read pipelining
+//! (paper Fig 10).
+//!
+//! A die couples a NAND array per plane with page-sized SRAM registers.
+//! How many register stages the read path has decides whether a die can
+//! overlap sensing with the channel transfer of the previous page:
+//!
+//! * **one register** — the sensed page occupies the register until the
+//!   channel drains it; the array stalls. This is the behaviour behind
+//!   the paper's Fig 7a: per-die throughput is `1/(t_sense + t_xfer)`.
+//! * **two registers** (cache + data) — the array senses page *n+1*
+//!   while page *n* waits in the data register; per-die throughput
+//!   approaches `1/max(t_sense, t_xfer)`.
+//!
+//! Multi-plane reads sense all planes in one array operation, trading
+//! address freedom for bandwidth.
+
+use simkit::{Duration, SimTime};
+
+/// Read-path register configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterMode {
+    /// Single register: no sense/transfer overlap.
+    Single,
+    /// Cache + data registers: one-deep pipelining.
+    Double,
+}
+
+/// The scheduling outcome of one plane read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadGrant {
+    /// When the array starts sensing.
+    pub sense_start: SimTime,
+    /// When the page is available in the output register (ready for the
+    /// channel bus).
+    pub data_ready: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PlaneState {
+    array_free: SimTime,
+    register_free: SimTime,
+}
+
+/// One flash die with `planes` planes.
+///
+/// The caller owns channel-bus scheduling: after the bus grant for a
+/// page is known, report it with [`DieModel::note_transfer_done`] so
+/// the register frees.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_flash::die::{DieModel, RegisterMode};
+/// use simkit::{Duration, SimTime};
+///
+/// let mut die = DieModel::new(2, Duration::from_us(3), RegisterMode::Double);
+/// let g = die.read(0, SimTime::ZERO);
+/// assert_eq!(g.data_ready, SimTime::from_ns(3_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DieModel {
+    sense_time: Duration,
+    mode: RegisterMode,
+    planes: Vec<PlaneState>,
+    reads: u64,
+}
+
+impl DieModel {
+    /// Creates a die with `planes` planes and the given sense latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` is zero.
+    pub fn new(planes: usize, sense_time: Duration, mode: RegisterMode) -> Self {
+        assert!(planes > 0, "die needs at least one plane");
+        DieModel {
+            sense_time,
+            mode,
+            planes: vec![
+                PlaneState { array_free: SimTime::ZERO, register_free: SimTime::ZERO };
+                planes
+            ],
+            reads: 0,
+        }
+    }
+
+    /// Number of planes.
+    pub fn planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Reads issued so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Schedules a single-plane read requested at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn read(&mut self, plane: usize, at: SimTime) -> ReadGrant {
+        self.reads += 1;
+        let p = &mut self.planes[plane];
+        let sense_start = match self.mode {
+            // Single register: the array cannot sense until the
+            // previous page has left the register.
+            RegisterMode::Single => at.max(p.array_free).max(p.register_free),
+            // Double: sensing overlaps a pending transfer.
+            RegisterMode::Double => at.max(p.array_free),
+        };
+        let sense_end = sense_start + self.sense_time;
+        // Data lands in the output register once it is free.
+        let data_ready = match self.mode {
+            RegisterMode::Single => sense_end,
+            RegisterMode::Double => sense_end.max(p.register_free),
+        };
+        p.array_free = match self.mode {
+            RegisterMode::Single => sense_end,
+            // The array is released once its cache register drains into
+            // the data register.
+            RegisterMode::Double => data_ready,
+        };
+        // The register is occupied until the caller reports transfer
+        // completion; model pessimistically as "occupied forever" until
+        // note_transfer_done rewinds it.
+        p.register_free = SimTime::MAX;
+        ReadGrant { sense_start, data_ready }
+    }
+
+    /// Schedules a multi-plane read: all planes sense together in one
+    /// array operation, synchronizing on the latest-constrained plane.
+    pub fn multi_plane_read(&mut self, at: SimTime) -> Vec<ReadGrant> {
+        let start = (0..self.planes.len())
+            .map(|p| self.plane_free(p))
+            .fold(at, SimTime::max);
+        let mode = self.mode;
+        let sense_time = self.sense_time;
+        self.reads += self.planes.len() as u64;
+        self.planes
+            .iter_mut()
+            .map(|p| {
+                let sense_end = start + sense_time;
+                let data_ready = match mode {
+                    RegisterMode::Single => sense_end,
+                    RegisterMode::Double => sense_end.max(p.register_free),
+                };
+                p.array_free = match mode {
+                    RegisterMode::Single => sense_end,
+                    RegisterMode::Double => data_ready,
+                };
+                p.register_free = SimTime::MAX;
+                ReadGrant { sense_start: start, data_ready }
+            })
+            .collect()
+    }
+
+    /// Reports that `plane`'s pending page finished its channel
+    /// transfer at `end`, freeing the output register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn note_transfer_done(&mut self, plane: usize, end: SimTime) {
+        self.planes[plane].register_free = end;
+    }
+
+    /// Earliest time `plane` could start a new sense.
+    pub fn plane_free(&self, plane: usize) -> SimTime {
+        let p = &self.planes[plane];
+        match self.mode {
+            RegisterMode::Single => p.array_free.max(p.register_free),
+            RegisterMode::Double => p.array_free,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SENSE: Duration = Duration::from_us(3);
+    const XFER: Duration = Duration::from_ns(5_320);
+
+    /// Streams `n` reads through one plane with back-to-back transfers;
+    /// returns the completion time of the last transfer.
+    fn stream(mode: RegisterMode, n: u64) -> SimTime {
+        let mut die = DieModel::new(1, SENSE, mode);
+        let mut bus_free = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            let g = die.read(0, SimTime::ZERO + Duration::ZERO);
+            let start = g.data_ready.max(bus_free);
+            let end = start + XFER;
+            bus_free = end;
+            die.note_transfer_done(0, end);
+            last = end;
+        }
+        last
+    }
+
+    #[test]
+    fn single_register_serializes_sense_and_transfer() {
+        // Period = sense + xfer per page.
+        let end = stream(RegisterMode::Single, 10);
+        let expect = (SENSE + XFER) * 10;
+        assert_eq!(end, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn double_register_pipelines() {
+        // Period approaches max(sense, xfer) = xfer here.
+        let end = stream(RegisterMode::Double, 10);
+        let expect = SENSE + XFER * 10; // fill + 10 transfers
+        assert_eq!(end, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn double_mode_is_strictly_faster() {
+        assert!(stream(RegisterMode::Double, 20) < stream(RegisterMode::Single, 20));
+    }
+
+    #[test]
+    fn multi_plane_read_senses_together() {
+        let mut die = DieModel::new(2, SENSE, RegisterMode::Double);
+        let grants = die.multi_plane_read(SimTime::from_ns(100));
+        assert_eq!(grants.len(), 2);
+        assert_eq!(grants[0].sense_start, grants[1].sense_start);
+        assert_eq!(grants[0].data_ready, SimTime::from_ns(100) + SENSE);
+        assert_eq!(die.reads(), 2);
+    }
+
+    #[test]
+    fn planes_are_independent_in_double_mode() {
+        let mut die = DieModel::new(2, SENSE, RegisterMode::Double);
+        let a = die.read(0, SimTime::ZERO);
+        let b = die.read(1, SimTime::ZERO);
+        // Both planes sense in parallel.
+        assert_eq!(a.sense_start, b.sense_start);
+    }
+
+    #[test]
+    fn stalled_register_delays_next_sense_in_single_mode() {
+        let mut die = DieModel::new(1, SENSE, RegisterMode::Single);
+        let g1 = die.read(0, SimTime::ZERO);
+        assert_eq!(g1.data_ready, SimTime::ZERO + SENSE);
+        // Transfer finishes late.
+        die.note_transfer_done(0, SimTime::from_ns(50_000));
+        let g2 = die.read(0, SimTime::ZERO + SENSE);
+        assert_eq!(g2.sense_start, SimTime::from_ns(50_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plane")]
+    fn zero_planes_rejected() {
+        DieModel::new(0, SENSE, RegisterMode::Single);
+    }
+}

@@ -1,0 +1,255 @@
+//! Reliability model: raw bit errors, ECC correction, wear (paper §VI-F).
+//!
+//! BeaconGNN relies on SLC Z-NAND's extremely low raw bit error rate
+//! (RBER < 1e-7) plus two firmware mechanisms: periodic **data
+//! scrubbing** of DirectGraph blocks (read, ECC-check, re-program the
+//! block if any page has errors) and **wear-aware reclamation** when
+//! pinned DirectGraph blocks fall behind regular blocks in P/E count.
+//! This module supplies the error-arrival model those mechanisms consume;
+//! the firmware loops themselves live in `beacon-ssd`.
+//!
+//! Following SimpleSSD-style practice, errors are *statistical*: each
+//! page read draws a bit-error count from a binomial model at an
+//! effective RBER that grows with retention time and accumulated P/E
+//! cycles, and the ECC engine corrects up to its per-codeword capability.
+
+use simkit::{Duration, SplitMix64};
+
+/// Outcome of ECC-checking one page read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// No raw bit errors.
+    Clean,
+    /// Errors occurred and were all corrected (count given).
+    Corrected(u32),
+    /// More errors than the ECC can correct; data loss without scrubbing.
+    Uncorrectable(u32),
+}
+
+impl EccOutcome {
+    /// Whether the read returned valid data.
+    pub fn is_ok(self) -> bool {
+        !matches!(self, EccOutcome::Uncorrectable(_))
+    }
+}
+
+/// Statistical reliability model for a flash population.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_flash::ReliabilityModel;
+/// use simkit::Duration;
+///
+/// let mut m = ReliabilityModel::z_nand(4096, 1);
+/// let out = m.read_outcome(Duration::ZERO, 0);
+/// assert!(out.is_ok()); // fresh Z-NAND page: virtually always clean
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliabilityModel {
+    /// Base raw bit error rate at zero retention/wear.
+    rber_base: f64,
+    /// Multiplicative RBER growth per simulated day of retention.
+    retention_growth_per_day: f64,
+    /// Multiplicative RBER growth per 1000 P/E cycles.
+    wear_growth_per_kilocycle: f64,
+    /// Page size in bytes (bits = 8×).
+    page_bytes: usize,
+    /// Correctable bits per page.
+    correction_capability: u32,
+    rng: SplitMix64,
+    reads: u64,
+    corrected_events: u64,
+    uncorrectable_events: u64,
+}
+
+impl ReliabilityModel {
+    /// SLC Z-NAND-class model: RBER 1e-7, strong growth margins, 8-bit
+    /// correction per page.
+    pub fn z_nand(page_bytes: usize, seed: u64) -> Self {
+        ReliabilityModel {
+            rber_base: 1e-7,
+            retention_growth_per_day: 0.05,
+            wear_growth_per_kilocycle: 0.10,
+            page_bytes,
+            correction_capability: 8,
+            rng: SplitMix64::new(seed),
+            reads: 0,
+            corrected_events: 0,
+            uncorrectable_events: 0,
+        }
+    }
+
+    /// TLC-class model for the traditional-SSD comparison: RBER 1e-5,
+    /// 72-bit correction per page.
+    pub fn tlc(page_bytes: usize, seed: u64) -> Self {
+        ReliabilityModel {
+            rber_base: 1e-5,
+            retention_growth_per_day: 0.20,
+            wear_growth_per_kilocycle: 0.50,
+            page_bytes,
+            correction_capability: 72,
+            rng: SplitMix64::new(seed),
+            reads: 0,
+            corrected_events: 0,
+            uncorrectable_events: 0,
+        }
+    }
+
+    /// Overrides the base RBER (for accelerated-aging tests).
+    pub fn with_rber(mut self, rber: f64) -> Self {
+        self.rber_base = rber;
+        self
+    }
+
+    /// Effective RBER after `retention` time and `pe_cycles` wear.
+    pub fn effective_rber(&self, retention: Duration, pe_cycles: u64) -> f64 {
+        let days = retention.as_secs_f64() / 86_400.0;
+        self.rber_base
+            * (1.0 + self.retention_growth_per_day * days)
+            * (1.0 + self.wear_growth_per_kilocycle * pe_cycles as f64 / 1000.0)
+    }
+
+    /// Draws the ECC outcome for one page read.
+    pub fn read_outcome(&mut self, retention: Duration, pe_cycles: u64) -> EccOutcome {
+        self.reads += 1;
+        let rber = self.effective_rber(retention, pe_cycles);
+        let bits = (self.page_bytes * 8) as f64;
+        let expected = rber * bits;
+        let errors = self.draw_poisson(expected);
+        if errors == 0 {
+            EccOutcome::Clean
+        } else if errors <= self.correction_capability {
+            self.corrected_events += 1;
+            EccOutcome::Corrected(errors)
+        } else {
+            self.uncorrectable_events += 1;
+            EccOutcome::Uncorrectable(errors)
+        }
+    }
+
+    /// Draws from Poisson(λ) — the binomial limit appropriate for
+    /// per-bit error probabilities — via Knuth's method for small λ and
+    /// a normal approximation above.
+    fn draw_poisson(&mut self, lambda: f64) -> u32 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut k = 0u32;
+            let mut p = 1.0;
+            loop {
+                p *= self.rng.next_f64();
+                if p <= limit {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction.
+            let u1 = self.rng.next_f64().max(1e-12);
+            let u2 = self.rng.next_f64();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (lambda + z * lambda.sqrt()).round().max(0.0) as u32
+        }
+    }
+
+    /// Correctable bits per page.
+    pub fn correction_capability(&self) -> u32 {
+        self.correction_capability
+    }
+
+    /// Total reads drawn.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Reads that needed correction.
+    pub fn corrected_events(&self) -> u64 {
+        self.corrected_events
+    }
+
+    /// Reads that exceeded correction capability.
+    pub fn uncorrectable_events(&self) -> u64 {
+        self.uncorrectable_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_z_nand_is_effectively_error_free() {
+        let mut m = ReliabilityModel::z_nand(4096, 1);
+        let mut bad = 0;
+        for _ in 0..10_000 {
+            if !matches!(m.read_outcome(Duration::ZERO, 0), EccOutcome::Clean) {
+                bad += 1;
+            }
+        }
+        // Expected error events ~ 1e-7 * 32768 bits * 1e4 reads ≈ 33,
+        // all single-bit and corrected; uncorrectable should be zero.
+        assert_eq!(m.uncorrectable_events(), 0);
+        assert!(bad < 200, "{bad} non-clean reads");
+        assert_eq!(m.reads(), 10_000);
+    }
+
+    #[test]
+    fn retention_and_wear_raise_rber() {
+        let m = ReliabilityModel::z_nand(4096, 1);
+        let fresh = m.effective_rber(Duration::ZERO, 0);
+        let aged = m.effective_rber(Duration::from_secs(86_400 * 365), 3_000);
+        assert!(aged > 10.0 * fresh, "aged {aged} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn extreme_rber_becomes_uncorrectable() {
+        let mut m = ReliabilityModel::z_nand(4096, 2).with_rber(1e-3);
+        // 1e-3 * 32768 ≈ 33 expected errors/page >> 8-bit capability.
+        let mut uncorrectable = 0;
+        for _ in 0..100 {
+            if let EccOutcome::Uncorrectable(n) = m.read_outcome(Duration::ZERO, 0) {
+                assert!(n > 8);
+                uncorrectable += 1;
+            }
+        }
+        assert!(uncorrectable > 90, "{uncorrectable}");
+        assert!(!EccOutcome::Uncorrectable(9).is_ok());
+    }
+
+    #[test]
+    fn tlc_has_more_errors_but_stronger_ecc() {
+        let tlc = ReliabilityModel::tlc(4096, 3);
+        let znand = ReliabilityModel::z_nand(4096, 3);
+        assert!(tlc.effective_rber(Duration::ZERO, 0) > znand.effective_rber(Duration::ZERO, 0));
+        assert!(tlc.correction_capability() > znand.correction_capability());
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let mut m = ReliabilityModel::z_nand(4096, 4);
+        let lambda = 5.0;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.draw_poisson(lambda) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.2, "mean {mean}");
+        // Large-lambda path.
+        let total: u64 = (0..n).map(|_| m.draw_poisson(100.0) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn outcomes_deterministic_per_seed() {
+        let mut a = ReliabilityModel::z_nand(4096, 9).with_rber(1e-4);
+        let mut b = ReliabilityModel::z_nand(4096, 9).with_rber(1e-4);
+        for _ in 0..100 {
+            assert_eq!(
+                a.read_outcome(Duration::from_secs(1000), 50),
+                b.read_outcome(Duration::from_secs(1000), 50)
+            );
+        }
+    }
+}

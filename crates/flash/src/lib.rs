@@ -1,0 +1,51 @@
+//! # beacon-flash — the NAND flash substrate (paper §II-B, §V-A, §VI-C)
+//!
+//! Models the flash backend of a BeaconGNN SSD:
+//!
+//! * [`geometry`] — the channel/chip/die/plane/block/page organization
+//!   and the striping of DirectGraph page indices across dies.
+//! * [`timing`] — sense/program/erase/transfer latencies, with presets
+//!   for ultra-low-latency (Z-NAND-class, 3 µs reads) and traditional
+//!   (20 µs) flash.
+//! * [`onfi`] — byte-level ONFI command encoding, including BeaconGNN's
+//!   two custom commands (global GNN configuration and sampling, Fig 13).
+//! * [`sampler`] — the die-level sampler microarchitecture (§V-A):
+//!   section iterator, vector retriever, node sampler with on-die TRNG,
+//!   and command generator with per-secondary-section coalescing.
+//! * [`ecc`] — the reliability model: RBER-driven error outcomes with
+//!   bounded correction, backing the firmware's scrubbing loop (§VI-F).
+//!
+//! ## Example: one die-level sampling step
+//!
+//! ```
+//! use beacon_graph::{Dataset, DatasetSpec, NodeId};
+//! use directgraph::{build::DirectGraphBuilder, AddrLayout};
+//! use beacon_flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
+//!
+//! let spec = DatasetSpec::preset(Dataset::Ogbn).at_scale(300);
+//! let (g, x) = (spec.build_graph(5), spec.build_features(5));
+//! let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+//!     .build(&g, &x).unwrap();
+//!
+//! let cfg = GnnDieConfig { num_hops: 3, fanout: 3, feature_bytes: spec.feature_bytes() as u16 };
+//! let mut sampler = DieSampler::new(cfg, 42);
+//! let target = NodeId::new(0);
+//! let cmd = SampleCommand::root(dg.directory().primary_addr(target).unwrap(), 0);
+//! let out = sampler.execute(&cmd, dg.image()).unwrap();
+//! assert_eq!(out.visited, Some(target));
+//! assert!(out.new_commands.len() <= 3);
+//! ```
+
+pub mod die;
+pub mod ecc;
+pub mod geometry;
+pub mod onfi;
+pub mod sampler;
+pub mod timing;
+
+pub use die::{DieModel, ReadGrant, RegisterMode};
+pub use ecc::{EccOutcome, ReliabilityModel};
+pub use geometry::{DieId, FlashGeometry, FlashLocation};
+pub use onfi::OnfiCommand;
+pub use sampler::{DieSampler, GnnDieConfig, SampleCommand, SampleOutcome, SamplerError};
+pub use timing::FlashTiming;

@@ -1,0 +1,233 @@
+//! ONFI command encoding (paper §VI-C, Fig 13).
+//!
+//! ONFI is the standard interface for talking to flash chips. BeaconGNN
+//! extends it with two custom commands whose payloads travel over the
+//! existing data bus: a **global GNN configuration** command (set once
+//! per die before the task) and a **sampling** command (issued at
+//! runtime). This module gives the standard and custom commands a
+//! concrete byte encoding with round-trip tests, as a stand-in for the
+//! paper's Verilog command decoder.
+//!
+//! Encoding (little-endian):
+//!
+//! ```text
+//! [0]    opcode        00h read, 80h program, 60h erase,
+//!                      E0h gnn-config, E1h gnn-sample
+//! read/program/erase:
+//! [1..5] row address   u32
+//! gnn-config:
+//! [1]    num_hops      u8
+//! [2..4] fanout        u16
+//! [4..6] feature_bytes u16
+//! gnn-sample (16 bytes total):
+//! [1..5]  target       u32 (PhysAddr)
+//! [5]     hop          u8
+//! [6..8]  count        u16
+//! [8..12] subgraph     u32
+//! [12..16] parent      u32
+//! ```
+
+use directgraph::PhysAddr;
+
+use crate::sampler::{GnnDieConfig, SampleCommand, SAMPLE_CMD_BYTES};
+
+/// Opcode byte for page read (ONFI 00h/30h cycle).
+pub const OP_READ: u8 = 0x00;
+/// Opcode byte for page program (ONFI 80h/10h cycle).
+pub const OP_PROGRAM: u8 = 0x80;
+/// Opcode byte for block erase (ONFI 60h/D0h cycle).
+pub const OP_ERASE: u8 = 0x60;
+/// Custom opcode: global GNN configuration.
+pub const OP_GNN_CONFIG: u8 = 0xE0;
+/// Custom opcode: GNN sampling.
+pub const OP_GNN_SAMPLE: u8 = 0xE1;
+
+/// A command on the flash channel, standard or BeaconGNN-custom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnfiCommand {
+    /// Standard page read.
+    Read {
+        /// Flat row (page) address.
+        row: u32,
+    },
+    /// Standard page program.
+    Program {
+        /// Flat row (page) address.
+        row: u32,
+    },
+    /// Standard block erase.
+    Erase {
+        /// Row address of the block's first page.
+        block_row: u32,
+    },
+    /// Custom: set global GNN parameters on a die.
+    GnnConfig(GnnDieConfig),
+    /// Custom: perform an on-die sampling operation.
+    GnnSample(SampleCommand),
+}
+
+/// Failure to decode a command byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnfiDecodeError {
+    /// The buffer is shorter than the opcode requires.
+    Truncated { opcode: u8, have: usize, need: usize },
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// The buffer is empty.
+    Empty,
+}
+
+impl std::fmt::Display for OnfiDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnfiDecodeError::Truncated { opcode, have, need } => {
+                write!(f, "opcode {opcode:#04x} needs {need} bytes, got {have}")
+            }
+            OnfiDecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            OnfiDecodeError::Empty => write!(f, "empty command buffer"),
+        }
+    }
+}
+
+impl std::error::Error for OnfiDecodeError {}
+
+impl OnfiCommand {
+    /// Serializes the command to its bus byte representation.
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            OnfiCommand::Read { row } => encode_addr(OP_READ, row),
+            OnfiCommand::Program { row } => encode_addr(OP_PROGRAM, row),
+            OnfiCommand::Erase { block_row } => encode_addr(OP_ERASE, block_row),
+            OnfiCommand::GnnConfig(cfg) => {
+                let mut b = vec![OP_GNN_CONFIG, cfg.num_hops];
+                b.extend_from_slice(&cfg.fanout.to_le_bytes());
+                b.extend_from_slice(&cfg.feature_bytes.to_le_bytes());
+                b
+            }
+            OnfiCommand::GnnSample(cmd) => {
+                let mut b = Vec::with_capacity(SAMPLE_CMD_BYTES);
+                b.push(OP_GNN_SAMPLE);
+                b.extend_from_slice(&cmd.target.to_raw().to_le_bytes());
+                b.push(cmd.hop);
+                b.extend_from_slice(&cmd.count.to_le_bytes());
+                b.extend_from_slice(&cmd.subgraph.to_le_bytes());
+                b.extend_from_slice(&cmd.parent.to_le_bytes());
+                debug_assert_eq!(b.len(), SAMPLE_CMD_BYTES);
+                b
+            }
+        }
+    }
+
+    /// Parses a command from its bus byte representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnfiDecodeError`] for empty/truncated buffers or unknown
+    /// opcodes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, OnfiDecodeError> {
+        let &opcode = bytes.first().ok_or(OnfiDecodeError::Empty)?;
+        let need = |n: usize| {
+            if bytes.len() < n {
+                Err(OnfiDecodeError::Truncated { opcode, have: bytes.len(), need: n })
+            } else {
+                Ok(())
+            }
+        };
+        match opcode {
+            OP_READ | OP_PROGRAM | OP_ERASE => {
+                need(5)?;
+                let row = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+                Ok(match opcode {
+                    OP_READ => OnfiCommand::Read { row },
+                    OP_PROGRAM => OnfiCommand::Program { row },
+                    _ => OnfiCommand::Erase { block_row: row },
+                })
+            }
+            OP_GNN_CONFIG => {
+                need(6)?;
+                Ok(OnfiCommand::GnnConfig(GnnDieConfig {
+                    num_hops: bytes[1],
+                    fanout: u16::from_le_bytes([bytes[2], bytes[3]]),
+                    feature_bytes: u16::from_le_bytes([bytes[4], bytes[5]]),
+                }))
+            }
+            OP_GNN_SAMPLE => {
+                need(SAMPLE_CMD_BYTES)?;
+                Ok(OnfiCommand::GnnSample(SampleCommand {
+                    target: PhysAddr::from_raw(u32::from_le_bytes([
+                        bytes[1], bytes[2], bytes[3], bytes[4],
+                    ])),
+                    hop: bytes[5],
+                    count: u16::from_le_bytes([bytes[6], bytes[7]]),
+                    subgraph: u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+                    parent: u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
+                }))
+            }
+            other => Err(OnfiDecodeError::UnknownOpcode(other)),
+        }
+    }
+}
+
+fn encode_addr(op: u8, row: u32) -> Vec<u8> {
+    let mut b = Vec::with_capacity(5);
+    b.push(op);
+    b.extend_from_slice(&row.to_le_bytes());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(cmd: OnfiCommand) {
+        let bytes = cmd.encode();
+        assert_eq!(OnfiCommand::decode(&bytes), Ok(cmd));
+    }
+
+    #[test]
+    fn standard_commands_roundtrip() {
+        roundtrip(OnfiCommand::Read { row: 0xDEADBEEF });
+        roundtrip(OnfiCommand::Program { row: 42 });
+        roundtrip(OnfiCommand::Erase { block_row: 7 });
+    }
+
+    #[test]
+    fn gnn_config_roundtrips() {
+        roundtrip(OnfiCommand::GnnConfig(GnnDieConfig {
+            num_hops: 3,
+            fanout: 3,
+            feature_bytes: 400,
+        }));
+    }
+
+    #[test]
+    fn gnn_sample_roundtrips_and_is_16_bytes() {
+        let cmd = OnfiCommand::GnnSample(SampleCommand {
+            target: PhysAddr::from_raw(0x12345678),
+            hop: 2,
+            count: 5,
+            subgraph: 99,
+            parent: 12345,
+        });
+        assert_eq!(cmd.encode().len(), SAMPLE_CMD_BYTES);
+        roundtrip(cmd);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(OnfiCommand::decode(&[]), Err(OnfiDecodeError::Empty));
+        assert_eq!(OnfiCommand::decode(&[0xFF]), Err(OnfiDecodeError::UnknownOpcode(0xFF)));
+        let err = OnfiCommand::decode(&[OP_GNN_SAMPLE, 1, 2]).unwrap_err();
+        assert!(matches!(err, OnfiDecodeError::Truncated { need: 16, .. }));
+        assert!(err.to_string().contains("needs 16 bytes"));
+    }
+
+    #[test]
+    fn opcodes_are_distinct() {
+        let ops = [OP_READ, OP_PROGRAM, OP_ERASE, OP_GNN_CONFIG, OP_GNN_SAMPLE];
+        let mut dedup = ops.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ops.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Flash timing parameters.
+//!
+//! The paper's headline medium is ultra-low-latency (ULL) flash — SLC
+//! Z-NAND-class with ~3 µs page sense — evaluated against a traditional
+//! 20 µs SSD in §VII-E. Channel transfer runs at 800 MB/s by default and
+//! is swept 333–2400 MB/s in the Fig 18b sensitivity test.
+
+use simkit::Duration;
+
+/// Latency/bandwidth parameters of the flash backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashTiming {
+    /// Page sense (read) latency, command issue to data-in-cache-register.
+    pub read_latency: Duration,
+    /// Page program latency.
+    pub program_latency: Duration,
+    /// Block erase latency.
+    pub erase_latency: Duration,
+    /// Per-channel bus bandwidth in bytes/second.
+    pub channel_bandwidth: u64,
+    /// Fixed command/addressing overhead on the channel per operation.
+    pub command_overhead: Duration,
+}
+
+impl FlashTiming {
+    /// ULL (Z-NAND-class) flash: 3 µs reads, 100 µs programs, 1 ms
+    /// erases, 800 MB/s channels.
+    pub fn ull() -> Self {
+        FlashTiming {
+            read_latency: Duration::from_us(3),
+            program_latency: Duration::from_us(100),
+            erase_latency: Duration::from_ms(1),
+            channel_bandwidth: 800_000_000,
+            command_overhead: Duration::from_ns(200),
+        }
+    }
+
+    /// Traditional TLC-class flash: 20 µs reads (the §VII-E comparison
+    /// point), 400 µs programs, 4 ms erases.
+    pub fn traditional() -> Self {
+        FlashTiming {
+            read_latency: Duration::from_us(20),
+            program_latency: Duration::from_us(400),
+            erase_latency: Duration::from_ms(4),
+            channel_bandwidth: 800_000_000,
+            command_overhead: Duration::from_ns(200),
+        }
+    }
+
+    /// Returns this timing with a different channel bandwidth (Fig 18b).
+    pub fn with_channel_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.channel_bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Returns this timing with a different read latency.
+    pub fn with_read_latency(mut self, d: Duration) -> Self {
+        self.read_latency = d;
+        self
+    }
+
+    /// Time to move `bytes` over one channel (excluding command overhead).
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        Duration::from_bytes_at_bandwidth(bytes, self.channel_bandwidth)
+    }
+
+    /// Full page transfer time for `page_size` bytes plus command
+    /// overhead — the page-granular cost that motivates die-level
+    /// sampling (paper Fig 6).
+    pub fn page_transfer_time(&self, page_size: usize) -> Duration {
+        self.command_overhead + self.transfer_time(page_size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ull_read_is_3us() {
+        assert_eq!(FlashTiming::ull().read_latency, Duration::from_us(3));
+    }
+
+    #[test]
+    fn traditional_read_is_20us() {
+        assert_eq!(FlashTiming::traditional().read_latency, Duration::from_us(20));
+    }
+
+    #[test]
+    fn page_transfer_dominates_ull_read() {
+        // The paper's Challenge 2: at 800 MB/s a 4 KB transfer (5.12 us)
+        // exceeds the 3 us ULL sense time.
+        let t = FlashTiming::ull();
+        assert!(t.page_transfer_time(4096) > t.read_latency);
+    }
+
+    #[test]
+    fn transfer_scales_with_bandwidth() {
+        let slow = FlashTiming::ull().with_channel_bandwidth(400_000_000);
+        let fast = FlashTiming::ull().with_channel_bandwidth(1_600_000_000);
+        assert_eq!(slow.transfer_time(4096).as_ns(), 4 * fast.transfer_time(4096).as_ns());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let t = FlashTiming::ull().with_read_latency(Duration::from_us(7));
+        assert_eq!(t.read_latency, Duration::from_us(7));
+        assert_eq!(t.channel_bandwidth, 800_000_000);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the flash substrate.
+
+use beacon_flash::die::{DieModel, RegisterMode};
+use beacon_flash::{FlashGeometry, OnfiCommand};
+use directgraph::PageIndex;
+use proptest::prelude::*;
+use simkit::{Duration, SimTime};
+
+proptest! {
+    /// Every page index within capacity maps to a unique, in-range
+    /// location, for arbitrary (small) geometries.
+    #[test]
+    fn striping_is_a_bijection(
+        channels in 1usize..6,
+        dies in 1usize..4,
+        planes in 1usize..3,
+        blocks in 1usize..4,
+        pages in 1usize..4,
+    ) {
+        let geo = FlashGeometry {
+            channels,
+            dies_per_channel: dies,
+            planes_per_die: planes,
+            blocks_per_plane: blocks,
+            pages_per_block: pages,
+            page_size: 4096,
+        };
+        let total = geo.total_dies() * geo.pages_per_die();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..total {
+            let loc = geo.locate(PageIndex::new(i as u64));
+            prop_assert!(loc.channel < channels);
+            prop_assert!(loc.die_in_channel < dies);
+            prop_assert!(loc.plane < planes);
+            prop_assert!(loc.block < blocks);
+            prop_assert!(loc.page_in_block < pages);
+            prop_assert!(seen.insert(loc), "duplicate location");
+        }
+    }
+
+    /// Die reads never time-travel: per plane, sense starts are
+    /// nondecreasing and data is never ready before the sense ends.
+    #[test]
+    fn die_model_is_causal(
+        mode_double in any::<bool>(),
+        ops in proptest::collection::vec((0u64..1_000, 0u64..500), 1..60),
+    ) {
+        let mode = if mode_double { RegisterMode::Double } else { RegisterMode::Single };
+        let sense = Duration::from_us(3);
+        let mut die = DieModel::new(1, sense, mode);
+        let mut last_start = SimTime::ZERO;
+        for (at, xfer_gap) in ops {
+            let g = die.read(0, SimTime::from_ns(at));
+            prop_assert!(g.sense_start >= last_start, "sense starts went backwards");
+            prop_assert!(g.data_ready >= g.sense_start + sense);
+            last_start = g.sense_start;
+            die.note_transfer_done(0, g.data_ready + Duration::from_ns(xfer_gap));
+        }
+    }
+
+    /// ONFI encoding of standard commands round-trips for any row.
+    #[test]
+    fn onfi_standard_roundtrip(row in any::<u32>(), which in 0u8..3) {
+        let cmd = match which {
+            0 => OnfiCommand::Read { row },
+            1 => OnfiCommand::Program { row },
+            _ => OnfiCommand::Erase { block_row: row },
+        };
+        prop_assert_eq!(OnfiCommand::decode(&cmd.encode()), Ok(cmd));
+    }
+}

@@ -1,0 +1,407 @@
+//! GNN computation: functional forward pass + accelerator workload model.
+//!
+//! The paper's computation stage (§II-A, Eq. 1) uses `vector_sum`
+//! aggregation and a perceptron update per layer. [`GnnForward`] runs
+//! that computation functionally in f32 on a sampled [`Subgraph`];
+//! [`MinibatchWorkload`] describes the same computation as the GEMM and
+//! reduction shapes an accelerator timing model prices.
+
+use beacon_accel::AcceleratorConfig;
+use beacon_graph::FeatureTable;
+use simkit::{Duration, SplitMix64};
+
+use crate::model::GnnModelConfig;
+use crate::subgraph::Subgraph;
+
+/// The neighborhood aggregation function (Eq. 1's AGGREGATE).
+///
+/// The paper's evaluation uses `vector_sum`; mean and element-wise max
+/// are the other standard GraphSage aggregators and exercise the same
+/// vector-array hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Aggregation {
+    /// Element-wise sum of self + children (the paper's choice).
+    #[default]
+    Sum,
+    /// Element-wise mean over self + children.
+    Mean,
+    /// Element-wise maximum over self + children.
+    Max,
+}
+
+/// A functional GraphSage-style forward pass with synthetic weights.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_graph::{generate, FeatureTable, NodeId};
+/// use beacon_gnn::{GnnForward, GnnModelConfig, HostSampler};
+///
+/// let g = generate::uniform(100, 8, 1);
+/// let x = FeatureTable::synthetic(100, 16, 1);
+/// let model = GnnModelConfig::paper_default(16);
+/// let sg = HostSampler::new(model, 3).sample_subgraph(&g, NodeId::new(0));
+/// let out = GnnForward::new(model, 9).forward(&sg, &x);
+/// assert_eq!(out.len(), 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GnnForward {
+    model: GnnModelConfig,
+    aggregation: Aggregation,
+    /// Row-major `in_dim × hidden` weights per layer.
+    weights: Vec<Vec<f32>>,
+}
+
+impl GnnForward {
+    /// Creates a forward pass with deterministic synthetic weights and
+    /// the paper's `vector_sum` aggregation.
+    pub fn new(model: GnnModelConfig, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x6E6E);
+        let weights = (1..=model.hops)
+            .map(|layer| {
+                let in_dim = model.layer_input_dim(layer);
+                // Scaled init keeps activations bounded across layers.
+                let scale = (1.0 / in_dim as f64).sqrt() as f32;
+                (0..in_dim * model.hidden_dim)
+                    .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32 * scale)
+                    .collect()
+            })
+            .collect();
+        GnnForward { model, aggregation: Aggregation::Sum, weights }
+    }
+
+    /// Selects a different aggregation function.
+    pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// The aggregation function in use.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> GnnModelConfig {
+        self.model
+    }
+
+    /// Runs the forward pass on one subgraph, returning the target's
+    /// final embedding (`hidden_dim` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subgraph is deeper than the model's hop count or
+    /// the feature table's dimension mismatches the model.
+    pub fn forward(&self, sg: &Subgraph, features: &FeatureTable) -> Vec<f32> {
+        assert!(sg.depth() <= self.model.hops, "subgraph deeper than model");
+        assert_eq!(features.dim(), self.model.feature_dim, "feature dim mismatch");
+        // h^(0): raw features for every vertex.
+        let mut h: Vec<Vec<f32>> =
+            (0..sg.len()).map(|vi| features.feature(sg.node_at(vi)).to_vec()).collect();
+        for layer in 1..=self.model.hops {
+            let w = &self.weights[(layer - 1) as usize];
+            let in_dim = self.model.layer_input_dim(layer);
+            let keep_hops = self.model.hops - layer;
+            let mut next = vec![Vec::new(); sg.len()];
+            for hop in 0..=keep_hops {
+                for (vi, _) in sg.at_hop(hop) {
+                    // AGGREGATE over self + children.
+                    let children = sg.children_of(vi);
+                    let mut agg = h[vi].clone();
+                    match self.aggregation {
+                        Aggregation::Sum | Aggregation::Mean => {
+                            for &ci in &children {
+                                for (a, b) in agg.iter_mut().zip(&h[ci]) {
+                                    *a += b;
+                                }
+                            }
+                            if self.aggregation == Aggregation::Mean {
+                                let k = (children.len() + 1) as f32;
+                                for a in &mut agg {
+                                    *a /= k;
+                                }
+                            }
+                        }
+                        Aggregation::Max => {
+                            for &ci in &children {
+                                for (a, b) in agg.iter_mut().zip(&h[ci]) {
+                                    *a = a.max(*b);
+                                }
+                            }
+                        }
+                    }
+                    debug_assert_eq!(agg.len(), in_dim);
+                    // UPDATE: perceptron (W'agg, ReLU).
+                    let mut out = vec![0.0f32; self.model.hidden_dim];
+                    for (i, &x) in agg.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let row = &w[i * self.model.hidden_dim..(i + 1) * self.model.hidden_dim];
+                        for (o, &wv) in out.iter_mut().zip(row) {
+                            *o += x * wv;
+                        }
+                    }
+                    for o in &mut out {
+                        *o = o.max(0.0);
+                    }
+                    next[vi] = out;
+                }
+            }
+            h = next;
+        }
+        std::mem::take(&mut h[0])
+    }
+}
+
+/// The accelerator workload of one mini-batch's computation stage:
+/// per-layer reduction and GEMM shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinibatchWorkload {
+    model: GnnModelConfig,
+    batch_size: u64,
+    training: bool,
+}
+
+impl MinibatchWorkload {
+    /// Describes the *inference* computation (forward pass only) of
+    /// `batch_size` subgraphs of `model`.
+    pub fn new(model: GnnModelConfig, batch_size: u64) -> Self {
+        MinibatchWorkload { model, batch_size, training: false }
+    }
+
+    /// Switches to *training* workload shapes: forward pass plus the
+    /// backward pass (per layer: a weight-gradient GEMM and an
+    /// input-gradient GEMM, roughly tripling GEMM work — the standard
+    /// backprop factor). The paper's experiments run GNN training.
+    pub fn with_training(mut self, training: bool) -> Self {
+        self.training = training;
+        self
+    }
+
+    /// Whether backward-pass work is included.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Per-layer `(vectors_to_reduce, reduce_dim, gemm_m, gemm_k,
+    /// gemm_n)` shapes, layer 1 first. Training appends, per layer, the
+    /// weight-gradient GEMM `(in_dim × m × hidden)` and the
+    /// input-gradient GEMM `(m × hidden × in_dim)`, plus the gradient
+    /// scatter (mirrors the forward reduction).
+    pub fn layer_shapes(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        let mut shapes = Vec::new();
+        for layer in 1..=self.model.hops {
+            let nodes = self.model.nodes_updated_at_layer(layer) * self.batch_size;
+            let in_dim = self.model.layer_input_dim(layer) as u64;
+            let hidden = self.model.hidden_dim as u64;
+            // Each updated node reduces itself + fanout children.
+            let vectors = nodes * (self.model.fanout as u64 + 1);
+            shapes.push((vectors, in_dim, nodes, in_dim, hidden));
+            if self.training {
+                // dW = X^T · dY  (in_dim × nodes × hidden).
+                shapes.push((0, 0, in_dim, nodes, hidden));
+                // dX = dY · W^T  (nodes × hidden × in_dim), plus the
+                // gradient scatter back to children.
+                shapes.push((vectors, in_dim, nodes, hidden, in_dim));
+            }
+        }
+        shapes
+    }
+
+    /// Total multiply-accumulates of the batch (for energy accounting).
+    pub fn total_macs(&self) -> u64 {
+        self.layer_shapes().iter().map(|&(_, _, m, k, n)| m * k * n).sum()
+    }
+
+    /// Total reduction element-additions of the batch.
+    pub fn total_reduce_ops(&self) -> u64 {
+        self.layer_shapes()
+            .iter()
+            .map(|&(v, d, m, _, _)| v.saturating_sub(m) * d)
+            .sum()
+    }
+
+    /// Bytes staged through DRAM for the batch: input features, weights,
+    /// and inter-layer embeddings at FP-16.
+    pub fn dram_traffic_bytes(&self) -> u64 {
+        let feats =
+            self.batch_size * self.model.subgraph_nodes() * self.model.feature_bytes() as u64;
+        let weights: u64 = (1..=self.model.hops)
+            .map(|l| {
+                (self.model.layer_input_dim(l) * self.model.hidden_dim) as u64 * 2
+            })
+            .sum();
+        let inter: u64 = self
+            .layer_shapes()
+            .iter()
+            .map(|&(_, _, m, _, n)| m * n * 2)
+            .sum();
+        feats + weights + inter
+    }
+
+    /// Wall time of the batch's computation on `accel`, layers run
+    /// back-to-back (aggregation then update per layer).
+    ///
+    /// Each layer is bounded by the larger of its arithmetic time
+    /// (reductions on the vector array + GEMMs on the systolic array)
+    /// and its *layer-level* feed time: activations stream through the
+    /// accelerator SRAM once per layer — weights and intermediates are
+    /// SRAM-resident across the layer's forward/backward GEMMs, so the
+    /// floor counts unique activation/gradient bytes, not per-GEMM
+    /// operands.
+    pub fn compute_time(&self, accel: &AcceleratorConfig) -> Duration {
+        let hidden = self.model.hidden_dim as u64;
+        (1..=self.model.hops)
+            .map(|layer| {
+                let nodes = self.model.nodes_updated_at_layer(layer) * self.batch_size;
+                let in_dim = self.model.layer_input_dim(layer) as u64;
+                let vectors = nodes * (self.model.fanout as u64 + 1);
+                // Arithmetic: aggregation + update (+ backward GEMMs and
+                // gradient scatter under training).
+                let mut arith = accel.vector.reduce_time(vectors, in_dim)
+                    + accel.systolic.gemm_time(nodes, in_dim, hidden);
+                if self.training {
+                    arith += accel.systolic.gemm_time(in_dim, nodes, hidden)
+                        + accel.systolic.gemm_time(nodes, hidden, in_dim)
+                        + accel.vector.reduce_time(vectors, in_dim);
+                }
+                // Feed floor: activations in (aggregated inputs) and
+                // embeddings out, FP16; training adds the gradient
+                // streams in the opposite direction.
+                let dirs = if self.training { 2 } else { 1 };
+                let bytes = dirs * 2 * (nodes * in_dim + nodes * hidden);
+                let feed = Duration::from_bytes_at_bandwidth(bytes.max(1), accel.feed_bandwidth);
+                arith.max(feed)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::HostSampler;
+    use beacon_graph::{generate, NodeId};
+
+    fn setup(dim: usize) -> (beacon_graph::CsrGraph, FeatureTable, GnnModelConfig) {
+        let g = generate::uniform(120, 6, 4);
+        let x = FeatureTable::synthetic(120, dim, 4);
+        (g, x, GnnModelConfig::paper_default(dim))
+    }
+
+    #[test]
+    fn forward_produces_hidden_dim() {
+        let (g, x, model) = setup(16);
+        let sg = HostSampler::new(model, 1).sample_subgraph(&g, NodeId::new(3));
+        let out = GnnForward::new(model, 2).forward(&sg, &x);
+        assert_eq!(out.len(), 128);
+        assert!(out.iter().all(|v| v.is_finite()));
+        assert!(out.iter().all(|&v| v >= 0.0), "ReLU output must be nonnegative");
+        assert!(out.iter().any(|&v| v > 0.0), "embedding should not be all-zero");
+    }
+
+    #[test]
+    fn aggregation_variants_differ_but_stay_finite() {
+        let (g, x, model) = setup(16);
+        let sg = HostSampler::new(model, 8).sample_subgraph(&g, NodeId::new(9));
+        let outs: Vec<Vec<f32>> = [Aggregation::Sum, Aggregation::Mean, Aggregation::Max]
+            .into_iter()
+            .map(|agg| {
+                GnnForward::new(model, 3).with_aggregation(agg).forward(&sg, &x)
+            })
+            .collect();
+        for o in &outs {
+            assert!(o.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        assert_ne!(outs[0], outs[1], "sum vs mean");
+        assert_ne!(outs[0], outs[2], "sum vs max");
+        // Mean-aggregated activations are bounded by sum-aggregated
+        // magnitude (same weights, smaller inputs).
+        let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!(norm(&outs[1]) <= norm(&outs[0]) + 1e-3);
+        assert_eq!(
+            GnnForward::new(model, 3).with_aggregation(Aggregation::Max).aggregation(),
+            Aggregation::Max
+        );
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let (g, x, model) = setup(16);
+        let sg = HostSampler::new(model, 5).sample_subgraph(&g, NodeId::new(7));
+        let a = GnnForward::new(model, 3).forward(&sg, &x);
+        let b = GnnForward::new(model, 3).forward(&sg, &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_subgraphs_give_different_embeddings() {
+        let (g, x, model) = setup(16);
+        let mut s = HostSampler::new(model, 6);
+        let sg1 = s.sample_subgraph(&g, NodeId::new(1));
+        let sg2 = s.sample_subgraph(&g, NodeId::new(2));
+        let f = GnnForward::new(model, 3);
+        assert_ne!(f.forward(&sg1, &x), f.forward(&sg2, &x));
+    }
+
+    #[test]
+    fn training_roughly_triples_macs() {
+        let model = GnnModelConfig::paper_default(200);
+        let infer = MinibatchWorkload::new(model, 64);
+        let train = MinibatchWorkload::new(model, 64).with_training(true);
+        assert!(!infer.is_training());
+        assert!(train.is_training());
+        let ratio = train.total_macs() as f64 / infer.total_macs() as f64;
+        assert!((2.9..=3.1).contains(&ratio), "backprop factor {ratio}");
+        // Training also costs more time on the same accelerator (at
+        // least the 2x feed floor; up to 3x when arithmetic-bound).
+        let accel = AcceleratorConfig::ssd_internal();
+        let t = train.compute_time(&accel).as_ns() as f64;
+        let i = infer.compute_time(&accel).as_ns() as f64;
+        assert!(t / i >= 1.8, "training/inference compute ratio {}", t / i);
+    }
+
+    #[test]
+    fn workload_shapes_match_model() {
+        let model = GnnModelConfig::paper_default(200);
+        let w = MinibatchWorkload::new(model, 256);
+        let shapes = w.layer_shapes();
+        assert_eq!(shapes.len(), 3);
+        // Layer 1: 13 nodes x 256 targets, k=200 features, n=128.
+        assert_eq!(shapes[0], (13 * 256 * 4, 200, 13 * 256, 200, 128));
+        // Layer 2: 4 nodes, hidden->hidden.
+        assert_eq!(shapes[1].2, 4 * 256);
+        assert_eq!(shapes[1].3, 128);
+    }
+
+    #[test]
+    fn compute_time_positive_and_scales() {
+        let model = GnnModelConfig::paper_default(200);
+        let accel = AcceleratorConfig::ssd_internal();
+        let t64 = MinibatchWorkload::new(model, 64).compute_time(&accel);
+        let t256 = MinibatchWorkload::new(model, 256).compute_time(&accel);
+        assert!(t64 > Duration::ZERO);
+        assert!(t256 > t64 * 3, "compute should scale ~linearly with batch");
+    }
+
+    #[test]
+    fn macs_and_traffic_accounting() {
+        let model = GnnModelConfig::paper_default(100);
+        let w = MinibatchWorkload::new(model, 1);
+        let expect_macs = 13 * 100 * 128 + 4 * 128 * 128 + 128 * 128;
+        assert_eq!(w.total_macs(), expect_macs);
+        assert!(w.total_reduce_ops() > 0);
+        assert!(w.dram_traffic_bytes() > 40 * 200); // at least the features
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim mismatch")]
+    fn wrong_feature_dim_panics() {
+        let (g, _, model) = setup(16);
+        let wrong = FeatureTable::synthetic(120, 8, 1);
+        let sg = HostSampler::new(model, 1).sample_subgraph(&g, NodeId::new(0));
+        GnnForward::new(model, 1).forward(&sg, &wrong);
+    }
+}

@@ -1,0 +1,26 @@
+//! # beacon-gnn — the GNN task model (paper §II-A, §VII-A)
+//!
+//! The functional side of the GNN workload:
+//!
+//! * [`GnnModelConfig`] — hops, fanout, feature and embedding
+//!   dimensions; the paper's model is 3 hops × 3 samples with 128-d
+//!   FP-16 embeddings, `vector_sum` aggregation and a perceptron update.
+//! * [`sample`] — a reference host-side GraphSage sampler over CSR
+//!   graphs (the CPU-centric baseline's data preparation, and the
+//!   cross-check for the die-level sampler).
+//! * [`Subgraph`] — the k-hop subgraph structure, including
+//!   reconstruction from the `(parent, child)` edge stream an in-storage
+//!   sampler emits.
+//! * [`compute`] — a functional forward pass (aggregate + update) in
+//!   f32, plus [`compute::MinibatchWorkload`], the per-batch GEMM and
+//!   reduction shapes handed to an accelerator timing model.
+
+pub mod compute;
+pub mod model;
+pub mod sample;
+pub mod subgraph;
+
+pub use compute::{Aggregation, GnnForward, MinibatchWorkload};
+pub use model::GnnModelConfig;
+pub use sample::HostSampler;
+pub use subgraph::Subgraph;

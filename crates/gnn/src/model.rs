@@ -1,0 +1,116 @@
+//! GNN model configuration.
+
+/// The GNN model shape used across the evaluation.
+///
+/// The paper's model (§VII-A): 3-hop subgraphs with 3 neighbors sampled
+/// per node (40 nodes per target), `vector_sum` aggregation, a
+/// perceptron for embedding updates, and 128-dimensional FP-16
+/// intermediate embeddings.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_gnn::GnnModelConfig;
+/// let m = GnnModelConfig::paper_default(602);
+/// assert_eq!(m.subgraph_nodes(), 40);
+/// assert_eq!(m.nodes_at_hop(3), 27);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GnnModelConfig {
+    /// Sampling hops `k`.
+    pub hops: u8,
+    /// Neighbors sampled per node per hop.
+    pub fanout: u16,
+    /// Input feature dimensionality.
+    pub feature_dim: usize,
+    /// Hidden/output embedding dimensionality.
+    pub hidden_dim: usize,
+}
+
+impl GnnModelConfig {
+    /// The paper's 3×3 model with 128-d embeddings.
+    pub fn paper_default(feature_dim: usize) -> Self {
+        GnnModelConfig { hops: 3, fanout: 3, feature_dim, hidden_dim: 128 }
+    }
+
+    /// Nodes at hop `h` of one subgraph (`fanout^h`).
+    pub fn nodes_at_hop(&self, h: u8) -> u64 {
+        (self.fanout as u64).pow(h as u32)
+    }
+
+    /// Total nodes in one subgraph (`Σ fanout^h` for `h = 0..=hops`).
+    pub fn subgraph_nodes(&self) -> u64 {
+        (0..=self.hops).map(|h| self.nodes_at_hop(h)).sum()
+    }
+
+    /// Sampling edges in one subgraph (`subgraph_nodes - 1`).
+    pub fn subgraph_edges(&self) -> u64 {
+        self.subgraph_nodes() - 1
+    }
+
+    /// Nodes that layer `layer` (1-based) updates: every node within
+    /// `hops - layer` hops of the target still needs an embedding after
+    /// this layer.
+    pub fn nodes_updated_at_layer(&self, layer: u8) -> u64 {
+        assert!(layer >= 1 && layer <= self.hops, "layer out of range");
+        (0..=(self.hops - layer)).map(|h| self.nodes_at_hop(h)).sum()
+    }
+
+    /// Input dimensionality of layer `layer` (1-based): features for the
+    /// first layer, hidden width after.
+    pub fn layer_input_dim(&self, layer: u8) -> usize {
+        if layer == 1 {
+            self.feature_dim
+        } else {
+            self.hidden_dim
+        }
+    }
+
+    /// Bytes of one FP-16 feature vector.
+    pub fn feature_bytes(&self) -> usize {
+        self.feature_dim * 2
+    }
+
+    /// Bytes of one FP-16 hidden embedding.
+    pub fn hidden_bytes(&self) -> usize {
+        self.hidden_dim * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let m = GnnModelConfig::paper_default(200);
+        assert_eq!(m.subgraph_nodes(), 40); // 1 + 3 + 9 + 27
+        assert_eq!(m.subgraph_edges(), 39);
+        assert_eq!(m.nodes_at_hop(0), 1);
+        assert_eq!(m.nodes_at_hop(2), 9);
+    }
+
+    #[test]
+    fn layer_node_counts_shrink() {
+        let m = GnnModelConfig::paper_default(200);
+        // Layer 1 updates nodes within 2 hops: 1+3+9 = 13.
+        assert_eq!(m.nodes_updated_at_layer(1), 13);
+        assert_eq!(m.nodes_updated_at_layer(2), 4);
+        assert_eq!(m.nodes_updated_at_layer(3), 1);
+    }
+
+    #[test]
+    fn layer_dims() {
+        let m = GnnModelConfig::paper_default(602);
+        assert_eq!(m.layer_input_dim(1), 602);
+        assert_eq!(m.layer_input_dim(2), 128);
+        assert_eq!(m.feature_bytes(), 1204);
+        assert_eq!(m.hidden_bytes(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer out of range")]
+    fn layer_zero_rejected() {
+        GnnModelConfig::paper_default(8).nodes_updated_at_layer(0);
+    }
+}

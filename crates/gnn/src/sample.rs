@@ -1,0 +1,157 @@
+//! Reference host-side GraphSage sampler.
+//!
+//! The CPU-centric baseline samples neighbors on the host over the CSR
+//! graph (paper Fig 1 step 1). This sampler is also the semantic
+//! reference that the die-level sampler is cross-checked against: both
+//! draw `fanout` neighbors per node per hop, uniformly with
+//! replacement.
+
+use beacon_graph::{CsrGraph, NodeId};
+use simkit::Xoshiro256StarStar;
+
+use crate::model::GnnModelConfig;
+use crate::subgraph::Subgraph;
+
+/// Host-side fanout sampler over a CSR graph.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_graph::{generate, NodeId};
+/// use beacon_gnn::{GnnModelConfig, HostSampler};
+///
+/// let g = generate::uniform(100, 8, 1);
+/// let model = GnnModelConfig::paper_default(64);
+/// let mut s = HostSampler::new(model, 7);
+/// let sg = s.sample_subgraph(&g, NodeId::new(0));
+/// assert_eq!(sg.len() as u64, model.subgraph_nodes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostSampler {
+    model: GnnModelConfig,
+    rng: Xoshiro256StarStar,
+    sampled_neighbors: u64,
+}
+
+impl HostSampler {
+    /// Creates a sampler for `model` with a deterministic seed.
+    pub fn new(model: GnnModelConfig, seed: u64) -> Self {
+        HostSampler { model, rng: Xoshiro256StarStar::seeded(seed), sampled_neighbors: 0 }
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> GnnModelConfig {
+        self.model
+    }
+
+    /// Total neighbors sampled so far.
+    pub fn sampled_neighbors(&self) -> u64 {
+        self.sampled_neighbors
+    }
+
+    /// Samples the k-hop subgraph of `target`.
+    ///
+    /// Nodes without neighbors truncate their branch (fewer than
+    /// `fanout^h` vertices at deeper hops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in the graph.
+    pub fn sample_subgraph(&mut self, graph: &CsrGraph, target: NodeId) -> Subgraph {
+        assert!(graph.contains(target), "target {target} not in graph");
+        let mut sg = Subgraph::new(target);
+        let mut frontier = vec![0usize]; // vertex indices of current hop
+        for _hop in 0..self.model.hops {
+            let mut next = Vec::with_capacity(frontier.len() * self.model.fanout as usize);
+            for &vi in &frontier {
+                let node = sg.node_at(vi);
+                let deg = graph.degree(node) as u64;
+                if deg == 0 {
+                    continue;
+                }
+                for _ in 0..self.model.fanout {
+                    let r = self.rng.next_bounded(deg) as usize;
+                    let child = graph.neighbors(node)[r];
+                    self.sampled_neighbors += 1;
+                    next.push(sg.add_child(vi, child));
+                }
+            }
+            frontier = next;
+        }
+        sg
+    }
+
+    /// Samples subgraphs for a whole mini-batch of targets.
+    pub fn sample_batch(&mut self, graph: &CsrGraph, targets: &[NodeId]) -> Vec<Subgraph> {
+        targets.iter().map(|&t| self.sample_subgraph(graph, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beacon_graph::generate;
+
+    #[test]
+    fn full_fanout_on_dense_graph() {
+        let g = generate::uniform(200, 10, 2);
+        let model = GnnModelConfig::paper_default(8);
+        let mut s = HostSampler::new(model, 1);
+        let sg = s.sample_subgraph(&g, NodeId::new(5));
+        assert_eq!(sg.len() as u64, model.subgraph_nodes());
+        assert_eq!(sg.depth(), 3);
+        assert_eq!(s.sampled_neighbors(), 39);
+    }
+
+    #[test]
+    fn sampled_children_are_neighbors() {
+        let g = generate::uniform(100, 5, 3);
+        let mut s = HostSampler::new(GnnModelConfig::paper_default(8), 9);
+        let sg = s.sample_subgraph(&g, NodeId::new(0));
+        for hop in 1..=3u8 {
+            for (vi, node) in sg.at_hop(hop) {
+                // Find this vertex's parent by scanning children lists.
+                let parent = (0..sg.len())
+                    .find(|&p| sg.children_of(p).contains(&vi))
+                    .expect("has parent");
+                assert!(g.has_edge(sg.node_at(parent), node));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_degree_truncates_branch() {
+        // Star graph: node 0 -> 1..4; leaves have no out-edges.
+        let mut b = beacon_graph::CsrGraphBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_edge(NodeId::new(0), NodeId::new(i));
+        }
+        let g = b.build();
+        let mut s = HostSampler::new(GnnModelConfig::paper_default(8), 4);
+        let sg = s.sample_subgraph(&g, NodeId::new(0));
+        // Hop 1 full (3 samples), deeper hops empty.
+        assert_eq!(sg.at_hop(1).len(), 3);
+        assert_eq!(sg.at_hop(2).len(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generate::uniform(300, 8, 5);
+        let model = GnnModelConfig::paper_default(8);
+        let a = HostSampler::new(model, 11).sample_subgraph(&g, NodeId::new(7));
+        let b = HostSampler::new(model, 11).sample_subgraph(&g, NodeId::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_sampling() {
+        let g = generate::uniform(100, 6, 6);
+        let mut s = HostSampler::new(GnnModelConfig::paper_default(8), 2);
+        let targets: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let sgs = s.sample_batch(&g, &targets);
+        assert_eq!(sgs.len(), 4);
+        for (sg, t) in sgs.iter().zip(&targets) {
+            assert_eq!(sg.target(), *t);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! K-hop subgraph structure and reconstruction.
+//!
+//! An in-storage sampler does not return an adjacency structure; it
+//! streams `(parent, child, hop)` visit records (the "batch id, last
+//! node id, current node id" metadata of §VI-D). [`Subgraph`] rebuilds
+//! the sampled tree from that stream and exposes the per-hop node sets
+//! the compute stage consumes.
+
+use beacon_graph::NodeId;
+
+/// One sampled k-hop subgraph, rooted at a mini-batch target.
+///
+/// Nodes may repeat (sampling with replacement, and diamond paths); each
+/// occurrence is its own tree vertex, matching how the aggregation
+/// actually computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subgraph {
+    target: NodeId,
+    /// Tree vertices: `(node, hop, parent_index)`; parent of the root is
+    /// `usize::MAX`.
+    vertices: Vec<(NodeId, u8, usize)>,
+}
+
+/// A visit record streamed back from a sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisitRecord {
+    /// The node visited.
+    pub node: NodeId,
+    /// Its hop distance from the target.
+    pub hop: u8,
+    /// The parent node it was sampled from (`None` for the target).
+    pub parent: Option<NodeId>,
+}
+
+impl Subgraph {
+    /// Sentinel parent index of the root vertex.
+    pub const ROOT_PARENT: usize = usize::MAX;
+
+    /// Creates a subgraph containing only the target.
+    pub fn new(target: NodeId) -> Self {
+        Subgraph { target, vertices: vec![(target, 0, Self::ROOT_PARENT)] }
+    }
+
+    /// Reconstructs a subgraph from a visit-record stream.
+    ///
+    /// Records may arrive out of order across hops (BeaconGNN's whole
+    /// point); each child attaches to the most recent matching parent
+    /// occurrence at `hop - 1` that still wants children. Returns `None`
+    /// if the stream contains no root record or a child references a
+    /// parent never visited.
+    pub fn reconstruct(records: &[VisitRecord]) -> Option<Self> {
+        let root = records.iter().find(|r| r.parent.is_none())?;
+        let mut sg = Subgraph::new(root.node);
+        for r in records {
+            if r.parent.is_none() {
+                continue;
+            }
+            let parent_node = r.parent.expect("checked");
+            let parent_idx = sg
+                .vertices
+                .iter()
+                .position(|&(n, h, _)| n == parent_node && h + 1 == r.hop)?;
+            sg.vertices.push((r.node, r.hop, parent_idx));
+        }
+        Some(sg)
+    }
+
+    /// The mini-batch target this subgraph is rooted at.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// Adds a sampled child under the vertex at `parent_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent_index` is out of range.
+    pub fn add_child(&mut self, parent_index: usize, node: NodeId) -> usize {
+        let (_, parent_hop, _) = self.vertices[parent_index];
+        self.vertices.push((node, parent_hop + 1, parent_index));
+        self.vertices.len() - 1
+    }
+
+    /// Total tree vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` if only the target is present.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() == 1
+    }
+
+    /// Vertices at hop `h`, as `(vertex_index, node)`.
+    pub fn at_hop(&self, h: u8) -> Vec<(usize, NodeId)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, hop, _))| hop == h)
+            .map(|(i, &(n, _, _))| (i, n))
+            .collect()
+    }
+
+    /// Children vertex indices of the vertex at `index`.
+    pub fn children_of(&self, index: usize) -> Vec<usize> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, p))| p == index)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The node at vertex `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn node_at(&self, index: usize) -> NodeId {
+        self.vertices[index].0
+    }
+
+    /// Maximum hop present.
+    pub fn depth(&self) -> u8 {
+        self.vertices.iter().map(|&(_, h, _)| h).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn manual_construction() {
+        let mut sg = Subgraph::new(v(0));
+        let a = sg.add_child(0, v(1));
+        let b = sg.add_child(0, v(2));
+        sg.add_child(a, v(3));
+        assert_eq!(sg.len(), 4);
+        assert_eq!(sg.depth(), 2);
+        assert_eq!(sg.at_hop(1).len(), 2);
+        assert_eq!(sg.children_of(0), vec![a, b]);
+        assert_eq!(sg.node_at(a), v(1));
+        assert!(!sg.is_empty());
+    }
+
+    #[test]
+    fn reconstruct_in_order() {
+        let records = [
+            VisitRecord { node: v(0), hop: 0, parent: None },
+            VisitRecord { node: v(1), hop: 1, parent: Some(v(0)) },
+            VisitRecord { node: v(2), hop: 1, parent: Some(v(0)) },
+            VisitRecord { node: v(5), hop: 2, parent: Some(v(1)) },
+        ];
+        let sg = Subgraph::reconstruct(&records).unwrap();
+        assert_eq!(sg.target(), v(0));
+        assert_eq!(sg.len(), 4);
+        assert_eq!(sg.at_hop(2), vec![(3, v(5))]);
+    }
+
+    #[test]
+    fn reconstruct_out_of_order_hops() {
+        // Hop-2 record arrives before its sibling hop-1 record —
+        // the out-of-order stream BeaconGNN produces.
+        let records = [
+            VisitRecord { node: v(0), hop: 0, parent: None },
+            VisitRecord { node: v(1), hop: 1, parent: Some(v(0)) },
+            VisitRecord { node: v(9), hop: 2, parent: Some(v(1)) },
+            VisitRecord { node: v(2), hop: 1, parent: Some(v(0)) },
+        ];
+        let sg = Subgraph::reconstruct(&records).unwrap();
+        assert_eq!(sg.len(), 4);
+        assert_eq!(sg.at_hop(1).len(), 2);
+        assert_eq!(sg.at_hop(2).len(), 1);
+    }
+
+    #[test]
+    fn reconstruct_missing_root_fails() {
+        let records = [VisitRecord { node: v(1), hop: 1, parent: Some(v(0)) }];
+        assert_eq!(Subgraph::reconstruct(&records), None);
+    }
+
+    #[test]
+    fn reconstruct_orphan_child_fails() {
+        let records = [
+            VisitRecord { node: v(0), hop: 0, parent: None },
+            VisitRecord { node: v(5), hop: 2, parent: Some(v(7)) },
+        ];
+        assert_eq!(Subgraph::reconstruct(&records), None);
+    }
+
+    #[test]
+    fn duplicate_nodes_are_separate_vertices() {
+        let mut sg = Subgraph::new(v(0));
+        sg.add_child(0, v(1));
+        sg.add_child(0, v(1)); // sampled twice (with replacement)
+        assert_eq!(sg.len(), 3);
+        assert_eq!(sg.at_hop(1).len(), 2);
+    }
+}

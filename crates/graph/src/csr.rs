@@ -1,0 +1,288 @@
+//! Compressed-sparse-row graph representation.
+
+use std::fmt;
+
+/// Identifier of a graph node.
+///
+/// The paper represents node indices as INT-32 scalars; we mirror that
+/// with a `u32` newtype so node ids cannot be confused with page or
+/// section indices elsewhere in the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_graph::NodeId;
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its integer index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw integer index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// Neighbor lists are the unit of GNN sampling (§II-A): `neighbors(v)`
+/// returns `N(v)` in index order. Undirected graphs are stored with both
+/// edge directions.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_graph::{CsrGraphBuilder, NodeId};
+///
+/// let mut b = CsrGraphBuilder::new(3);
+/// b.add_edge(NodeId::new(0), NodeId::new(1));
+/// b.add_edge(NodeId::new(0), NodeId::new(2));
+/// let g = b.build();
+/// assert_eq!(g.degree(NodeId::new(0)), 2);
+/// assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    adjacency: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (adjacency entries).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The neighbor list `N(v)`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.adjacency[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The `k`-th neighbor of `v`, or `None` when out of range.
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, k: usize) -> Option<NodeId> {
+        self.neighbors(v).get(k).copied()
+    }
+
+    /// Mean out-degree over all nodes.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.num_nodes() as f64
+    }
+
+    /// Maximum out-degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|i| self.degree(NodeId::new(i as u32))).max().unwrap_or(0)
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId::new)
+    }
+
+    /// Returns `true` if `v` is a valid node id of this graph.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.num_nodes()
+    }
+
+    /// Returns `true` if edge `(u, v)` exists (linear scan of `N(u)`).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).contains(&v)
+    }
+}
+
+/// Incremental builder for [`CsrGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraphBuilder {
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl CsrGraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        CsrGraphBuilder { adj: vec![Vec::new(); num_nodes] }
+    }
+
+    /// Adds the directed edge `(from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> &mut Self {
+        assert!(to.index() < self.adj.len(), "edge target out of range");
+        self.adj[from.index()].push(to);
+        self
+    }
+
+    /// Adds both directions of an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_undirected_edge(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.add_edge(a, b);
+        self.add_edge(b, a);
+        self
+    }
+
+    /// Number of nodes the builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Finalizes into an immutable CSR graph.
+    pub fn build(&self) -> CsrGraph {
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut adjacency = Vec::with_capacity(self.adj.iter().map(Vec::len).sum());
+        offsets.push(0u64);
+        for list in &self.adj {
+            adjacency.extend_from_slice(list);
+            offsets.push(adjacency.len() as u64);
+        }
+        CsrGraph { offsets, adjacency }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for CsrGraphBuilder {
+    /// Builds a builder sized to the largest endpoint seen.
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
+        let n = edges.iter().map(|&(a, b)| a.index().max(b.index()) + 1).max().unwrap_or(0);
+        let mut b = CsrGraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> {1,2}, 1 -> {3}, 2 -> {3}, 3 -> {}
+        let mut b = CsrGraphBuilder::new(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1))
+            .add_edge(NodeId::new(0), NodeId::new(2))
+            .add_edge(NodeId::new(1), NodeId::new(3))
+            .add_edge(NodeId::new(2), NodeId::new(3));
+        b.build()
+    }
+
+    #[test]
+    fn builds_expected_csr() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(3)), 0);
+        assert_eq!(g.neighbors(NodeId::new(1)), &[NodeId::new(3)]);
+        assert_eq!(g.neighbor(NodeId::new(0), 1), Some(NodeId::new(2)));
+        assert_eq!(g.neighbor(NodeId::new(0), 2), None);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = diamond();
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn membership_and_edges() {
+        let g = diamond();
+        assert!(g.contains(NodeId::new(3)));
+        assert!(!g.contains(NodeId::new(4)));
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!g.has_edge(NodeId::new(2), NodeId::new(0)));
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = CsrGraphBuilder::new(2);
+        b.add_undirected_edge(NodeId::new(0), NodeId::new(1));
+        let g = b.build();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_endpoint() {
+        let b: CsrGraphBuilder =
+            [(NodeId::new(0), NodeId::new(5))].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraphBuilder::new(1).add_edge(NodeId::new(0), NodeId::new(9));
+    }
+}

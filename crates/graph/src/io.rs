@@ -1,0 +1,180 @@
+//! Edge-list import/export.
+//!
+//! Real deployments convert *their* graphs, not synthetic ones; this
+//! module reads the ubiquitous whitespace-separated edge-list format
+//! (one `src dst` pair per line, `#` comments, as used by SNAP and most
+//! graph repositories) and writes it back out.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::csr::{CsrGraph, CsrGraphBuilder, NodeId};
+
+/// Failures while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line did not contain two integers.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o: {e}"),
+            EdgeListError::Malformed { line, content } => {
+                write!(f, "line {line}: expected `src dst`, got `{content}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list into a CSR graph.
+///
+/// The graph is sized to the largest node id seen. Empty lines and
+/// lines starting with `#` or `%` are skipped. A `&mut` reference can
+/// be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`EdgeListError`] for I/O failures or malformed lines.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_graph::io::read_edge_list;
+/// let text = "# a comment\n0 1\n1 2\n2 0\n";
+/// let g = read_edge_list(text.as_bytes())?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// # Ok::<(), beacon_graph::io::EdgeListError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, EdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u32> { s.and_then(|t| t.parse().ok()) };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => {
+                max_id = max_id.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(EdgeListError::Malformed { line: i + 1, content: trimmed.to_string() })
+            }
+        }
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = CsrGraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(NodeId::new(u), NodeId::new(v));
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as a whitespace-separated edge list. A `&mut`
+/// reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "# {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    for v in graph.nodes() {
+        for &nb in graph.neighbors(v) {
+            writeln!(writer, "{} {}", v.as_u32(), nb.as_u32())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn roundtrip() {
+        let g = generate::uniform(50, 4, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "% matrix-market style\n\n# comment\n0 1\n\n1 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn malformed_line_reported_with_number() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::Malformed { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not numbers");
+            }
+            other => panic!("expected Malformed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn single_token_line_is_malformed() {
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, EdgeListError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn ids_size_the_graph() {
+        let g = read_edge_list("3 7\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.degree(NodeId::new(3)), 1);
+    }
+
+    #[test]
+    fn extra_columns_are_ignored() {
+        // SNAP-style files sometimes carry weights/timestamps.
+        let g = read_edge_list("0 1 0.5 1234\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Mini-batch target-node streams (§II-A).
+//!
+//! GraphSage-style training selects a small batch of target nodes per
+//! step; the host hands the SSD a batch of targets (and, with
+//! DirectGraph, their primary-section addresses) at the start of each
+//! mini-batch. [`MinibatchStream`] produces those target batches
+//! deterministically.
+
+use simkit::SplitMix64;
+
+use crate::csr::NodeId;
+
+/// A deterministic stream of fixed-size mini-batches of target nodes.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_graph::MinibatchStream;
+///
+/// let mut s = MinibatchStream::new(1_000, 64, 42);
+/// let batch = s.next_batch();
+/// assert_eq!(batch.len(), 64);
+/// assert!(batch.iter().all(|v| v.index() < 1_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinibatchStream {
+    num_nodes: usize,
+    batch_size: usize,
+    rng: SplitMix64,
+    produced: u64,
+}
+
+impl MinibatchStream {
+    /// Creates a stream drawing targets uniformly from `[0, num_nodes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` or `batch_size` is zero.
+    pub fn new(num_nodes: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        assert!(batch_size > 0, "batch size must be positive");
+        MinibatchStream { num_nodes, batch_size, rng: SplitMix64::new(seed), produced: 0 }
+    }
+
+    /// Produces the next mini-batch of target nodes.
+    pub fn next_batch(&mut self) -> Vec<NodeId> {
+        self.produced += 1;
+        (0..self.batch_size)
+            .map(|_| NodeId::new(self.rng.next_bounded(self.num_nodes as u64) as u32))
+            .collect()
+    }
+
+    /// Number of batches produced so far.
+    pub fn batches_produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+impl Iterator for MinibatchStream {
+    type Item = Vec<NodeId>;
+
+    /// The stream is infinite; `next` always yields a batch.
+    fn next(&mut self) -> Option<Vec<NodeId>> {
+        Some(self.next_batch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_requested_size() {
+        let mut s = MinibatchStream::new(100, 32, 1);
+        assert_eq!(s.next_batch().len(), 32);
+        assert_eq!(s.batch_size(), 32);
+        assert_eq!(s.batches_produced(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = MinibatchStream::new(100, 8, 5).take(3).collect();
+        let b: Vec<_> = MinibatchStream::new(100, 8, 5).take(3).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MinibatchStream::new(1_000, 64, 1).next_batch();
+        let b = MinibatchStream::new(1_000, 64, 2).next_batch();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn targets_in_range() {
+        let mut s = MinibatchStream::new(17, 100, 3);
+        for v in s.next_batch() {
+            assert!(v.index() < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        MinibatchStream::new(10, 0, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # beacon-platforms — the evaluated systems and their simulator
+//!
+//! This crate assembles the substrates (`beacon-flash`, `beacon-ssd`,
+//! `beacon-accel`, `beacon-gnn`, `directgraph`) into the eight
+//! end-to-end GNN acceleration systems the paper evaluates (§VII-A) and
+//! simulates them with a unified discrete-event engine:
+//!
+//! * [`Platform`] / [`PlatformSpec`] — CC, SmartSage, GList, and the
+//!   BG-1 → BG-2 ablation chain, expressed as feature flags.
+//! * [`Engine`] — the event-driven data-preparation + compute pipeline
+//!   (see [`engine`] docs for the stage diagram).
+//! * [`RunMetrics`] — throughput, stage/command latency breakdowns, hop
+//!   timelines, die/channel utilization curves, and the energy ledger:
+//!   the raw material for every figure in §VII.
+//! * [`motivation`] — the standalone Fig 7a die-scaling experiment.
+//!
+//! ## Example
+//!
+//! ```
+//! use beacon_graph::{generate, FeatureTable, NodeId};
+//! use beacon_gnn::GnnModelConfig;
+//! use beacon_platforms::{Engine, Platform};
+//! use beacon_ssd::SsdConfig;
+//! use directgraph::{build::DirectGraphBuilder, AddrLayout};
+//!
+//! let cfg = generate::PowerLawConfig::new(1_000, 20.0);
+//! let graph = generate::power_law(&cfg, 1);
+//! let feats = FeatureTable::synthetic(1_000, 64, 1);
+//! let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+//!     .build(&graph, &feats).unwrap();
+//!
+//! let model = GnnModelConfig::paper_default(64);
+//! let batch: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+//! let metrics = Engine::new(Platform::Bg2, SsdConfig::paper_default(), model, &dg, 42)
+//!     .run(&[batch]);
+//! assert!(metrics.throughput() > 0.0);
+//! ```
+
+pub mod array;
+pub mod engine;
+pub mod metrics;
+pub mod motivation;
+pub mod query;
+pub mod spec;
+
+pub use array::{evaluate_array, evaluate_array_partitioned, ArrayConfig, ArrayScaling};
+pub use engine::Engine;
+pub use query::{measure_query_latency, query_latency_under_load, QueryLatency};
+pub use metrics::{CmdBreakdown, HopWindow, RunMetrics, StageBreakdown, TimelineBuilder};
+pub use spec::{
+    BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation,
+    TransferGranularity,
+};

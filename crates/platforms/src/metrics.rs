@@ -1,0 +1,299 @@
+//! Run metrics: everything the paper's figures are drawn from.
+
+use beacon_energy::EnergyLedger;
+use simkit::stats::Summary;
+use simkit::{Duration, SimTime};
+
+/// Per-command latency phases (paper Fig 17). Lifetime runs from when
+/// the command's address is available at the frontend controller to when
+/// its result is available there.
+#[derive(Debug, Clone, Default)]
+pub struct CmdBreakdown {
+    /// Queueing before the die starts sensing.
+    pub wait_before_flash: Summary,
+    /// Die sense + on-die processing + channel transfer.
+    pub flash: Summary,
+    /// From transfer completion to result fully processed.
+    pub wait_after_flash: Summary,
+}
+
+impl CmdBreakdown {
+    /// Records one command's phase durations.
+    pub fn record(&mut self, wait_before: Duration, flash: Duration, wait_after: Duration) {
+        self.wait_before_flash.record_duration(wait_before);
+        self.flash.record_duration(flash);
+        self.wait_after_flash.record_duration(wait_after);
+    }
+
+    /// Mean total lifetime in nanoseconds (0 when empty).
+    pub fn mean_lifetime_ns(&self) -> f64 {
+        self.wait_before_flash.mean().unwrap_or(0.0)
+            + self.flash.mean().unwrap_or(0.0)
+            + self.wait_after_flash.mean().unwrap_or(0.0)
+    }
+
+    /// `(wait_before, flash, wait_after)` fractions of the mean
+    /// lifetime.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.mean_lifetime_ns();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.wait_before_flash.mean().unwrap_or(0.0) / total,
+            self.flash.mean().unwrap_or(0.0) / total,
+            self.wait_after_flash.mean().unwrap_or(0.0) / total,
+        )
+    }
+}
+
+/// Busy time per resource class (paper Fig 15f's stage breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Flash die sense time.
+    pub flash_read: Duration,
+    /// Flash channel transfer time.
+    pub channel: Duration,
+    /// Embedded-core (firmware) busy time.
+    pub firmware: Duration,
+    /// SSD DRAM busy time.
+    pub dram: Duration,
+    /// PCIe busy time.
+    pub pcie: Duration,
+    /// Host CPU busy time.
+    pub host: Duration,
+    /// Accelerator busy time.
+    pub accel: Duration,
+}
+
+/// One hop's activity window in the data-preparation stage (Fig 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopWindow {
+    /// Hop id (0 = targets; `hops` = final feature retrieval).
+    pub hop: u8,
+    /// First command of this hop entering the backend.
+    pub start: SimTime,
+    /// Last command of this hop fully processed.
+    pub end: SimTime,
+}
+
+impl HopWindow {
+    /// Window length.
+    pub fn span(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// Builds per-slice active-unit curves (Fig 15a–e) from unordered busy
+/// intervals.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineBuilder {
+    intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl TimelineBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one busy interval of one unit.
+    pub fn push(&mut self, start: SimTime, end: SimTime) {
+        debug_assert!(start <= end);
+        self.intervals.push((start, end));
+    }
+
+    /// Total busy unit-time recorded.
+    pub fn busy_total(&self) -> Duration {
+        self.intervals.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Number of intervals recorded.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Returns `true` if no intervals were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Produces the mean number of simultaneously busy units per
+    /// `slice`-wide window over `[0, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero.
+    pub fn curve(&self, slice: Duration, end: SimTime) -> Vec<f64> {
+        assert!(!slice.is_zero(), "slice must be positive");
+        let nslices = (end.as_ns()).div_ceil(slice.as_ns()).max(1) as usize;
+        let mut acc = vec![0u64; nslices];
+        for &(s, e) in &self.intervals {
+            let mut t = s;
+            let e = e.min(end);
+            while t < e {
+                let idx = (t.as_ns() / slice.as_ns()) as usize;
+                let slice_end = SimTime::from_ns((idx as u64 + 1) * slice.as_ns()).min(e);
+                if idx < nslices {
+                    acc[idx] += (slice_end - t).as_ns();
+                }
+                t = slice_end;
+            }
+        }
+        acc.into_iter().map(|ns| ns as f64 / slice.as_ns() as f64).collect()
+    }
+
+    /// Mean busy units over `[0, end]`.
+    pub fn mean_active(&self, end: SimTime) -> f64 {
+        if end == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_total().as_ns() as f64 / end.as_ns() as f64
+    }
+}
+
+/// The complete result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Platform display name.
+    pub platform: &'static str,
+    /// Target nodes processed.
+    pub targets: u64,
+    /// Mini-batches processed.
+    pub batches: u64,
+    /// Nodes visited during data preparation (subgraph vertices).
+    pub nodes_visited: u64,
+    /// Flash page reads issued.
+    pub flash_reads: u64,
+    /// Sampling commands aborted by the on-die §VI-E check (missing or
+    /// malformed sections); their subtrees are dropped and control
+    /// returns to firmware.
+    pub sampler_faults: u64,
+    /// End-to-end makespan (prep ∥ compute pipeline).
+    pub makespan: Duration,
+    /// Total data-preparation time (sum over batches).
+    pub prep_time: Duration,
+    /// Total computation time (sum over batches).
+    pub compute_time: Duration,
+    /// Per-command latency phases.
+    pub cmd_breakdown: CmdBreakdown,
+    /// Busy time per resource class.
+    pub stages: StageBreakdown,
+    /// Hop activity windows of the *first* batch (Fig 16 plots one
+    /// batch's data preparation).
+    pub hop_windows: Vec<HopWindow>,
+    /// Die busy intervals (Fig 15 curves).
+    pub die_timeline: TimelineBuilder,
+    /// Channel busy intervals (Fig 15 curves).
+    pub channel_timeline: TimelineBuilder,
+    /// Raw energy quantities.
+    pub energy: EnergyLedger,
+    /// Die count of the simulated backend (for utilization fractions).
+    pub total_dies: usize,
+    /// Channel count of the simulated backend.
+    pub total_channels: usize,
+    /// Optional event trace (empty unless enabled via
+    /// [`Engine::with_trace`](crate::Engine::with_trace)).
+    pub trace: simkit::Trace,
+}
+
+impl RunMetrics {
+    /// Throughput in target nodes per second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.targets as f64 / self.makespan.as_secs_f64()
+    }
+
+    /// A one-paragraph human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        let (wb, fl, wa) = self.cmd_breakdown.fractions();
+        format!(
+            "{}: {} targets in {} ({:.0} targets/s); prep {} ∥ compute {}; \
+             {} flash reads over {} dies ({:.0}% busy) and {} channels ({:.0}% busy); \
+             command lifetime {:.1}us (wait-before {:.0}% / flash {:.0}% / wait-after {:.0}%){}",
+            self.platform,
+            self.targets,
+            self.makespan,
+            self.throughput(),
+            self.prep_time,
+            self.compute_time,
+            self.flash_reads,
+            self.total_dies,
+            self.die_utilization() * 100.0,
+            self.total_channels,
+            self.channel_utilization() * 100.0,
+            self.cmd_breakdown.mean_lifetime_ns() / 1_000.0,
+            wb * 100.0,
+            fl * 100.0,
+            wa * 100.0,
+            if self.sampler_faults > 0 {
+                format!("; {} sampler faults", self.sampler_faults)
+            } else {
+                String::new()
+            },
+        )
+    }
+
+    /// Mean die utilization over the prep window, in `[0, 1]`.
+    pub fn die_utilization(&self) -> f64 {
+        let end = SimTime::ZERO + self.prep_time;
+        if self.total_dies == 0 || end == SimTime::ZERO {
+            return 0.0;
+        }
+        self.die_timeline.mean_active(end) / self.total_dies as f64
+    }
+
+    /// Mean channel utilization over the prep window, in `[0, 1]`.
+    pub fn channel_utilization(&self) -> f64 {
+        let end = SimTime::ZERO + self.prep_time;
+        if self.total_channels == 0 || end == SimTime::ZERO {
+            return 0.0;
+        }
+        self.channel_timeline.mean_active(end) / self.total_channels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmd_breakdown_fractions_sum_to_one() {
+        let mut b = CmdBreakdown::default();
+        b.record(Duration::from_us(2), Duration::from_us(5), Duration::from_us(3));
+        b.record(Duration::from_us(4), Duration::from_us(5), Duration::from_us(1));
+        let (w, f, a) = b.fractions();
+        assert!((w + f + a - 1.0).abs() < 1e-12);
+        assert!((b.mean_lifetime_ns() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = CmdBreakdown::default();
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0));
+        assert_eq!(b.mean_lifetime_ns(), 0.0);
+    }
+
+    #[test]
+    fn timeline_curve_integrates_overlap() {
+        let mut tl = TimelineBuilder::new();
+        tl.push(SimTime::from_ns(0), SimTime::from_ns(10));
+        tl.push(SimTime::from_ns(5), SimTime::from_ns(15));
+        let curve = tl.curve(Duration::from_ns(10), SimTime::from_ns(20));
+        assert_eq!(curve.len(), 2);
+        assert!((curve[0] - 1.5).abs() < 1e-12); // 10 + 5 busy-ns / 10
+        assert!((curve[1] - 0.5).abs() < 1e-12);
+        assert_eq!(tl.busy_total(), Duration::from_ns(20));
+        assert!((tl.mean_active(SimTime::from_ns(20)) - 1.0).abs() < 1e-12);
+        assert_eq!(tl.len(), 2);
+        assert!(!tl.is_empty());
+    }
+
+    #[test]
+    fn hop_window_span() {
+        let w = HopWindow { hop: 1, start: SimTime::from_ns(10), end: SimTime::from_ns(30) };
+        assert_eq!(w.span(), Duration::from_ns(20));
+    }
+}

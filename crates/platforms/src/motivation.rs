@@ -1,0 +1,128 @@
+//! The Fig 7a motivation experiment: page-granular channel transfer
+//! throttles ULL die scaling.
+//!
+//! The paper reads 1–8 ULL dies on one channel simultaneously and shows
+//! that 8 dies deliver only ~49% more throughput than 1 while average
+//! latency rises ~7.7×, because every page queues for the shared
+//! channel bus whose transfer time (5.12 µs for 4 KB at 800 MB/s)
+//! exceeds the 3 µs sense time.
+
+use beacon_flash::{DieModel, FlashTiming, RegisterMode};
+use simkit::{Duration, SerialResource, SimTime};
+
+/// Result of one die-scaling measurement point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieScalingPoint {
+    /// Active dies on the channel.
+    pub dies: usize,
+    /// Page reads completed per second.
+    pub throughput: f64,
+    /// Mean end-to-end page-read latency.
+    pub avg_latency: Duration,
+}
+
+/// Runs the Fig 7a experiment: `reads_per_die` back-to-back page reads
+/// on each of `dies` dies sharing one channel, at `page_size` bytes.
+pub fn die_scaling_point(
+    timing: &FlashTiming,
+    dies: usize,
+    page_size: usize,
+    reads_per_die: usize,
+) -> DieScalingPoint {
+    assert!(dies > 0 && reads_per_die > 0);
+    let mut channel = SerialResource::new();
+    let xfer = timing.command_overhead + timing.transfer_time(page_size as u64);
+
+    // Single-register dies (the conventional ONFI read path): a die
+    // cannot sense its next page until its previous page has left for
+    // the channel. Issue round-robin; to keep channel acquisitions in
+    // nondecreasing time order, process per-round in order of
+    // readiness.
+    let mut die_models: Vec<DieModel> = (0..dies)
+        .map(|_| DieModel::new(1, timing.read_latency, RegisterMode::Single))
+        .collect();
+    let mut total_latency = Duration::ZERO;
+    let mut last_end = SimTime::ZERO;
+    let mut completed = 0u64;
+    for _round in 0..reads_per_die {
+        let mut order: Vec<usize> = (0..dies).collect();
+        order.sort_by_key(|&d| die_models[d].plane_free(0));
+        for d in order {
+            let issue = die_models[d].plane_free(0);
+            let grant_sense = die_models[d].read(0, issue);
+            let grant = channel.acquire(grant_sense.data_ready, xfer);
+            die_models[d].note_transfer_done(0, grant.end);
+            total_latency += grant.end - issue;
+            last_end = last_end.max(grant.end);
+            completed += 1;
+        }
+    }
+    DieScalingPoint {
+        dies,
+        throughput: completed as f64 / (last_end - SimTime::ZERO).as_secs_f64(),
+        avg_latency: total_latency / completed,
+    }
+}
+
+/// Runs the full 1..=`max_dies` sweep.
+pub fn die_scaling_sweep(
+    timing: &FlashTiming,
+    max_dies: usize,
+    page_size: usize,
+    reads_per_die: usize,
+) -> Vec<DieScalingPoint> {
+    (1..=max_dies)
+        .map(|d| die_scaling_point(timing, d, page_size, reads_per_die))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ull_die_scaling_matches_paper_shape() {
+        // Paper Fig 7a: 1 -> 8 dies gives ~49% more throughput at ~7.7x
+        // the latency on ULL flash with 4 KB pages.
+        let sweep = die_scaling_sweep(&FlashTiming::ull(), 8, 4096, 200);
+        let t1 = sweep[0].throughput;
+        let t8 = sweep[7].throughput;
+        let gain = t8 / t1 - 1.0;
+        assert!(
+            (0.3..=0.8).contains(&gain),
+            "throughput gain at 8 dies should be ~49%, got {:.0}%",
+            gain * 100.0
+        );
+        let lat_ratio =
+            sweep[7].avg_latency.as_ns() as f64 / sweep[0].avg_latency.as_ns() as f64;
+        assert!(
+            (5.0..=11.0).contains(&lat_ratio),
+            "latency blow-up should be ~7.7x, got {lat_ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn traditional_flash_scales_better() {
+        // With 20 us reads, the channel is NOT the bottleneck, so die
+        // scaling is much closer to linear.
+        let sweep = die_scaling_sweep(&FlashTiming::traditional(), 4, 4096, 100);
+        let gain = sweep[3].throughput / sweep[0].throughput;
+        assert!(gain > 2.5, "traditional flash should scale ~linearly, got {gain:.2}x");
+    }
+
+    #[test]
+    fn single_die_latency_is_sense_plus_transfer() {
+        let p = die_scaling_point(&FlashTiming::ull(), 1, 4096, 10);
+        let expect = FlashTiming::ull().read_latency
+            + FlashTiming::ull().command_overhead
+            + FlashTiming::ull().transfer_time(4096);
+        assert_eq!(p.avg_latency, expect);
+    }
+
+    #[test]
+    fn smaller_pages_relieve_the_channel() {
+        let big = die_scaling_point(&FlashTiming::ull(), 8, 16384, 100);
+        let small = die_scaling_point(&FlashTiming::ull(), 8, 2048, 100);
+        assert!(small.throughput > big.throughput);
+    }
+}

@@ -1,0 +1,173 @@
+//! The event calendar: a time-ordered priority queue of simulation events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered event calendar.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO tie-breaking via a monotonically increasing
+/// sequence number), which keeps simulations deterministic regardless of
+/// heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::from_ns(10), 'b');
+/// cal.schedule(SimTime::from_ns(10), 'c');
+/// cal.schedule(SimTime::from_ns(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    /// Latest time popped so far; used to detect causality violations.
+    watermark: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Calendar { heap: BinaryHeap::new(), seq: 0, watermark: SimTime::ZERO }
+    }
+
+    /// Creates an empty calendar with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Calendar { heap: BinaryHeap::with_capacity(cap), seq: 0, watermark: SimTime::ZERO }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last popped time: scheduling into
+    /// the past is a causality bug in the model.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.watermark,
+            "event scheduled in the past: at={at}, watermark={}",
+            self.watermark
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, advancing the causality
+    /// watermark to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            self.watermark = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The latest time returned by [`Calendar::pop`] so far.
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ns(30), 3);
+        cal.schedule(SimTime::from_ns(10), 1);
+        cal.schedule(SimTime::from_ns(20), 2);
+        assert_eq!(cal.pop(), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(cal.pop(), Some((SimTime::from_ns(20), 2)));
+        assert_eq!(cal.pop(), Some((SimTime::from_ns(30), 3)));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(SimTime::from_ns(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_into_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ns(10), ());
+        cal.pop();
+        cal.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn watermark_tracks_now() {
+        let mut cal = Calendar::new();
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.schedule(SimTime::from_ns(42), ());
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_ns(42));
+        // Scheduling at the current time is allowed.
+        cal.schedule(cal.now() + Duration::ZERO, ());
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+        assert_eq!(cal.peek_time(), Some(SimTime::from_ns(42)));
+    }
+}

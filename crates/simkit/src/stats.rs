@@ -1,0 +1,410 @@
+//! Measurement instruments for simulations.
+//!
+//! These are the instruments the BeaconGNN figures are built from:
+//!
+//! * [`Counter`] — monotonically increasing event/byte counters.
+//! * [`Summary`] — streaming min/max/mean/sum of durations or values.
+//! * [`Histogram`] — fixed-bin latency histograms with percentile queries.
+//! * [`UtilizationTracker`] — time-weighted busy fraction of a resource
+//!   (used for Fig 15's active-channel/die curves).
+//! * [`BusyTimeline`] — per-interval active-unit counts sampled over time.
+
+use std::fmt;
+
+use crate::time::{Duration, SimTime};
+
+/// A monotonically increasing count.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming summary statistics over `f64` observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a duration observation in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_ns() as f64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram over durations with fixed-width bins plus an overflow bin.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::Histogram;
+/// use simkit::Duration;
+///
+/// let mut h = Histogram::new(Duration::from_us(1), 100);
+/// h.record(Duration::from_us(3));
+/// h.record(Duration::from_us(50));
+/// assert_eq!(h.count(), 2);
+/// assert!(h.percentile(0.99).unwrap() >= Duration::from_us(50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: Duration,
+    bins: Vec<u64>,
+    overflow: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` bins of width `bin_width` and an
+    /// overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero or `nbins` is zero.
+    pub fn new(bin_width: Duration, nbins: usize) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        assert!(nbins > 0, "need at least one bin");
+        Histogram { bin_width, bins: vec![0; nbins], overflow: 0, summary: Summary::new() }
+    }
+
+    /// Records a duration.
+    pub fn record(&mut self, d: Duration) {
+        let idx = (d.as_ns() / self.bin_width.as_ns()) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.summary.record_duration(d);
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Mean duration, or `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        self.summary.mean().map(Duration::from_ns_f64)
+    }
+
+    /// Maximum recorded duration, or `None` when empty.
+    pub fn max(&self) -> Option<Duration> {
+        self.summary.max().map(Duration::from_ns_f64)
+    }
+
+    /// The `q`-quantile (0.0–1.0) as the upper edge of the containing bin;
+    /// observations in the overflow bin report the recorded maximum.
+    ///
+    /// Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bin_width * (i as u64 + 1));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Tracks the time-weighted busy fraction of a single resource.
+///
+/// Call [`UtilizationTracker::set_busy`] on every busy/idle transition and
+/// [`UtilizationTracker::finish`] at end of simulation.
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    busy: bool,
+    last_change: SimTime,
+    busy_time: Duration,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker that is idle at time zero.
+    pub fn new() -> Self {
+        UtilizationTracker { busy: false, last_change: SimTime::ZERO, busy_time: Duration::ZERO }
+    }
+
+    /// Records a busy/idle transition at time `now`.
+    pub fn set_busy(&mut self, now: SimTime, busy: bool) {
+        if self.busy {
+            self.busy_time += now.saturating_duration_since(self.last_change);
+        }
+        self.busy = busy;
+        self.last_change = now;
+    }
+
+    /// Closes the tracking window at `end` and returns total busy time.
+    pub fn finish(&mut self, end: SimTime) -> Duration {
+        self.set_busy(end, self.busy);
+        self.busy_time
+    }
+
+    /// Accumulated busy time so far (excluding any open busy interval).
+    pub fn busy_time(&self) -> Duration {
+        self.busy_time
+    }
+
+    /// Busy fraction of the window `[0, end]`, in `[0, 1]`.
+    pub fn utilization(&mut self, end: SimTime) -> f64 {
+        let busy = self.finish(end);
+        if end == SimTime::ZERO {
+            return 0.0;
+        }
+        busy.as_ns() as f64 / end.as_ns() as f64
+    }
+}
+
+impl Default for UtilizationTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Samples how many units of a group (dies, channels) are active per fixed
+/// time slice — the instrument behind the paper's Fig 15(a–e).
+#[derive(Debug, Clone)]
+pub struct BusyTimeline {
+    slice: Duration,
+    /// busy-unit-nanoseconds accumulated per slice.
+    acc: Vec<u64>,
+    active: u64,
+    last_change: SimTime,
+}
+
+impl BusyTimeline {
+    /// Creates a timeline with the given sampling slice width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero.
+    pub fn new(slice: Duration) -> Self {
+        assert!(!slice.is_zero(), "slice must be positive");
+        BusyTimeline { slice, acc: Vec::new(), active: 0, last_change: SimTime::ZERO }
+    }
+
+    /// Records that one more unit became active at `now`.
+    pub fn unit_up(&mut self, now: SimTime) {
+        self.advance(now);
+        self.active += 1;
+    }
+
+    /// Records that one unit became idle at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit is currently active.
+    pub fn unit_down(&mut self, now: SimTime) {
+        self.advance(now);
+        assert!(self.active > 0, "unit_down with zero active units");
+        self.active -= 1;
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let mut t = self.last_change;
+        while t < now {
+            let slice_idx = (t.as_ns() / self.slice.as_ns()) as usize;
+            let slice_end = SimTime::from_ns((slice_idx as u64 + 1) * self.slice.as_ns());
+            let seg_end = slice_end.min(now);
+            if self.acc.len() <= slice_idx {
+                self.acc.resize(slice_idx + 1, 0);
+            }
+            self.acc[slice_idx] += self.active * (seg_end - t).as_ns();
+            t = seg_end;
+        }
+        self.last_change = now;
+    }
+
+    /// Finalizes at `end` and returns the mean number of active units per
+    /// slice, in slice order.
+    pub fn finish(mut self, end: SimTime) -> Vec<f64> {
+        self.advance(end);
+        let slice_ns = self.slice.as_ns() as f64;
+        self.acc.iter().map(|&busy_ns| busy_ns as f64 / slice_ns).collect()
+    }
+
+    /// Number of currently active units.
+    pub fn active(&self) -> u64 {
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), None);
+        s.record(2.0);
+        s.record(8.0);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(8.0));
+        assert_eq!(s.count(), 2);
+        let mut t = Summary::new();
+        t.record(100.0);
+        s.merge(&t);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(Duration::from_us(1), 10);
+        for us in 1..=9 {
+            h.record(Duration::from_us(us));
+        }
+        // Median of 1..9 us is 5 us, which lands in bin [5,6): the
+        // histogram reports the bin's upper edge.
+        assert_eq!(h.percentile(0.5), Some(Duration::from_us(6)));
+        assert_eq!(h.percentile(1.0), Some(Duration::from_us(10)));
+        assert_eq!(h.mean(), Some(Duration::from_us(5)));
+    }
+
+    #[test]
+    fn histogram_overflow_reports_max() {
+        let mut h = Histogram::new(Duration::from_us(1), 4);
+        h.record(Duration::from_us(100));
+        assert_eq!(h.percentile(0.5), Some(Duration::from_us(100)));
+        assert_eq!(h.max(), Some(Duration::from_us(100)));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = UtilizationTracker::new();
+        u.set_busy(SimTime::from_ns(0), true);
+        u.set_busy(SimTime::from_ns(30), false);
+        u.set_busy(SimTime::from_ns(70), true);
+        let frac = u.utilization(SimTime::from_ns(100));
+        assert!((frac - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_timeline_splits_slices() {
+        let mut tl = BusyTimeline::new(Duration::from_ns(10));
+        tl.unit_up(SimTime::from_ns(0));
+        tl.unit_up(SimTime::from_ns(5));
+        tl.unit_down(SimTime::from_ns(15));
+        let curve = tl.finish(SimTime::from_ns(20));
+        // Slice 0: 1 unit for 5ns + 2 units for 5ns = 15 unit-ns -> 1.5.
+        // Slice 1: 2 units for 5ns + 1 unit for 5ns = 15 unit-ns -> 1.5.
+        assert_eq!(curve, vec![1.5, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero active")]
+    fn timeline_underflow_panics() {
+        let mut tl = BusyTimeline::new(Duration::from_ns(10));
+        tl.unit_down(SimTime::from_ns(1));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the simulation kernel's ordering guarantees.
+
+use proptest::prelude::*;
+use simkit::{Calendar, Duration, SerialResource, SimTime};
+
+proptest! {
+    /// The calendar delivers events in nondecreasing time order, with
+    /// FIFO tie-breaking among equal timestamps.
+    #[test]
+    fn calendar_orders_any_schedule(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, id)) = cal.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(at >= lt, "time went backwards");
+                if at == lt {
+                    // FIFO among ties: schedule order == insertion index.
+                    prop_assert!(
+                        times[lid] != times[id] || lid < id,
+                        "tie broken out of order"
+                    );
+                }
+            }
+            last = Some((at, id));
+        }
+    }
+
+    /// Serial-resource grants never overlap and respect arrival order:
+    /// for arrivals issued in nondecreasing time order, each grant
+    /// starts no earlier than the previous grant's end or its own
+    /// arrival.
+    #[test]
+    fn serial_resource_grants_are_disjoint(
+        jobs in proptest::collection::vec((0u64..500, 1u64..50), 1..100),
+    ) {
+        let mut r = SerialResource::new();
+        let mut arrivals: Vec<(u64, u64)> = jobs;
+        arrivals.sort_by_key(|&(a, _)| a);
+        let mut prev_end = SimTime::ZERO;
+        let mut busy_total = Duration::ZERO;
+        for (arrive, dur) in arrivals {
+            let g = r.acquire(SimTime::from_ns(arrive), Duration::from_ns(dur));
+            prop_assert!(g.start >= prev_end, "grants overlap");
+            prop_assert!(g.start >= SimTime::from_ns(arrive), "service before arrival");
+            prop_assert_eq!(g.end, g.start + Duration::from_ns(dur));
+            prev_end = g.end;
+            busy_total += Duration::from_ns(dur);
+        }
+        prop_assert_eq!(r.busy_total(), busy_total);
+    }
+
+    /// Busy-timeline accounting integrates exactly: total busy
+    /// unit-time equals the sum over slices of (active × slice width).
+    #[test]
+    fn busy_timeline_integral_matches(
+        intervals in proptest::collection::vec((0u64..200, 1u64..100), 1..50),
+    ) {
+        use simkit::stats::BusyTimeline;
+        // Convert to nested, chronologically ordered up/down events.
+        let mut events: Vec<(u64, bool)> = Vec::new();
+        let mut expected: u64 = 0;
+        for &(start, len) in &intervals {
+            events.push((start, true));
+            events.push((start + len, false));
+            expected += len;
+        }
+        events.sort_by_key(|&(t, up)| (t, !up));
+        let mut tl = BusyTimeline::new(Duration::from_ns(7));
+        let mut end = 0u64;
+        for (t, up) in events {
+            if up {
+                tl.unit_up(SimTime::from_ns(t));
+            } else {
+                tl.unit_down(SimTime::from_ns(t));
+            }
+            end = end.max(t);
+        }
+        let curve = tl.finish(SimTime::from_ns(end));
+        let integral: f64 = curve.iter().sum::<f64>() * 7.0;
+        prop_assert!(
+            (integral - expected as f64).abs() < 1e-6,
+            "integral {} vs expected {}",
+            integral,
+            expected
+        );
+    }
+}

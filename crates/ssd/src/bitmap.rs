@@ -1,0 +1,160 @@
+//! Block-level bitmap metadata (paper §VI-A).
+//!
+//! DirectGraph allocation happens at block granularity precisely "to
+//! minimize metadata (block-level bitmap, length = N_block)". This is
+//! that bitmap: one bit per physical block, serializable so the
+//! firmware can persist it and rebuild the reserved set at boot.
+
+use crate::ftl::BlockId;
+
+/// A one-bit-per-block reservation map.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_ssd::bitmap::BlockBitmap;
+/// use beacon_ssd::BlockId;
+///
+/// let mut bm = BlockBitmap::new(100);
+/// bm.set(BlockId::new(42), true);
+/// assert!(bm.get(BlockId::new(42)));
+/// assert_eq!(bm.count_set(), 1);
+/// let restored = BlockBitmap::from_bytes(100, &bm.to_bytes()).unwrap();
+/// assert!(restored.get(BlockId::new(42)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockBitmap {
+    blocks: usize,
+    words: Vec<u64>,
+}
+
+impl BlockBitmap {
+    /// Creates an all-clear bitmap over `blocks` blocks.
+    pub fn new(blocks: usize) -> Self {
+        BlockBitmap { blocks, words: vec![0; blocks.div_ceil(64)] }
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.blocks
+    }
+
+    /// Returns `true` if the bitmap covers zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks == 0
+    }
+
+    /// Sets or clears `block`'s bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn set(&mut self, block: BlockId, value: bool) {
+        let i = block.index();
+        assert!(i < self.blocks, "block {i} out of range {}", self.blocks);
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Reads `block`'s bit (out-of-range blocks read as clear).
+    pub fn get(&self, block: BlockId) -> bool {
+        let i = block.index();
+        if i >= self.blocks {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the set blocks in index order.
+    pub fn iter_set(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks as u32).map(BlockId::new).filter(move |&b| self.get(b))
+    }
+
+    /// Serializes to the on-media byte layout (little-endian words).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Restores from the on-media byte layout.
+    ///
+    /// Returns `None` if `bytes` is shorter than the bitmap needs.
+    pub fn from_bytes(blocks: usize, bytes: &[u8]) -> Option<Self> {
+        let nwords = blocks.div_ceil(64);
+        if bytes.len() < nwords * 8 {
+            return None;
+        }
+        let words = bytes[..nwords * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Some(BlockBitmap { blocks, words })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = BlockBitmap::new(130); // crosses word boundaries
+        for i in [0u32, 63, 64, 129] {
+            bm.set(BlockId::new(i), true);
+            assert!(bm.get(BlockId::new(i)));
+        }
+        assert_eq!(bm.count_set(), 4);
+        bm.set(BlockId::new(64), false);
+        assert!(!bm.get(BlockId::new(64)));
+        assert_eq!(bm.count_set(), 3);
+        assert_eq!(bm.len(), 130);
+        assert!(!bm.is_empty());
+    }
+
+    #[test]
+    fn iter_set_in_order() {
+        let mut bm = BlockBitmap::new(200);
+        for i in [5u32, 100, 199] {
+            bm.set(BlockId::new(i), true);
+        }
+        let set: Vec<u32> = bm.iter_set().map(|b| b.index() as u32).collect();
+        assert_eq!(set, vec![5, 100, 199]);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut bm = BlockBitmap::new(77);
+        for i in (0..77).step_by(7) {
+            bm.set(BlockId::new(i), true);
+        }
+        let bytes = bm.to_bytes();
+        // Metadata is tiny: one bit per block, the §VI-A point.
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(BlockBitmap::from_bytes(77, &bytes), Some(bm));
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        assert_eq!(BlockBitmap::from_bytes(100, &[0u8; 7]), None);
+    }
+
+    #[test]
+    fn out_of_range_reads_clear() {
+        let bm = BlockBitmap::new(10);
+        assert!(!bm.get(BlockId::new(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        BlockBitmap::new(10).set(BlockId::new(10), true);
+    }
+}

@@ -1,0 +1,426 @@
+//! The flash-firmware GNN engine (paper §VI-D).
+//!
+//! During acceleration mode, the firmware schedules the GNN workflow:
+//! it receives mini-batches from the host, runs data preparation on the
+//! flash backend, and **pipelines the preparation of the current
+//! mini-batch with the computation of the previous one**, keeping the
+//! spatial accelerator and the flash backend busy simultaneously. The
+//! feature vectors and subgraph-reconstruction metadata of the previous
+//! batch live in one half of a double-buffered DRAM region while the
+//! other half fills.
+//!
+//! [`GnnEngine`] is that scheduler as an explicit, testable state
+//! machine. The timed engine in `beacon-platforms` embodies the same
+//! policy implicitly; this module pins the firmware-visible invariants:
+//!
+//! * at most one batch prepares and one batch computes at any instant;
+//! * computation of batch *i* starts only after its preparation ends
+//!   and after computation of batch *i−1* ends;
+//! * a DRAM buffer half is recycled only after its batch's computation
+//!   completes;
+//! * regular I/O admitted mid-batch defers to the batch boundary
+//!   (via [`crate::modes::ModeController`]).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use simkit::{Duration, SimTime};
+
+/// Lifecycle of one mini-batch inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchState {
+    /// Received from the host, waiting for the flash backend.
+    Queued,
+    /// Data preparation in flight on the flash backend.
+    Preparing,
+    /// Prepared; waiting for the accelerator (previous batch computing).
+    Ready,
+    /// Computation in flight on the spatial accelerator.
+    Computing,
+    /// Fully processed.
+    Done,
+}
+
+/// One tracked mini-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Host-assigned batch id.
+    pub id: u32,
+    /// Current state.
+    pub state: BatchState,
+    /// Which DRAM buffer half holds its prepared data (assigned at
+    /// preparation start).
+    pub buffer: Option<u8>,
+    /// Preparation start time.
+    pub prep_start: Option<SimTime>,
+    /// Preparation end time.
+    pub prep_end: Option<SimTime>,
+    /// Computation end time.
+    pub compute_end: Option<SimTime>,
+}
+
+/// Errors from driving the engine out of protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Another batch is already preparing.
+    BackendBusy,
+    /// Another batch is already computing.
+    AcceleratorBusy,
+    /// Both DRAM buffer halves are occupied.
+    BuffersFull,
+    /// The batch is not in the required state for this transition.
+    WrongState { id: u32, state: BatchState },
+    /// Unknown batch id.
+    UnknownBatch(u32),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BackendBusy => write!(f, "flash backend already preparing a batch"),
+            EngineError::AcceleratorBusy => write!(f, "accelerator already computing a batch"),
+            EngineError::BuffersFull => write!(f, "both DRAM buffer halves in use"),
+            EngineError::WrongState { id, state } => {
+                write!(f, "batch {id} in state {state:?} cannot take this transition")
+            }
+            EngineError::UnknownBatch(id) => write!(f, "unknown batch {id}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The firmware GNN workflow scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_ssd::gnn_engine::GnnEngine;
+/// use simkit::{Duration, SimTime};
+///
+/// let mut engine = GnnEngine::new();
+/// engine.receive_batch(0, SimTime::ZERO);
+/// engine.receive_batch(1, SimTime::ZERO);
+/// // Batch 0 prepares, finishes, starts computing...
+/// assert_eq!(engine.start_next_prep(SimTime::ZERO).unwrap(), Some(0));
+/// engine.finish_prep(0, SimTime::from_ns(100)).unwrap();
+/// engine.start_compute_if_ready(SimTime::from_ns(100)).unwrap();
+/// // ...while batch 1's preparation overlaps it.
+/// assert_eq!(engine.start_next_prep(SimTime::from_ns(100)).unwrap(), Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GnnEngine {
+    batches: Vec<BatchRecord>,
+    queue: VecDeque<u32>,
+    preparing: Option<u32>,
+    computing: Option<u32>,
+    /// Occupancy of the two DRAM buffer halves (§VI-D double buffering).
+    buffer_busy: [bool; 2],
+    overlap_time: Duration,
+}
+
+impl GnnEngine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a mini-batch arriving from the host at `now`.
+    pub fn receive_batch(&mut self, id: u32, _now: SimTime) {
+        self.batches.push(BatchRecord {
+            id,
+            state: BatchState::Queued,
+            buffer: None,
+            prep_start: None,
+            prep_end: None,
+            compute_end: None,
+        });
+        self.queue.push_back(id);
+    }
+
+    /// Starts preparing the next queued batch if the backend and a
+    /// buffer half are free. Returns the started id, or `None` if the
+    /// queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BackendBusy`] / [`EngineError::BuffersFull`].
+    pub fn start_next_prep(&mut self, now: SimTime) -> Result<Option<u32>, EngineError> {
+        if self.preparing.is_some() {
+            return Err(EngineError::BackendBusy);
+        }
+        let Some(&id) = self.queue.front() else { return Ok(None) };
+        let buffer = match self.buffer_busy.iter().position(|&b| !b) {
+            Some(b) => b as u8,
+            None => return Err(EngineError::BuffersFull),
+        };
+        self.queue.pop_front();
+        let rec = self.record_mut(id)?;
+        rec.state = BatchState::Preparing;
+        rec.buffer = Some(buffer);
+        rec.prep_start = Some(now);
+        self.buffer_busy[buffer as usize] = true;
+        self.preparing = Some(id);
+        Ok(Some(id))
+    }
+
+    /// Marks batch `id`'s preparation complete at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::WrongState`] unless the batch is the one
+    /// preparing.
+    pub fn finish_prep(&mut self, id: u32, now: SimTime) -> Result<(), EngineError> {
+        if self.preparing != Some(id) {
+            let state = self.record(id)?.state;
+            return Err(EngineError::WrongState { id, state });
+        }
+        // Pipelining accounting: time this prep overlapped a compute.
+        if self.computing.is_some() {
+            let rec = self.record(id)?;
+            let start = rec.prep_start.expect("preparing batch has a start");
+            self.overlap_time += now.saturating_duration_since(start);
+        }
+        let rec = self.record_mut(id)?;
+        rec.state = BatchState::Ready;
+        rec.prep_end = Some(now);
+        self.preparing = None;
+        Ok(())
+    }
+
+    /// Starts computing the oldest Ready batch if the accelerator is
+    /// idle. Returns the started id, or `None` if nothing is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::AcceleratorBusy`].
+    pub fn start_compute_if_ready(&mut self, _now: SimTime) -> Result<Option<u32>, EngineError> {
+        if self.computing.is_some() {
+            return Err(EngineError::AcceleratorBusy);
+        }
+        let next = self
+            .batches
+            .iter()
+            .filter(|b| b.state == BatchState::Ready)
+            .map(|b| b.id)
+            .min();
+        let Some(id) = next else { return Ok(None) };
+        self.record_mut(id)?.state = BatchState::Computing;
+        self.computing = Some(id);
+        Ok(Some(id))
+    }
+
+    /// Marks batch `id`'s computation complete at `now`, recycling its
+    /// DRAM buffer half.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::WrongState`] unless the batch is the one
+    /// computing.
+    pub fn finish_compute(&mut self, id: u32, now: SimTime) -> Result<(), EngineError> {
+        if self.computing != Some(id) {
+            let state = self.record(id)?.state;
+            return Err(EngineError::WrongState { id, state });
+        }
+        let rec = self.record_mut(id)?;
+        rec.state = BatchState::Done;
+        rec.compute_end = Some(now);
+        let buffer = rec.buffer.expect("computing batch holds a buffer");
+        self.buffer_busy[buffer as usize] = false;
+        self.computing = None;
+        Ok(())
+    }
+
+    /// State of batch `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownBatch`] if never received.
+    pub fn batch_state(&self, id: u32) -> Result<BatchState, EngineError> {
+        Ok(self.record(id)?.state)
+    }
+
+    /// The batch currently preparing, if any.
+    pub fn preparing(&self) -> Option<u32> {
+        self.preparing
+    }
+
+    /// The batch currently computing, if any.
+    pub fn computing(&self) -> Option<u32> {
+        self.computing
+    }
+
+    /// Total time preparation overlapped computation (the §VI-D
+    /// pipelining win).
+    pub fn overlap_time(&self) -> Duration {
+        self.overlap_time
+    }
+
+    /// True when every received batch is done.
+    pub fn is_drained(&self) -> bool {
+        self.batches.iter().all(|b| b.state == BatchState::Done)
+    }
+
+    fn record(&self, id: u32) -> Result<&BatchRecord, EngineError> {
+        self.batches.iter().find(|b| b.id == id).ok_or(EngineError::UnknownBatch(id))
+    }
+
+    fn record_mut(&mut self, id: u32) -> Result<&mut BatchRecord, EngineError> {
+        self.batches.iter_mut().find(|b| b.id == id).ok_or(EngineError::UnknownBatch(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    /// Drives `n` batches with fixed prep/compute times through the
+    /// engine and returns it with the finish time.
+    fn run_pipeline(n: u32, prep_ns: u64, compute_ns: u64) -> (GnnEngine, SimTime) {
+        let mut e = GnnEngine::new();
+        for id in 0..n {
+            e.receive_batch(id, t(0));
+        }
+        let mut now = 0u64;
+        let mut prep_done_at: Option<(u32, u64)> = None;
+        let mut compute_done_at: Option<(u32, u64)> = None;
+        // Simple event loop over the two units.
+        if let Some(id) = e.start_next_prep(t(now)).unwrap() {
+            prep_done_at = Some((id, now + prep_ns));
+        }
+        loop {
+            match (prep_done_at, compute_done_at) {
+                (None, None) => break,
+                (p, c) => {
+                    // Advance to the earliest pending completion.
+                    let next = [p.map(|x| x.1), c.map(|x| x.1)]
+                        .into_iter()
+                        .flatten()
+                        .min()
+                        .expect("something pending");
+                    now = next;
+                    if let Some((id, at)) = p {
+                        if at == now {
+                            e.finish_prep(id, t(now)).unwrap();
+                            prep_done_at = None;
+                        }
+                    }
+                    if let Some((id, at)) = c {
+                        if at == now {
+                            e.finish_compute(id, t(now)).unwrap();
+                            compute_done_at = None;
+                        }
+                    }
+                    if e.computing().is_none() {
+                        if let Some(id) = e.start_compute_if_ready(t(now)).unwrap() {
+                            compute_done_at = Some((id, now + compute_ns));
+                        }
+                    }
+                    if e.preparing().is_none() {
+                        match e.start_next_prep(t(now)) {
+                            Ok(Some(id)) => prep_done_at = Some((id, now + prep_ns)),
+                            Ok(None) | Err(EngineError::BuffersFull) => {}
+                            Err(other) => panic!("{other}"),
+                        }
+                    }
+                }
+            }
+        }
+        (e, t(now))
+    }
+
+    #[test]
+    fn single_batch_flows_through_states() {
+        let mut e = GnnEngine::new();
+        e.receive_batch(7, t(0));
+        assert_eq!(e.batch_state(7).unwrap(), BatchState::Queued);
+        assert_eq!(e.start_next_prep(t(0)).unwrap(), Some(7));
+        assert_eq!(e.batch_state(7).unwrap(), BatchState::Preparing);
+        e.finish_prep(7, t(100)).unwrap();
+        assert_eq!(e.batch_state(7).unwrap(), BatchState::Ready);
+        assert_eq!(e.start_compute_if_ready(t(100)).unwrap(), Some(7));
+        e.finish_compute(7, t(200)).unwrap();
+        assert_eq!(e.batch_state(7).unwrap(), BatchState::Done);
+        assert!(e.is_drained());
+    }
+
+    #[test]
+    fn pipelining_overlaps_prep_and_compute() {
+        // prep 100, compute 100: steady state runs both concurrently.
+        let (e, end) = run_pipeline(4, 100, 100);
+        assert!(e.is_drained());
+        // Perfect pipeline: 4 batches finish at prep + 4*compute = 500,
+        // not the serial 4*(100+100) = 800.
+        assert_eq!(end, t(500));
+        assert!(e.overlap_time() >= Duration::from_ns(200), "overlap {}", e.overlap_time());
+    }
+
+    #[test]
+    fn prep_bound_pipeline() {
+        // prep 300 >> compute 50: throughput set by prep alone.
+        let (_, end) = run_pipeline(3, 300, 50);
+        assert_eq!(end, t(3 * 300 + 50));
+    }
+
+    #[test]
+    fn compute_bound_pipeline() {
+        // compute 300 >> prep 50.
+        let (_, end) = run_pipeline(3, 50, 300);
+        assert_eq!(end, t(50 + 3 * 300));
+    }
+
+    #[test]
+    fn backend_exclusivity_enforced() {
+        let mut e = GnnEngine::new();
+        e.receive_batch(0, t(0));
+        e.receive_batch(1, t(0));
+        e.start_next_prep(t(0)).unwrap();
+        assert_eq!(e.start_next_prep(t(1)), Err(EngineError::BackendBusy));
+    }
+
+    #[test]
+    fn buffer_halves_limit_outstanding_batches() {
+        let mut e = GnnEngine::new();
+        for id in 0..3 {
+            e.receive_batch(id, t(0));
+        }
+        // Batch 0 prepared (buffer 0), batch 1 prepared (buffer 1), but
+        // neither computed: batch 2 cannot start.
+        e.start_next_prep(t(0)).unwrap();
+        e.finish_prep(0, t(10)).unwrap();
+        e.start_next_prep(t(10)).unwrap();
+        e.finish_prep(1, t(20)).unwrap();
+        assert_eq!(e.start_next_prep(t(20)), Err(EngineError::BuffersFull));
+        // Draining batch 0's compute frees its half.
+        e.start_compute_if_ready(t(20)).unwrap();
+        e.finish_compute(0, t(30)).unwrap();
+        assert_eq!(e.start_next_prep(t(30)).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn wrong_transitions_are_rejected() {
+        let mut e = GnnEngine::new();
+        e.receive_batch(0, t(0));
+        assert!(matches!(e.finish_prep(0, t(1)), Err(EngineError::WrongState { .. })));
+        assert_eq!(e.batch_state(9), Err(EngineError::UnknownBatch(9)));
+        assert!(matches!(e.finish_compute(0, t(1)), Err(EngineError::WrongState { .. })));
+    }
+
+    #[test]
+    fn batches_compute_in_order() {
+        let mut e = GnnEngine::new();
+        for id in 0..2 {
+            e.receive_batch(id, t(0));
+        }
+        e.start_next_prep(t(0)).unwrap();
+        e.finish_prep(0, t(10)).unwrap();
+        e.start_next_prep(t(10)).unwrap();
+        e.finish_prep(1, t(20)).unwrap();
+        // Both ready: the oldest computes first.
+        assert_eq!(e.start_compute_if_ready(t(20)).unwrap(), Some(0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Regular-I/O vs acceleration mode arbitration (paper §VI-G).
+//!
+//! BeaconGNN runs in two modes. In **regular-I/O mode** the device
+//! serves normal storage requests (and DirectGraph construction). In
+//! **acceleration mode** it executes mini-batched GNN jobs; regular
+//! requests arriving meanwhile are *deferred to the end of the current
+//! mini-batch*, then served before the next batch begins.
+
+use std::collections::VecDeque;
+
+use simkit::SimTime;
+
+/// The device's current operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceMode {
+    /// Serving regular storage I/O (and DirectGraph construction).
+    RegularIo,
+    /// Executing a GNN mini-batch; regular requests defer.
+    Acceleration,
+}
+
+/// A deferred regular storage request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeferredRequest {
+    /// The request's LPA.
+    pub lpa: u64,
+    /// Whether it is a write.
+    pub is_write: bool,
+    /// When it arrived.
+    pub arrival: SimTime,
+}
+
+/// Tracks the device mode and the queue of deferred regular requests.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_ssd::{DeviceMode, ModeController};
+/// use simkit::SimTime;
+///
+/// let mut mc = ModeController::new();
+/// mc.enter_acceleration(SimTime::ZERO);
+/// assert!(!mc.admit_regular(7, false, SimTime::from_ns(10)));
+/// let drained = mc.end_minibatch(SimTime::from_ns(100));
+/// assert_eq!(drained.len(), 1);
+/// assert_eq!(mc.mode(), DeviceMode::RegularIo);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModeController {
+    mode: Option<SimTime>,
+    deferred: VecDeque<DeferredRequest>,
+    served_immediately: u64,
+    served_deferred: u64,
+}
+
+impl ModeController {
+    /// Creates a controller in regular-I/O mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> DeviceMode {
+        if self.mode.is_some() {
+            DeviceMode::Acceleration
+        } else {
+            DeviceMode::RegularIo
+        }
+    }
+
+    /// Enters acceleration mode at `now` (start of a mini-batch).
+    pub fn enter_acceleration(&mut self, now: SimTime) {
+        self.mode = Some(now);
+    }
+
+    /// Offers a regular request. Returns `true` if it may be served
+    /// immediately (regular-I/O mode); `false` if it was deferred.
+    pub fn admit_regular(&mut self, lpa: u64, is_write: bool, now: SimTime) -> bool {
+        match self.mode() {
+            DeviceMode::RegularIo => {
+                self.served_immediately += 1;
+                true
+            }
+            DeviceMode::Acceleration => {
+                self.deferred.push_back(DeferredRequest { lpa, is_write, arrival: now });
+                false
+            }
+        }
+    }
+
+    /// Ends the current mini-batch at `now`, returning the deferred
+    /// requests to serve (in arrival order) and switching back to
+    /// regular-I/O mode.
+    pub fn end_minibatch(&mut self, _now: SimTime) -> Vec<DeferredRequest> {
+        self.mode = None;
+        let drained: Vec<_> = self.deferred.drain(..).collect();
+        self.served_deferred += drained.len() as u64;
+        drained
+    }
+
+    /// Requests currently deferred.
+    pub fn deferred_count(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Requests served without deferral so far.
+    pub fn served_immediately(&self) -> u64 {
+        self.served_immediately
+    }
+
+    /// Requests served after deferral so far.
+    pub fn served_deferred(&self) -> u64 {
+        self.served_deferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_regular_mode() {
+        let mc = ModeController::new();
+        assert_eq!(mc.mode(), DeviceMode::RegularIo);
+        assert_eq!(mc.deferred_count(), 0);
+    }
+
+    #[test]
+    fn regular_mode_serves_immediately() {
+        let mut mc = ModeController::new();
+        assert!(mc.admit_regular(1, true, SimTime::ZERO));
+        assert_eq!(mc.served_immediately(), 1);
+        assert_eq!(mc.deferred_count(), 0);
+    }
+
+    #[test]
+    fn acceleration_defers_until_batch_end() {
+        let mut mc = ModeController::new();
+        mc.enter_acceleration(SimTime::ZERO);
+        assert_eq!(mc.mode(), DeviceMode::Acceleration);
+        assert!(!mc.admit_regular(1, false, SimTime::from_ns(5)));
+        assert!(!mc.admit_regular(2, true, SimTime::from_ns(8)));
+        assert_eq!(mc.deferred_count(), 2);
+        let drained = mc.end_minibatch(SimTime::from_ns(100));
+        assert_eq!(drained.len(), 2);
+        // FIFO order preserved.
+        assert_eq!(drained[0].lpa, 1);
+        assert_eq!(drained[1].lpa, 2);
+        assert_eq!(mc.mode(), DeviceMode::RegularIo);
+        assert_eq!(mc.served_deferred(), 2);
+    }
+
+    #[test]
+    fn alternating_batches() {
+        let mut mc = ModeController::new();
+        for batch in 0..3 {
+            mc.enter_acceleration(SimTime::from_ns(batch * 100));
+            assert!(!mc.admit_regular(batch, false, SimTime::from_ns(batch * 100 + 1)));
+            let drained = mc.end_minibatch(SimTime::from_ns(batch * 100 + 50));
+            assert_eq!(drained.len(), 1);
+        }
+        assert_eq!(mc.served_deferred(), 3);
+    }
+}

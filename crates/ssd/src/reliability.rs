@@ -1,0 +1,269 @@
+//! Firmware reliability loops (paper §VI-F).
+//!
+//! Two mechanisms protect pinned DirectGraph blocks:
+//!
+//! * **Data scrubbing** — during idle time the firmware reads each
+//!   DirectGraph block, ECC-checks every page, and — because pages in a
+//!   block share retention characteristics — erases and re-programs the
+//!   whole block with corrected content as soon as any page shows
+//!   errors.
+//! * **Wear-leveling reclamation** — pinned blocks take no P/E cycles
+//!   while regular blocks absorb all of them; when the P/E gap crosses a
+//!   threshold, the firmware migrates the DirectGraph to clean regular
+//!   blocks (rewriting all embedded physical addresses) and returns the
+//!   old blocks to normal FTL management.
+
+use beacon_flash::{EccOutcome, ReliabilityModel};
+use directgraph::{DirectGraph, PageIndex};
+use simkit::Duration;
+
+use crate::ftl::{BlockId, Ftl, FtlError};
+
+/// Results of one scrubbing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Pages ECC-checked.
+    pub pages_scanned: u64,
+    /// Pages whose errors were corrected in-flight.
+    pub pages_corrected: u64,
+    /// Pages with uncorrectable errors (caught before data loss only if
+    /// scrubbing outpaces error accumulation).
+    pub pages_uncorrectable: u64,
+    /// Blocks erased and re-programmed with corrected content.
+    pub blocks_reprogrammed: u64,
+}
+
+/// Outcome of a wear-leveling reclamation attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReclamationOutcome {
+    /// The wear gap was below threshold; nothing moved.
+    NotNeeded { wear_gap: f64 },
+    /// DirectGraph migrated: pages moved and old blocks released.
+    Migrated { pages_moved: u64, blocks_released: usize },
+}
+
+/// The firmware scrubbing/wear-management engine for one DirectGraph.
+#[derive(Debug)]
+pub struct Scrubber {
+    reliability: ReliabilityModel,
+    pages_per_block: usize,
+    /// P/E cycles accrued by scrub re-programs, per DirectGraph block
+    /// (indexed by page-range block number).
+    scrub_pe: Vec<u32>,
+}
+
+impl Scrubber {
+    /// Creates a scrubber with the given error model and block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages_per_block` is zero.
+    pub fn new(reliability: ReliabilityModel, pages_per_block: usize) -> Self {
+        assert!(pages_per_block > 0, "pages_per_block must be positive");
+        Scrubber { reliability, pages_per_block, scrub_pe: Vec::new() }
+    }
+
+    /// Runs one scrubbing pass over every written DirectGraph page,
+    /// with `retention` elapsed since the last pass.
+    pub fn scrub_pass(&mut self, dg: &DirectGraph, retention: Duration) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut dirty_blocks: Vec<usize> = Vec::new();
+        for (idx, _) in dg.image().iter_pages() {
+            let block = idx.as_usize() / self.pages_per_block;
+            if self.scrub_pe.len() <= block {
+                self.scrub_pe.resize(block + 1, 0);
+            }
+            report.pages_scanned += 1;
+            match self.reliability.read_outcome(retention, self.scrub_pe[block] as u64) {
+                EccOutcome::Clean => {}
+                EccOutcome::Corrected(_) => {
+                    report.pages_corrected += 1;
+                    if dirty_blocks.last() != Some(&block) {
+                        dirty_blocks.push(block);
+                    }
+                }
+                EccOutcome::Uncorrectable(_) => {
+                    report.pages_uncorrectable += 1;
+                    if dirty_blocks.last() != Some(&block) {
+                        dirty_blocks.push(block);
+                    }
+                }
+            }
+        }
+        dirty_blocks.dedup();
+        for block in dirty_blocks {
+            // Erase + re-program the block with corrected content.
+            self.scrub_pe[block] += 1;
+            report.blocks_reprogrammed += 1;
+        }
+        report
+    }
+
+    /// Total scrub-induced P/E cycles so far.
+    pub fn scrub_pe_total(&self) -> u64 {
+        self.scrub_pe.iter().map(|&c| c as u64).sum()
+    }
+
+    /// The underlying error model (for inspecting counters).
+    pub fn reliability(&self) -> &ReliabilityModel {
+        &self.reliability
+    }
+}
+
+/// Checks the wear gap and, if it exceeds `threshold` P/E cycles,
+/// migrates the DirectGraph to fresh blocks: reserves replacement blocks
+/// in the FTL, relocates every page (rewriting embedded addresses), and
+/// releases the old blocks to regular management.
+///
+/// `old_blocks` are the FTL blocks currently pinned for this
+/// DirectGraph; `page_offset` is where the migrated image starts in the
+/// DirectGraph page-index space.
+///
+/// # Errors
+///
+/// Returns [`FtlError`] if replacement blocks cannot be reserved, and a
+/// corrupt-image error (as `FtlError` is not applicable there) panics in
+/// debug via `expect` — scrub before reclaiming.
+pub fn reclaim_if_needed(
+    dg: &mut DirectGraph,
+    ftl: &mut Ftl,
+    old_blocks: &mut Vec<BlockId>,
+    threshold: f64,
+    page_offset: u64,
+    pages_per_block: usize,
+) -> Result<ReclamationOutcome, FtlError> {
+    let gap = ftl.wear_gap();
+    if gap < threshold {
+        return Ok(ReclamationOutcome::NotNeeded { wear_gap: gap });
+    }
+    let pages = dg.image().pages_written() as u64;
+    let blocks_needed = (pages as usize).div_ceil(pages_per_block);
+    // Make room for the replacement blocks first: run GC until enough
+    // blocks are free (or nothing more can be reclaimed).
+    while ftl.free_blocks() < blocks_needed {
+        match ftl.gc_once()? {
+            Some(_) => {}
+            None => break,
+        }
+    }
+    let new_blocks = ftl.reserve_blocks(blocks_needed)?;
+    dg.relocate_pages(|p: PageIndex| PageIndex::new(p.as_u64() + page_offset))
+        .expect("image must be clean before reclamation");
+    let released = old_blocks.len();
+    for b in old_blocks.drain(..) {
+        ftl.release_block(b)?;
+    }
+    *old_blocks = new_blocks;
+    Ok(ReclamationOutcome::Migrated { pages_moved: pages, blocks_released: released })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beacon_flash::FlashGeometry;
+    use beacon_graph::{generate, FeatureTable, NodeId};
+    use directgraph::{build::DirectGraphBuilder, AddrLayout};
+
+    fn build_dg(n: usize) -> DirectGraph {
+        let graph = generate::uniform(n, 6, 2);
+        let features = FeatureTable::synthetic(n, 16, 2);
+        DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+            .build(&graph, &features)
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_flash_needs_no_reprogram() {
+        let dg = build_dg(200);
+        let mut s = Scrubber::new(ReliabilityModel::z_nand(4096, 1), 8);
+        let r = s.scrub_pass(&dg, Duration::ZERO);
+        assert_eq!(r.pages_scanned as usize, dg.image().pages_written());
+        assert_eq!(r.blocks_reprogrammed, 0);
+        assert_eq!(s.scrub_pe_total(), 0);
+    }
+
+    #[test]
+    fn aged_flash_gets_reprogrammed() {
+        let dg = build_dg(400);
+        // Accelerated aging: high RBER forces corrections.
+        let model = ReliabilityModel::z_nand(4096, 3).with_rber(3e-5);
+        let mut s = Scrubber::new(model, 8);
+        let r = s.scrub_pass(&dg, Duration::from_secs(86_400 * 30));
+        assert!(r.pages_corrected > 0, "expected corrected pages");
+        assert!(r.blocks_reprogrammed > 0);
+        assert_eq!(s.scrub_pe_total(), r.blocks_reprogrammed);
+    }
+
+    #[test]
+    fn scrubbing_keeps_uncorrectable_at_bay() {
+        let dg = build_dg(400);
+        let model = ReliabilityModel::z_nand(4096, 5).with_rber(1e-6);
+        let mut s = Scrubber::new(model, 8);
+        let mut total_uncorrectable = 0;
+        for _ in 0..10 {
+            let r = s.scrub_pass(&dg, Duration::from_secs(3600));
+            total_uncorrectable += r.pages_uncorrectable;
+        }
+        assert_eq!(total_uncorrectable, 0, "Z-NAND + hourly scrubbing should never lose data");
+    }
+
+    #[test]
+    fn reclamation_not_needed_below_threshold() {
+        let mut dg = build_dg(100);
+        let geo = FlashGeometry {
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            blocks_per_plane: 64,
+            pages_per_block: 16,
+            page_size: 4096,
+        };
+        let mut ftl = Ftl::new(&geo, 0.1);
+        let mut blocks = ftl.reserve_blocks(8).unwrap();
+        let out =
+            reclaim_if_needed(&mut dg, &mut ftl, &mut blocks, 10.0, 1 << 20, 16).unwrap();
+        assert!(matches!(out, ReclamationOutcome::NotNeeded { .. }));
+        assert_eq!(blocks.len(), 8);
+    }
+
+    #[test]
+    fn reclamation_migrates_and_releases() {
+        let mut dg = build_dg(100);
+        let pages = dg.image().pages_written() as u64;
+        let geo = FlashGeometry {
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            blocks_per_plane: 16,
+            pages_per_block: 16,
+            page_size: 4096,
+        };
+        let mut ftl = Ftl::new(&geo, 0.1);
+        let mut blocks = ftl.reserve_blocks(8).unwrap();
+        let old_first = blocks[0];
+        // Wear the regular pool hard: churn over most of the logical
+        // space so GC must erase regular blocks repeatedly.
+        let logical = ftl.logical_pages() * 7 / 10;
+        for _ in 0..8 {
+            for lpa in 0..logical {
+                ftl.write(lpa).unwrap();
+            }
+        }
+        assert!(ftl.wear_gap() > 0.0);
+        let out = reclaim_if_needed(&mut dg, &mut ftl, &mut blocks, 0.001, 1 << 20, 16)
+            .unwrap();
+        match out {
+            ReclamationOutcome::Migrated { pages_moved, blocks_released } => {
+                assert_eq!(pages_moved, pages);
+                assert_eq!(blocks_released, 8);
+            }
+            other => panic!("expected migration, got {other:?}"),
+        }
+        // Old block returned to the pool; new blocks reserved.
+        assert!(!ftl.is_reserved(old_first));
+        assert!(blocks.iter().all(|&b| ftl.is_reserved(b)));
+        // Graph still resolvable after migration.
+        let addr = dg.directory().primary_addr(NodeId::new(0)).unwrap();
+        assert_eq!(dg.image().parse_section(addr).unwrap().node(), NodeId::new(0));
+    }
+}

@@ -1,0 +1,238 @@
+//! The channel-level command router (paper §V-B, Fig 12).
+//!
+//! In BeaconGNN-2.0 the flash interface controller is customized so
+//! sampling commands flow die-to-die without firmware: when a sampling
+//! command completes, a **data-stream parser** splits its results into
+//! feature vectors (DMA'd to DRAM) and new sampling commands, which a
+//! **crossbar** forwards to the destination channel, where per-die
+//! **dispatch queues** buffer them until a **round-robin command
+//! issuer** finds the die idle.
+//!
+//! This module is the functional half of that hardware: the queues, the
+//! round-robin issue order, the address-based routing, and occupancy
+//! statistics. The timing half (when a die is idle, how long the
+//! crossbar hop takes) lives in the `beacon-platforms` engine.
+
+use std::collections::VecDeque;
+
+use beacon_flash::{DieId, FlashGeometry, SampleCommand};
+use directgraph::AddrLayout;
+
+/// Router occupancy and traffic statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Commands routed through the crossbar.
+    pub routed: u64,
+    /// Commands that crossed between different channels.
+    pub cross_channel: u64,
+    /// Commands issued to dies.
+    pub issued: u64,
+    /// High-water mark of any single dispatch queue.
+    pub max_queue_depth: usize,
+}
+
+/// The per-channel dispatch queues + crossbar of the BG-2 backend.
+///
+/// # Examples
+///
+/// ```
+/// use beacon_flash::{FlashGeometry, SampleCommand};
+/// use beacon_ssd::CommandRouter;
+/// use directgraph::{AddrLayout, PageIndex};
+///
+/// let geo = FlashGeometry::paper_default();
+/// let layout = AddrLayout::for_page_size(4096).unwrap();
+/// let mut router = CommandRouter::new(&geo, layout);
+/// let cmd = SampleCommand::root(layout.pack(PageIndex::new(5), 0), 0);
+/// let die = router.route(cmd);
+/// assert_eq!(die.channel(&geo), 5); // page 5 stripes to channel 5
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommandRouter {
+    geometry: FlashGeometry,
+    layout: AddrLayout,
+    /// One dispatch queue per die (flattened die id order).
+    queues: Vec<VecDeque<SampleCommand>>,
+    /// Per-channel round-robin cursor over its dies.
+    rr_cursor: Vec<usize>,
+    stats: RouterStats,
+}
+
+impl CommandRouter {
+    /// Creates a router for the given backend geometry and address
+    /// layout.
+    pub fn new(geometry: &FlashGeometry, layout: AddrLayout) -> Self {
+        CommandRouter {
+            geometry: *geometry,
+            layout,
+            queues: vec![VecDeque::new(); geometry.total_dies()],
+            rr_cursor: vec![0; geometry.channels],
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Routes a command through the crossbar into its destination die's
+    /// dispatch queue, returning the die. `source_channel` (if known)
+    /// feeds the cross-channel traffic statistic.
+    pub fn route_from(&mut self, cmd: SampleCommand, source_channel: Option<usize>) -> DieId {
+        let (page, _) = self.layout.unpack(cmd.target);
+        let die = self.geometry.die_of(page);
+        if let Some(src) = source_channel {
+            if src != die.channel(&self.geometry) {
+                self.stats.cross_channel += 1;
+            }
+        }
+        let q = &mut self.queues[die.index()];
+        q.push_back(cmd);
+        self.stats.routed += 1;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(q.len());
+        die
+    }
+
+    /// Routes a command with no known source channel (host-injected
+    /// mini-batch roots).
+    pub fn route(&mut self, cmd: SampleCommand) -> DieId {
+        self.route_from(cmd, None)
+    }
+
+    /// The round-robin command issuer for one channel: starting after
+    /// the last-issued die, finds the first die that `die_idle` reports
+    /// idle *and* has a queued command, pops it, and returns it.
+    ///
+    /// Returns `None` when no (idle die, queued command) pair exists on
+    /// the channel.
+    pub fn issue_for_channel(
+        &mut self,
+        channel: usize,
+        mut die_idle: impl FnMut(DieId) -> bool,
+    ) -> Option<(DieId, SampleCommand)> {
+        let dies = self.geometry.dies_per_channel;
+        let start = self.rr_cursor[channel];
+        for i in 0..dies {
+            let die_in_channel = (start + i) % dies;
+            let die = DieId::new((die_in_channel * self.geometry.channels + channel) as u32);
+            if !die_idle(die) {
+                continue;
+            }
+            if let Some(cmd) = self.queues[die.index()].pop_front() {
+                self.rr_cursor[channel] = (die_in_channel + 1) % dies;
+                self.stats.issued += 1;
+                return Some((die, cmd));
+            }
+        }
+        None
+    }
+
+    /// Queued commands waiting for `die`.
+    pub fn queue_depth(&self, die: DieId) -> usize {
+        self.queues[die.index()].len()
+    }
+
+    /// Total queued commands across all dispatch queues.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Returns `true` if every dispatch queue is empty.
+    pub fn is_drained(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use directgraph::PageIndex;
+
+    fn setup() -> (CommandRouter, FlashGeometry, AddrLayout) {
+        let geo = FlashGeometry {
+            channels: 4,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            blocks_per_plane: 64,
+            pages_per_block: 64,
+            page_size: 4096,
+        };
+        let layout = AddrLayout::for_page_size(4096).unwrap();
+        (CommandRouter::new(&geo, layout), geo, layout)
+    }
+
+    fn cmd_for_page(layout: AddrLayout, page: u64) -> SampleCommand {
+        SampleCommand::root(layout.pack(PageIndex::new(page), 0), 0)
+    }
+
+    #[test]
+    fn routes_by_page_striping() {
+        let (mut router, geo, layout) = setup();
+        for page in 0..8u64 {
+            let die = router.route(cmd_for_page(layout, page));
+            assert_eq!(die, geo.die_of(PageIndex::new(page)));
+        }
+        assert_eq!(router.stats().routed, 8);
+        assert_eq!(router.total_queued(), 8);
+        assert!(!router.is_drained());
+    }
+
+    #[test]
+    fn cross_channel_traffic_counted() {
+        let (mut router, _, layout) = setup();
+        // Page 1 -> channel 1; source channel 1 (same) then 0 (cross).
+        router.route_from(cmd_for_page(layout, 1), Some(1));
+        router.route_from(cmd_for_page(layout, 1), Some(0));
+        assert_eq!(router.stats().cross_channel, 1);
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let (mut router, geo, layout) = setup();
+        // Queue 3 commands on each of channel 0's two dies
+        // (pages 0 and 4 stripe to channel 0, dies 0 and 1).
+        for _ in 0..3 {
+            router.route(cmd_for_page(layout, 0));
+            router.route(cmd_for_page(layout, 4));
+        }
+        let mut order = Vec::new();
+        while let Some((die, _)) = router.issue_for_channel(0, |_| true) {
+            order.push(die.die_in_channel(&geo));
+        }
+        // Strict alternation between the two dies.
+        assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(router.stats().issued, 6);
+        assert!(router.is_drained());
+    }
+
+    #[test]
+    fn busy_dies_are_skipped() {
+        let (mut router, geo, layout) = setup();
+        router.route(cmd_for_page(layout, 0)); // die 0 of channel 0
+        router.route(cmd_for_page(layout, 4)); // die 1 of channel 0
+        // Die 0 busy: issuer must pick die 1.
+        let (die, _) = router
+            .issue_for_channel(0, |d| d.die_in_channel(&geo) == 1)
+            .expect("die 1 available");
+        assert_eq!(die.die_in_channel(&geo), 1);
+        // All dies busy: nothing to issue.
+        assert!(router.issue_for_channel(0, |_| false).is_none());
+    }
+
+    #[test]
+    fn empty_channel_issues_nothing() {
+        let (mut router, _, _) = setup();
+        assert!(router.issue_for_channel(2, |_| true).is_none());
+    }
+
+    #[test]
+    fn queue_depth_highwater() {
+        let (mut router, geo, layout) = setup();
+        for _ in 0..5 {
+            router.route(cmd_for_page(layout, 0));
+        }
+        assert_eq!(router.stats().max_queue_depth, 5);
+        assert_eq!(router.queue_depth(geo.die_of(PageIndex::new(0))), 5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation study: walk the paper's BG-1 → BG-2 chain and show which
+//! optimization buys what (paper §VII-B, Fig 14's BG-X bars).
+//!
+//! ```sh
+//! cargo run --release --example ablation_study
+//! ```
+
+use beacongnn::report::{percent, ratio, Table};
+use beacongnn::{Dataset, Experiment, Platform, Workload, WorkloadError};
+
+fn main() -> Result<(), WorkloadError> {
+    let workload = Workload::builder()
+        .dataset(Dataset::Amazon)
+        .nodes(20_000)
+        .batch_size(256)
+        .batches(3)
+        .seed(7)
+        .prepare()?;
+    let exp = Experiment::new(&workload);
+
+    println!("Ablation chain on {} ({} targets/batch):\n", workload.spec().dataset, 256);
+
+    let mut table = Table::new(&[
+        "platform",
+        "adds",
+        "vs CC",
+        "vs prev",
+        "die util",
+        "chan util",
+        "cmd wait-before",
+    ]);
+    let adds = [
+        ("BG-1", "full-stage offload (GList+SmartSage)"),
+        ("BG-DG", "+ DirectGraph (out-of-order sampling)"),
+        ("BG-SP", "+ die-level samplers (useful-bytes xfer)"),
+        ("BG-DGSP", "+ both"),
+        ("BG-2", "+ hardware command routing"),
+    ];
+
+    let cc = exp.run(Platform::Cc).throughput();
+    let mut prev: Option<f64> = None;
+    for (&p, (_, what)) in Platform::BG_CHAIN.iter().zip(adds) {
+        let m = exp.run(p);
+        let t = m.throughput();
+        let (wait_before, _, _) = m.cmd_breakdown.fractions();
+        table.row_owned(vec![
+            m.platform.to_string(),
+            what.to_string(),
+            ratio(t / cc),
+            prev.map(|pv| ratio(t / pv)).unwrap_or_else(|| "-".into()),
+            percent(m.die_utilization()),
+            percent(m.channel_utilization()),
+            percent(wait_before),
+        ]);
+        prev = Some(t);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: die-level sampling (BG-SP) should deliver the largest step,\n\
+         DirectGraph should matter little alone but compound with SP, and the\n\
+         hardware router should add a final ~1.4x by taking firmware off the path."
+    );
+    Ok(())
+}

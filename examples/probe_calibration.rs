@@ -1,0 +1,25 @@
+//! Calibration probe: per-platform, per-resource busy times (not a
+//! paper figure; used to sanity-check where each platform bottlenecks).
+use beacongnn::{Dataset, Experiment, Platform, SsdConfig, Workload};
+
+fn main() {
+    let w = Workload::builder().dataset(Dataset::Amazon).nodes(12_000).batch_size(256).batches(3).seed(2024).prepare().unwrap();
+    for (name, ssd) in [
+        ("16x8", SsdConfig::paper_default()),
+        ("32x16", SsdConfig::paper_default().with_channels(32).with_dies_per_channel(16)),
+    ] {
+        let exp = Experiment::new(&w).ssd(ssd);
+        {
+            let p = Platform::Bg2;
+            let m = exp.run(p);
+            let s = m.stages;
+            let prep_s = m.prep_time.as_secs_f64();
+            println!("{name} {:>7}: prep {:.3}ms/batch  tput {:.0}/s  die busy {:.2}ms ({:.0}%)  chan {:.2}ms ({:.0}%)  dram {:.2}ms ({:.0}%)  compute {:.3}ms",
+                m.platform, prep_s*1e3/3.0, m.throughput(),
+                s.flash_read.as_secs_f64()*1e3, s.flash_read.as_secs_f64()/ (prep_s * m.total_dies as f64) * 100.0,
+                s.channel.as_secs_f64()*1e3, s.channel.as_secs_f64()/(prep_s*m.total_channels as f64)*100.0,
+                s.dram.as_secs_f64()*1e3, s.dram.as_secs_f64()/prep_s*100.0,
+                m.compute_time.as_secs_f64()*1e3/3.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Reliability operations (paper §VI-F): scrubbing DirectGraph blocks
+//! and wear-leveling reclamation with embedded-address rewriting.
+//!
+//! ```sh
+//! cargo run --release --example reliability_ops
+//! ```
+
+use beacongnn::flash::{FlashGeometry, ReliabilityModel};
+use beacongnn::ssd::reliability::{reclaim_if_needed, ReclamationOutcome, Scrubber};
+use beacongnn::ssd::Ftl;
+use beacongnn::{Dataset, NodeId, Workload, WorkloadError};
+use simkit::Duration;
+
+fn main() -> Result<(), WorkloadError> {
+    let mut workload = Workload::builder()
+        .dataset(Dataset::Ogbn)
+        .nodes(5_000)
+        .batch_size(1)
+        .batches(1)
+        .seed(3)
+        .prepare()?;
+
+    // --- Scrubbing: aged flash gets corrected and re-programmed. ---
+    let aged = ReliabilityModel::z_nand(4096, 1).with_rber(2e-5);
+    let mut scrubber = Scrubber::new(aged, 256);
+    for month in 1..=3 {
+        let report = scrubber.scrub_pass(workload.directgraph(), Duration::from_secs(30 * 86_400));
+        println!(
+            "scrub pass {month}: scanned {} pages, corrected {}, re-programmed {} blocks, \
+             uncorrectable {}",
+            report.pages_scanned,
+            report.pages_corrected,
+            report.blocks_reprogrammed,
+            report.pages_uncorrectable,
+        );
+        assert_eq!(report.pages_uncorrectable, 0, "scrubbing must outpace decay");
+    }
+
+    // --- Wear-leveling reclamation. ---
+    let geo = FlashGeometry {
+        channels: 4,
+        dies_per_channel: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 64,
+        pages_per_block: 64,
+        page_size: 4096,
+    };
+    let mut ftl = Ftl::new(&geo, 0.1);
+    let pages = workload.directgraph().image().pages_written();
+    let mut blocks = ftl.reserve_blocks(pages.div_ceil(64)).expect("reserve");
+    println!("\nreserved {} blocks for DirectGraph", blocks.len());
+
+    // Regular I/O churns the rest of the device.
+    let logical = ftl.logical_pages() * 6 / 10;
+    for _ in 0..8 {
+        for lpa in 0..logical {
+            ftl.write(lpa).expect("regular write");
+        }
+    }
+    println!("after churn: wear gap = {:.1} P/E cycles", ftl.wear_gap());
+
+    let before = workload
+        .directgraph()
+        .directory()
+        .primary_addr(NodeId::new(0))
+        .expect("node 0");
+    let dg = workload_dg_mut(&mut workload);
+    match reclaim_if_needed(dg, &mut ftl, &mut blocks, 0.5, 1 << 16, 64).expect("reclaim") {
+        ReclamationOutcome::Migrated { pages_moved, blocks_released } => {
+            println!("reclamation migrated {pages_moved} pages, released {blocks_released} blocks");
+        }
+        ReclamationOutcome::NotNeeded { wear_gap } => {
+            println!("no reclamation needed (gap {wear_gap:.2})");
+        }
+    }
+    let after = workload
+        .directgraph()
+        .directory()
+        .primary_addr(NodeId::new(0))
+        .expect("node 0 still resolvable");
+    println!("node 0 primary section moved: {before} -> {after}");
+    assert_ne!(before, after);
+    // The image still parses end-to-end after migration.
+    workload
+        .directgraph()
+        .image()
+        .parse_section(after)
+        .expect("migrated image parses");
+    println!("migrated image verified.");
+    Ok(())
+}
+
+/// `Workload` exposes the DirectGraph immutably; reliability operations
+/// need mutable access, so this example reaches in via a rebuild-free
+/// helper on the workload type.
+fn workload_dg_mut(w: &mut Workload) -> &mut beacongnn::directgraph::DirectGraph {
+    w.directgraph_mut()
+}

@@ -1,0 +1,63 @@
+//! §VIII extensions in action: real-time GNN query latency and
+//! computational-storage-array scale-out.
+//!
+//! ```sh
+//! cargo run --release --example scaleout_query
+//! ```
+
+use beacongnn::platforms::{evaluate_array, measure_query_latency, ArrayConfig};
+use beacongnn::report::{percent, ratio, Table};
+use beacongnn::{Dataset, NodeId, Platform, SsdConfig, Workload, WorkloadError};
+
+fn main() -> Result<(), WorkloadError> {
+    let workload = Workload::builder()
+        .dataset(Dataset::Amazon)
+        .nodes(10_000)
+        .batch_size(64)
+        .batches(2)
+        .seed(5)
+        .prepare()?;
+
+    // --- GNN queries: single-target inference latency. ---
+    println!("Single-target GNN query latency (device idle, no pipelining):\n");
+    let queries: Vec<Vec<NodeId>> = (0..5).map(|i| vec![NodeId::new(i * 17)]).collect();
+    let mut t = Table::new(&["platform", "mean", "max"]);
+    for p in [Platform::Cc, Platform::Bg1, Platform::Bg2] {
+        let lat = measure_query_latency(
+            p,
+            SsdConfig::paper_default(),
+            workload.model(),
+            workload.directgraph(),
+            &queries,
+            9,
+        );
+        t.row_owned(vec![p.to_string(), format!("{}", lat.mean), format!("{}", lat.max)]);
+    }
+    println!("{}", t.render());
+
+    // --- Storage array: scale BG-2 out over P2P links. ---
+    println!("\nBeaconGNN array scale-out (BG-2, PCIe P2P):\n");
+    let mut t = Table::new(&["SSDs", "vs 1 SSD", "efficiency", "cross-partition traffic"]);
+    let mut single = None;
+    for n in [1usize, 2, 4, 8] {
+        let s = evaluate_array(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(n),
+            SsdConfig::paper_default(),
+            workload.model(),
+            workload.directgraph(),
+            workload.batches(),
+            9,
+        );
+        let base = *single.get_or_insert(s.array_throughput);
+        t.row_owned(vec![
+            n.to_string(),
+            ratio(s.array_throughput / base),
+            percent(s.efficiency()),
+            percent(s.cross_fraction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("A thin fabric caps scaling — try ArrayConfig {{ p2p_bandwidth: 2e6, .. }}.");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Integration tests for the `beacongnn` command-line tool.
+
+use std::process::Command;
+
+fn beacongnn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_beacongnn"))
+}
+
+#[test]
+fn convert_then_inspect_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("beacongnn-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dgr = dir.join("ogbn.dgr");
+
+    let out = beacongnn()
+        .args(["convert", "--dataset", "ogbn", "--nodes", "800", "--out"])
+        .arg(&dgr)
+        .output()
+        .expect("convert runs");
+    assert!(out.status.success(), "convert failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dgr.exists());
+
+    let out = beacongnn().arg("inspect").arg(&dgr).output().expect("inspect runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("800"), "node count shown: {stdout}");
+    assert!(stdout.contains("passes"), "validation reported: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_reports_metrics() {
+    let out = beacongnn()
+        .args([
+            "run", "--dataset", "amazon", "--nodes", "1000", "--batch", "8", "--batches", "1",
+            "--platform", "BG-2",
+        ])
+        .output()
+        .expect("run executes");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("throughput"));
+    assert!(stdout.contains("BG-2"));
+}
+
+#[test]
+fn compare_lists_all_platforms() {
+    let out = beacongnn()
+        .args(["compare", "--dataset", "movielens", "--nodes", "800", "--batch", "8"])
+        .output()
+        .expect("compare executes");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for p in ["CC", "SmartSage", "GList", "BG-1", "BG-DG", "BG-SP", "BG-DGSP", "BG-2"] {
+        assert!(stdout.contains(p), "missing {p} in: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = beacongnn().arg("frobnicate").output().expect("executes");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn missing_dataset_flag_is_an_error() {
+    let out = beacongnn().args(["run", "--nodes", "100"]).output().expect("executes");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dataset"));
+}

@@ -1,0 +1,166 @@
+//! Cross-validation: the die-level sampler and the host reference
+//! sampler implement the same sampling semantics — uniform fanout with
+//! replacement — so their outputs must agree statistically.
+
+use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
+use beacon_gnn::{GnnModelConfig, HostSampler};
+use beacon_graph::{generate, FeatureTable, NodeId};
+use directgraph::{build::DirectGraphBuilder, AddrLayout, DirectGraph};
+use std::collections::HashMap;
+
+fn build_dg(graph: &beacon_graph::CsrGraph, feat_dim: usize, seed: u64) -> DirectGraph {
+    let features = FeatureTable::synthetic(graph.num_nodes(), feat_dim, seed);
+    DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+        .build(graph, &features)
+        .unwrap()
+}
+
+/// Runs one full die-sampler cascade from `target` and returns visit
+/// counts per node.
+fn die_cascade(
+    dg: &DirectGraph,
+    sampler: &mut DieSampler,
+    target: NodeId,
+) -> HashMap<NodeId, u64> {
+    let addr = dg.directory().primary_addr(target).unwrap();
+    let mut frontier = vec![SampleCommand::root(addr, 0)];
+    let mut visits: HashMap<NodeId, u64> = HashMap::new();
+    while let Some(cmd) = frontier.pop() {
+        let out = sampler.execute(&cmd, dg.image()).unwrap();
+        if let Some(v) = out.visited {
+            *visits.entry(v).or_insert(0) += 1;
+        }
+        frontier.extend(out.new_commands);
+    }
+    visits
+}
+
+#[test]
+fn both_samplers_visit_subgraph_node_counts() {
+    let graph = generate::uniform(500, 10, 3);
+    let dg = build_dg(&graph, 16, 3);
+    let model = GnnModelConfig::paper_default(16);
+    let cfg = GnnDieConfig { num_hops: 3, fanout: 3, feature_bytes: 32 };
+
+    let mut host = HostSampler::new(model, 7);
+    let mut die = DieSampler::new(cfg, 7);
+    for t in (0..100u32).map(NodeId::new) {
+        let sg = host.sample_subgraph(&graph, t);
+        let visits = die_cascade(&dg, &mut die, t);
+        let die_total: u64 = visits.values().sum();
+        assert_eq!(sg.len() as u64, model.subgraph_nodes());
+        assert_eq!(die_total, model.subgraph_nodes());
+    }
+}
+
+#[test]
+fn hop1_marginal_distribution_is_uniform_over_neighbors() {
+    // Sample hop-1 neighbors of one node many times through the die
+    // sampler; each neighbor should be hit ~uniformly.
+    let graph = generate::uniform(50, 8, 5);
+    let dg = build_dg(&graph, 8, 5);
+    let cfg = GnnDieConfig { num_hops: 1, fanout: 1, feature_bytes: 16 };
+    let mut die = DieSampler::new(cfg, 11);
+    let target = NodeId::new(0);
+    let neighbors = graph.neighbors(target);
+    let mut counts: HashMap<NodeId, u64> = HashMap::new();
+    let trials = 16_000;
+    for _ in 0..trials {
+        let visits = die_cascade(&dg, &mut die, target);
+        for (v, c) in visits {
+            if v != target {
+                *counts.entry(v).or_insert(0) += c;
+            }
+        }
+    }
+    // The generator samples neighbors with replacement, so a node can
+    // appear multiple times in N(0); expected hits scale with
+    // multiplicity.
+    let mut multiplicity: HashMap<NodeId, u64> = HashMap::new();
+    for &nb in neighbors {
+        *multiplicity.entry(nb).or_insert(0) += 1;
+    }
+    for (&nb, &mult) in &multiplicity {
+        let expect = trials as f64 * mult as f64 / neighbors.len() as f64;
+        let c = *counts.get(&nb).unwrap_or(&0) as f64;
+        let dev = (c - expect).abs() / expect;
+        assert!(dev < 0.15, "neighbor {nb} hit {c} vs expected {expect} (dev {dev:.3})");
+    }
+    // Nothing outside the neighbor list was visited at hop 1.
+    for v in counts.keys() {
+        assert!(neighbors.contains(v), "{v} is not a neighbor");
+    }
+}
+
+#[test]
+fn overflow_nodes_sample_across_full_neighbor_range() {
+    // A node whose neighbors spill into secondary sections must still
+    // sample from the *entire* range (paper §V-A), so late-index
+    // neighbors (stored in secondaries) must be reachable.
+    let mut b = beacon_graph::CsrGraphBuilder::new(4_000);
+    // Node 0 has 3500 neighbors: indices 1..=3500.
+    for i in 1..=3_500u32 {
+        b.add_edge(NodeId::new(0), NodeId::new(i));
+    }
+    // Give other nodes one neighbor so sampling can proceed.
+    for i in 1..4_000u32 {
+        b.add_edge(NodeId::new(i), NodeId::new(0));
+    }
+    let graph = b.build();
+    let dg = build_dg(&graph, 64, 9);
+
+    // Confirm node 0 actually has secondaries.
+    let p = dg
+        .image()
+        .parse_section(dg.directory().primary_addr(NodeId::new(0)).unwrap())
+        .unwrap();
+    let p = p.as_primary().unwrap().clone();
+    assert!(!p.secondary_addrs.is_empty(), "test needs overflow neighbors");
+    let inline = p.inline_count() as u32;
+
+    let cfg = GnnDieConfig { num_hops: 1, fanout: 8, feature_bytes: 128 };
+    let mut die = DieSampler::new(cfg, 13);
+    let mut saw_overflow = false;
+    for _ in 0..400 {
+        let visits = die_cascade(&dg, &mut die, NodeId::new(0));
+        if visits.keys().any(|v| v.as_u32() > inline) {
+            saw_overflow = true;
+            break;
+        }
+    }
+    assert!(saw_overflow, "sampler never reached secondary-section neighbors");
+}
+
+#[test]
+fn subgraph_reconstruction_matches_die_stream() {
+    // Reconstruct subgraphs from the die sampler's (parent, child)
+    // stream and verify tree shape.
+    use beacon_gnn::subgraph::{Subgraph, VisitRecord};
+
+    let graph = generate::uniform(300, 6, 21);
+    let dg = build_dg(&graph, 8, 21);
+    let cfg = GnnDieConfig { num_hops: 2, fanout: 2, feature_bytes: 16 };
+    let mut die = DieSampler::new(cfg, 3);
+    let target = NodeId::new(42);
+    let addr = dg.directory().primary_addr(target).unwrap();
+
+    let mut records = Vec::new();
+    let mut frontier = vec![SampleCommand::root(addr, 0)];
+    while let Some(cmd) = frontier.pop() {
+        let out = die.execute(&cmd, dg.image()).unwrap();
+        if let Some(v) = out.visited {
+            records.push(VisitRecord {
+                node: v,
+                hop: cmd.hop,
+                parent: (cmd.parent != SampleCommand::NO_PARENT)
+                    .then(|| NodeId::new(cmd.parent)),
+            });
+        }
+        frontier.extend(out.new_commands);
+    }
+    let sg = Subgraph::reconstruct(&records).expect("stream reconstructs");
+    assert_eq!(sg.target(), target);
+    assert_eq!(sg.len(), records.len());
+    assert_eq!(sg.len() as u64, 1 + 2 + 4); // 2 hops x fanout 2
+    assert!(sg.depth() <= 2);
+}

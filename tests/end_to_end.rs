@@ -1,0 +1,118 @@
+//! Full-system test spanning every crate: the §VI lifecycle of a
+//! BeaconGNN deployment.
+//!
+//! 1. Synthesize a dataset and convert it to DirectGraph (§VI-B).
+//! 2. Stand up a device (FTL) and run the host setup over NVMe:
+//!    reserve blocks, validate, flush (§VI-A, §VI-E).
+//! 3. Launch verified mini-batches (§VI-D) and simulate them end-to-end
+//!    on BG-2.
+//! 4. Age the flash, scrub it (§VI-F), wear the regular pool, reclaim
+//!    (wear-leveling migration with address rewrite).
+//! 5. Re-run the *same* batches on the migrated image and check the
+//!    platform still produces identical functional work.
+
+use beacongnn::flash::{FlashGeometry, ReliabilityModel};
+use beacongnn::platforms::Engine;
+use beacongnn::ssd::reliability::{reclaim_if_needed, ReclamationOutcome, Scrubber};
+use beacongnn::ssd::{Ftl, HostAdapter};
+use beacongnn::{Dataset, Platform, SsdConfig, Workload};
+use simkit::Duration;
+
+#[test]
+fn full_deployment_lifecycle() {
+    // 1. Prepare.
+    let mut workload = Workload::builder()
+        .dataset(Dataset::Ogbn)
+        .nodes(2_000)
+        .batch_size(16)
+        .batches(2)
+        .seed(77)
+        .prepare()
+        .expect("workload prepares");
+    let pages = workload.directgraph().image().pages_written();
+
+    // 2. Host setup over NVMe against a device FTL.
+    let geo = FlashGeometry {
+        channels: 4,
+        dies_per_channel: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 64,
+        pages_per_block: 32,
+        page_size: 4096,
+    };
+    let mut host = HostAdapter::new(Ftl::new(&geo, 0.1), geo.pages_per_block);
+    host.setup_directgraph(workload.directgraph()).expect("setup succeeds");
+    assert_eq!(host.flushed_pages(), pages as u64);
+
+    // 3. Launch verified batches and simulate them.
+    for batch in workload.batches() {
+        let targets: Vec<_> = batch
+            .iter()
+            .map(|&v| (v, workload.directgraph().directory().primary_addr(v).unwrap()))
+            .collect();
+        host.start_batch(workload.directgraph(), &targets).expect("batch verifies");
+    }
+    assert_eq!(host.batches_started(), 2);
+
+    let before = Engine::new(
+        Platform::Bg2,
+        SsdConfig::paper_default(),
+        workload.model(),
+        workload.directgraph(),
+        workload.seed(),
+    )
+    .run(workload.batches());
+    assert!(before.throughput() > 0.0);
+
+    // 4. Age + scrub, then wear the regular pool and reclaim.
+    let mut scrubber = Scrubber::new(
+        ReliabilityModel::z_nand(4096, 7).with_rber(1e-5),
+        geo.pages_per_block,
+    );
+    let report = scrubber.scrub_pass(workload.directgraph(), Duration::from_secs(90 * 86_400));
+    assert_eq!(report.pages_uncorrectable, 0, "scrubbing must not lose data");
+
+    let mut blocks = host.reserved_blocks().to_vec();
+    {
+        let ftl = host.ftl_mut();
+        let logical = ftl.logical_pages() * 6 / 10;
+        for _ in 0..6 {
+            for lpa in 0..logical {
+                ftl.write(lpa).expect("regular churn");
+            }
+        }
+    }
+    let outcome = reclaim_if_needed(
+        workload.directgraph_mut(),
+        host.ftl_mut(),
+        &mut blocks,
+        0.5,
+        1 << 16,
+        geo.pages_per_block,
+    )
+    .expect("reclamation runs");
+    assert!(
+        matches!(outcome, ReclamationOutcome::Migrated { .. }),
+        "churn should trigger migration, got {outcome:?}"
+    );
+
+    // 5. The migrated image still validates and produces the same
+    // functional work under the same seeds.
+    beacongnn::directgraph::Validator::new(workload.directgraph())
+        .verify_image()
+        .expect("migrated image validates");
+    let after = Engine::new(
+        Platform::Bg2,
+        SsdConfig::paper_default(),
+        workload.model(),
+        workload.directgraph(),
+        workload.seed(),
+    )
+    .run(workload.batches());
+    assert_eq!(after.nodes_visited, before.nodes_visited, "same sampling work after migration");
+    assert_eq!(after.targets, before.targets);
+    // Timing may shift slightly (pages moved to different dies), but
+    // the run must stay in the same regime.
+    let ratio = after.throughput() / before.throughput();
+    assert!((0.5..=2.0).contains(&ratio), "throughput regime shifted {ratio:.2}x");
+}

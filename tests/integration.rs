@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full pipeline from dataset
+//! synthesis through DirectGraph conversion, platform simulation, and
+//! reporting.
+
+use beacongnn::energy::EnergyCosts;
+use beacongnn::{Dataset, Experiment, Platform, Workload};
+
+fn workload(dataset: Dataset, nodes: usize, batch: usize) -> Workload {
+    Workload::builder()
+        .dataset(dataset)
+        .nodes(nodes)
+        .batch_size(batch)
+        .batches(2)
+        .seed(17)
+        .prepare()
+        .expect("workload prepares")
+}
+
+#[test]
+fn every_platform_runs_every_dataset() {
+    for dataset in Dataset::ALL {
+        let w = workload(dataset, 1_500, 8);
+        let exp = Experiment::new(&w);
+        for p in Platform::ALL {
+            let m = exp.run(p);
+            assert_eq!(m.targets, 16, "{dataset} {p}");
+            assert!(m.throughput() > 0.0, "{dataset} {p}");
+            assert!(m.flash_reads > 0, "{dataset} {p}");
+        }
+    }
+}
+
+#[test]
+fn paper_headline_shape_holds() {
+    // Paper abstract: up to 27.3x over CC and 11.6x over the
+    // state-of-the-art ISC design (on average 21.7x / lower); we assert
+    // the conservative shape: BG-2 is many times CC and clearly above
+    // BG-1.
+    let w = workload(Dataset::Amazon, 8_000, 128);
+    let exp = Experiment::new(&w);
+    let cc = exp.run(Platform::Cc).throughput();
+    let bg1 = exp.run(Platform::Bg1).throughput();
+    let bg2 = exp.run(Platform::Bg2).throughput();
+    assert!(bg2 / cc > 5.0, "BG-2 vs CC = {:.1}x", bg2 / cc);
+    assert!(bg2 / bg1 > 2.0, "BG-2 vs BG-1 = {:.1}x", bg2 / bg1);
+}
+
+#[test]
+fn prior_isc_designs_beat_cc_but_trail_bg2() {
+    let w = workload(Dataset::Amazon, 6_000, 64);
+    let exp = Experiment::new(&w);
+    let norm = exp.normalized_throughput(&[
+        Platform::Cc,
+        Platform::SmartSage,
+        Platform::Glist,
+        Platform::Bg2,
+    ]);
+    assert_eq!(norm[0].1, 1.0);
+    assert!(norm[1].1 > 1.0, "SmartSage {:.2}", norm[1].1);
+    assert!(norm[2].1 > 1.0, "GList {:.2}", norm[2].1);
+    assert!(norm[3].1 > norm[1].1 && norm[3].1 > norm[2].1);
+}
+
+#[test]
+fn energy_efficiency_ordering() {
+    // Fig 19: BG-2 beats CC (9.86x) and BG-1 (4.25x) in work per joule.
+    let w = workload(Dataset::Amazon, 6_000, 64);
+    let exp = Experiment::new(&w);
+    let costs = EnergyCosts::default_costs();
+    let eff = |p: Platform| {
+        let m = exp.run(p);
+        m.energy.breakdown(&costs).efficiency(m.targets)
+    };
+    let (cc, bg1, bg2) = (eff(Platform::Cc), eff(Platform::Bg1), eff(Platform::Bg2));
+    assert!(bg2 > 2.0 * cc, "BG-2/CC efficiency = {:.2}", bg2 / cc);
+    assert!(bg2 > 1.5 * bg1, "BG-2/BG-1 efficiency = {:.2}", bg2 / bg1);
+}
+
+#[test]
+fn bg2_power_stays_under_pcie_budget() {
+    // §VII-D: BG-2 averages 13.4 W, far below the 75 W PCIe limit.
+    let w = workload(Dataset::Amazon, 6_000, 64);
+    let m = Experiment::new(&w).run(Platform::Bg2);
+    let power = m.energy.breakdown(&EnergyCosts::default_costs()).avg_power(m.makespan);
+    assert!(power < 75.0, "BG-2 average power {power:.1} W exceeds PCIe budget");
+    assert!(power > 0.0);
+}
+
+#[test]
+fn functional_gnn_agrees_across_sampling_paths() {
+    // The same model computed over host-sampled subgraphs must produce
+    // finite, nonzero embeddings — and the die-sampler path visits a
+    // statistically similar number of nodes.
+    use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
+    use beacon_gnn::{GnnForward, HostSampler};
+
+    let w = workload(Dataset::Ogbn, 2_000, 4);
+    let model = w.model();
+    let mut host = HostSampler::new(model, 5);
+    let forward = GnnForward::new(model, 5);
+    let mut host_nodes = 0u64;
+    for &t in &w.batches()[0] {
+        let sg = host.sample_subgraph(w.graph(), t);
+        host_nodes += sg.len() as u64;
+        let emb = forward.forward(&sg, w.features());
+        assert!(emb.iter().all(|v| v.is_finite()));
+    }
+
+    let cfg = GnnDieConfig {
+        num_hops: model.hops,
+        fanout: model.fanout,
+        feature_bytes: model.feature_bytes() as u16,
+    };
+    let mut die = DieSampler::new(cfg, 5);
+    let mut die_nodes = 0u64;
+    for &t in &w.batches()[0] {
+        let addr = w.directgraph().directory().primary_addr(t).unwrap();
+        let mut frontier = vec![SampleCommand::root(addr, 0)];
+        while let Some(cmd) = frontier.pop() {
+            let out = die.execute(&cmd, w.directgraph().image()).unwrap();
+            if out.visited.is_some() {
+                die_nodes += 1;
+            }
+            frontier.extend(out.new_commands);
+        }
+    }
+    // Both paths visit ~40 nodes per target (graph has no zero-degree
+    // nodes at this scale).
+    let expect = model.subgraph_nodes() * w.batches()[0].len() as u64;
+    assert_eq!(host_nodes, expect);
+    assert_eq!(die_nodes, expect);
+}
+
+#[test]
+fn traditional_ssd_compresses_the_gaps() {
+    // §VII-E: on a 20 us SSD the BG-2 vs BG-DGSP gap vanishes.
+    use beacongnn::SsdConfig;
+    let w = workload(Dataset::Amazon, 6_000, 64);
+    let exp = Experiment::new(&w).ssd(SsdConfig::traditional());
+    let dgsp = exp.run(Platform::BgDgsp).throughput();
+    let bg2 = exp.run(Platform::Bg2).throughput();
+    let gap = bg2 / dgsp;
+    assert!(
+        (0.9..=1.25).contains(&gap),
+        "on traditional flash BG-2 should roughly tie BG-DGSP, got {gap:.2}x"
+    );
+}
+
+#[test]
+fn report_tables_render() {
+    use beacongnn::report::{ratio, Table};
+    let w = workload(Dataset::Movielens, 1_000, 8);
+    let exp = Experiment::new(&w);
+    let mut t = Table::new(&["platform", "vs CC"]);
+    for (p, x) in exp.normalized_throughput(&[Platform::Cc, Platform::Bg2]) {
+        t.row_owned(vec![p.to_string(), ratio(x)]);
+    }
+    let s = t.render();
+    assert!(s.contains("BG-2") && s.contains("CC"));
+}

@@ -1,0 +1,250 @@
+//! Property-based tests over the core data structures and invariants.
+
+use beacon_gnn::{GnnModelConfig, HostSampler};
+use beacon_graph::{generate, FeatureTable, NodeId};
+use directgraph::{build::DirectGraphBuilder, AddrLayout, Validator};
+use proptest::prelude::*;
+
+fn arb_graph_params() -> impl Strategy<Value = (usize, f64, usize, u64)> {
+    (50usize..400, 2.0f64..60.0, 1usize..300, 0u64..1_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every DirectGraph built from any generated graph preserves full
+    /// neighbor coverage: inline + secondary neighbors equal the CSR
+    /// adjacency exactly, in order.
+    #[test]
+    fn directgraph_preserves_adjacency((n, deg, feat, seed) in arb_graph_params()) {
+        let cfg = generate::PowerLawConfig::new(n, deg);
+        let graph = generate::power_law(&cfg, seed);
+        let features = FeatureTable::synthetic(n, feat, seed);
+        let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+            .build(&graph, &features)
+            .unwrap();
+        // Probe a sample of nodes (full scan is covered by unit tests).
+        for v in graph.nodes().step_by((n / 17).max(1)) {
+            let addr = dg.directory().primary_addr(v).unwrap();
+            let p = dg.image().parse_section(addr).unwrap();
+            let p = p.as_primary().unwrap().clone();
+            prop_assert_eq!(p.total_neighbors as usize, graph.degree(v));
+            let mut resolved = Vec::new();
+            for &na in &p.inline_neighbors {
+                resolved.push(dg.image().parse_section(na).unwrap().node());
+            }
+            for &sa in &p.secondary_addrs {
+                let s = dg.image().parse_section(sa).unwrap();
+                for &na in &s.as_secondary().unwrap().neighbors {
+                    resolved.push(dg.image().parse_section(na).unwrap().node());
+                }
+            }
+            prop_assert_eq!(resolved.as_slice(), graph.neighbors(v));
+        }
+    }
+
+    /// Any well-formed image passes the firmware security validation.
+    #[test]
+    fn directgraph_images_validate((n, deg, feat, seed) in arb_graph_params()) {
+        let cfg = generate::PowerLawConfig::new(n, deg);
+        let graph = generate::power_law(&cfg, seed);
+        let features = FeatureTable::synthetic(n, feat, seed);
+        let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+            .build(&graph, &features)
+            .unwrap();
+        prop_assert!(Validator::new(&dg).verify_image().is_ok());
+    }
+
+    /// Relocation by any positive offset keeps every directory entry
+    /// resolving to the right node.
+    #[test]
+    fn relocation_is_invariant(
+        (n, deg, feat, seed) in arb_graph_params(),
+        offset in 1u64..1_000_000,
+    ) {
+        let cfg = generate::PowerLawConfig::new(n, deg);
+        let graph = generate::power_law(&cfg, seed);
+        let features = FeatureTable::synthetic(n, feat, seed);
+        let mut dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+            .build(&graph, &features)
+            .unwrap();
+        dg.relocate_pages(|p| directgraph::PageIndex::new(p.as_u64() + offset)).unwrap();
+        for v in graph.nodes().step_by((n / 11).max(1)) {
+            let addr = dg.directory().primary_addr(v).unwrap();
+            prop_assert_eq!(dg.image().parse_section(addr).unwrap().node(), v);
+        }
+    }
+
+    /// Host sampling only ever returns true neighbors, at any fanout
+    /// and hop count.
+    #[test]
+    fn sampling_soundness(
+        n in 20usize..200,
+        degree in 1usize..12,
+        hops in 1u8..4,
+        fanout in 1u16..6,
+        seed in 0u64..500,
+    ) {
+        let graph = generate::uniform(n, degree, seed);
+        let model = GnnModelConfig { hops, fanout, feature_dim: 8, hidden_dim: 16 };
+        let mut s = HostSampler::new(model, seed);
+        let sg = s.sample_subgraph(&graph, NodeId::new(0));
+        prop_assert!(sg.len() as u64 <= model.subgraph_nodes());
+        for hop in 1..=hops {
+            for (vi, node) in sg.at_hop(hop) {
+                let parent = (0..sg.len())
+                    .find(|&p| sg.children_of(p).contains(&vi))
+                    .expect("has parent");
+                prop_assert!(graph.has_edge(sg.node_at(parent), node));
+            }
+        }
+    }
+
+    /// Address layout pack/unpack is a bijection for every supported
+    /// page size.
+    #[test]
+    fn addr_roundtrip(
+        page_pow in 11u32..15, // 2KB..16KB
+        page in 0u64..100_000,
+        slot_seed in 0usize..64,
+    ) {
+        let layout = AddrLayout::for_page_size(1 << page_pow).unwrap();
+        let slot = slot_seed % layout.max_sections_per_page();
+        let addr = layout.pack(directgraph::PageIndex::new(page), slot);
+        let (p, s) = layout.unpack(addr);
+        prop_assert_eq!(p.as_u64(), page);
+        prop_assert_eq!(s, slot);
+    }
+
+    /// The section parser never panics on arbitrary page bytes — it
+    /// returns a structured error instead. (The §VI-E on-die check
+    /// depends on malformed pages failing safely.)
+    #[test]
+    fn section_parser_is_panic_free_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        slot in 0usize..16,
+    ) {
+        let layout = AddrLayout::for_page_size(4096).unwrap();
+        let mut store = directgraph::PageStore::new(layout);
+        let mut page = vec![0u8; 4096];
+        page[..bytes.len()].copy_from_slice(&bytes);
+        store.write_page(directgraph::PageIndex::new(0), page.into_boxed_slice());
+        let addr = layout.pack(directgraph::PageIndex::new(0), slot);
+        // Must not panic; any Ok/Err outcome is acceptable.
+        let _ = store.parse_section(addr);
+        let _ = store.parse_all_sections(directgraph::PageIndex::new(0));
+    }
+
+    /// The DirectGraph loader never panics on arbitrary byte streams.
+    #[test]
+    fn loader_is_panic_free_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = directgraph::DirectGraph::load(bytes.as_slice());
+    }
+
+    /// FTL invariants hold under arbitrary write/trim sequences: every
+    /// mapped LPA has a unique PPA and translate agrees with the last
+    /// operation.
+    #[test]
+    fn ftl_mapping_invariants(ops in proptest::collection::vec((0u64..48, any::<bool>()), 1..300)) {
+        use beacon_flash::FlashGeometry;
+        let geo = FlashGeometry {
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            blocks_per_plane: 8,
+            pages_per_block: 8,
+            page_size: 4096,
+        };
+        let mut ftl = beacon_ssd::Ftl::new(&geo, 0.25);
+        let mut shadow: std::collections::HashMap<u64, bool> = Default::default();
+        for (lpa, is_write) in ops {
+            if is_write {
+                ftl.write(lpa).expect("within logical capacity");
+                shadow.insert(lpa, true);
+            } else {
+                ftl.trim(lpa);
+                shadow.insert(lpa, false);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (&lpa, &mapped) in &shadow {
+            match ftl.translate(lpa) {
+                Some(ppa) => {
+                    prop_assert!(mapped, "trimmed lpa {} still mapped", lpa);
+                    prop_assert!(seen.insert(ppa), "duplicate ppa {}", ppa);
+                }
+                None => prop_assert!(!mapped, "written lpa {} unmapped", lpa),
+            }
+        }
+    }
+
+    /// ONFI command encode/decode is a bijection over the sampling
+    /// command space.
+    #[test]
+    fn onfi_sample_roundtrip(
+        target in any::<u32>(),
+        hop in 0u8..8,
+        count in 0u16..64,
+        subgraph in any::<u32>(),
+        parent in any::<u32>(),
+    ) {
+        use beacon_flash::sampler::SampleCommand;
+        use beacon_flash::OnfiCommand;
+        let cmd = OnfiCommand::GnnSample(SampleCommand {
+            target: directgraph::PhysAddr::from_raw(target),
+            hop,
+            count,
+            subgraph,
+            parent,
+        });
+        prop_assert_eq!(OnfiCommand::decode(&cmd.encode()), Ok(cmd));
+    }
+
+    /// The timed engine completes on every platform for arbitrary
+    /// (small) device geometries — no config-space panics, no stuck
+    /// calendars.
+    #[test]
+    fn engine_survives_random_configs(
+        channels_pow in 1u32..5,       // 2..16 channels
+        dies_pow in 0u32..4,           // 1..8 dies/channel
+        cores in 1usize..6,
+        platform_idx in 0usize..8,
+        seed in 0u64..64,
+    ) {
+        use beacongnn::{Experiment, Platform, SsdConfig, Workload};
+        let w = Workload::builder()
+            .dataset(beacongnn::Dataset::Ogbn)
+            .nodes(400)
+            .batch_size(4)
+            .batches(1)
+            .seed(seed)
+            .prepare()
+            .expect("workload prepares");
+        let ssd = SsdConfig::paper_default()
+            .with_channels(1 << channels_pow)
+            .with_dies_per_channel(1 << dies_pow)
+            .with_cores(cores);
+        let platform = Platform::ALL[platform_idx];
+        let m = Experiment::new(&w).ssd(ssd).seed(seed).run(platform);
+        prop_assert_eq!(m.targets, 4);
+        prop_assert!(m.throughput() > 0.0);
+        prop_assert_eq!(m.sampler_faults, 0);
+    }
+
+    /// FP16 encode/decode round-trips within half-precision tolerance.
+    #[test]
+    fn fp16_roundtrip(v in -60_000.0f32..60_000.0) {
+        let bytes = {
+            let t = FeatureTable::from_rows(1, vec![v]);
+            let graph = generate::uniform(1, 0, 0);
+            let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+                .build(&graph, &t)
+                .unwrap();
+            let addr = dg.directory().primary_addr(NodeId::new(0)).unwrap();
+            dg.image().parse_section(addr).unwrap().as_primary().unwrap().feature.clone()
+        };
+        let back = directgraph::build::decode_fp16(&bytes)[0];
+        let tol = (v.abs() * 1e-3).max(1e-4);
+        prop_assert!((back - v).abs() <= tol, "{} -> {}", v, back);
+    }
+}
