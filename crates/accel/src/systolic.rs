@@ -34,7 +34,11 @@ impl SystolicArray {
     pub fn new(rows: u64, cols: u64, clock_hz: u64) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be positive");
         assert!(clock_hz > 0, "clock must be positive");
-        SystolicArray { rows, cols, clock_hz }
+        SystolicArray {
+            rows,
+            cols,
+            clock_hz,
+        }
     }
 
     /// Array rows.
@@ -119,7 +123,10 @@ mod tests {
     fn time_matches_cycles_at_clock() {
         let a = SystolicArray::new(32, 32, 500_000_000);
         let cycles = a.gemm_cycles(64, 128, 64);
-        assert_eq!(a.gemm_time(64, 128, 64), Duration::from_cycles(cycles, 500_000_000));
+        assert_eq!(
+            a.gemm_time(64, 128, 64),
+            Duration::from_cycles(cycles, 500_000_000)
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
     fn time_uses_clock() {
         let v = VectorArray::new(64, 500_000_000);
         let c = v.reduce_cycles(40, 128);
-        assert_eq!(v.reduce_time(40, 128), Duration::from_cycles(c, 500_000_000));
+        assert_eq!(
+            v.reduce_time(40, 128),
+            Duration::from_cycles(c, 500_000_000)
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig07_die_scaling");
     for dies in [1usize, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(dies), &dies, |b, &dies| {
-            b.iter(|| {
-                black_box(die_scaling_point(&FlashTiming::ull(), dies, 4096, 200))
-            })
+            b.iter(|| black_box(die_scaling_point(&FlashTiming::ull(), dies, 4096, 200)))
         });
     }
     g.finish();

@@ -12,10 +12,16 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let configs: Vec<(&str, SsdConfig)> = vec![
         ("default", SsdConfig::paper_default()),
-        ("bw-2400", SsdConfig::paper_default().with_channel_bandwidth(2_400_000_000)),
+        (
+            "bw-2400",
+            SsdConfig::paper_default().with_channel_bandwidth(2_400_000_000),
+        ),
         ("cores-1", SsdConfig::paper_default().with_cores(1)),
         ("channels-32", SsdConfig::paper_default().with_channels(32)),
-        ("dies-16", SsdConfig::paper_default().with_dies_per_channel(16)),
+        (
+            "dies-16",
+            SsdConfig::paper_default().with_dies_per_channel(16),
+        ),
     ];
     for (name, ssd) in configs {
         g.bench_with_input(BenchmarkId::from_parameter(name), &ssd, |b, ssd| {

@@ -17,11 +17,9 @@ fn bench(c: &mut Criterion) {
             &dataset,
             |b, _| {
                 b.iter(|| {
-                    let dg = DirectGraphBuilder::new(
-                        AddrLayout::for_page_size(4096).unwrap(),
-                    )
-                    .build(&graph, &features)
-                    .unwrap();
+                    let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+                        .build(&graph, &features)
+                        .unwrap();
                     black_box(dg.inflation(&features).inflation_ratio())
                 })
             },

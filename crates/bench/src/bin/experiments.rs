@@ -4,7 +4,21 @@
 //! cargo run --release -p beacon-bench --bin experiments            # everything
 //! cargo run --release -p beacon-bench --bin experiments fig14     # one figure
 //! cargo run --release -p beacon-bench --bin experiments fig18 cores
+//! cargo run --release -p beacon-bench --bin experiments all --jobs 8
 //! ```
+//!
+//! `--jobs N` (default: all available cores) fans independent
+//! simulation cells — and, under `all`, whole figures — across worker
+//! threads. Every cell's seed is fixed by its identity before execution
+//! starts, so stdout is byte-identical at any job count; only the
+//! wall-clock changes. The per-figure timing summary goes to stderr,
+//! and `all` additionally writes a machine-readable
+//! `BENCH_parallel.json` with sequential-vs-parallel wall-clock on the
+//! Fig 14 matrix.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use beacon_bench as bench;
 use beacon_bench::{Sweep, DEFAULT_BATCH, DEFAULT_NODES};
@@ -12,62 +26,199 @@ use beacon_platforms::Platform;
 use beacongnn::report::{percent, ratio, Table};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    match which {
-        "fig7a" => fig7a(),
-        "fig7b" => fig7b(),
-        "fig14" => fig14(),
-        "fig15" => fig15(),
-        "fig15f" => fig15f(),
-        "fig16" => fig16(),
-        "fig17" => fig17(),
-        "fig18" => fig18(args.get(1).map(String::as_str)),
-        "fig19" => fig19(),
-        "table4" => table4(),
-        "trad_ssd" => trad_ssd(),
-        "config" => config(),
-        "query" => query(),
-        "array" => array(),
-        "ablation" => ablation(),
-        "interference" => interference(),
-        "all" => {
-            fig7a();
-            fig7b();
-            fig14();
-            fig15();
-            fig15f();
-            fig16();
-            fig17();
-            fig18(None);
-            fig19();
-            table4();
-            trad_ssd();
-            query();
-            array();
-            ablation();
-            interference();
+    let mut jobs = beacongnn::default_jobs();
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            other if other.starts_with("--jobs=") => {
+                let v = &other["--jobs=".len()..];
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            _ => positional.push(arg),
         }
+    }
+    bench::set_jobs(jobs);
+
+    let which = positional.first().map(String::as_str).unwrap_or("all");
+    match which {
+        "fig7a" => print!("{}", fig7a()),
+        "fig7b" => print!("{}", fig7b()),
+        "fig14" => print!("{}", fig14()),
+        "fig15" => print!("{}", fig15()),
+        "fig15f" => print!("{}", fig15f()),
+        "fig16" => print!("{}", fig16()),
+        "fig17" => print!("{}", fig17()),
+        "fig18" => print!("{}", fig18(positional.get(1).map(String::as_str))),
+        "fig19" => print!("{}", fig19()),
+        "table4" => print!("{}", table4()),
+        "trad_ssd" => print!("{}", trad_ssd()),
+        "config" => print!("{}", config()),
+        "query" => print!("{}", query()),
+        "array" => print!("{}", array()),
+        "ablation" => print!("{}", ablation()),
+        "interference" => print!("{}", interference()),
+        "all" => run_all(jobs),
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig7a fig14 fig15 fig15f \
                  fig16 fig17 fig18 [sweep] fig19 table4 trad_ssd query array ablation \
-                 config all"
+                 config all (plus --jobs N)"
             );
             std::process::exit(2);
         }
     }
 }
 
-fn header(title: &str) {
-    println!("\n=== {title} ===\n");
+/// Runs every figure. Fig 14 doubles as the parallel-speedup
+/// calibration (its matrix runs once sequentially and once under the
+/// jobs setting); the remaining figures execute concurrently on a
+/// figure-level worker pool and print in fixed order.
+fn run_all(jobs: usize) {
+    // Calibration: the Fig 14 matrix (8 platforms × 5 workloads) timed
+    // both ways. The parallel pass's results also render the figure, so
+    // the calibration costs one extra sequential sweep, not two.
+    let matrix = bench::fig14_matrix(DEFAULT_NODES, DEFAULT_BATCH);
+    let t0 = Instant::now();
+    let seq_results = matrix.run_sequential();
+    let sequential_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let par_results = matrix.run_parallel(jobs);
+    let parallel_s = t1.elapsed().as_secs_f64();
+    drop(seq_results);
+    let fig14_out = fig14_render(&bench::fig14_rows(&par_results));
+
+    type FigureFn = fn() -> String;
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("fig7a", fig7a as FigureFn),
+        ("fig7b", fig7b),
+        ("fig15", fig15),
+        ("fig15f", fig15f),
+        ("fig16", fig16),
+        ("fig17", fig17),
+        ("fig18", || fig18(None)),
+        ("fig19", fig19),
+        ("table4", table4),
+        ("trad_ssd", trad_ssd),
+        ("query", query),
+        ("array", array),
+        ("ablation", ablation),
+        ("interference", interference),
+    ];
+
+    // Figure-level pool: each worker steals the next un-rendered figure.
+    let next = AtomicUsize::new(0);
+    let mut rendered: Vec<Option<(String, f64)>> = Vec::new();
+    rendered.resize_with(figures.len(), || None);
+    let workers = jobs.min(figures.len()).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, f)) = figures.get(i) else { break };
+                        let t = Instant::now();
+                        let out = f();
+                        mine.push((i, out, t.elapsed().as_secs_f64()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, out, secs) in handle.join().expect("figure worker panicked") {
+                rendered[i] = Some((out, secs));
+            }
+        }
+    });
+
+    // stdout: figures in canonical order (fig7a, fig7b, fig14, ...),
+    // independent of schedule.
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    for ((name, _), slot) in figures.iter().zip(&rendered) {
+        let (_, secs) = slot.as_ref().expect("figure rendered");
+        timings.push((name, *secs));
+        if *name == "fig7b" {
+            timings.push(("fig14", sequential_s + parallel_s));
+        }
+    }
+    for (i, slot) in rendered.iter().enumerate() {
+        print!("{}", slot.as_ref().expect("figure rendered").0);
+        if figures[i].0 == "fig7b" {
+            print!("{fig14_out}");
+        }
+    }
+
+    // stderr: wall-clock summary (kept off stdout so output stays
+    // byte-identical across job counts).
+    eprintln!("\n--- timing summary ({jobs} jobs) ---");
+    for (name, secs) in &timings {
+        eprintln!("{name:>14}  {secs:8.3} s");
+    }
+    let speedup = if parallel_s > 0.0 {
+        sequential_s / parallel_s
+    } else {
+        1.0
+    };
+    eprintln!(
+        "fig14 matrix ({} cells): sequential {sequential_s:.3} s, parallel {parallel_s:.3} s, \
+         speedup {speedup:.2}x",
+        matrix.len()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"calibration_cells\": {},", matrix.len());
+    let _ = writeln!(json, "  \"sequential_s\": {sequential_s:.6},");
+    let _ = writeln!(json, "  \"parallel_s\": {parallel_s:.6},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
+    json.push_str("  \"figures\": [\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.6}}}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_parallel.json"),
+        Err(e) => eprintln!("could not write BENCH_parallel.json: {e}"),
+    }
 }
 
-fn fig7a() {
-    header("Fig 7a — ULL die scaling under page-granular channel transfer");
+fn header(out: &mut String, title: &str) {
+    let _ = writeln!(out, "\n=== {title} ===\n");
+}
+
+fn fig7a() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Fig 7a — ULL die scaling under page-granular channel transfer",
+    );
     let sweep = bench::fig7a();
     let base = &sweep[0];
-    let mut t = Table::new(&["dies", "throughput (pages/s)", "vs 1 die", "avg latency", "vs 1 die"]);
+    let mut t = Table::new(&[
+        "dies",
+        "throughput (pages/s)",
+        "vs 1 die",
+        "avg latency",
+        "vs 1 die",
+    ]);
     for p in &sweep {
         t.row_owned(vec![
             p.dies.to_string(),
@@ -77,12 +228,17 @@ fn fig7a() {
             ratio(p.avg_latency.as_ns() as f64 / base.avg_latency.as_ns() as f64),
         ]);
     }
-    println!("{}", t.render());
-    println!("paper: 8 dies give ~1.49x throughput at ~7.7x latency");
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(out, "paper: 8 dies give ~1.49x throughput at ~7.7x latency");
+    out
 }
 
-fn fig7b() {
-    header("Fig 7b — motivation: hop-by-hop barrier idles flash resources");
+fn fig7b() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Fig 7b — motivation: hop-by-hop barrier idles flash resources",
+    );
     let rows = bench::fig7b(DEFAULT_NODES);
     let mut t = Table::new(&[
         "batch size",
@@ -98,18 +254,33 @@ fn fig7b() {
             ratio(r.prep_inflation),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "paper: the strict hop order (Fig 5) leaves dies idle at every hop boundary;\n\
          larger batches dilute but never remove the barrier cost"
     );
+    out
 }
 
-fn fig14() {
-    header("Fig 14 — normalized throughput (vs CC) across workloads");
-    let rows = bench::fig14(DEFAULT_NODES, DEFAULT_BATCH);
+fn fig14() -> String {
+    fig14_render(&bench::fig14(DEFAULT_NODES, DEFAULT_BATCH))
+}
+
+fn fig14_render(rows: &[bench::Fig14Row]) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Fig 14 — normalized throughput (vs CC) across workloads",
+    );
     let mut t = Table::new(&[
-        "platform", "reddit", "amazon", "movielens", "OGBN", "PPI", "geomean",
+        "platform",
+        "reddit",
+        "amazon",
+        "movielens",
+        "OGBN",
+        "PPI",
+        "geomean",
     ]);
     for p in Platform::ALL {
         let mut cells = vec![p.to_string()];
@@ -120,21 +291,28 @@ fn fig14() {
                 .expect("cell exists");
             cells.push(ratio(r.normalized));
         }
-        cells.push(ratio(bench::geomean_normalized(&rows, p)));
+        cells.push(ratio(bench::geomean_normalized(rows, p)));
         t.row_owned(cells);
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "paper (avg): SmartSage 2.11x, GList 1.42x, BG-1 2.35x, BG-SP 5.47x over BG-1,\n\
          BG-DGSP +20% over BG-SP, BG-2 +41% over BG-DGSP, BG-2 = 21.70x CC overall"
     );
+    out
 }
 
-fn fig15() {
-    header("Fig 15a-e — active flash channels/dies over time (amazon)");
+fn fig15() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Fig 15a-e — active flash channels/dies over time (amazon)",
+    );
     for p in [Platform::BgSp, Platform::BgDgsp, Platform::Bg2] {
         let c = bench::fig15_curves(p, DEFAULT_NODES, DEFAULT_BATCH);
-        println!(
+        let _ = writeln!(
+            out,
             "{:>8}: mean die util {} | mean channel util {} | slice {}",
             p.to_string(),
             percent(c.die_utilization),
@@ -142,33 +320,48 @@ fn fig15() {
             c.slice
         );
         let spark = |xs: &[f64], max: f64| -> String {
-            const GLYPHS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+            const GLYPHS: [char; 8] = [
+                '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+                '\u{2588}',
+            ];
             xs.iter()
                 .take(72)
                 .map(|&x| GLYPHS[(x / max * 7.0).min(7.0) as usize])
                 .collect()
         };
-        println!("   dies  {}", spark(&c.dies, 128.0));
-        println!("   chans {}", spark(&c.channels, 16.0));
+        let _ = writeln!(out, "   dies  {}", spark(&c.dies, 128.0));
+        let _ = writeln!(out, "   chans {}", spark(&c.channels, 16.0));
     }
-    println!("\npaper: BG-SP shows low-utilization valleys at hop barriers; BG-DGSP is even;\nBG-2 lifts both utilizations by ~76% over BG-SP");
+    let _ = writeln!(
+        out,
+        "\npaper: BG-SP shows low-utilization valleys at hop barriers; BG-DGSP is even;\n\
+         BG-2 lifts both utilizations by ~76% over BG-SP"
+    );
 
-    println!("\nPer-workload BG-2 utilization (Fig 15a-e's dataset comparison):\n");
+    let _ = writeln!(
+        out,
+        "\nPer-workload BG-2 utilization (Fig 15a-e's dataset comparison):\n"
+    );
     let mut t = Table::new(&["dataset", "die util", "channel util"]);
     for (d, die, chan) in bench::fig15_dataset_utilization(DEFAULT_NODES, DEFAULT_BATCH) {
         t.row_owned(vec![d.to_string(), percent(die), percent(chan)]);
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "paper: reddit/PPI die-starved (long features saturate channels); movielens/OGBN\n\
          channel-starved (short features); amazon highest on both — hence used for all\n\
          single-workload experiments"
     );
+    out
 }
 
-fn fig15f() {
-    header("Fig 15f — stage latency breakdown (amazon)");
-    let mut t = Table::new(&["platform", "flash", "channel", "firmware", "dram", "pcie", "host", "accel"]);
+fn fig15f() -> String {
+    let mut out = String::new();
+    header(&mut out, "Fig 15f — stage latency breakdown (amazon)");
+    let mut t = Table::new(&[
+        "platform", "flash", "channel", "firmware", "dram", "pcie", "host", "accel",
+    ]);
     for p in Platform::ALL {
         let m = bench::fig15f(p, DEFAULT_NODES, DEFAULT_BATCH);
         let s = m.stages;
@@ -183,26 +376,56 @@ fn fig15f() {
             format!("{}", s.accel),
         ]);
     }
-    println!("{}", t.render());
-    println!("paper: CC dominated by PCIe transfer; BG-1/BG-DG by flash (page) I/O;\nhost-side delay is a minor part everywhere");
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "paper: CC dominated by PCIe transfer; BG-1/BG-DG by flash (page) I/O;\n\
+         host-side delay is a minor part everywhere"
+    );
+    out
 }
 
-fn fig16() {
-    header("Fig 16 — hop timeline of the data-preparation stage (amazon)");
-    for p in [Platform::Bg1, Platform::BgDg, Platform::BgSp, Platform::BgDgsp, Platform::Bg2] {
+fn fig16() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Fig 16 — hop timeline of the data-preparation stage (amazon)",
+    );
+    for p in [
+        Platform::Bg1,
+        Platform::BgDg,
+        Platform::BgSp,
+        Platform::BgDgsp,
+        Platform::Bg2,
+    ] {
         let m = bench::fig16(p, DEFAULT_NODES, 64);
-        print!("{:>8}: ", p.to_string());
+        let _ = write!(out, "{:>8}: ", p.to_string());
         for w in &m.hop_windows {
-            print!("hop{} [{} - {}]  ", w.hop, w.start, w.end);
+            let _ = write!(out, "hop{} [{} - {}]  ", w.hop, w.start, w.end);
         }
-        println!("overlap {}", percent(bench::hop_overlap_fraction(&m)));
+        let _ = writeln!(out, "overlap {}", percent(bench::hop_overlap_fraction(&m)));
     }
-    println!("\npaper: BG-1/BG-SP have strictly ordered hops with gaps; BG-DG/BG-DGSP/BG-2\noverlap hops, BG-2 creating the largest overlap");
+    let _ = writeln!(
+        out,
+        "\npaper: BG-1/BG-SP have strictly ordered hops with gaps; BG-DG/BG-DGSP/BG-2\n\
+         overlap hops, BG-2 creating the largest overlap"
+    );
+    out
 }
 
-fn fig17() {
-    header("Fig 17 — flash command latency breakdown (amazon)");
-    let mut t = Table::new(&["platform", "wait_before_flash", "flash", "wait_after_flash", "mean lifetime"]);
+fn fig17() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Fig 17 — flash command latency breakdown (amazon)",
+    );
+    let mut t = Table::new(&[
+        "platform",
+        "wait_before_flash",
+        "flash",
+        "wait_after_flash",
+        "mean lifetime",
+    ]);
     for p in Platform::BG_CHAIN {
         let m = bench::fig17(p, DEFAULT_NODES, DEFAULT_BATCH);
         let (w, f, a) = m.cmd_breakdown.fractions();
@@ -214,15 +437,17 @@ fn fig17() {
             format!("{:.1}us", m.cmd_breakdown.mean_lifetime_ns() / 1000.0),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "paper: flash-proper time is a small slice everywhere; BG-SP slashes both wait\n\
          classes; DirectGraph lengthens wait_before (more ready commands); BG-2 cuts\n\
          wait time ~68% vs BG-DGSP"
     );
+    out
 }
 
-fn fig18(which: Option<&str>) {
+fn fig18(which: Option<&str>) -> String {
     let sweeps: Vec<Sweep> = match which {
         None | Some("all") => Sweep::ALL.to_vec(),
         Some("batch") => vec![Sweep::BatchSize],
@@ -236,8 +461,9 @@ fn fig18(which: Option<&str>) {
             std::process::exit(2);
         }
     };
+    let mut out = String::new();
     for sweep in sweeps {
-        header(&format!("Fig 18 — sensitivity: {}", sweep.name()));
+        header(&mut out, &format!("Fig 18 — sensitivity: {}", sweep.name()));
         let rows = bench::fig18(sweep, DEFAULT_NODES);
         let points = sweep.points();
         let mut headers: Vec<String> = vec!["platform".into()];
@@ -261,17 +487,34 @@ fn fig18(which: Option<&str>) {
             cells.extend(vals.iter().map(|&v| ratio(v / base)));
             t.row_owned(cells);
         }
-        println!("{}", t.render());
+        let _ = writeln!(out, "{}", t.render());
     }
+    out
 }
 
-fn fig19() {
-    header("Fig 19 — energy breakdown and efficiency (amazon)");
+fn fig19() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Fig 19 — energy breakdown and efficiency (amazon)",
+    );
     let rows = bench::fig19(DEFAULT_NODES, DEFAULT_BATCH);
-    let cc_eff = rows.iter().find(|r| r.platform == Platform::Cc).unwrap().efficiency;
+    let cc_eff = rows
+        .iter()
+        .find(|r| r.platform == Platform::Cc)
+        .unwrap()
+        .efficiency;
     let mut t = Table::new(&[
-        "platform", "flash", "channel", "dram", "pcie", "cores", "host", "accel",
-        "eff vs CC", "avg power",
+        "platform",
+        "flash",
+        "channel",
+        "dram",
+        "pcie",
+        "cores",
+        "host",
+        "accel",
+        "eff vs CC",
+        "avg power",
     ]);
     for r in &rows {
         let b = &r.breakdown;
@@ -289,18 +532,25 @@ fn fig19() {
             format!("{:.1} W", r.avg_power),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "paper: CC spends 57% outside storage; BG-1/BG-DG spend 75% staging pages to\n\
          DRAM; BG-2 = 9.86x CC and 4.25x BG-1 efficiency at 13.4 W average"
     );
+    out
 }
 
-fn table4() {
-    header("Table IV — DirectGraph storage inflation");
+fn table4() -> String {
+    let mut out = String::new();
+    header(&mut out, "Table IV — DirectGraph storage inflation");
     let rows = bench::table4(DEFAULT_NODES);
-    let mut t =
-        Table::new(&["dataset", "paper raw (GB)", "measured inflation", "page utilization"]);
+    let mut t = Table::new(&[
+        "dataset",
+        "paper raw (GB)",
+        "measured inflation",
+        "page utilization",
+    ]);
     for r in &rows {
         t.row_owned(vec![
             r.dataset.to_string(),
@@ -309,25 +559,45 @@ fn table4() {
             percent(r.page_utilization),
         ]);
     }
-    println!("{}", t.render());
-    println!("paper: reddit 2.8%, amazon 4.1%, movielens 3.5%, OGBN 32.3%, PPI 3.5%");
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "paper: reddit 2.8%, amazon 4.1%, movielens 3.5%, OGBN 32.3%, PPI 3.5%"
+    );
+    out
 }
 
-fn trad_ssd() {
-    header("§VII-E — traditional 20us SSD (avg normalized throughput vs CC)");
+fn trad_ssd() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "§VII-E — traditional 20us SSD (avg normalized throughput vs CC)",
+    );
     let rows = bench::traditional_ssd(DEFAULT_NODES, DEFAULT_BATCH);
     let mut t = Table::new(&["platform", "vs CC (20us flash)"]);
     for (p, x) in &rows {
         t.row_owned(vec![p.to_string(), ratio(*x)]);
     }
-    println!("{}", t.render());
-    println!("paper: BG-1 2.20x, BG-DG 2.50x, BG-SP 3.19x, BG-DGSP 4.19x, BG-2 4.19x\n(BG-2 ~ BG-DGSP: firmware suffices at 20us reads)");
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "paper: BG-1 2.20x, BG-DG 2.50x, BG-SP 3.19x, BG-DGSP 4.19x, BG-2 4.19x\n\
+         (BG-2 ~ BG-DGSP: firmware suffices at 20us reads)"
+    );
+    out
 }
 
-fn query() {
-    header("§VIII extension — single-target GNN query latency (amazon)");
+fn query() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "§VIII extension — single-target GNN query latency (amazon)",
+    );
     let rows = bench::query_latency(DEFAULT_NODES, 6);
-    let cc = rows.iter().find(|r| r.platform == Platform::Cc).expect("CC row");
+    let cc = rows
+        .iter()
+        .find(|r| r.platform == Platform::Cc)
+        .expect("CC row");
     let mut t = Table::new(&["platform", "mean latency", "max latency", "speedup vs CC"]);
     for r in &rows {
         t.row_owned(vec![
@@ -337,14 +607,28 @@ fn query() {
             ratio(cc.mean.as_ns() as f64 / r.mean.as_ns() as f64),
         ]);
     }
-    println!("{}", t.render());
-    println!("paper §VIII: one host round + no channel congestion => much lower query delay");
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "paper §VIII: one host round + no channel congestion => much lower query delay"
+    );
+    out
 }
 
-fn array() {
-    header("§VIII extension — BeaconGNN storage-array scale-out (amazon, BG-2)");
+fn array() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "§VIII extension — BeaconGNN storage-array scale-out (amazon, BG-2)",
+    );
     let rows = bench::array_scaling(DEFAULT_NODES, 128);
-    let mut t = Table::new(&["SSDs", "throughput", "vs 1 SSD", "efficiency", "cross-partition"]);
+    let mut t = Table::new(&[
+        "SSDs",
+        "throughput",
+        "vs 1 SSD",
+        "efficiency",
+        "cross-partition",
+    ]);
     let single = rows[0].array_throughput;
     for r in &rows {
         t.row_owned(vec![
@@ -355,27 +639,45 @@ fn array() {
             percent(r.cross_fraction),
         ]);
     }
-    println!("{}", t.render());
-    println!("paper §VIII: capacity and computation should grow linearly with SSDs over P2P");
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "paper §VIII: capacity and computation should grow linearly with SSDs over P2P"
+    );
+    out
 }
 
-fn ablation() {
-    header("§VIII extension — DRAM-bottleneck mitigation ablation (BG-2, 32 channels)");
+fn ablation() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "§VIII extension — DRAM-bottleneck mitigation ablation (BG-2, 32 channels)",
+    );
     let rows = bench::dram_ablation(DEFAULT_NODES, 256);
     let base = rows[0].1;
     let mut t = Table::new(&["configuration", "prep rate", "vs baseline"]);
     for (name, tput) in &rows {
-        t.row_owned(vec![name.to_string(), format!("{tput:.0}/s"), ratio(tput / base)]);
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{tput:.0}/s"),
+            ratio(tput / base),
+        ]);
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "paper §VIII: at high flash throughput SSD DRAM becomes the bottleneck; higher\n\
          memory bandwidth or direct flash->SRAM I/O relieves it"
     );
+    out
 }
 
-fn interference() {
-    header("§VI-G extension — regular-I/O deferral during acceleration mode (BG-2)");
+fn interference() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "§VI-G extension — regular-I/O deferral during acceleration mode (BG-2)",
+    );
     let rows = bench::interference(DEFAULT_NODES);
     let mut t = Table::new(&["batch size", "batch window", "expected deferral"]);
     for r in &rows {
@@ -385,18 +687,22 @@ fn interference() {
             format!("{}", r.expected_deferral),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "paper §VI-G: regular requests arriving mid-batch defer to the batch boundary;\n\
          small batches keep the deferral window (and thus the regular-I/O latency hit)\n\
          short"
     );
+    out
 }
 
-fn config() {
-    header("Table II/III — configuration inputs");
+fn config() -> String {
+    let mut out = String::new();
+    header(&mut out, "Table II/III — configuration inputs");
     let ssd = beacongnn::SsdConfig::paper_default();
-    println!(
+    let _ = writeln!(
+        out,
         "SSD: {} channels x {} dies, {} B pages, read {} / channel {} MB/s,\n\
          {} cores @ {} GHz, DRAM {:.1} GB/s, PCIe {:.1} GB/s",
         ssd.geometry.channels,
@@ -419,5 +725,6 @@ fn config() {
             format!("{:.1}", s.paper_raw_gb),
         ]);
     }
-    println!("\n{}", t.render());
+    let _ = writeln!(out, "\n{}", t.render());
+    out
 }

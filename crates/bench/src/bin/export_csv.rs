@@ -3,7 +3,12 @@
 //!
 //! ```sh
 //! cargo run --release -p beacon-bench --bin export_csv -- out_dir
+//! cargo run --release -p beacon-bench --bin export_csv -- out_dir --jobs 8
 //! ```
+//!
+//! `--jobs N` (default: all available cores) parallelizes the
+//! underlying simulation sweeps; the CSV contents are byte-identical
+//! at any job count.
 
 use std::fs::{self, File};
 use std::io::{BufWriter, Write};
@@ -15,7 +20,33 @@ use beacon_platforms::Platform;
 use beacongnn::Dataset;
 
 fn main() -> std::io::Result<()> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "experiment_csv".to_string());
+    let mut jobs = beacongnn::default_jobs();
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            other if other.starts_with("--jobs=") => {
+                let v = &other["--jobs=".len()..];
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            _ => positional.push(arg),
+        }
+    }
+    bench::set_jobs(jobs);
+    let dir = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "experiment_csv".to_string());
     fs::create_dir_all(&dir)?;
     let dir = Path::new(&dir);
 
@@ -60,7 +91,14 @@ fn main() -> std::io::Result<()> {
         for p in Platform::BG_CHAIN {
             let m = bench::fig16(p, DEFAULT_NODES, 64);
             for hw in &m.hop_windows {
-                writeln!(w, "{},{},{},{}", p, hw.hop, hw.start.as_ns(), hw.end.as_ns())?;
+                writeln!(
+                    w,
+                    "{},{},{},{}",
+                    p,
+                    hw.hop,
+                    hw.start.as_ns(),
+                    hw.end.as_ns()
+                )?;
             }
         }
     }
@@ -68,7 +106,10 @@ fn main() -> std::io::Result<()> {
     // Fig 17 breakdown.
     {
         let mut w = writer(dir, "fig17_cmd_breakdown.csv")?;
-        writeln!(w, "platform,wait_before_frac,flash_frac,wait_after_frac,mean_lifetime_ns")?;
+        writeln!(
+            w,
+            "platform,wait_before_frac,flash_frac,wait_after_frac,mean_lifetime_ns"
+        )?;
         for p in Platform::BG_CHAIN {
             let m = bench::fig17(p, DEFAULT_NODES, DEFAULT_BATCH);
             let (a, b, c) = m.cmd_breakdown.fractions();
@@ -115,8 +156,16 @@ fn main() -> std::io::Result<()> {
             writeln!(
                 w,
                 "{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.2},{:.2}",
-                r.platform, b.flash, b.channel, b.dram, b.pcie, b.cores, b.host, b.accel,
-                r.efficiency, r.avg_power
+                r.platform,
+                b.flash,
+                b.channel,
+                b.dram,
+                b.pcie,
+                b.cores,
+                b.host,
+                b.accel,
+                r.efficiency,
+                r.avg_power
             )?;
         }
     }

@@ -1,0 +1,123 @@
+//! Dependency-free performance smoke test.
+//!
+//! Times a fixed BG-2 simulation with `std::time::Instant` only — no
+//! bench harness, no external crates — so any environment that can
+//! build the workspace can track simulator performance over time:
+//!
+//! ```sh
+//! cargo run --release -p beacon-bench --bin perf_smoke
+//! cargo run --release -p beacon-bench --bin perf_smoke -- --iters 5 --json perf.json
+//! ```
+//!
+//! Prints a human-readable line per phase to stderr and a single JSON
+//! object to stdout (or to `--json PATH`), e.g.:
+//!
+//! ```json
+//! {"workload_prepare_s": 0.41, "run_best_s": 0.22, "runs_per_s": 4.5, ...}
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use beacongnn::{Dataset, Platform, RunCell, Workload};
+
+/// Fixed smoke-test shape: large enough that the event calendar and
+/// resource models dominate, small enough to finish in seconds.
+const NODES: usize = 8_000;
+const BATCH: usize = 128;
+const BATCHES: usize = 2;
+const SEED: u64 = 7;
+
+fn main() {
+    let mut iters = 3usize;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                let v = args.next().unwrap_or_default();
+                iters = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--iters expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => json_path = args.next(),
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; usage: perf_smoke [--iters N] [--json PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let iters = iters.max(1);
+
+    let t0 = Instant::now();
+    let workload = std::sync::Arc::new(
+        Workload::builder()
+            .dataset(Dataset::Amazon)
+            .nodes(NODES)
+            .batch_size(BATCH)
+            .batches(BATCHES)
+            .seed(SEED)
+            .prepare()
+            .expect("smoke workload prepares"),
+    );
+    let prepare_s = t0.elapsed().as_secs_f64();
+    eprintln!("prepare: {prepare_s:.3} s ({NODES} nodes, batch {BATCH} x {BATCHES})");
+
+    let cell = RunCell::new(Platform::Bg2, workload);
+    // One warm-up run so allocator and page-cache effects do not skew
+    // the first timed iteration.
+    let warm = cell.execute();
+    let mut times = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let t = Instant::now();
+        let m = cell.execute();
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            m.nodes_visited, warm.nodes_visited,
+            "simulation must be deterministic across timing iterations"
+        );
+        eprintln!("run {}/{iters}: {secs:.3} s", i + 1);
+        times.push(secs);
+    }
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    eprintln!(
+        "BG-2 {NODES}-node run: best {best:.3} s, mean {mean:.3} s, \
+         {:.0} nodes visited, makespan {}",
+        warm.nodes_visited as f64, warm.makespan
+    );
+
+    let mut json = String::new();
+    json.push('{');
+    let _ = write!(json, "\"platform\": \"BG-2\", ");
+    let _ = write!(
+        json,
+        "\"nodes\": {NODES}, \"batch\": {BATCH}, \"batches\": {BATCHES}, "
+    );
+    let _ = write!(json, "\"seed\": {SEED}, \"iters\": {iters}, ");
+    let _ = write!(json, "\"workload_prepare_s\": {prepare_s:.6}, ");
+    let _ = write!(
+        json,
+        "\"run_best_s\": {best:.6}, \"run_mean_s\": {mean:.6}, "
+    );
+    let _ = write!(
+        json,
+        "\"runs_per_s\": {:.4}, ",
+        if best > 0.0 { 1.0 / best } else { 0.0 }
+    );
+    let _ = write!(json, "\"nodes_visited\": {}, ", warm.nodes_visited);
+    let _ = write!(json, "\"flash_reads\": {}, ", warm.flash_reads);
+    let _ = write!(json, "\"makespan_ns\": {}", warm.makespan.as_ns());
+    json.push_str("}\n");
+
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write JSON output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

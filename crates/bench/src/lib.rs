@@ -11,10 +11,13 @@
 //! *normalized*, so shapes — who wins, by what factor, where crossovers
 //! fall — are the reproduction target, not absolute values.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
 use beacon_energy::EnergyCosts;
 use beacon_platforms::motivation::{die_scaling_sweep, DieScalingPoint};
 use beacon_platforms::{Platform, RunMetrics};
-use beacongnn::{Dataset, Experiment, SsdConfig, Workload};
+use beacongnn::{Dataset, Experiment, RunCell, RunMatrix, SsdConfig, Workload, WorkloadCache};
 use simkit::Duration;
 
 /// Default node scale for harness workloads.
@@ -26,28 +29,58 @@ pub const DEFAULT_BATCHES: usize = 3;
 /// Default seed.
 pub const SEED: u64 = 2024;
 
-/// Prepares the standard workload for `dataset` at harness scale.
-pub fn workload(dataset: Dataset, nodes: usize, batch: usize) -> Workload {
-    Workload::builder()
-        .dataset(dataset)
-        .nodes(nodes)
-        .batch_size(batch)
-        .batches(DEFAULT_BATCHES)
-        .seed(SEED)
-        .prepare()
+/// Worker-thread count used by every matrix-backed figure (default 1 =
+/// sequential). Cell seeds are fixed before execution, so results are
+/// byte-identical at any setting; this only trades wall-clock time.
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the worker-thread count for matrix-backed figures.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The worker-thread count currently in effect.
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed).max(1)
+}
+
+/// Executes a figure's matrix under the harness-wide jobs setting.
+fn run_matrix(matrix: &RunMatrix) -> Vec<RunMetrics> {
+    matrix.run_parallel(jobs())
+}
+
+/// The process-wide workload cache: figures that share a dataset shape
+/// (most of them reuse amazon at harness scale) prepare it exactly
+/// once and share the image via `Arc`.
+fn cache() -> &'static WorkloadCache {
+    static CACHE: OnceLock<WorkloadCache> = OnceLock::new();
+    CACHE.get_or_init(WorkloadCache::new)
+}
+
+/// Prepares (or fetches from the cache) a workload with an explicit
+/// batch count.
+fn workload_with(dataset: Dataset, nodes: usize, batch: usize, batches: usize) -> Arc<Workload> {
+    cache()
+        .get_or_prepare(
+            Workload::builder()
+                .dataset(dataset)
+                .nodes(nodes)
+                .batch_size(batch)
+                .batches(batches)
+                .seed(SEED),
+        )
         .expect("harness workload prepares")
 }
 
+/// Prepares the standard workload for `dataset` at harness scale.
+/// Cached: repeated calls with the same shape share one prepared image.
+pub fn workload(dataset: Dataset, nodes: usize, batch: usize) -> Arc<Workload> {
+    workload_with(dataset, nodes, batch, DEFAULT_BATCHES)
+}
+
 /// Small-scale workload for Criterion benches (kept fast).
-pub fn bench_workload(dataset: Dataset) -> Workload {
-    Workload::builder()
-        .dataset(dataset)
-        .nodes(2_000)
-        .batch_size(32)
-        .batches(1)
-        .seed(SEED)
-        .prepare()
-        .expect("bench workload prepares")
+pub fn bench_workload(dataset: Dataset) -> Arc<Workload> {
+    workload_with(dataset, 2_000, 32, 1)
 }
 
 // ---------------------------------------------------------------------
@@ -80,20 +113,18 @@ pub struct BarrierIdleRow {
 
 /// Runs the Fig 7b barrier-cost sweep over batch sizes.
 pub fn fig7b(nodes: usize) -> Vec<BarrierIdleRow> {
-    [32usize, 64, 128, 256]
+    let sizes = [32usize, 64, 128, 256];
+    let mut matrix = RunMatrix::new();
+    for &batch_size in &sizes {
+        let w = workload_with(Dataset::Amazon, nodes, batch_size, 2);
+        matrix.add_platforms(&[Platform::BgSp, Platform::BgDgsp], &w);
+    }
+    let results = run_matrix(&matrix);
+    sizes
         .iter()
-        .map(|&batch_size| {
-            let w = Workload::builder()
-                .dataset(Dataset::Amazon)
-                .nodes(nodes)
-                .batch_size(batch_size)
-                .batches(2)
-                .seed(SEED)
-                .prepare()
-                .expect("prepare");
-            let exp = Experiment::new(&w);
-            let sp = exp.run(Platform::BgSp);
-            let dgsp = exp.run(Platform::BgDgsp);
+        .zip(results.chunks(2))
+        .map(|(&batch_size, pair)| {
+            let (sp, dgsp) = (&pair[0], &pair[1]);
             BarrierIdleRow {
                 batch_size,
                 barriered_util: sp.die_utilization(),
@@ -121,15 +152,30 @@ pub struct Fig14Row {
     pub targets_per_sec: f64,
 }
 
-/// Runs all eight platforms on all five workloads.
-pub fn fig14(nodes: usize, batch: usize) -> Vec<Fig14Row> {
-    let mut rows = Vec::new();
+/// Builds the Fig 14 matrix: all eight platforms × all five workloads,
+/// dataset-major (the same cell order [`fig14`] reports).
+pub fn fig14_matrix(nodes: usize, batch: usize) -> RunMatrix {
+    let mut matrix = RunMatrix::new();
     for dataset in Dataset::ALL {
         let w = workload(dataset, nodes, batch);
-        let exp = Experiment::new(&w);
-        let cc = exp.run(Platform::Cc).throughput();
-        for p in Platform::ALL {
-            let t = exp.run(p).throughput();
+        matrix.add_platforms(&Platform::ALL, &w);
+    }
+    matrix
+}
+
+/// Folds one-per-cell metrics of [`fig14_matrix`] into Fig 14 rows.
+pub fn fig14_rows(results: &[RunMetrics]) -> Vec<Fig14Row> {
+    let nplat = Platform::ALL.len();
+    let cc_idx = Platform::ALL
+        .iter()
+        .position(|&p| p == Platform::Cc)
+        .expect("CC baseline in platform list");
+    let mut rows = Vec::with_capacity(results.len());
+    for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
+        let chunk = &results[di * nplat..(di + 1) * nplat];
+        let cc = chunk[cc_idx].throughput();
+        for (p, m) in Platform::ALL.into_iter().zip(chunk) {
+            let t = m.throughput();
             rows.push(Fig14Row {
                 dataset,
                 platform: p,
@@ -141,11 +187,19 @@ pub fn fig14(nodes: usize, batch: usize) -> Vec<Fig14Row> {
     rows
 }
 
+/// Runs all eight platforms on all five workloads.
+pub fn fig14(nodes: usize, batch: usize) -> Vec<Fig14Row> {
+    fig14_rows(&run_matrix(&fig14_matrix(nodes, batch)))
+}
+
 /// The geometric-mean normalized throughput of `platform` across all
 /// datasets in `rows`.
 pub fn geomean_normalized(rows: &[Fig14Row], platform: Platform) -> f64 {
-    let vals: Vec<f64> =
-        rows.iter().filter(|r| r.platform == platform).map(|r| r.normalized).collect();
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.platform == platform)
+        .map(|r| r.normalized)
+        .collect();
     if vals.is_empty() {
         return 0.0;
     }
@@ -201,13 +255,14 @@ pub fn fig15f(platform: Platform, nodes: usize, batch: usize) -> RunMetrics {
 /// saturate channel transfer) and movielens/OGBN channel-starved (short
 /// features transfer quickly), with amazon highest on both.
 pub fn fig15_dataset_utilization(nodes: usize, batch: usize) -> Vec<(Dataset, f64, f64)> {
+    let mut matrix = RunMatrix::new();
+    for d in Dataset::ALL {
+        matrix.push(RunCell::new(Platform::Bg2, workload(d, nodes, batch)));
+    }
     Dataset::ALL
-        .iter()
-        .map(|&d| {
-            let w = workload(d, nodes, batch);
-            let m = Experiment::new(&w).run(Platform::Bg2);
-            (d, m.die_utilization(), m.channel_utilization())
-        })
+        .into_iter()
+        .zip(run_matrix(&matrix))
+        .map(|(d, m)| (d, m.die_utilization(), m.channel_utilization()))
         .collect()
 }
 
@@ -319,32 +374,33 @@ pub struct SweepRow {
 }
 
 /// Runs a Fig 18 sweep over the BG chain.
+///
+/// Device-only sweeps (bandwidth, cores, channels, dies) reuse one
+/// cached workload across all points; batch-size and page-size points
+/// change the workload itself and each prepare their own (also cached,
+/// so repeated figure runs stay cheap).
 pub fn fig18(sweep: Sweep, nodes: usize) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for point in sweep.points() {
+    let points = sweep.points();
+    let mut matrix = RunMatrix::new();
+    for &point in &points {
         // Page size changes the DirectGraph image, so the workload must
         // be rebuilt per point for that sweep; batch size likewise.
         let (w, ssd) = match sweep {
             Sweep::BatchSize => (
-                Workload::builder()
-                    .dataset(Dataset::Amazon)
-                    .nodes(nodes)
-                    .batch_size(point as usize)
-                    .batches(DEFAULT_BATCHES)
-                    .seed(SEED)
-                    .prepare()
-                    .expect("prepare"),
+                workload_with(Dataset::Amazon, nodes, point as usize, DEFAULT_BATCHES),
                 SsdConfig::paper_default(),
             ),
             Sweep::PageSize => (
-                Workload::builder()
-                    .dataset(Dataset::Amazon)
-                    .nodes(nodes)
-                    .batch_size(DEFAULT_BATCH)
-                    .batches(DEFAULT_BATCHES)
-                    .seed(SEED)
-                    .page_size(point as usize)
-                    .prepare()
+                cache()
+                    .get_or_prepare(
+                        Workload::builder()
+                            .dataset(Dataset::Amazon)
+                            .nodes(nodes)
+                            .batch_size(DEFAULT_BATCH)
+                            .batches(DEFAULT_BATCHES)
+                            .seed(SEED)
+                            .page_size(point as usize),
+                    )
                     .expect("prepare"),
                 SsdConfig::paper_default().with_page_size(point as usize),
             ),
@@ -365,16 +421,26 @@ pub fn fig18(sweep: Sweep, nodes: usize) -> Vec<SweepRow> {
                 SsdConfig::paper_default().with_dies_per_channel(point as usize),
             ),
         };
-        let exp = Experiment::new(&w).ssd(ssd);
         for p in Platform::BG_CHAIN {
-            rows.push(SweepRow {
-                platform: p,
-                point,
-                targets_per_sec: exp.run(p).throughput(),
-            });
+            matrix.push(RunCell::new(p, Arc::clone(&w)).ssd(ssd));
         }
     }
-    rows
+    let results = run_matrix(&matrix);
+    let nplat = Platform::BG_CHAIN.len();
+    points
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &point)| {
+            Platform::BG_CHAIN
+                .into_iter()
+                .zip(&results[pi * nplat..(pi + 1) * nplat])
+                .map(move |(platform, m)| SweepRow {
+                    platform,
+                    point,
+                    targets_per_sec: m.throughput(),
+                })
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -397,12 +463,13 @@ pub struct EnergyRow {
 /// Runs the Fig 19 energy comparison on amazon.
 pub fn fig19(nodes: usize, batch: usize) -> Vec<EnergyRow> {
     let w = workload(Dataset::Amazon, nodes, batch);
-    let exp = Experiment::new(&w);
+    let mut matrix = RunMatrix::new();
+    matrix.add_platforms(&Platform::ALL, &w);
     let costs = EnergyCosts::default_costs();
     Platform::ALL
-        .iter()
-        .map(|&p| {
-            let m = exp.run(p);
+        .into_iter()
+        .zip(run_matrix(&matrix))
+        .map(|(p, m)| {
             let b = m.energy.breakdown(&costs);
             EnergyRow {
                 platform: p,
@@ -421,15 +488,22 @@ pub fn fig19(nodes: usize, batch: usize) -> Vec<EnergyRow> {
 /// Runs the BG chain (plus CC) on all datasets with 20 µs flash,
 /// returning average normalized throughput per platform.
 pub fn traditional_ssd(nodes: usize, batch: usize) -> Vec<(Platform, f64)> {
-    let mut sums: Vec<(Platform, f64)> =
-        Platform::BG_CHAIN.iter().map(|&p| (p, 0.0)).collect();
+    let mut sums: Vec<(Platform, f64)> = Platform::BG_CHAIN.iter().map(|&p| (p, 0.0)).collect();
     let n = Dataset::ALL.len() as f64;
+    let mut matrix = RunMatrix::new();
     for dataset in Dataset::ALL {
         let w = workload(dataset, nodes, batch);
-        let exp = Experiment::new(&w).ssd(SsdConfig::traditional());
-        let cc = exp.run(Platform::Cc).throughput();
-        for (p, sum) in &mut sums {
-            *sum += exp.run(*p).throughput() / cc / n;
+        matrix.push(RunCell::new(Platform::Cc, Arc::clone(&w)).ssd(SsdConfig::traditional()));
+        for p in Platform::BG_CHAIN {
+            matrix.push(RunCell::new(p, Arc::clone(&w)).ssd(SsdConfig::traditional()));
+        }
+    }
+    let results = run_matrix(&matrix);
+    let stride = 1 + Platform::BG_CHAIN.len();
+    for chunk in results.chunks(stride) {
+        let cc = chunk[0].throughput();
+        for ((_, sum), m) in sums.iter_mut().zip(&chunk[1..]) {
+            *sum += m.throughput() / cc / n;
         }
     }
     sums
@@ -488,8 +562,9 @@ pub struct QueryRow {
 /// Measures single-target query latency across platforms.
 pub fn query_latency(nodes: usize, queries: usize) -> Vec<QueryRow> {
     let w = workload(Dataset::Amazon, nodes, 1);
-    let qs: Vec<Vec<beacongnn::NodeId>> =
-        (0..queries).map(|i| vec![beacongnn::NodeId::new((i % nodes) as u32)]).collect();
+    let qs: Vec<Vec<beacongnn::NodeId>> = (0..queries)
+        .map(|i| vec![beacongnn::NodeId::new((i % nodes) as u32)])
+        .collect();
     Platform::ALL
         .iter()
         .map(|&p| {
@@ -501,7 +576,11 @@ pub fn query_latency(nodes: usize, queries: usize) -> Vec<QueryRow> {
                 &qs,
                 SEED,
             );
-            QueryRow { platform: p, mean: lat.mean, max: lat.max }
+            QueryRow {
+                platform: p,
+                mean: lat.mean,
+                max: lat.max,
+            }
         })
         .collect()
 }
@@ -530,11 +609,16 @@ pub fn array_scaling(nodes: usize, batch: usize) -> Vec<beacon_platforms::ArrayS
 /// exceeds the DRAM's) with baseline DRAM, HBM, and flash→SRAM bypass.
 pub fn dram_ablation(nodes: usize, batch: usize) -> Vec<(&'static str, f64)> {
     let w = workload(Dataset::Amazon, nodes, batch);
-    let base = SsdConfig::paper_default().with_channels(32).with_dies_per_channel(16);
+    let base = SsdConfig::paper_default()
+        .with_channels(32)
+        .with_dies_per_channel(16);
     let configs: Vec<(&'static str, SsdConfig)> = vec![
         ("32ch x 16die, baseline DRAM", base),
         ("32ch x 16die, HBM", base.with_hbm()),
-        ("32ch x 16die, flash->SRAM bypass", base.with_dram_bypass(true)),
+        (
+            "32ch x 16die, flash->SRAM bypass",
+            base.with_dram_bypass(true),
+        ),
     ];
     configs
         .into_iter()
@@ -567,23 +651,19 @@ pub struct InterferenceRow {
 
 /// Measures the §VI-G deferral window across batch sizes on BG-2.
 pub fn interference(nodes: usize) -> Vec<InterferenceRow> {
-    [32usize, 64, 128, 256]
-        .iter()
-        .map(|&batch_size| {
-            let w = Workload::builder()
-                .dataset(Dataset::Amazon)
-                .nodes(nodes)
-                .batch_size(batch_size)
-                .batches(1)
-                .seed(SEED)
-                .prepare()
-                .expect("prepare");
-            let m = Experiment::new(&w).run(Platform::Bg2);
-            InterferenceRow {
-                batch_size,
-                batch_window: m.makespan,
-                expected_deferral: m.makespan / 2,
-            }
+    let sizes = [32usize, 64, 128, 256];
+    let mut matrix = RunMatrix::new();
+    for &batch_size in &sizes {
+        let w = workload_with(Dataset::Amazon, nodes, batch_size, 1);
+        matrix.push(RunCell::new(Platform::Bg2, w));
+    }
+    sizes
+        .into_iter()
+        .zip(run_matrix(&matrix))
+        .map(|(batch_size, m)| InterferenceRow {
+            batch_size,
+            batch_window: m.makespan,
+            expected_deferral: m.makespan / 2,
         })
         .collect()
 }
@@ -625,7 +705,11 @@ mod tests {
         let barrier = fig16(Platform::Bg1, 2_000, 32);
         let ooo = fig16(Platform::Bg2, 2_000, 32);
         assert_eq!(hop_overlap_fraction(&barrier), 0.0);
-        assert!(hop_overlap_fraction(&ooo) > 0.1, "{}", hop_overlap_fraction(&ooo));
+        assert!(
+            hop_overlap_fraction(&ooo) > 0.1,
+            "{}",
+            hop_overlap_fraction(&ooo)
+        );
     }
 
     #[test]
@@ -635,7 +719,11 @@ mod tests {
         // CHANNEL utilization (short features); amazon is the balanced
         // representative.
         let rows = fig15_dataset_utilization(3_000, 64);
-        let get = |d: Dataset| rows.iter().find(|r| r.0 == d).expect("all datasets present");
+        let get = |d: Dataset| {
+            rows.iter()
+                .find(|r| r.0 == d)
+                .expect("all datasets present")
+        };
         let amazon = get(Dataset::Amazon);
         for starved in [Dataset::Reddit, Dataset::Ppi] {
             assert!(

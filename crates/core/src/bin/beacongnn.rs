@@ -67,7 +67,10 @@ impl<'a> Flags<'a> {
     }
 
     fn positional(&self) -> Option<&'a str> {
-        self.args.first().filter(|a| !a.starts_with("--")).map(String::as_str)
+        self.args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
     }
 
     fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -141,10 +144,22 @@ fn inspect(args: &[String]) -> Result<(), String> {
     let mut t = Table::new(&["property", "value"]);
     t.row_owned(vec!["nodes".into(), dg.directory().len().to_string()]);
     t.row_owned(vec!["edges".into(), stats.edges.to_string()]);
-    t.row_owned(vec!["page size".into(), dg.layout().page_size().to_string()]);
-    t.row_owned(vec!["primary pages".into(), stats.primary_pages.to_string()]);
-    t.row_owned(vec!["secondary pages".into(), stats.secondary_pages.to_string()]);
-    t.row_owned(vec!["secondary sections".into(), stats.secondary_sections.to_string()]);
+    t.row_owned(vec![
+        "page size".into(),
+        dg.layout().page_size().to_string(),
+    ]);
+    t.row_owned(vec![
+        "primary pages".into(),
+        stats.primary_pages.to_string(),
+    ]);
+    t.row_owned(vec![
+        "secondary pages".into(),
+        stats.secondary_pages.to_string(),
+    ]);
+    t.row_owned(vec![
+        "secondary sections".into(),
+        stats.secondary_sections.to_string(),
+    ]);
     t.row_owned(vec![
         "page utilization".into(),
         percent(stats.used_bytes as f64 / dg.image().stored_bytes() as f64),
@@ -179,8 +194,14 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     if let Some(path) = trace_path {
         let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        m.trace.to_csv(BufWriter::new(file)).map_err(|e| format!("write {path}: {e}"))?;
-        println!("trace written to {path} ({} events, {} dropped)", m.trace.len(), m.trace.dropped());
+        m.trace
+            .to_csv(BufWriter::new(file))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "trace written to {path} ({} events, {} dropped)",
+            m.trace.len(),
+            m.trace.dropped()
+        );
     }
     let mut t = Table::new(&["metric", "value"]);
     t.row_owned(vec!["platform".into(), m.platform.to_string()]);
@@ -191,7 +212,10 @@ fn run(args: &[String]) -> Result<(), String> {
     t.row_owned(vec!["compute time".into(), format!("{}", m.compute_time)]);
     t.row_owned(vec!["flash reads".into(), m.flash_reads.to_string()]);
     t.row_owned(vec!["die utilization".into(), percent(m.die_utilization())]);
-    t.row_owned(vec!["channel utilization".into(), percent(m.channel_utilization())]);
+    t.row_owned(vec![
+        "channel utilization".into(),
+        percent(m.channel_utilization()),
+    ]);
     println!("{}", t.render());
     Ok(())
 }

@@ -16,8 +16,10 @@
 //!
 //! This crate is the user-facing facade: build a workload once with
 //! [`Workload::builder`] + [`WorkloadBuilder::prepare`], run any of the
-//! paper's eight platforms on it with [`Experiment::run`], and format
-//! paper-style comparison tables with [`report`].
+//! paper's eight platforms on it with [`Experiment::run`], fan whole
+//! sweeps across cores deterministically with [`RunMatrix`] +
+//! [`ParallelRunner`], and format paper-style comparison tables with
+//! [`report`].
 //!
 //! ## Quickstart
 //!
@@ -40,14 +42,16 @@
 //! # Ok::<(), beacongnn::WorkloadError>(())
 //! ```
 
+pub mod matrix;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
-pub use beacon_graph::{Dataset, DatasetSpec, NodeId};
 pub use beacon_gnn::GnnModelConfig;
+pub use beacon_graph::{Dataset, DatasetSpec, NodeId};
 pub use beacon_platforms::{Platform, RunMetrics};
 pub use beacon_ssd::SsdConfig;
+pub use matrix::{default_jobs, ParallelRunner, RunCell, RunMatrix, WorkloadCache};
 pub use runner::{Experiment, ThroughputStats};
 pub use workload::{Workload, WorkloadBuilder, WorkloadError};
 

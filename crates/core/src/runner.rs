@@ -28,9 +28,13 @@ impl<'a> Experiment<'a> {
     /// Creates an experiment over `workload` with the paper-default SSD,
     /// matched to the workload's page size.
     pub fn new(workload: &'a Workload) -> Self {
-        let ssd = SsdConfig::paper_default()
-            .with_page_size(workload.directgraph().layout().page_size());
-        Experiment { workload, ssd, seed: workload.seed() }
+        let ssd =
+            SsdConfig::paper_default().with_page_size(workload.directgraph().layout().page_size());
+        Experiment {
+            workload,
+            ssd,
+            seed: workload.seed(),
+        }
     }
 
     /// Overrides the device configuration (sensitivity sweeps). The
@@ -73,7 +77,9 @@ impl<'a> Experiment<'a> {
     pub fn normalized_throughput(&self, platforms: &[Platform]) -> Vec<(Platform, f64)> {
         let runs = self.run_all(platforms);
         let base = runs.first().map(|(_, m)| m.throughput()).unwrap_or(1.0);
-        runs.into_iter().map(|(p, m)| (p, m.throughput() / base)).collect()
+        runs.into_iter()
+            .map(|(p, m)| (p, m.throughput() / base))
+            .collect()
     }
 
     /// Runs one platform under `seeds` different TRNG seeds and returns
@@ -87,9 +93,13 @@ impl<'a> Experiment<'a> {
         assert!(seeds > 0, "need at least one seed");
         let samples: Vec<f64> = (0..seeds as u64)
             .map(|i| {
-                Experiment { workload: self.workload, ssd: self.ssd, seed: self.seed ^ (i << 13) }
-                    .run(platform)
-                    .throughput()
+                Experiment {
+                    workload: self.workload,
+                    ssd: self.ssd,
+                    seed: self.seed ^ (i << 13),
+                }
+                .run(platform)
+                .throughput()
             })
             .collect();
         ThroughputStats::from_samples(&samples)
@@ -144,7 +154,13 @@ mod tests {
     use crate::workload::Workload;
 
     fn small_workload() -> Workload {
-        Workload::builder().nodes(1_000).batch_size(16).batches(1).seed(3).prepare().unwrap()
+        Workload::builder()
+            .nodes(1_000)
+            .batch_size(16)
+            .batches(1)
+            .seed(3)
+            .prepare()
+            .unwrap()
     }
 
     #[test]
@@ -159,8 +175,11 @@ mod tests {
     #[test]
     fn normalized_throughput_base_is_one() {
         let w = small_workload();
-        let norm = Experiment::new(&w)
-            .normalized_throughput(&[Platform::Cc, Platform::Bg1, Platform::Bg2]);
+        let norm = Experiment::new(&w).normalized_throughput(&[
+            Platform::Cc,
+            Platform::Bg1,
+            Platform::Bg2,
+        ]);
         assert_eq!(norm[0].1, 1.0);
         assert!(norm[2].1 > norm[0].1);
     }
@@ -181,7 +200,11 @@ mod tests {
         assert_eq!(stats.runs, 4);
         assert!(stats.mean > 0.0);
         assert!(stats.min <= stats.mean && stats.mean <= stats.max);
-        assert!(stats.cv() < 0.15, "run-to-run CV {:.3} too high", stats.cv());
+        assert!(
+            stats.cv() < 0.15,
+            "run-to-run CV {:.3} too high",
+            stats.cv()
+        );
     }
 
     #[test]
@@ -196,6 +219,9 @@ mod tests {
         // BG-2 removes firmware from the sampling path: core count must
         // not matter (Fig 18c).
         let ratio = many.throughput() / few.throughput();
-        assert!((0.95..=1.05).contains(&ratio), "BG-2 core sensitivity {ratio:.3}");
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "BG-2 core sensitivity {ratio:.3}"
+        );
     }
 }

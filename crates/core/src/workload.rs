@@ -112,6 +112,27 @@ impl WorkloadBuilder {
         self
     }
 
+    /// A stable identity string for caching: two builders with the same
+    /// fingerprint prepare byte-identical workloads. Builders carrying a
+    /// caller-supplied graph have no fingerprint (the graph itself is
+    /// the identity, and hashing it would cost more than rebuilding the
+    /// image).
+    pub(crate) fn fingerprint(&self) -> Option<String> {
+        if self.custom.is_some() {
+            return None;
+        }
+        Some(format!(
+            "{:?}|n{}|b{}|c{}|p{}|s{}|m{:?}",
+            self.dataset,
+            self.nodes,
+            self.batch_size,
+            self.batches,
+            self.page_size,
+            self.seed,
+            self.model,
+        ))
+    }
+
     /// Synthesizes the graph, converts it to DirectGraph, and draws the
     /// mini-batch targets.
     ///
@@ -134,11 +155,20 @@ impl WorkloadBuilder {
         };
         let num_nodes = graph.num_nodes();
         let dg = DirectGraphBuilder::new(layout).build(&graph, &features)?;
-        let model =
-            self.model.unwrap_or_else(|| GnnModelConfig::paper_default(spec.feature_dim));
+        let model = self
+            .model
+            .unwrap_or_else(|| GnnModelConfig::paper_default(spec.feature_dim));
         let mut stream = MinibatchStream::new(num_nodes, self.batch_size, self.seed ^ 0xBA7C);
         let batches = (0..self.batches).map(|_| stream.next_batch()).collect();
-        Ok(Workload { spec, graph, features, dg, model, batches, seed: self.seed })
+        Ok(Workload {
+            spec,
+            graph,
+            features,
+            dg,
+            model,
+            batches,
+            seed: self.seed,
+        })
     }
 }
 
@@ -218,7 +248,12 @@ mod tests {
 
     #[test]
     fn builder_defaults_prepare() {
-        let w = Workload::builder().nodes(500).batch_size(8).batches(2).prepare().unwrap();
+        let w = Workload::builder()
+            .nodes(500)
+            .batch_size(8)
+            .batches(2)
+            .prepare()
+            .unwrap();
         assert_eq!(w.graph().num_nodes(), 500);
         assert_eq!(w.batches().len(), 2);
         assert_eq!(w.batches()[0].len(), 8);
@@ -277,8 +312,20 @@ mod tests {
 
     #[test]
     fn workload_is_deterministic() {
-        let a = Workload::builder().nodes(300).batch_size(4).batches(1).seed(9).prepare().unwrap();
-        let b = Workload::builder().nodes(300).batch_size(4).batches(1).seed(9).prepare().unwrap();
+        let a = Workload::builder()
+            .nodes(300)
+            .batch_size(4)
+            .batches(1)
+            .seed(9)
+            .prepare()
+            .unwrap();
+        let b = Workload::builder()
+            .nodes(300)
+            .batch_size(4)
+            .batches(1)
+            .seed(9)
+            .prepare()
+            .unwrap();
         assert_eq!(a.batches(), b.batches());
         assert_eq!(a.directgraph().stats(), b.directgraph().stats());
     }

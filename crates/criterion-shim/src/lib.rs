@@ -1,0 +1,269 @@
+//! # criterion (offline shim)
+//!
+//! A dependency-free stand-in for the subset of the
+//! [criterion](https://docs.rs/criterion) API this workspace's benches
+//! use, so `cargo bench` works in environments with no crates-io
+//! access. It measures plain wall-clock time over `std::time::Instant`
+//! — no statistical analysis, outlier rejection, or HTML reports — and
+//! prints one line per benchmark:
+//!
+//! ```text
+//! group/name            time: 12.345 us/iter  (20 iters)  thrpt: 3.2 Melem/s
+//! ```
+//!
+//! Supported surface: `Criterion::{benchmark_group, bench_function}`,
+//! group `sample_size`/`throughput`/`bench_function`/`bench_with_input`/
+//! `finish`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`, and `black_box`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of measured iterations when a group does not set
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, after one untimed warm-up call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim accepts and ignores
+    /// all harness arguments (`--bench`, filters, ...).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLE_SIZE, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work so results report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters: sample_size,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.total.as_secs_f64() / b.iters.max(1) as f64;
+    let mut line = format!(
+        "{label:<48} time: {}  ({} iters)",
+        format_seconds(per_iter),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem"),
+            Throughput::Bytes(n) => (n as f64, "B"),
+        };
+        if per_iter > 0.0 {
+            line.push_str(&format!(
+                "  thrpt: {}",
+                format_rate(amount / per_iter, unit)
+            ));
+        }
+    }
+    println!("{line}");
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s/iter")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms/iter", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us/iter", s * 1e6)
+    } else {
+        format!("{:.1} ns/iter", s * 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Declares a function that runs the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3).throughput(Throughput::Elements(2));
+            g.bench_function("inline", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        // 3 measured + 1 warm-up call of the first closure.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert!(format_seconds(2.0).ends_with("s/iter"));
+        assert!(format_seconds(2e-3).contains("ms"));
+        assert!(format_seconds(2e-6).contains("us"));
+        assert!(format_seconds(2e-9).contains("ns"));
+        assert!(format_rate(5e9, "elem").contains('G'));
+        assert!(format_rate(5e6, "elem").contains('M'));
+        assert!(format_rate(5e3, "elem").contains('K'));
+        assert!(format_rate(5.0, "B").contains("B/s"));
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("BG-2").to_string(), "BG-2");
+    }
+}

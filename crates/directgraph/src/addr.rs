@@ -44,7 +44,11 @@ impl AddrLayout {
         // 4 KB -> 4 slot bits; 2 KB -> 3; 8 KB -> 5; ...
         let shift = (page_size / 2048).trailing_zeros(); // 2KB->0, 4KB->1, ...
         let slot_bits = 3 + shift;
-        Some(AddrLayout { page_bits: Self::ADDR_BITS - slot_bits, slot_bits, page_size })
+        Some(AddrLayout {
+            page_bits: Self::ADDR_BITS - slot_bits,
+            slot_bits,
+            page_size,
+        })
     }
 
     /// Number of page-index bits.
@@ -83,15 +87,24 @@ impl AddrLayout {
     ///
     /// Panics if `page` or `slot` exceed the layout's field widths.
     pub fn pack(self, page: PageIndex, slot: usize) -> PhysAddr {
-        assert!(page.as_u64() <= self.max_page_index(), "page index overflows layout");
-        assert!(slot < self.max_sections_per_page(), "slot index overflows layout");
+        assert!(
+            page.as_u64() <= self.max_page_index(),
+            "page index overflows layout"
+        );
+        assert!(
+            slot < self.max_sections_per_page(),
+            "slot index overflows layout"
+        );
         PhysAddr(((page.as_u64() as u32) << self.slot_bits) | slot as u32)
     }
 
     /// Unpacks a [`PhysAddr`] into `(page, slot)`.
     pub fn unpack(self, addr: PhysAddr) -> (PageIndex, usize) {
         let slot_mask = (1u32 << self.slot_bits) - 1;
-        (PageIndex::new((addr.0 >> self.slot_bits) as u64), (addr.0 & slot_mask) as usize)
+        (
+            PageIndex::new((addr.0 >> self.slot_bits) as u64),
+            (addr.0 & slot_mask) as usize,
+        )
     }
 }
 

@@ -25,8 +25,8 @@ use crate::addr::{AddrLayout, PageIndex, PhysAddr};
 use crate::image::PageStore;
 use crate::inflation::InflationReport;
 use crate::layout::{
-    primary_section_size, secondary_capacity, secondary_section_size, PageEncoder,
-    ADDR_BYTES, HEADER_BYTES, PRIMARY_FIXED_BYTES,
+    primary_section_size, secondary_capacity, secondary_section_size, PageEncoder, ADDR_BYTES,
+    HEADER_BYTES, PRIMARY_FIXED_BYTES,
 };
 
 /// Errors from DirectGraph construction.
@@ -34,25 +34,48 @@ use crate::layout::{
 pub enum BuildError {
     /// A node's feature vector alone exceeds a flash page, so no primary
     /// section can hold it.
-    FeatureTooLarge { node: NodeId, feature_bytes: usize, page_size: usize },
+    FeatureTooLarge {
+        node: NodeId,
+        feature_bytes: usize,
+        page_size: usize,
+    },
     /// The graph needs more pages than the address layout can index.
     AddressSpaceExhausted { needed_pages: u64, max_pages: u64 },
     /// Graph and feature table disagree on node count.
-    NodeCountMismatch { graph_nodes: usize, feature_rows: usize },
+    NodeCountMismatch {
+        graph_nodes: usize,
+        feature_rows: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::FeatureTooLarge { node, feature_bytes, page_size } => write!(
+            BuildError::FeatureTooLarge {
+                node,
+                feature_bytes,
+                page_size,
+            } => write!(
                 f,
                 "feature of {node} ({feature_bytes} B) cannot fit a {page_size} B page"
             ),
-            BuildError::AddressSpaceExhausted { needed_pages, max_pages } => {
-                write!(f, "graph needs {needed_pages} pages, layout indexes {max_pages}")
+            BuildError::AddressSpaceExhausted {
+                needed_pages,
+                max_pages,
+            } => {
+                write!(
+                    f,
+                    "graph needs {needed_pages} pages, layout indexes {max_pages}"
+                )
             }
-            BuildError::NodeCountMismatch { graph_nodes, feature_rows } => {
-                write!(f, "graph has {graph_nodes} nodes but feature table {feature_rows} rows")
+            BuildError::NodeCountMismatch {
+                graph_nodes,
+                feature_rows,
+            } => {
+                write!(
+                    f,
+                    "graph has {graph_nodes} nodes but feature table {feature_rows} rows"
+                )
             }
         }
     }
@@ -125,7 +148,12 @@ impl DirectGraph {
         directory: NodeDirectory,
         stats: BuildStats,
     ) -> Self {
-        DirectGraph { layout, store, directory, stats }
+        DirectGraph {
+            layout,
+            store,
+            directory,
+            stats,
+        }
     }
 
     /// Builds a directory from raw addresses (deserialization path).
@@ -177,10 +205,7 @@ impl DirectGraph {
     /// Returns an error string if a page fails to parse (a corrupt image
     /// must be scrubbed before reclamation) or if `map` sends two pages
     /// to the same destination.
-    pub fn relocate_pages(
-        &mut self,
-        map: impl Fn(PageIndex) -> PageIndex,
-    ) -> Result<(), String> {
+    pub fn relocate_pages(&mut self, map: impl Fn(PageIndex) -> PageIndex) -> Result<(), String> {
         let layout = self.layout;
         let remap_addr = |addr: PhysAddr| {
             let (page, slot) = layout.unpack(addr);
@@ -195,8 +220,10 @@ impl DirectGraph {
             if !dest_seen.insert(new_idx) {
                 return Err(format!("relocation maps two pages onto {new_idx}"));
             }
-            let sections =
-                self.store.parse_all_sections(old_idx).map_err(|e| e.to_string())?;
+            let sections = self
+                .store
+                .parse_all_sections(old_idx)
+                .map_err(|e| e.to_string())?;
             let mut enc = PageEncoder::new(layout.page_size());
             for section in sections {
                 match section {
@@ -267,7 +294,10 @@ pub struct DirectGraphBuilder {
 impl DirectGraphBuilder {
     /// Creates a builder for the given address layout.
     pub fn new(layout: AddrLayout) -> Self {
-        DirectGraphBuilder { layout, max_open_pages: 64 }
+        DirectGraphBuilder {
+            layout,
+            max_open_pages: 64,
+        }
     }
 
     /// Bounds the first-fit placer's open-page window (trade packing
@@ -307,12 +337,20 @@ impl DirectGraphBuilder {
             let deg = graph.degree(v);
             stats.edges += deg as u64;
             let shape = plan_shape(deg, feat_bytes, page_size, sec_cap).ok_or(
-                BuildError::FeatureTooLarge { node: v, feature_bytes: feat_bytes, page_size },
+                BuildError::FeatureTooLarge {
+                    node: v,
+                    feature_bytes: feat_bytes,
+                    page_size,
+                },
             )?;
 
-            let prim_size = primary_section_size(feat_bytes, shape.n_inline, shape.sec_ranges.len());
-            let primary_addr =
-                placer.place(Pool::Primary, prim_size, SectionPlan::Primary { node: v.as_u32() })?;
+            let prim_size =
+                primary_section_size(feat_bytes, shape.n_inline, shape.sec_ranges.len());
+            let primary_addr = placer.place(
+                Pool::Primary,
+                prim_size,
+                SectionPlan::Primary { node: v.as_u32() },
+            )?;
             stats.used_bytes += prim_size as u64;
 
             let mut secondary_addrs = Vec::with_capacity(shape.sec_ranges.len());
@@ -321,7 +359,10 @@ impl DirectGraphBuilder {
                 let addr = placer.place(
                     Pool::Secondary,
                     size,
-                    SectionPlan::Secondary { node: v.as_u32(), sec_idx: i as u32 },
+                    SectionPlan::Secondary {
+                        node: v.as_u32(),
+                        sec_idx: i as u32,
+                    },
                 )?;
                 secondary_addrs.push(addr);
                 stats.used_bytes += size as u64;
@@ -339,8 +380,9 @@ impl DirectGraphBuilder {
         stats.primary_pages = primary_pages;
         stats.secondary_pages = secondary_pages;
 
-        let directory =
-            NodeDirectory { primary: plans.iter().map(|p| p.primary_addr).collect() };
+        let directory = NodeDirectory {
+            primary: plans.iter().map(|p| p.primary_addr).collect(),
+        };
 
         // ---- Step 2: serialization. ----
         let mut store = PageStore::new(self.layout);
@@ -380,7 +422,12 @@ impl DirectGraphBuilder {
             store.write_page(PageIndex::new(page_idx as u64), enc.finish());
         }
 
-        Ok(DirectGraph { layout: self.layout, store, directory, stats })
+        Ok(DirectGraph {
+            layout: self.layout,
+            store,
+            directory,
+            stats,
+        })
     }
 }
 
@@ -459,7 +506,11 @@ impl Placer {
                 // Drop the stalest open page to bound the window.
                 open.remove(0);
             }
-            open.push(OpenPage { index: idx, used: size, slots: 1 });
+            open.push(OpenPage {
+                index: idx,
+                used: size,
+                slots: 1,
+            });
             (idx, 0)
         };
         self.pages[index.as_usize()].push(plan);
@@ -481,7 +532,10 @@ struct Shape {
 fn plan_shape(deg: usize, feat_bytes: usize, page_size: usize, sec_cap: usize) -> Option<Shape> {
     let all_inline = primary_section_size(feat_bytes, deg, 0);
     if all_inline <= page_size {
-        return Some(Shape { n_inline: deg, sec_ranges: Vec::new() });
+        return Some(Shape {
+            n_inline: deg,
+            sec_ranges: Vec::new(),
+        });
     }
     // Overflow: iterate num_secondary to a fixed point, since each
     // secondary address consumes inline space.
@@ -504,7 +558,10 @@ fn plan_shape(deg: usize, feat_bytes: usize, page_size: usize, sec_cap: usize) -
                 sec_ranges.push((start as u32, count as u32));
                 start += count;
             }
-            return Some(Shape { n_inline, sec_ranges });
+            return Some(Shape {
+                n_inline,
+                sec_ranges,
+            });
         }
         n_sec = needed;
     }
@@ -599,11 +656,17 @@ mod tests {
         AddrLayout::for_page_size(4096).unwrap()
     }
 
-    fn build_small(avg_degree: f64, feat_dim: usize, n: usize) -> (DirectGraph, CsrGraph, FeatureTable) {
+    fn build_small(
+        avg_degree: f64,
+        feat_dim: usize,
+        n: usize,
+    ) -> (DirectGraph, CsrGraph, FeatureTable) {
         let cfg = generate::PowerLawConfig::new(n, avg_degree);
         let graph = generate::power_law(&cfg, 3);
         let features = FeatureTable::synthetic(n, feat_dim, 3);
-        let dg = DirectGraphBuilder::new(layout()).build(&graph, &features).unwrap();
+        let dg = DirectGraphBuilder::new(layout())
+            .build(&graph, &features)
+            .unwrap();
         (dg, graph, features)
     }
 
@@ -628,7 +691,11 @@ mod tests {
             let p = p.as_primary().unwrap();
             for (i, &naddr) in p.inline_neighbors.iter().enumerate() {
                 let nsec = dg.image().parse_section(naddr).unwrap();
-                assert_eq!(nsec.node(), graph.neighbors(v)[i], "inline neighbor {i} of {v}");
+                assert_eq!(
+                    nsec.node(),
+                    graph.neighbors(v)[i],
+                    "inline neighbor {i} of {v}"
+                );
                 assert!(nsec.as_primary().is_some());
             }
         }
@@ -691,7 +758,11 @@ mod tests {
         let (dg, _, _) = build_small(2.0, 4, 2_000);
         for (idx, _) in dg.image().iter_pages() {
             let sections = dg.image().parse_all_sections(idx).unwrap();
-            assert!(sections.len() <= 16, "page {idx} has {} sections", sections.len());
+            assert!(
+                sections.len() <= 16,
+                "page {idx} has {} sections",
+                sections.len()
+            );
         }
     }
 
@@ -699,7 +770,9 @@ mod tests {
     fn node_count_mismatch_rejected() {
         let graph = generate::uniform(10, 2, 1);
         let features = FeatureTable::synthetic(9, 8, 1);
-        let err = DirectGraphBuilder::new(layout()).build(&graph, &features).unwrap_err();
+        let err = DirectGraphBuilder::new(layout())
+            .build(&graph, &features)
+            .unwrap_err();
         assert!(matches!(err, BuildError::NodeCountMismatch { .. }));
         assert!(err.to_string().contains("feature table"));
     }
@@ -708,7 +781,9 @@ mod tests {
     fn oversized_feature_rejected() {
         let graph = generate::uniform(4, 1, 1);
         let features = FeatureTable::synthetic(4, 3_000, 1); // 6 KB > 4 KB page
-        let err = DirectGraphBuilder::new(layout()).build(&graph, &features).unwrap_err();
+        let err = DirectGraphBuilder::new(layout())
+            .build(&graph, &features)
+            .unwrap_err();
         assert!(matches!(err, BuildError::FeatureTooLarge { .. }));
     }
 
@@ -728,7 +803,9 @@ mod tests {
             let spec = DatasetSpec::preset(d).at_scale(500);
             let graph = spec.build_graph(1);
             let features = spec.build_features(1);
-            let dg = DirectGraphBuilder::new(layout()).build(&graph, &features).unwrap();
+            let dg = DirectGraphBuilder::new(layout())
+                .build(&graph, &features)
+                .unwrap();
             assert_eq!(dg.directory().len(), 500, "{d}");
         }
     }
@@ -754,7 +831,8 @@ mod tests {
     fn relocation_preserves_resolvability() {
         let (mut dg, graph, _) = build_small(25.0, 32, 400);
         let offset = 10_000u64;
-        dg.relocate_pages(|p| PageIndex::new(p.as_u64() + offset)).unwrap();
+        dg.relocate_pages(|p| PageIndex::new(p.as_u64() + offset))
+            .unwrap();
         // Every node still resolves through the (rewritten) directory...
         for v in graph.nodes() {
             let addr = dg.directory().primary_addr(v).unwrap();
@@ -762,9 +840,7 @@ mod tests {
             assert_eq!(p.node(), v);
             // ...and inline neighbor addresses still point at the right
             // nodes in the new location.
-            for (i, &naddr) in
-                p.as_primary().unwrap().inline_neighbors.iter().enumerate()
-            {
+            for (i, &naddr) in p.as_primary().unwrap().inline_neighbors.iter().enumerate() {
                 assert_eq!(
                     dg.image().parse_section(naddr).unwrap().node(),
                     graph.neighbors(v)[i]

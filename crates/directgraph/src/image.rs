@@ -104,7 +104,11 @@ pub enum SectionParseError {
     /// The page has fewer sections than the requested slot.
     SlotNotFound { page: PageIndex, slot: usize },
     /// A section header carries an unknown kind byte.
-    BadKind { page: PageIndex, offset: usize, kind: u8 },
+    BadKind {
+        page: PageIndex,
+        offset: usize,
+        kind: u8,
+    },
     /// A section's declared length runs past the page end.
     Truncated { page: PageIndex, offset: usize },
 }
@@ -117,7 +121,10 @@ impl fmt::Display for SectionParseError {
                 write!(f, "page {page} has no section slot {slot}")
             }
             SectionParseError::BadKind { page, offset, kind } => {
-                write!(f, "page {page} offset {offset}: unknown section kind {kind}")
+                write!(
+                    f,
+                    "page {page} offset {offset}: unknown section kind {kind}"
+                )
             }
             SectionParseError::Truncated { page, offset } => {
                 write!(f, "page {page} offset {offset}: section overruns page")
@@ -155,7 +162,11 @@ pub struct PageStore {
 impl PageStore {
     /// Creates an empty store for pages of `layout.page_size()` bytes.
     pub fn new(layout: AddrLayout) -> Self {
-        PageStore { layout, pages: Vec::new(), written: 0 }
+        PageStore {
+            layout,
+            pages: Vec::new(),
+            written: 0,
+        }
     }
 
     /// The address layout the store interprets addresses with.
@@ -217,12 +228,16 @@ impl PageStore {
     /// does not exist, or the page bytes are malformed.
     pub fn parse_section(&self, addr: PhysAddr) -> Result<Section, SectionParseError> {
         let (page_idx, slot) = self.layout.unpack(addr);
-        let page =
-            self.read_page(page_idx).ok_or(SectionParseError::PageMissing(page_idx))?;
+        let page = self
+            .read_page(page_idx)
+            .ok_or(SectionParseError::PageMissing(page_idx))?;
         let mut offset = 0usize;
         for cur_slot in 0.. {
             if offset + HEADER_BYTES > page.len() || page[offset] == 0 {
-                return Err(SectionParseError::SlotNotFound { page: page_idx, slot });
+                return Err(SectionParseError::SlotNotFound {
+                    page: page_idx,
+                    slot,
+                });
             }
             let kind = SectionKind::from_byte(page[offset]).ok_or(SectionParseError::BadKind {
                 page: page_idx,
@@ -231,7 +246,10 @@ impl PageStore {
             })?;
             let len = u16::from_le_bytes([page[offset + 2], page[offset + 3]]) as usize;
             if len < HEADER_BYTES || offset + len > page.len() {
-                return Err(SectionParseError::Truncated { page: page_idx, offset });
+                return Err(SectionParseError::Truncated {
+                    page: page_idx,
+                    offset,
+                });
             }
             if cur_slot == slot {
                 return parse_at(page, offset, len, kind, page_idx);
@@ -251,8 +269,9 @@ impl PageStore {
         &self,
         page_idx: PageIndex,
     ) -> Result<Vec<Section>, SectionParseError> {
-        let page =
-            self.read_page(page_idx).ok_or(SectionParseError::PageMissing(page_idx))?;
+        let page = self
+            .read_page(page_idx)
+            .ok_or(SectionParseError::PageMissing(page_idx))?;
         let mut out = Vec::new();
         let mut offset = 0usize;
         while offset + HEADER_BYTES <= page.len() && page[offset] != 0 {
@@ -263,7 +282,10 @@ impl PageStore {
             })?;
             let len = u16::from_le_bytes([page[offset + 2], page[offset + 3]]) as usize;
             if len < HEADER_BYTES || offset + len > page.len() {
-                return Err(SectionParseError::Truncated { page: page_idx, offset });
+                return Err(SectionParseError::Truncated {
+                    page: page_idx,
+                    offset,
+                });
             }
             out.push(parse_at(page, offset, len, kind, page_idx)?);
             offset += len;
@@ -289,7 +311,10 @@ fn parse_at(
             let mut pos = HEADER_BYTES + PRIMARY_FIXED_BYTES;
             let need = pos + num_secondary * 4 + feature_bytes;
             if need > len {
-                return Err(SectionParseError::Truncated { page: page_idx, offset });
+                return Err(SectionParseError::Truncated {
+                    page: page_idx,
+                    offset,
+                });
             }
             let secondary_addrs = read_addrs(sec, pos, num_secondary);
             pos += num_secondary * 4;
@@ -308,13 +333,19 @@ fn parse_at(
         SectionKind::Secondary => {
             let pos = HEADER_BYTES;
             if pos + SECONDARY_FIXED_BYTES + neighbor_count as usize * 4 > len {
-                return Err(SectionParseError::Truncated { page: page_idx, offset });
+                return Err(SectionParseError::Truncated {
+                    page: page_idx,
+                    offset,
+                });
             }
             let owner_start =
                 u32::from_le_bytes([sec[pos], sec[pos + 1], sec[pos + 2], sec[pos + 3]]);
-            let neighbors =
-                read_addrs(sec, pos + SECONDARY_FIXED_BYTES, neighbor_count as usize);
-            Ok(Section::Secondary(SecondarySection { node, owner_start, neighbors }))
+            let neighbors = read_addrs(sec, pos + SECONDARY_FIXED_BYTES, neighbor_count as usize);
+            Ok(Section::Secondary(SecondarySection {
+                node,
+                owner_start,
+                neighbors,
+            }))
         }
     }
 }
@@ -323,7 +354,12 @@ fn read_addrs(sec: &[u8], pos: usize, n: usize) -> Vec<PhysAddr> {
     (0..n)
         .map(|i| {
             let o = pos + i * 4;
-            PhysAddr::from_raw(u32::from_le_bytes([sec[o], sec[o + 1], sec[o + 2], sec[o + 3]]))
+            PhysAddr::from_raw(u32::from_le_bytes([
+                sec[o],
+                sec[o + 1],
+                sec[o + 2],
+                sec[o + 3],
+            ]))
         })
         .collect()
 }
@@ -353,7 +389,9 @@ mod tests {
                 &[PhysAddr::from_raw(0xBEEF), PhysAddr::from_raw(0xCAFE)],
             );
         });
-        let s = store.parse_section(layout.pack(PageIndex::new(0), 0)).unwrap();
+        let s = store
+            .parse_section(layout.pack(PageIndex::new(0), 0))
+            .unwrap();
         let p = s.as_primary().expect("primary");
         assert_eq!(p.node, NodeId::new(42));
         assert_eq!(p.total_neighbors, 100);
@@ -373,9 +411,15 @@ mod tests {
             enc.push_primary(8, 0, &[], &[], &[]);
             enc.push_secondary(9, 20, &[PhysAddr::from_raw(0x22), PhysAddr::from_raw(0x33)]);
         });
-        let s0 = store.parse_section(layout.pack(PageIndex::new(0), 0)).unwrap();
-        let s1 = store.parse_section(layout.pack(PageIndex::new(0), 1)).unwrap();
-        let s2 = store.parse_section(layout.pack(PageIndex::new(0), 2)).unwrap();
+        let s0 = store
+            .parse_section(layout.pack(PageIndex::new(0), 0))
+            .unwrap();
+        let s1 = store
+            .parse_section(layout.pack(PageIndex::new(0), 1))
+            .unwrap();
+        let s2 = store
+            .parse_section(layout.pack(PageIndex::new(0), 2))
+            .unwrap();
         assert_eq!(s0.as_secondary().unwrap().owner_start, 10);
         assert_eq!(s1.node(), NodeId::new(8));
         let sec2 = s2.as_secondary().unwrap();
@@ -394,7 +438,10 @@ mod tests {
         );
         assert_eq!(
             store.parse_section(layout.pack(PageIndex::new(0), 3)),
-            Err(SectionParseError::SlotNotFound { page: PageIndex::new(0), slot: 3 })
+            Err(SectionParseError::SlotNotFound {
+                page: PageIndex::new(0),
+                slot: 3
+            })
         );
     }
 
@@ -406,7 +453,9 @@ mod tests {
         page[0] = 9; // bogus kind
         page[2] = 16;
         store.write_page(PageIndex::new(0), page.into_boxed_slice());
-        let err = store.parse_section(layout.pack(PageIndex::new(0), 0)).unwrap_err();
+        let err = store
+            .parse_section(layout.pack(PageIndex::new(0), 0))
+            .unwrap_err();
         assert!(matches!(err, SectionParseError::BadKind { kind: 9, .. }));
         assert!(err.to_string().contains("unknown section kind"));
     }
@@ -419,7 +468,9 @@ mod tests {
         page[0] = 1;
         page[2..4].copy_from_slice(&10_000u16.to_le_bytes()); // runs past page
         store.write_page(PageIndex::new(0), page.into_boxed_slice());
-        let err = store.parse_section(layout.pack(PageIndex::new(0), 0)).unwrap_err();
+        let err = store
+            .parse_section(layout.pack(PageIndex::new(0), 0))
+            .unwrap_err();
         assert!(matches!(err, SectionParseError::Truncated { .. }));
     }
 

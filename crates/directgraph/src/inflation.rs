@@ -29,7 +29,11 @@ impl InflationReport {
     /// Creates a report from raw dataset size, total flash bytes
     /// allocated (pages × page size), and section payload bytes used.
     pub fn new(raw_bytes: u64, stored_bytes: u64, used_bytes: u64) -> Self {
-        InflationReport { raw_bytes, stored_bytes, used_bytes }
+        InflationReport {
+            raw_bytes,
+            stored_bytes,
+            used_bytes,
+        }
     }
 
     /// Raw (pre-conversion) dataset bytes.
@@ -128,7 +132,13 @@ mod tests {
             ogbn > 2.0 * amazon,
             "OGBN inflation ({ogbn:.3}) should far exceed amazon ({amazon:.3})"
         );
-        assert!(ogbn > 0.10, "OGBN inflation should be substantial, got {ogbn:.3}");
-        assert!(amazon < 0.15, "amazon inflation should be modest, got {amazon:.3}");
+        assert!(
+            ogbn > 0.10,
+            "OGBN inflation should be substantial, got {ogbn:.3}"
+        );
+        assert!(
+            amazon < 0.15,
+            "amazon inflation should be modest, got {amazon:.3}"
+        );
     }
 }

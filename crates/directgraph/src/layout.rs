@@ -61,8 +61,16 @@ pub const SECONDARY_FIXED_BYTES: usize = 4;
 pub const ADDR_BYTES: usize = 4;
 
 /// Total size of a primary section with the given shape.
-pub const fn primary_section_size(feature_bytes: usize, n_inline: usize, n_secondary: usize) -> usize {
-    HEADER_BYTES + PRIMARY_FIXED_BYTES + ADDR_BYTES * n_secondary + feature_bytes + ADDR_BYTES * n_inline
+pub const fn primary_section_size(
+    feature_bytes: usize,
+    n_inline: usize,
+    n_secondary: usize,
+) -> usize {
+    HEADER_BYTES
+        + PRIMARY_FIXED_BYTES
+        + ADDR_BYTES * n_secondary
+        + feature_bytes
+        + ADDR_BYTES * n_inline
 }
 
 /// Total size of a secondary section holding `n` neighbor addresses.
@@ -91,7 +99,11 @@ pub struct PageEncoder {
 impl PageEncoder {
     /// Creates an encoder for a page of `page_size` bytes.
     pub fn new(page_size: usize) -> Self {
-        PageEncoder { page_size, buf: Vec::with_capacity(page_size), sections: 0 }
+        PageEncoder {
+            page_size,
+            buf: Vec::with_capacity(page_size),
+            sections: 0,
+        }
     }
 
     /// Bytes used so far.
@@ -124,19 +136,28 @@ impl PageEncoder {
         feature: &[u8],
         inline_neighbors: &[PhysAddr],
     ) -> usize {
-        let size = primary_section_size(feature.len(), inline_neighbors.len(), secondary_addrs.len());
+        let size =
+            primary_section_size(feature.len(), inline_neighbors.len(), secondary_addrs.len());
         assert!(size <= self.remaining(), "primary section does not fit");
-        assert!(size <= u16::MAX as usize, "section too large for length field");
+        assert!(
+            size <= u16::MAX as usize,
+            "section too large for length field"
+        );
         assert!(feature.len() <= u16::MAX as usize, "feature too large");
-        assert!(secondary_addrs.len() <= u16::MAX as usize, "too many secondary sections");
+        assert!(
+            secondary_addrs.len() <= u16::MAX as usize,
+            "too many secondary sections"
+        );
         let slot = self.sections;
         self.buf.push(SectionKind::Primary as u8);
         self.buf.push(0);
         self.buf.extend_from_slice(&(size as u16).to_le_bytes());
         self.buf.extend_from_slice(&node.to_le_bytes());
         self.buf.extend_from_slice(&total_neighbors.to_le_bytes());
-        self.buf.extend_from_slice(&(feature.len() as u16).to_le_bytes());
-        self.buf.extend_from_slice(&(secondary_addrs.len() as u16).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(feature.len() as u16).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(secondary_addrs.len() as u16).to_le_bytes());
         for a in secondary_addrs {
             self.buf.extend_from_slice(&a.to_raw().to_le_bytes());
         }
@@ -153,21 +174,20 @@ impl PageEncoder {
     /// # Panics
     ///
     /// Panics if the section does not fit in the remaining page space.
-    pub fn push_secondary(
-        &mut self,
-        node: u32,
-        owner_start: u32,
-        neighbors: &[PhysAddr],
-    ) -> usize {
+    pub fn push_secondary(&mut self, node: u32, owner_start: u32, neighbors: &[PhysAddr]) -> usize {
         let size = secondary_section_size(neighbors.len());
         assert!(size <= self.remaining(), "secondary section does not fit");
-        assert!(size <= u16::MAX as usize, "section too large for length field");
+        assert!(
+            size <= u16::MAX as usize,
+            "section too large for length field"
+        );
         let slot = self.sections;
         self.buf.push(SectionKind::Secondary as u8);
         self.buf.push(0);
         self.buf.extend_from_slice(&(size as u16).to_le_bytes());
         self.buf.extend_from_slice(&node.to_le_bytes());
-        self.buf.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&owner_start.to_le_bytes());
         for a in neighbors {
             self.buf.extend_from_slice(&a.to_raw().to_le_bytes());
@@ -225,8 +245,14 @@ mod tests {
         assert_eq!(page[0], 1); // kind
         let len = u16::from_le_bytes([page[2], page[3]]) as usize;
         assert_eq!(len, primary_section_size(2, 1, 1));
-        assert_eq!(u32::from_le_bytes([page[4], page[5], page[6], page[7]]), 0x01020304);
-        assert_eq!(u32::from_le_bytes([page[8], page[9], page[10], page[11]]), 9);
+        assert_eq!(
+            u32::from_le_bytes([page[4], page[5], page[6], page[7]]),
+            0x01020304
+        );
+        assert_eq!(
+            u32::from_le_bytes([page[8], page[9], page[10], page[11]]),
+            9
+        );
         assert_eq!(u16::from_le_bytes([page[12], page[13]]), 2); // feature bytes
         assert_eq!(u16::from_le_bytes([page[14], page[15]]), 1); // num secondary
         assert_eq!(

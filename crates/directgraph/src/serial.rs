@@ -89,8 +89,13 @@ impl DirectGraph {
             writer.write_all(&addr.to_raw().to_le_bytes())?;
         }
         let s = self.stats();
-        for v in [s.primary_pages, s.secondary_pages, s.secondary_sections, s.used_bytes, s.edges]
-        {
+        for v in [
+            s.primary_pages,
+            s.secondary_pages,
+            s.secondary_sections,
+            s.used_bytes,
+            s.edges,
+        ] {
             writer.write_all(&v.to_le_bytes())?;
         }
         writer.write_all(&(self.image().pages_written() as u64).to_le_bytes())?;

@@ -25,7 +25,10 @@ use crate::image::Section;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
     /// An embedded address points outside the DirectGraph allocation.
-    AddressOutOfBounds { source_page: PageIndex, addr: PhysAddr },
+    AddressOutOfBounds {
+        source_page: PageIndex,
+        addr: PhysAddr,
+    },
     /// A target address supplied by the host does not parse as a section.
     TargetUnparsable { node: NodeId, addr: PhysAddr },
     /// A target address parses, but not to a primary section of the
@@ -45,7 +48,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "target {node} address {addr} does not parse")
             }
             ValidationError::TargetMismatch { node, addr } => {
-                write!(f, "target {node} address {addr} resolves to a different section")
+                write!(
+                    f,
+                    "target {node} address {addr} resolves to a different section"
+                )
             }
             ValidationError::PageCorrupt { page, detail } => {
                 write!(f, "page {page} corrupt: {detail}")
@@ -96,7 +102,10 @@ impl<'a> Validator<'a> {
         let layout = self.dg.layout();
         for (page_idx, _) in self.dg.image().iter_pages() {
             let sections = self.dg.image().parse_all_sections(page_idx).map_err(|e| {
-                ValidationError::PageCorrupt { page: page_idx, detail: e.to_string() }
+                ValidationError::PageCorrupt {
+                    page: page_idx,
+                    detail: e.to_string(),
+                }
             })?;
             for section in sections {
                 let embedded: Vec<PhysAddr> = match &section {

@@ -245,7 +245,10 @@ mod tests {
 
     #[test]
     fn merge_adds_quantities() {
-        let mut a = EnergyLedger { flash_page_reads: 1, ..Default::default() };
+        let mut a = EnergyLedger {
+            flash_page_reads: 1,
+            ..Default::default()
+        };
         let b = EnergyLedger {
             flash_page_reads: 2,
             core_busy: Duration::from_us(5),
@@ -267,15 +270,21 @@ mod tests {
             ..Default::default()
         };
         let b = ledger.breakdown(&EnergyCosts::default_costs());
-        for f in [b.outside_storage_fraction(), b.staging_fraction(), b.flash_backend_fraction()]
-        {
+        for f in [
+            b.outside_storage_fraction(),
+            b.staging_fraction(),
+            b.flash_backend_fraction(),
+        ] {
             assert!((0.0..=1.0).contains(&f), "{f}");
         }
     }
 
     #[test]
     fn efficiency_and_power() {
-        let ledger = EnergyLedger { flash_page_reads: 1_000_000, ..Default::default() };
+        let ledger = EnergyLedger {
+            flash_page_reads: 1_000_000,
+            ..Default::default()
+        };
         let b = ledger.breakdown(&EnergyCosts::default_costs());
         let eff = b.efficiency(1_000);
         assert!(eff > 0.0);

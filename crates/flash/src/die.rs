@@ -78,7 +78,10 @@ impl DieModel {
             sense_time,
             mode,
             planes: vec![
-                PlaneState { array_free: SimTime::ZERO, register_free: SimTime::ZERO };
+                PlaneState {
+                    array_free: SimTime::ZERO,
+                    register_free: SimTime::ZERO
+                };
                 planes
             ],
             reads: 0,
@@ -126,7 +129,10 @@ impl DieModel {
         // completion; model pessimistically as "occupied forever" until
         // note_transfer_done rewinds it.
         p.register_free = SimTime::MAX;
-        ReadGrant { sense_start, data_ready }
+        ReadGrant {
+            sense_start,
+            data_ready,
+        }
     }
 
     /// Schedules a multi-plane read: all planes sense together in one
@@ -151,7 +157,10 @@ impl DieModel {
                     RegisterMode::Double => data_ready,
                 };
                 p.register_free = SimTime::MAX;
-                ReadGrant { sense_start: start, data_ready }
+                ReadGrant {
+                    sense_start: start,
+                    data_ready,
+                }
             })
             .collect()
     }

@@ -136,7 +136,13 @@ impl FlashGeometry {
             block < self.blocks_per_plane,
             "page index {index} exceeds geometry capacity"
         );
-        FlashLocation { channel, die_in_channel, plane, block, page_in_block }
+        FlashLocation {
+            channel,
+            die_in_channel,
+            plane,
+            block,
+            page_in_block,
+        }
     }
 
     /// The flattened die id a page index stripes to.

@@ -70,7 +70,11 @@ pub enum OnfiCommand {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OnfiDecodeError {
     /// The buffer is shorter than the opcode requires.
-    Truncated { opcode: u8, have: usize, need: usize },
+    Truncated {
+        opcode: u8,
+        have: usize,
+        need: usize,
+    },
     /// Unknown opcode byte.
     UnknownOpcode(u8),
     /// The buffer is empty.
@@ -128,7 +132,11 @@ impl OnfiCommand {
         let &opcode = bytes.first().ok_or(OnfiDecodeError::Empty)?;
         let need = |n: usize| {
             if bytes.len() < n {
-                Err(OnfiDecodeError::Truncated { opcode, have: bytes.len(), need: n })
+                Err(OnfiDecodeError::Truncated {
+                    opcode,
+                    have: bytes.len(),
+                    need: n,
+                })
             } else {
                 Ok(())
             }
@@ -216,7 +224,10 @@ mod tests {
     #[test]
     fn decode_errors() {
         assert_eq!(OnfiCommand::decode(&[]), Err(OnfiDecodeError::Empty));
-        assert_eq!(OnfiCommand::decode(&[0xFF]), Err(OnfiDecodeError::UnknownOpcode(0xFF)));
+        assert_eq!(
+            OnfiCommand::decode(&[0xFF]),
+            Err(OnfiDecodeError::UnknownOpcode(0xFF))
+        );
         let err = OnfiCommand::decode(&[OP_GNN_SAMPLE, 1, 2]).unwrap_err();
         assert!(matches!(err, OnfiDecodeError::Truncated { need: 16, .. }));
         assert!(err.to_string().contains("needs 16 bytes"));

@@ -50,7 +50,11 @@ pub struct GnnDieConfig {
 impl GnnDieConfig {
     /// The paper's evaluation model: 3 hops × 3 samples.
     pub fn paper_default(feature_bytes: u16) -> Self {
-        GnnDieConfig { num_hops: 3, fanout: 3, feature_bytes }
+        GnnDieConfig {
+            num_hops: 3,
+            fanout: 3,
+            feature_bytes,
+        }
     }
 
     /// Expected subgraph size per target: `sum_{i=0..=k} fanout^i`.
@@ -89,7 +93,13 @@ impl SampleCommand {
 
     /// The command the controller issues for a mini-batch target node.
     pub fn root(target: PhysAddr, subgraph: u32) -> Self {
-        SampleCommand { target, hop: 0, count: 0, subgraph, parent: Self::NO_PARENT }
+        SampleCommand {
+            target,
+            hop: 0,
+            count: 0,
+            subgraph,
+            parent: Self::NO_PARENT,
+        }
     }
 }
 
@@ -163,7 +173,11 @@ impl DieSampler {
     /// Creates a sampler with the given global configuration and TRNG
     /// seed (use the die id for per-die streams).
     pub fn new(config: GnnDieConfig, trng_seed: u64) -> Self {
-        DieSampler { config, trng: Xoshiro256StarStar::seeded(trng_seed), executed: 0 }
+        DieSampler {
+            config,
+            trng: Xoshiro256StarStar::seeded(trng_seed),
+            executed: 0,
+        }
     }
 
     /// The configured global parameters.
@@ -208,7 +222,11 @@ impl DieSampler {
                 if total == 0 {
                     return Ok(out);
                 }
-                let fanout = if cmd.count == 0 { self.config.fanout } else { cmd.count };
+                let fanout = if cmd.count == 0 {
+                    self.config.fanout
+                } else {
+                    cmd.count
+                };
                 let inline = p.inline_neighbors.len() as u64;
                 let sec_cap = secondary_capacity(store.layout().page_size()) as u64;
                 // Coalesce overflow hits per secondary section so each
@@ -246,8 +264,11 @@ impl DieSampler {
                     return Err(SamplerError::WrongSectionKind { target: cmd.target });
                 }
                 let n = s.neighbors.len() as u64;
-                let mut out =
-                    SampleOutcome { visited: None, feature_bytes: 0, new_commands: Vec::new() };
+                let mut out = SampleOutcome {
+                    visited: None,
+                    feature_bytes: 0,
+                    new_commands: Vec::new(),
+                };
                 if n == 0 {
                     return Ok(out);
                 }
@@ -298,10 +319,7 @@ mod tests {
         let dg = build(20.0, 16, 400);
         let cfg = GnnDieConfig::paper_default(feature_bytes(16));
         let mut sampler = DieSampler::new(cfg, 1);
-        let cmd = SampleCommand::root(
-            dg.directory().primary_addr(NodeId::new(0)).unwrap(),
-            0,
-        );
+        let cmd = SampleCommand::root(dg.directory().primary_addr(NodeId::new(0)).unwrap(), 0);
         let out = sampler.execute(&cmd, dg.image()).unwrap();
         assert_eq!(out.visited, Some(NodeId::new(0)));
         assert_eq!(out.feature_bytes, 32);
@@ -320,8 +338,7 @@ mod tests {
         let dg = build(10.0, 16, 200);
         let cfg = GnnDieConfig::paper_default(feature_bytes(16));
         let mut sampler = DieSampler::new(cfg, 2);
-        let mut cmd =
-            SampleCommand::root(dg.directory().primary_addr(NodeId::new(5)).unwrap(), 0);
+        let mut cmd = SampleCommand::root(dg.directory().primary_addr(NodeId::new(5)).unwrap(), 0);
         cmd.hop = cfg.num_hops; // leaf
         let out = sampler.execute(&cmd, dg.image()).unwrap();
         assert!(out.new_commands.is_empty());
@@ -332,7 +349,11 @@ mod tests {
     fn overflow_sampling_coalesces_per_secondary() {
         // Force many secondary sections: degree >> page capacity.
         let dg = build(900.0, 600, 200);
-        let cfg = GnnDieConfig { num_hops: 3, fanout: 64, feature_bytes: 1200 };
+        let cfg = GnnDieConfig {
+            num_hops: 3,
+            fanout: 64,
+            feature_bytes: 1200,
+        };
         let mut sampler = DieSampler::new(cfg, 7);
         // Find a node with secondaries.
         let mut found = false;
@@ -356,7 +377,11 @@ mod tests {
             let mut dedup = sec_targets.clone();
             dedup.sort();
             dedup.dedup();
-            assert_eq!(sec_targets.len(), dedup.len(), "secondary commands must coalesce");
+            assert_eq!(
+                sec_targets.len(),
+                dedup.len(),
+                "secondary commands must coalesce"
+            );
             // Total sampled = fanout.
             let total: u32 = out
                 .new_commands
@@ -406,18 +431,20 @@ mod tests {
         let dg = build(30.0, 64, 300);
         let cfg = GnnDieConfig::paper_default(128);
         let mut sampler = DieSampler::new(cfg, 5);
-        let cmd =
-            SampleCommand::root(dg.directory().primary_addr(NodeId::new(1)).unwrap(), 0);
+        let cmd = SampleCommand::root(dg.directory().primary_addr(NodeId::new(1)).unwrap(), 0);
         let out = sampler.execute(&cmd, dg.image()).unwrap();
-        assert!(out.result_bytes() < 4096 / 4, "result {} B", out.result_bytes());
+        assert!(
+            out.result_bytes() < 4096 / 4,
+            "result {} B",
+            out.result_bytes()
+        );
     }
 
     #[test]
     fn deterministic_with_same_seed() {
         let dg = build(20.0, 16, 300);
         let cfg = GnnDieConfig::paper_default(32);
-        let cmd =
-            SampleCommand::root(dg.directory().primary_addr(NodeId::new(2)).unwrap(), 0);
+        let cmd = SampleCommand::root(dg.directory().primary_addr(NodeId::new(2)).unwrap(), 0);
         let a = DieSampler::new(cfg, 3).execute(&cmd, dg.image()).unwrap();
         let b = DieSampler::new(cfg, 3).execute(&cmd, dg.image()).unwrap();
         assert_eq!(a, b);
@@ -449,10 +476,13 @@ mod tests {
     fn reconfigure_changes_behaviour() {
         let dg = build(20.0, 16, 200);
         let mut sampler = DieSampler::new(GnnDieConfig::paper_default(32), 4);
-        sampler.configure(GnnDieConfig { num_hops: 1, fanout: 5, feature_bytes: 32 });
+        sampler.configure(GnnDieConfig {
+            num_hops: 1,
+            fanout: 5,
+            feature_bytes: 32,
+        });
         assert_eq!(sampler.config().fanout, 5);
-        let cmd =
-            SampleCommand::root(dg.directory().primary_addr(NodeId::new(0)).unwrap(), 0);
+        let cmd = SampleCommand::root(dg.directory().primary_addr(NodeId::new(0)).unwrap(), 0);
         let out = sampler.execute(&cmd, dg.image()).unwrap();
         assert_eq!(out.new_commands.len(), 5);
     }

@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn traditional_read_is_20us() {
-        assert_eq!(FlashTiming::traditional().read_latency, Duration::from_us(20));
+        assert_eq!(
+            FlashTiming::traditional().read_latency,
+            Duration::from_us(20)
+        );
     }
 
     #[test]
@@ -98,7 +101,10 @@ mod tests {
     fn transfer_scales_with_bandwidth() {
         let slow = FlashTiming::ull().with_channel_bandwidth(400_000_000);
         let fast = FlashTiming::ull().with_channel_bandwidth(1_600_000_000);
-        assert_eq!(slow.transfer_time(4096).as_ns(), 4 * fast.transfer_time(4096).as_ns());
+        assert_eq!(
+            slow.transfer_time(4096).as_ns(),
+            4 * fast.transfer_time(4096).as_ns()
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl GnnForward {
                     .collect()
             })
             .collect();
-        GnnForward { model, aggregation: Aggregation::Sum, weights }
+        GnnForward {
+            model,
+            aggregation: Aggregation::Sum,
+            weights,
+        }
     }
 
     /// Selects a different aggregation function.
@@ -95,10 +99,15 @@ impl GnnForward {
     /// the feature table's dimension mismatches the model.
     pub fn forward(&self, sg: &Subgraph, features: &FeatureTable) -> Vec<f32> {
         assert!(sg.depth() <= self.model.hops, "subgraph deeper than model");
-        assert_eq!(features.dim(), self.model.feature_dim, "feature dim mismatch");
+        assert_eq!(
+            features.dim(),
+            self.model.feature_dim,
+            "feature dim mismatch"
+        );
         // h^(0): raw features for every vertex.
-        let mut h: Vec<Vec<f32>> =
-            (0..sg.len()).map(|vi| features.feature(sg.node_at(vi)).to_vec()).collect();
+        let mut h: Vec<Vec<f32>> = (0..sg.len())
+            .map(|vi| features.feature(sg.node_at(vi)).to_vec())
+            .collect();
         for layer in 1..=self.model.hops {
             let w = &self.weights[(layer - 1) as usize];
             let in_dim = self.model.layer_input_dim(layer);
@@ -168,7 +177,11 @@ impl MinibatchWorkload {
     /// Describes the *inference* computation (forward pass only) of
     /// `batch_size` subgraphs of `model`.
     pub fn new(model: GnnModelConfig, batch_size: u64) -> Self {
-        MinibatchWorkload { model, batch_size, training: false }
+        MinibatchWorkload {
+            model,
+            batch_size,
+            training: false,
+        }
     }
 
     /// Switches to *training* workload shapes: forward pass plus the
@@ -212,7 +225,10 @@ impl MinibatchWorkload {
 
     /// Total multiply-accumulates of the batch (for energy accounting).
     pub fn total_macs(&self) -> u64 {
-        self.layer_shapes().iter().map(|&(_, _, m, k, n)| m * k * n).sum()
+        self.layer_shapes()
+            .iter()
+            .map(|&(_, _, m, k, n)| m * k * n)
+            .sum()
     }
 
     /// Total reduction element-additions of the batch.
@@ -229,9 +245,7 @@ impl MinibatchWorkload {
         let feats =
             self.batch_size * self.model.subgraph_nodes() * self.model.feature_bytes() as u64;
         let weights: u64 = (1..=self.model.hops)
-            .map(|l| {
-                (self.model.layer_input_dim(l) * self.model.hidden_dim) as u64 * 2
-            })
+            .map(|l| (self.model.layer_input_dim(l) * self.model.hidden_dim) as u64 * 2)
             .sum();
         let inter: u64 = self
             .layer_shapes()
@@ -298,8 +312,14 @@ mod tests {
         let out = GnnForward::new(model, 2).forward(&sg, &x);
         assert_eq!(out.len(), 128);
         assert!(out.iter().all(|v| v.is_finite()));
-        assert!(out.iter().all(|&v| v >= 0.0), "ReLU output must be nonnegative");
-        assert!(out.iter().any(|&v| v > 0.0), "embedding should not be all-zero");
+        assert!(
+            out.iter().all(|&v| v >= 0.0),
+            "ReLU output must be nonnegative"
+        );
+        assert!(
+            out.iter().any(|&v| v > 0.0),
+            "embedding should not be all-zero"
+        );
     }
 
     #[test]
@@ -309,7 +329,9 @@ mod tests {
         let outs: Vec<Vec<f32>> = [Aggregation::Sum, Aggregation::Mean, Aggregation::Max]
             .into_iter()
             .map(|agg| {
-                GnnForward::new(model, 3).with_aggregation(agg).forward(&sg, &x)
+                GnnForward::new(model, 3)
+                    .with_aggregation(agg)
+                    .forward(&sg, &x)
             })
             .collect();
         for o in &outs {
@@ -322,7 +344,9 @@ mod tests {
         let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
         assert!(norm(&outs[1]) <= norm(&outs[0]) + 1e-3);
         assert_eq!(
-            GnnForward::new(model, 3).with_aggregation(Aggregation::Max).aggregation(),
+            GnnForward::new(model, 3)
+                .with_aggregation(Aggregation::Max)
+                .aggregation(),
             Aggregation::Max
         );
     }

@@ -30,7 +30,12 @@ pub struct GnnModelConfig {
 impl GnnModelConfig {
     /// The paper's 3×3 model with 128-d embeddings.
     pub fn paper_default(feature_dim: usize) -> Self {
-        GnnModelConfig { hops: 3, fanout: 3, feature_dim, hidden_dim: 128 }
+        GnnModelConfig {
+            hops: 3,
+            fanout: 3,
+            feature_dim,
+            hidden_dim: 128,
+        }
     }
 
     /// Nodes at hop `h` of one subgraph (`fanout^h`).
@@ -53,7 +58,9 @@ impl GnnModelConfig {
     /// this layer.
     pub fn nodes_updated_at_layer(&self, layer: u8) -> u64 {
         assert!(layer >= 1 && layer <= self.hops, "layer out of range");
-        (0..=(self.hops - layer)).map(|h| self.nodes_at_hop(h)).sum()
+        (0..=(self.hops - layer))
+            .map(|h| self.nodes_at_hop(h))
+            .sum()
     }
 
     /// Input dimensionality of layer `layer` (1-based): features for the

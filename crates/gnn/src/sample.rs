@@ -36,7 +36,11 @@ pub struct HostSampler {
 impl HostSampler {
     /// Creates a sampler for `model` with a deterministic seed.
     pub fn new(model: GnnModelConfig, seed: u64) -> Self {
-        HostSampler { model, rng: Xoshiro256StarStar::seeded(seed), sampled_neighbors: 0 }
+        HostSampler {
+            model,
+            rng: Xoshiro256StarStar::seeded(seed),
+            sampled_neighbors: 0,
+        }
     }
 
     /// The model configuration.
@@ -83,7 +87,10 @@ impl HostSampler {
 
     /// Samples subgraphs for a whole mini-batch of targets.
     pub fn sample_batch(&mut self, graph: &CsrGraph, targets: &[NodeId]) -> Vec<Subgraph> {
-        targets.iter().map(|&t| self.sample_subgraph(graph, t)).collect()
+        targets
+            .iter()
+            .map(|&t| self.sample_subgraph(graph, t))
+            .collect()
     }
 }
 

@@ -38,7 +38,10 @@ impl Subgraph {
 
     /// Creates a subgraph containing only the target.
     pub fn new(target: NodeId) -> Self {
-        Subgraph { target, vertices: vec![(target, 0, Self::ROOT_PARENT)] }
+        Subgraph {
+            target,
+            vertices: vec![(target, 0, Self::ROOT_PARENT)],
+        }
     }
 
     /// Reconstructs a subgraph from a visit-record stream.
@@ -151,10 +154,26 @@ mod tests {
     #[test]
     fn reconstruct_in_order() {
         let records = [
-            VisitRecord { node: v(0), hop: 0, parent: None },
-            VisitRecord { node: v(1), hop: 1, parent: Some(v(0)) },
-            VisitRecord { node: v(2), hop: 1, parent: Some(v(0)) },
-            VisitRecord { node: v(5), hop: 2, parent: Some(v(1)) },
+            VisitRecord {
+                node: v(0),
+                hop: 0,
+                parent: None,
+            },
+            VisitRecord {
+                node: v(1),
+                hop: 1,
+                parent: Some(v(0)),
+            },
+            VisitRecord {
+                node: v(2),
+                hop: 1,
+                parent: Some(v(0)),
+            },
+            VisitRecord {
+                node: v(5),
+                hop: 2,
+                parent: Some(v(1)),
+            },
         ];
         let sg = Subgraph::reconstruct(&records).unwrap();
         assert_eq!(sg.target(), v(0));
@@ -167,10 +186,26 @@ mod tests {
         // Hop-2 record arrives before its sibling hop-1 record —
         // the out-of-order stream BeaconGNN produces.
         let records = [
-            VisitRecord { node: v(0), hop: 0, parent: None },
-            VisitRecord { node: v(1), hop: 1, parent: Some(v(0)) },
-            VisitRecord { node: v(9), hop: 2, parent: Some(v(1)) },
-            VisitRecord { node: v(2), hop: 1, parent: Some(v(0)) },
+            VisitRecord {
+                node: v(0),
+                hop: 0,
+                parent: None,
+            },
+            VisitRecord {
+                node: v(1),
+                hop: 1,
+                parent: Some(v(0)),
+            },
+            VisitRecord {
+                node: v(9),
+                hop: 2,
+                parent: Some(v(1)),
+            },
+            VisitRecord {
+                node: v(2),
+                hop: 1,
+                parent: Some(v(0)),
+            },
         ];
         let sg = Subgraph::reconstruct(&records).unwrap();
         assert_eq!(sg.len(), 4);
@@ -180,15 +215,27 @@ mod tests {
 
     #[test]
     fn reconstruct_missing_root_fails() {
-        let records = [VisitRecord { node: v(1), hop: 1, parent: Some(v(0)) }];
+        let records = [VisitRecord {
+            node: v(1),
+            hop: 1,
+            parent: Some(v(0)),
+        }];
         assert_eq!(Subgraph::reconstruct(&records), None);
     }
 
     #[test]
     fn reconstruct_orphan_child_fails() {
         let records = [
-            VisitRecord { node: v(0), hop: 0, parent: None },
-            VisitRecord { node: v(5), hop: 2, parent: Some(v(7)) },
+            VisitRecord {
+                node: v(0),
+                hop: 0,
+                parent: None,
+            },
+            VisitRecord {
+                node: v(5),
+                hop: 2,
+                parent: Some(v(7)),
+            },
         ];
         assert_eq!(Subgraph::reconstruct(&records), None);
     }

@@ -125,7 +125,10 @@ impl CsrGraph {
 
     /// Maximum out-degree over all nodes (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|i| self.degree(NodeId::new(i as u32))).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|i| self.degree(NodeId::new(i as u32)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over all node ids.
@@ -154,7 +157,9 @@ pub struct CsrGraphBuilder {
 impl CsrGraphBuilder {
     /// Creates a builder for a graph with `num_nodes` nodes and no edges.
     pub fn new(num_nodes: usize) -> Self {
-        CsrGraphBuilder { adj: vec![Vec::new(); num_nodes] }
+        CsrGraphBuilder {
+            adj: vec![Vec::new(); num_nodes],
+        }
     }
 
     /// Adds the directed edge `(from, to)`.
@@ -201,7 +206,11 @@ impl FromIterator<(NodeId, NodeId)> for CsrGraphBuilder {
     /// Builds a builder sized to the largest endpoint seen.
     fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
         let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
-        let n = edges.iter().map(|&(a, b)| a.index().max(b.index()) + 1).max().unwrap_or(0);
+        let n = edges
+            .iter()
+            .map(|&(a, b)| a.index().max(b.index()) + 1)
+            .max()
+            .unwrap_or(0);
         let mut b = CsrGraphBuilder::new(n);
         for (u, v) in edges {
             b.add_edge(u, v);
@@ -263,8 +272,7 @@ mod tests {
 
     #[test]
     fn from_iterator_sizes_to_max_endpoint() {
-        let b: CsrGraphBuilder =
-            [(NodeId::new(0), NodeId::new(5))].into_iter().collect();
+        let b: CsrGraphBuilder = [(NodeId::new(0), NodeId::new(5))].into_iter().collect();
         let g = b.build();
         assert_eq!(g.num_nodes(), 6);
         assert_eq!(g.num_edges(), 1);

@@ -32,8 +32,13 @@ pub enum Dataset {
 
 impl Dataset {
     /// All five workloads in the paper's presentation order.
-    pub const ALL: [Dataset; 5] =
-        [Dataset::Reddit, Dataset::Amazon, Dataset::Movielens, Dataset::Ogbn, Dataset::Ppi];
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Reddit,
+        Dataset::Amazon,
+        Dataset::Movielens,
+        Dataset::Ogbn,
+        Dataset::Ppi,
+    ];
 
     /// Lowercase display name matching the paper's figures.
     pub fn name(self) -> &'static str {
@@ -163,8 +168,10 @@ mod tests {
 
     #[test]
     fn ogbn_is_the_low_degree_outlier() {
-        let degrees: Vec<f64> =
-            Dataset::ALL.iter().map(|&d| DatasetSpec::preset(d).avg_degree).collect();
+        let degrees: Vec<f64> = Dataset::ALL
+            .iter()
+            .map(|&d| DatasetSpec::preset(d).avg_degree)
+            .collect();
         let ogbn = DatasetSpec::preset(Dataset::Ogbn).avg_degree;
         assert!(degrees.iter().all(|&d| d >= ogbn));
     }
@@ -185,8 +192,12 @@ mod tests {
 
     #[test]
     fn distinct_datasets_get_distinct_graphs() {
-        let a = DatasetSpec::preset(Dataset::Ogbn).at_scale(1_000).build_graph(1);
-        let b = DatasetSpec::preset(Dataset::Ppi).at_scale(1_000).build_graph(1);
+        let a = DatasetSpec::preset(Dataset::Ogbn)
+            .at_scale(1_000)
+            .build_graph(1);
+        let b = DatasetSpec::preset(Dataset::Ppi)
+            .at_scale(1_000)
+            .build_graph(1);
         assert_ne!(a, b);
     }
 

@@ -44,7 +44,9 @@ impl FeatureTable {
     pub fn synthetic(num_nodes: usize, dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "feature dimension must be positive");
         let mut rng = SplitMix64::new(seed);
-        let data = (0..num_nodes * dim).map(|_| (rng.next_f64() * 2.0 - 1.0) as f32).collect();
+        let data = (0..num_nodes * dim)
+            .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+            .collect();
         FeatureTable { dim, data }
     }
 
@@ -55,7 +57,10 @@ impl FeatureTable {
     /// Panics if `dim` is zero or `data.len()` is not a multiple of `dim`.
     pub fn from_rows(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "feature dimension must be positive");
-        assert!(data.len().is_multiple_of(dim), "data length must be a multiple of dim");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "data length must be a multiple of dim"
+        );
         FeatureTable { dim, data }
     }
 

@@ -194,7 +194,13 @@ pub struct RmatConfig {
 impl RmatConfig {
     /// Graph500-style parameters at the given scale.
     pub fn graph500(scale: u32, edge_factor: usize) -> Self {
-        RmatConfig { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19 }
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 }
 
@@ -389,7 +395,10 @@ mod tests {
         let g = bipartite(users, items, 10, 4);
         let first_item = g.degree(NodeId::new(users as u32));
         let last_item = g.degree(NodeId::new((users + items - 1) as u32));
-        assert!(first_item > 3 * last_item.max(1), "{first_item} vs {last_item}");
+        assert!(
+            first_item > 3 * last_item.max(1),
+            "{first_item} vs {last_item}"
+        );
     }
 
     #[test]

@@ -88,11 +88,18 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, EdgeListError> {
                 edges.push((u, v));
             }
             _ => {
-                return Err(EdgeListError::Malformed { line: i + 1, content: trimmed.to_string() })
+                return Err(EdgeListError::Malformed {
+                    line: i + 1,
+                    content: trimmed.to_string(),
+                })
             }
         }
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = CsrGraphBuilder::new(n);
     for (u, v) in edges {
         b.add_edge(NodeId::new(u), NodeId::new(v));
@@ -107,7 +114,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, EdgeListError> {
 ///
 /// Returns any underlying I/O error.
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
-    writeln!(writer, "# {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for v in graph.nodes() {
         for &nb in graph.neighbors(v) {
             writeln!(writer, "{} {}", v.as_u32(), nb.as_u32())?;

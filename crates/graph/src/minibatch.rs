@@ -39,7 +39,12 @@ impl MinibatchStream {
     pub fn new(num_nodes: usize, batch_size: usize, seed: u64) -> Self {
         assert!(num_nodes > 0, "need at least one node");
         assert!(batch_size > 0, "batch size must be positive");
-        MinibatchStream { num_nodes, batch_size, rng: SplitMix64::new(seed), produced: 0 }
+        MinibatchStream {
+            num_nodes,
+            batch_size,
+            rng: SplitMix64::new(seed),
+            produced: 0,
+        }
     }
 
     /// Produces the next mini-batch of target nodes.

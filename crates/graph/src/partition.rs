@@ -93,13 +93,15 @@ impl Partition {
         // Anything unreached joins the least-loaded part.
         for slot in assignment.iter_mut() {
             if *slot == u32::MAX {
-                let part =
-                    (0..k as usize).min_by_key(|&p| sizes[p]).expect("k > 0") as u32;
+                let part = (0..k as usize).min_by_key(|&p| sizes[p]).expect("k > 0") as u32;
                 *slot = part;
                 sizes[part as usize] += 1;
             }
         }
-        Partition { parts: k, assignment }
+        Partition {
+            parts: k,
+            assignment,
+        }
     }
 
     /// Number of parts.
@@ -181,10 +183,7 @@ mod tests {
             }
             // One sparse bridge to the next cluster.
             let next = (c + 1) % clusters;
-            b.add_undirected_edge(
-                NodeId::new(base as u32),
-                NodeId::new((next * per) as u32),
-            );
+            b.add_undirected_edge(NodeId::new(base as u32), NodeId::new((next * per) as u32));
         }
         b.build()
     }
@@ -192,7 +191,11 @@ mod tests {
     #[test]
     fn all_strategies_cover_all_nodes() {
         let g = generate::uniform(200, 5, 1);
-        for p in [Partition::hash(&g, 4), Partition::range(&g, 4), Partition::bfs_grow(&g, 4)] {
+        for p in [
+            Partition::hash(&g, 4),
+            Partition::range(&g, 4),
+            Partition::bfs_grow(&g, 4),
+        ] {
             assert_eq!(p.parts(), 4);
             assert_eq!(p.sizes().iter().sum::<usize>(), 200);
             for v in g.nodes() {

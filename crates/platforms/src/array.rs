@@ -42,7 +42,11 @@ pub struct ArrayConfig {
 impl ArrayConfig {
     /// A PCIe-P2P array of `ssds` devices at 4 GB/s per link.
     pub fn pcie_p2p(ssds: usize) -> Self {
-        ArrayConfig { ssds, p2p_bandwidth: 4_000_000_000, p2p_hop_ns: 600 }
+        ArrayConfig {
+            ssds,
+            p2p_bandwidth: 4_000_000_000,
+            p2p_hop_ns: 600,
+        }
     }
 }
 
@@ -119,7 +123,11 @@ pub fn evaluate_array_partitioned(
     partition: &Partition,
 ) -> ArrayScaling {
     assert!(array.ssds >= 1, "array needs at least one SSD");
-    assert_eq!(partition.parts() as usize, array.ssds, "partition/array size mismatch");
+    assert_eq!(
+        partition.parts() as usize,
+        array.ssds,
+        "partition/array size mismatch"
+    );
     let single = Engine::new(platform, ssd, model, dg, seed).run(batches);
     let single_throughput = single.throughput();
 
@@ -148,12 +156,17 @@ pub fn evaluate_array_partitioned(
     let mut cross_feature_bytes = 0u64;
     for batch in batches {
         for &target in batch {
-            let addr = dg.directory().primary_addr(target).expect("target in directory");
+            let addr = dg
+                .directory()
+                .primary_addr(target)
+                .expect("target in directory");
             let home = partition.part_of(target);
             // Frontier carries (command, parent's partition).
             let mut frontier = vec![(SampleCommand::root(addr, 0), home)];
             while let Some((cmd, parent_part)) = frontier.pop() {
-                let out = sampler.execute(&cmd, dg.image()).expect("well-formed image");
+                let out = sampler
+                    .execute(&cmd, dg.image())
+                    .expect("well-formed image");
                 let here = match out.visited {
                     Some(node) => {
                         let part = partition.part_of(node);
@@ -177,8 +190,11 @@ pub fn evaluate_array_partitioned(
             }
         }
     }
-    let cross_fraction =
-        if total_edges == 0 { 0.0 } else { cross_edges as f64 / total_edges as f64 };
+    let cross_fraction = if total_edges == 0 {
+        0.0
+    } else {
+        cross_edges as f64 / total_edges as f64
+    };
 
     // Per-target cross traffic: command hops (16 B each) + features.
     let targets: u64 = batches.iter().map(|b| b.len() as u64).sum();
@@ -199,7 +215,12 @@ pub fn evaluate_array_partitioned(
     // mini-batch scale).
     let array_throughput = compute_limit.min(fabric_limit);
 
-    ArrayScaling { ssds: array.ssds, single_throughput, array_throughput, cross_fraction }
+    ArrayScaling {
+        ssds: array.ssds,
+        single_throughput,
+        array_throughput,
+        cross_fraction,
+    }
 }
 
 #[cfg(test)]
@@ -258,7 +279,11 @@ mod tests {
     #[test]
     fn starved_fabric_caps_scaling() {
         let (dg, model, batches) = setup();
-        let thin = ArrayConfig { ssds: 8, p2p_bandwidth: 2_000_000, p2p_hop_ns: 600 };
+        let thin = ArrayConfig {
+            ssds: 8,
+            p2p_bandwidth: 2_000_000,
+            p2p_hop_ns: 600,
+        };
         let s = evaluate_array(
             Platform::Bg2,
             thin,
@@ -268,7 +293,11 @@ mod tests {
             &batches,
             7,
         );
-        assert!(s.efficiency() < 0.5, "thin fabric must bound scaling: {:.2}", s.efficiency());
+        assert!(
+            s.efficiency() < 0.5,
+            "thin fabric must bound scaling: {:.2}",
+            s.efficiency()
+        );
         assert!(s.array_throughput < s.single_throughput * 8.0);
     }
 

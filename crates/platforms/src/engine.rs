@@ -21,8 +21,6 @@
 //! executes against the real DirectGraph image via the die-sampler
 //! model, so timing and semantics stay consistent.
 
-use std::collections::VecDeque;
-
 use beacon_energy::EnergyLedger;
 use beacon_flash::{DieSampler, GnnDieConfig, SampleCommand, SampleOutcome};
 use beacon_gnn::{GnnModelConfig, MinibatchWorkload};
@@ -33,8 +31,7 @@ use simkit::{BandwidthResource, Calendar, Duration, SerialResource, SimTime};
 
 use crate::metrics::{CmdBreakdown, HopWindow, RunMetrics, StageBreakdown, TimelineBuilder};
 use crate::spec::{
-    BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation,
-    TransferGranularity,
+    BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,
 };
 
 /// Fixed on-die time for the sampler logic (section walk, TRNG draws,
@@ -82,12 +79,55 @@ enum Step {
     Fixed(Duration),
 }
 
+/// A small inline FIFO of pipeline steps.
+///
+/// No command ever queues more than four steps (see
+/// [`Engine::post_steps`]), so the steps live inline in the event
+/// instead of a heap-allocated `VecDeque` per command.
+#[derive(Debug, Clone, Copy)]
+struct StepQueue {
+    steps: [Step; StepQueue::CAP],
+    head: u8,
+    len: u8,
+}
+
+impl StepQueue {
+    const CAP: usize = 5;
+
+    fn new() -> Self {
+        StepQueue {
+            steps: [Step::Fixed(Duration::ZERO); Self::CAP],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Appends a step. Steps are only pushed before the first pop, so
+    /// `head + len` never wraps.
+    fn push_back(&mut self, step: Step) {
+        let idx = self.head as usize + self.len as usize;
+        assert!(idx < Self::CAP, "step queue overflow");
+        self.steps[idx] = step;
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) -> Option<Step> {
+        if self.len == 0 {
+            return None;
+        }
+        let step = self.steps[self.head as usize];
+        self.head += 1;
+        self.len -= 1;
+        Some(step)
+    }
+}
+
 #[derive(Debug)]
 enum Event {
     /// Command address available at the frontend (lifetime start).
     Arrive(Cmd),
     /// Pre-issue steps remaining before the die request.
-    Pre(Cmd, SimTime, VecDeque<Step>),
+    Pre(Cmd, SimTime, StepQueue),
     /// Request the target die.
     DieReq(Cmd, SimTime),
     /// Request the channel bus after sensing (carries the die-grant
@@ -95,7 +135,14 @@ enum Event {
     XferReq(Cmd, SimTime, SimTime, Box<SampleOutcome>),
     /// Post-transfer steps remaining before completion; carries the
     /// transfer end time and the channel-queue wait already incurred.
-    Post(Cmd, SimTime, SimTime, Duration, Box<SampleOutcome>, VecDeque<Step>),
+    Post(
+        Cmd,
+        SimTime,
+        SimTime,
+        Duration,
+        Box<SampleOutcome>,
+        StepQueue,
+    ),
     /// Hop barrier released: buffered commands of this hop may arrive.
     ReleaseHop(u8),
 }
@@ -265,7 +312,11 @@ impl<'a> Engine<'a> {
             // §VI-D double buffering (see beacon_ssd::gnn_engine): the
             // DRAM region has two halves, so batch i's preparation can
             // only start once batch i-2's computation released its half.
-            let buffer_ready = if bi >= 2 { compute_ends[bi - 2] } else { SimTime::ZERO };
+            let buffer_ready = if bi >= 2 {
+                compute_ends[bi - 2]
+            } else {
+                SimTime::ZERO
+            };
             let prep_start = prep_cursor.max(buffer_ready);
             let prep_end = self.run_prep(batch, prep_start);
             prep_total += prep_end - prep_start;
@@ -288,8 +339,9 @@ impl<'a> Engine<'a> {
             } else if !self.ssd.dram_bypass {
                 // SSD accelerator streams features from internal DRAM
                 // (unless direct flash→SRAM I/O is enabled, §VIII).
-                let bytes =
-                    batch.len() as u64 * self.model.subgraph_nodes() * self.model.feature_bytes() as u64;
+                let bytes = batch.len() as u64
+                    * self.model.subgraph_nodes()
+                    * self.model.feature_bytes() as u64;
                 self.energy.dram_bytes += bytes;
             }
             let ct = wl.compute_time(&accel);
@@ -302,10 +354,16 @@ impl<'a> Engine<'a> {
         }
 
         // Energy from resource busy totals.
-        self.energy.core_busy =
-            self.cores.iter().map(SerialResource::busy_total).sum::<Duration>();
-        self.energy.host_cpu_busy =
-            self.host_cores.iter().map(SerialResource::busy_total).sum::<Duration>();
+        self.energy.core_busy = self
+            .cores
+            .iter()
+            .map(SerialResource::busy_total)
+            .sum::<Duration>();
+        self.energy.host_cpu_busy = self
+            .host_cores
+            .iter()
+            .map(SerialResource::busy_total)
+            .sum::<Duration>();
         self.energy.channel_bytes = self.channel_bytes_accum;
 
         let stages = StageBreakdown {
@@ -324,7 +382,11 @@ impl<'a> Engine<'a> {
             .zip(&self.hop_last)
             .enumerate()
             .filter_map(|(h, (f, l))| {
-                f.zip(*l).map(|(start, end)| HopWindow { hop: h as u8, start, end })
+                f.zip(*l).map(|(start, end)| HopWindow {
+                    hop: h as u8,
+                    start,
+                    end,
+                })
             })
             .collect();
 
@@ -373,12 +435,19 @@ impl<'a> Engine<'a> {
             self.ssd.host.nvme_roundtrip
         } else {
             // Host translates each target through its metadata + FS.
-            self.ssd.host.nvme_roundtrip
-                + self.ssd.host.translate_per_node * batch.len() as u64
+            self.ssd.host.nvme_roundtrip + self.ssd.host.translate_per_node * batch.len() as u64
         };
         let start = t0 + host_setup;
         self.energy.pcie_bytes += batch.len() as u64 * NODE_ID_BYTES;
 
+        // Each visit expands to a handful of pipeline events; reserving
+        // for the batch's full sampled subgraph up front keeps the
+        // calendar heap from reallocating mid-drain.
+        self.calendar.reserve(
+            batch
+                .len()
+                .saturating_mul(self.model.subgraph_nodes() as usize),
+        );
         for (slot, &target) in batch.iter().enumerate() {
             let addr = self
                 .dg
@@ -386,7 +455,13 @@ impl<'a> Engine<'a> {
                 .primary_addr(target)
                 .expect("target node in DirectGraph directory");
             let root = SampleCommand::root(addr, slot as u32);
-            self.spawn(Cmd { sample: root, kind: CmdKind::Visit }, start);
+            self.spawn(
+                Cmd {
+                    sample: root,
+                    kind: CmdKind::Visit,
+                },
+                start,
+            );
         }
         self.drain();
         self.prep_end
@@ -406,18 +481,27 @@ impl<'a> Engine<'a> {
     }
 
     fn drain(&mut self) {
-        while let Some((now, ev)) = self.calendar.pop() {
-            match ev {
-                Event::Arrive(cmd) => self.on_arrive(cmd, now),
-                Event::Pre(cmd, created, steps) => self.on_pre(cmd, created, steps, now),
-                Event::DieReq(cmd, created) => self.on_die_req(cmd, created, now),
-                Event::XferReq(cmd, created, die_start, outcome) => {
-                    self.on_xfer_req(cmd, created, die_start, outcome, now)
+        // Batch-pop one instant at a time: handlers frequently schedule
+        // follow-up events at the current instant, and those carry
+        // higher sequence numbers than everything in the batch, so
+        // dispatching a flat buffer delivers the exact same order as a
+        // one-at-a-time pop loop.
+        let mut batch: Vec<(SimTime, Event)> = Vec::with_capacity(256);
+        while let Some(t) = self.calendar.peek_time() {
+            self.calendar.drain_until(t, &mut batch);
+            for (now, ev) in batch.drain(..) {
+                match ev {
+                    Event::Arrive(cmd) => self.on_arrive(cmd, now),
+                    Event::Pre(cmd, created, steps) => self.on_pre(cmd, created, steps, now),
+                    Event::DieReq(cmd, created) => self.on_die_req(cmd, created, now),
+                    Event::XferReq(cmd, created, die_start, outcome) => {
+                        self.on_xfer_req(cmd, created, die_start, outcome, now)
+                    }
+                    Event::Post(cmd, created, xfer_end, chan_wait, outcome, steps) => {
+                        self.on_post(cmd, created, xfer_end, chan_wait, outcome, steps, now)
+                    }
+                    Event::ReleaseHop(h) => self.on_release_hop(h, now),
                 }
-                Event::Post(cmd, created, xfer_end, chan_wait, outcome, steps) => {
-                    self.on_post(cmd, created, xfer_end, chan_wait, outcome, steps, now)
-                }
-                Event::ReleaseHop(h) => self.on_release_hop(h, now),
             }
         }
     }
@@ -427,7 +511,7 @@ impl<'a> Engine<'a> {
             let h = cmd.sample.hop as usize;
             self.hop_first[h] = Some(self.hop_first[h].map_or(now, |t| t.min(now)));
         }
-        let mut pre: VecDeque<Step> = VecDeque::new();
+        let mut pre = StepQueue::new();
         if cmd.kind == CmdKind::FeatureRead {
             // Host-issued feature-table read.
             pre.push_back(Step::Host(self.ssd.host.storage_stack_per_io));
@@ -453,27 +537,25 @@ impl<'a> Engine<'a> {
                         + self.ssd.firmware.flash_issue,
                 ));
             }
-            SamplingLocation::Firmware | SamplingLocation::Die => {
-                match self.spec.backend_control {
-                    BackendControl::Firmware => {
-                        let ftl = if self.spec.direct_graph {
-                            Duration::ZERO
-                        } else {
-                            self.ssd.firmware.ftl_lookup
-                        };
-                        pre.push_back(Step::Core(self.ssd.firmware.flash_issue + ftl));
-                    }
-                    BackendControl::HardwareRouter => {
-                        self.energy.router_cmds += 1;
-                        pre.push_back(Step::Fixed(self.ssd.router_latency));
-                    }
+            SamplingLocation::Firmware | SamplingLocation::Die => match self.spec.backend_control {
+                BackendControl::Firmware => {
+                    let ftl = if self.spec.direct_graph {
+                        Duration::ZERO
+                    } else {
+                        self.ssd.firmware.ftl_lookup
+                    };
+                    pre.push_back(Step::Core(self.ssd.firmware.flash_issue + ftl));
                 }
-            }
+                BackendControl::HardwareRouter => {
+                    self.energy.router_cmds += 1;
+                    pre.push_back(Step::Fixed(self.ssd.router_latency));
+                }
+            },
         }
         self.calendar.schedule(now, Event::Pre(cmd, now, pre));
     }
 
-    fn on_pre(&mut self, cmd: Cmd, created: SimTime, mut steps: VecDeque<Step>, now: SimTime) {
+    fn on_pre(&mut self, cmd: Cmd, created: SimTime, mut steps: StepQueue, now: SimTime) {
         match steps.pop_front() {
             None => self.calendar.schedule(now, Event::DieReq(cmd, created)),
             Some(step) => {
@@ -492,7 +574,8 @@ impl<'a> Engine<'a> {
         let grant = self.dies[die].acquire(now, self.ssd.timing.read_latency + on_die);
         self.die_timeline.push(grant.start, grant.end);
         if self.trace.is_enabled() {
-            self.trace.record(grant.start, "die_sense", die as u64, cmd.sample.hop as f64);
+            self.trace
+                .record(grant.start, "die_sense", die as u64, cmd.sample.hop as f64);
         }
         self.flash_reads += 1;
         self.energy.flash_page_reads += 1;
@@ -527,7 +610,10 @@ impl<'a> Engine<'a> {
         self.cmd_breakdown
             .wait_before_flash
             .record_duration(grant.start.saturating_duration_since(created));
-        self.calendar.schedule(grant.end, Event::XferReq(cmd, created, grant.start, outcome));
+        self.calendar.schedule(
+            grant.end,
+            Event::XferReq(cmd, created, grant.start, outcome),
+        );
     }
 
     fn on_xfer_req(
@@ -544,12 +630,12 @@ impl<'a> Engine<'a> {
             TransferGranularity::Page => self.ssd.geometry.page_size as u64,
             TransferGranularity::Useful => outcome.result_bytes() as u64,
         };
-        let service =
-            self.ssd.timing.command_overhead + self.ssd.timing.transfer_time(bytes);
+        let service = self.ssd.timing.command_overhead + self.ssd.timing.transfer_time(bytes);
         let grant = self.channels[channel].acquire(now, service);
         self.channel_timeline.push(grant.start, grant.end);
         if self.trace.is_enabled() {
-            self.trace.record(grant.start, "chan_xfer", channel as u64, bytes as f64);
+            self.trace
+                .record(grant.start, "chan_xfer", channel as u64, bytes as f64);
         }
         self.channel_bytes_accum += bytes;
         // The command's own flash processing: die service (sense +
@@ -557,16 +643,20 @@ impl<'a> Engine<'a> {
         // channel transfer. Queueing for the channel counts as wait
         // (paper Fig 17's definition: flash-proper time is small).
         let chan_wait = grant.start.saturating_duration_since(now);
-        self.cmd_breakdown.flash.record_duration((now - die_start) + (grant.end - grant.start));
+        self.cmd_breakdown
+            .flash
+            .record_duration((now - die_start) + (grant.end - grant.start));
 
         let steps = self.post_steps(&cmd, &outcome, bytes);
-        self.calendar
-            .schedule(grant.end, Event::Post(cmd, created, grant.end, chan_wait, outcome, steps));
+        self.calendar.schedule(
+            grant.end,
+            Event::Post(cmd, created, grant.end, chan_wait, outcome, steps),
+        );
     }
 
-    fn post_steps(&self, cmd: &Cmd, outcome: &SampleOutcome, xfer_bytes: u64) -> VecDeque<Step> {
+    fn post_steps(&self, cmd: &Cmd, outcome: &SampleOutcome, xfer_bytes: u64) -> StepQueue {
         let fw = &self.ssd.firmware;
-        let mut steps = VecDeque::new();
+        let mut steps = StepQueue::new();
         if cmd.kind == CmdKind::FeatureRead {
             // Feature-table page: stage in DRAM (write + read-back),
             // complete the I/O, ship the page to the host over PCIe.
@@ -651,13 +741,15 @@ impl<'a> Engine<'a> {
         xfer_end: SimTime,
         chan_wait: Duration,
         outcome: Box<SampleOutcome>,
-        mut steps: VecDeque<Step>,
+        mut steps: StepQueue,
         now: SimTime,
     ) {
         if let Some(step) = steps.pop_front() {
             let end = self.exec_step(step, now);
-            self.calendar
-                .schedule(end, Event::Post(cmd, created, xfer_end, chan_wait, outcome, steps));
+            self.calendar.schedule(
+                end,
+                Event::Post(cmd, created, xfer_end, chan_wait, outcome, steps),
+            );
             return;
         }
         // Command fully processed. Channel-queue wait counts toward
@@ -666,7 +758,12 @@ impl<'a> Engine<'a> {
             .wait_after_flash
             .record_duration(chan_wait + now.saturating_duration_since(xfer_end));
         if self.trace.is_enabled() {
-            self.trace.record(now, "cmd_done", cmd.sample.subgraph as u64, cmd.sample.hop as f64);
+            self.trace.record(
+                now,
+                "cmd_done",
+                cmd.sample.subgraph as u64,
+                cmd.sample.hop as f64,
+            );
         }
         let _ = created;
         if self.record_hops {
@@ -682,7 +779,13 @@ impl<'a> Engine<'a> {
             }
         }
         for child in &outcome.new_commands {
-            self.spawn(Cmd { sample: *child, kind: CmdKind::Visit }, now);
+            self.spawn(
+                Cmd {
+                    sample: *child,
+                    kind: CmdKind::Visit,
+                },
+                now,
+            );
         }
         self.complete(cmd, now);
     }
@@ -706,18 +809,20 @@ impl<'a> Engine<'a> {
             let host_work = if self.spec.direct_graph {
                 Duration::ZERO
             } else {
-                self.ssd.host.translate_per_node * next.len() as u64
-                    / self.ssd.host.cores as u64
+                self.ssd.host.translate_per_node * next.len() as u64 / self.ssd.host.cores as u64
             };
             let release_at = now + self.ssd.host.nvme_roundtrip + host_work;
             self.energy.host_cpu_busy += host_work * self.ssd.host.cores as u64;
-            self.calendar.schedule(release_at, Event::ReleaseHop((hop + 1) as u8));
+            self.calendar
+                .schedule(release_at, Event::ReleaseHop((hop + 1) as u8));
         }
     }
 
     fn on_release_hop(&mut self, hop: u8, now: SimTime) {
         self.hop_released[hop as usize] = true;
-        let cmds: Vec<Cmd> = self.hop_buffers[hop as usize].drain(..).collect();
+        // Take the buffer instead of copying it out; `spawn` refills a
+        // fresh one for the next batch if this hop buffers again.
+        let cmds = std::mem::take(&mut self.hop_buffers[hop as usize]);
         for cmd in cmds {
             self.calendar.schedule(now, Event::Arrive(cmd));
         }
@@ -759,10 +864,6 @@ impl<'a> Engine<'a> {
     }
 }
 
-// Accumulator field appended via an inherent impl extension would be
-// nicer; keep it as a plain field.
-impl<'a> Engine<'a> {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -784,7 +885,9 @@ mod tests {
         let ssd = SsdConfig::paper_default();
         let targets: Vec<Vec<NodeId>> = (0..batches)
             .map(|b| {
-                (0..batch_size).map(|i| NodeId::new(((b * batch_size + i) % 3_000) as u32)).collect()
+                (0..batch_size)
+                    .map(|i| NodeId::new(((b * batch_size + i) % 3_000) as u32))
+                    .collect()
             })
             .collect();
         Engine::new(p, ssd, model, &dg, 42).run(&targets)
@@ -870,10 +973,7 @@ mod tests {
     #[test]
     fn out_of_order_platforms_overlap_hops() {
         let m = run_platform(Platform::Bg2, 1, 64);
-        let overlapping = m
-            .hop_windows
-            .windows(2)
-            .any(|w| w[1].start < w[0].end);
+        let overlapping = m.hop_windows.windows(2).any(|w| w[1].start < w[0].end);
         assert!(overlapping, "BG-2 should overlap hops: {:?}", m.hop_windows);
     }
 
@@ -890,10 +990,12 @@ mod tests {
 
         let model = GnnModelConfig::paper_default(64);
         let batch: Vec<NodeId> = (0..64).map(NodeId::new).collect();
-        let m = Engine::new(Platform::Bg2, SsdConfig::paper_default(), model, &dg, 5)
-            .run(&[batch]);
+        let m = Engine::new(Platform::Bg2, SsdConfig::paper_default(), model, &dg, 5).run(&[batch]);
         // The run completes; faulted subtrees are dropped.
-        assert!(m.sampler_faults > 0, "expected faults from the corrupt page");
+        assert!(
+            m.sampler_faults > 0,
+            "expected faults from the corrupt page"
+        );
         assert!(m.nodes_visited < 64 * model.subgraph_nodes());
         assert!(m.throughput() > 0.0);
     }
@@ -911,7 +1013,10 @@ mod tests {
         assert!(s.contains("BG-2"));
         assert!(s.contains("targets/s"));
         assert!(s.contains("flash reads"));
-        assert!(!s.contains("sampler faults"), "healthy run mentions no faults");
+        assert!(
+            !s.contains("sampler faults"),
+            "healthy run mentions no faults"
+        );
     }
 
     #[test]
@@ -923,8 +1028,7 @@ mod tests {
             .with_trace(100_000)
             .run(&[batch]);
         assert!(!m.trace.is_empty());
-        let kinds: std::collections::HashSet<&str> =
-            m.trace.iter().map(|e| e.kind).collect();
+        let kinds: std::collections::HashSet<&str> = m.trace.iter().map(|e| e.kind).collect();
         for k in ["die_sense", "chan_xfer", "cmd_done"] {
             assert!(kinds.contains(k), "missing {k}");
         }
@@ -951,7 +1055,13 @@ mod tests {
     fn cc_spends_energy_outside_storage() {
         let m = run_platform(Platform::Cc, 1, 32);
         assert!(m.energy.pcie_bytes > 0);
-        let b = m.energy.breakdown(&beacon_energy::EnergyCosts::default_costs());
-        assert!(b.outside_storage_fraction() > 0.3, "{}", b.outside_storage_fraction());
+        let b = m
+            .energy
+            .breakdown(&beacon_energy::EnergyCosts::default_costs());
+        assert!(
+            b.outside_storage_fraction() > 0.3,
+            "{}",
+            b.outside_storage_fraction()
+        );
     }
 }

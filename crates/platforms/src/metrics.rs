@@ -89,6 +89,7 @@ impl HopWindow {
 #[derive(Debug, Clone, Default)]
 pub struct TimelineBuilder {
     intervals: Vec<(SimTime, SimTime)>,
+    busy: Duration,
 }
 
 impl TimelineBuilder {
@@ -98,14 +99,26 @@ impl TimelineBuilder {
     }
 
     /// Records one busy interval of one unit.
+    ///
+    /// Contiguous extensions of the most recent interval (the common
+    /// case: back-to-back grants on a serially reused unit) are merged
+    /// in place rather than appended, and the busy total is maintained
+    /// incrementally so neither query re-walks the interval list.
     pub fn push(&mut self, start: SimTime, end: SimTime) {
         debug_assert!(start <= end);
+        self.busy += end - start;
+        if let Some(last) = self.intervals.last_mut() {
+            if last.1 == start {
+                last.1 = end;
+                return;
+            }
+        }
         self.intervals.push((start, end));
     }
 
     /// Total busy unit-time recorded.
     pub fn busy_total(&self) -> Duration {
-        self.intervals.iter().map(|&(s, e)| e - s).sum()
+        self.busy
     }
 
     /// Number of intervals recorded.
@@ -140,7 +153,9 @@ impl TimelineBuilder {
                 t = slice_end;
             }
         }
-        acc.into_iter().map(|ns| ns as f64 / slice.as_ns() as f64).collect()
+        acc.into_iter()
+            .map(|ns| ns as f64 / slice.as_ns() as f64)
+            .collect()
     }
 
     /// Mean busy units over `[0, end]`.
@@ -262,8 +277,16 @@ mod tests {
     #[test]
     fn cmd_breakdown_fractions_sum_to_one() {
         let mut b = CmdBreakdown::default();
-        b.record(Duration::from_us(2), Duration::from_us(5), Duration::from_us(3));
-        b.record(Duration::from_us(4), Duration::from_us(5), Duration::from_us(1));
+        b.record(
+            Duration::from_us(2),
+            Duration::from_us(5),
+            Duration::from_us(3),
+        );
+        b.record(
+            Duration::from_us(4),
+            Duration::from_us(5),
+            Duration::from_us(1),
+        );
         let (w, f, a) = b.fractions();
         assert!((w + f + a - 1.0).abs() < 1e-12);
         assert!((b.mean_lifetime_ns() - 10_000.0).abs() < 1e-9);
@@ -293,7 +316,11 @@ mod tests {
 
     #[test]
     fn hop_window_span() {
-        let w = HopWindow { hop: 1, start: SimTime::from_ns(10), end: SimTime::from_ns(30) };
+        let w = HopWindow {
+            hop: 1,
+            start: SimTime::from_ns(10),
+            end: SimTime::from_ns(30),
+        };
         assert_eq!(w.span(), Duration::from_ns(20));
     }
 }

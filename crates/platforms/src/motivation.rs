@@ -93,8 +93,7 @@ mod tests {
             "throughput gain at 8 dies should be ~49%, got {:.0}%",
             gain * 100.0
         );
-        let lat_ratio =
-            sweep[7].avg_latency.as_ns() as f64 / sweep[0].avg_latency.as_ns() as f64;
+        let lat_ratio = sweep[7].avg_latency.as_ns() as f64 / sweep[0].avg_latency.as_ns() as f64;
         assert!(
             (5.0..=11.0).contains(&lat_ratio),
             "latency blow-up should be ~7.7x, got {lat_ratio:.1}x"
@@ -107,7 +106,10 @@ mod tests {
         // scaling is much closer to linear.
         let sweep = die_scaling_sweep(&FlashTiming::traditional(), 4, 4096, 100);
         let gain = sweep[3].throughput / sweep[0].throughput;
-        assert!(gain > 2.5, "traditional flash should scale ~linearly, got {gain:.2}x");
+        assert!(
+            gain > 2.5,
+            "traditional flash should scale ~linearly, got {gain:.2}x"
+        );
     }
 
     #[test]

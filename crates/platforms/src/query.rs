@@ -107,7 +107,11 @@ mod tests {
 
     fn queries(n: usize, batch: usize) -> Vec<Vec<NodeId>> {
         (0..n)
-            .map(|q| (0..batch).map(|i| NodeId::new(((q * batch + i) % 2_000) as u32)).collect())
+            .map(|q| {
+                (0..batch)
+                    .map(|i| NodeId::new(((q * batch + i) % 2_000) as u32))
+                    .collect()
+            })
             .collect()
     }
 
@@ -115,9 +119,16 @@ mod tests {
     fn bg2_query_latency_beats_cc() {
         let (dg, model) = setup();
         let qs = queries(4, 4);
-        let cc = measure_query_latency(Platform::Cc, SsdConfig::paper_default(), model, &dg, &qs, 1);
-        let bg2 =
-            measure_query_latency(Platform::Bg2, SsdConfig::paper_default(), model, &dg, &qs, 1);
+        let cc =
+            measure_query_latency(Platform::Cc, SsdConfig::paper_default(), model, &dg, &qs, 1);
+        let bg2 = measure_query_latency(
+            Platform::Bg2,
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            &qs,
+            1,
+        );
         // §VIII: one communication round + no channel congestion =>
         // much lower query latency.
         let speedup = cc.mean.as_ns() as f64 / bg2.mean.as_ns() as f64;
@@ -131,11 +142,21 @@ mod tests {
     fn single_target_query_is_microseconds_on_bg2() {
         let (dg, model) = setup();
         let qs = queries(4, 1);
-        let bg2 =
-            measure_query_latency(Platform::Bg2, SsdConfig::paper_default(), model, &dg, &qs, 2);
+        let bg2 = measure_query_latency(
+            Platform::Bg2,
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            &qs,
+            2,
+        );
         // 40 dependent-ish reads at 3us each, heavily overlapped, plus
         // compute: should land well under a millisecond.
-        assert!(bg2.mean < Duration::from_ms(1), "query latency {}", bg2.mean);
+        assert!(
+            bg2.mean < Duration::from_ms(1),
+            "query latency {}",
+            bg2.mean
+        );
     }
 
     #[test]
@@ -154,7 +175,11 @@ mod tests {
         );
         assert!(loaded > idle, "background load must add deferral");
         // The §VI-G cost: roughly half the training batch's window.
-        assert!(loaded - idle > Duration::from_us(50), "deferral {}", loaded - idle);
+        assert!(
+            loaded - idle > Duration::from_us(50),
+            "deferral {}",
+            loaded - idle
+        );
     }
 
     #[test]

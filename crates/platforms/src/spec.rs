@@ -82,8 +82,13 @@ impl Platform {
     ];
 
     /// The BeaconGNN ablation chain (Fig 14's BG-X bars).
-    pub const BG_CHAIN: [Platform; 5] =
-        [Platform::Bg1, Platform::BgDg, Platform::BgSp, Platform::BgDgsp, Platform::Bg2];
+    pub const BG_CHAIN: [Platform; 5] = [
+        Platform::Bg1,
+        Platform::BgDg,
+        Platform::BgSp,
+        Platform::BgDgsp,
+        Platform::Bg2,
+    ];
 
     /// The platform's feature specification.
     pub fn spec(self) -> PlatformSpec {
@@ -249,7 +254,10 @@ mod tests {
         // BG-DGSP combines both; BG-2 adds the router.
         let dgsp = Platform::BgDgsp.spec();
         assert_eq!(dgsp.backend_control, BackendControl::Firmware);
-        assert_eq!(Platform::Bg2.spec().backend_control, BackendControl::HardwareRouter);
+        assert_eq!(
+            Platform::Bg2.spec().backend_control,
+            BackendControl::HardwareRouter
+        );
     }
 
     #[test]
@@ -271,7 +279,16 @@ mod tests {
         let names: Vec<&str> = Platform::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec!["CC", "SmartSage", "GList", "BG-1", "BG-DG", "BG-SP", "BG-DGSP", "BG-2"]
+            vec![
+                "CC",
+                "SmartSage",
+                "GList",
+                "BG-1",
+                "BG-DG",
+                "BG-SP",
+                "BG-DGSP",
+                "BG-2"
+            ]
         );
         assert_eq!(Platform::Bg2.to_string(), "BG-2");
     }

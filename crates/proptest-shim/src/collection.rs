@@ -1,0 +1,50 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let v = vec(any::<u8>(), 1..30).generate(&mut rng);
+            assert!((1..30).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples() {
+        let mut rng = TestRng::new(10);
+        let v = vec((0u64..48, any::<bool>()), 1..300).generate(&mut rng);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|&(x, _)| x < 48));
+    }
+}

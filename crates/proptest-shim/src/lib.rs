@@ -1,0 +1,80 @@
+//! # proptest (offline shim)
+//!
+//! A dependency-free, deterministic stand-in for the subset of the
+//! [proptest](https://docs.rs/proptest) API this workspace uses, so the
+//! property-test suites build and run in environments with no crates-io
+//! access. The semantics differ from real proptest in two deliberate
+//! ways:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   still derivable from the (test-name-seeded) RNG; there is no
+//!   minimization pass.
+//! * **Fully deterministic.** Each test's input stream is seeded from
+//!   its own name, so failures reproduce bit-identically on every run
+//!   and machine — the same replay guarantee the simulator itself makes.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(...)]`), `prop_assert!`, `prop_assert_eq!`,
+//! [`Strategy`] for integer/float ranges and tuples, [`any`],
+//! `collection::vec`, and [`test_runner::ProptestConfig`].
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// The shim panics immediately (no shrinking), carrying the formatted
+/// message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` item
+/// expands to a `#[test]` that draws `ProptestConfig::cases` input
+/// tuples from a test-name-seeded deterministic RNG and runs the body
+/// on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let ($($pat,)+) =
+                    ($($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+);
+                $body
+            }
+        }
+    )*};
+}

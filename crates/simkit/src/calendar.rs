@@ -1,7 +1,7 @@
 //! The event calendar: a time-ordered priority queue of simulation events.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -11,6 +11,17 @@ use crate::time::SimTime;
 /// were scheduled (FIFO tie-breaking via a monotonically increasing
 /// sequence number), which keeps simulations deterministic regardless of
 /// heap internals.
+///
+/// # Fast path
+///
+/// Discrete-event models schedule a large share of their events at the
+/// *current* instant (zero-delay pipeline handoffs). Those events bypass
+/// the binary heap entirely and land in a FIFO ring of "immediate"
+/// events, so the common schedule/pop pair is O(1) with no re-heapify
+/// traffic. Ordering is still globally FIFO-per-instant: the pop path
+/// compares `(time, seq)` across both queues, and every event scheduled
+/// at the watermark necessarily carries a higher sequence number than
+/// any equal-time event still in the heap.
 ///
 /// # Examples
 ///
@@ -27,6 +38,10 @@ use crate::time::SimTime;
 #[derive(Debug, Clone)]
 pub struct Calendar<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Events scheduled at exactly the watermark instant, FIFO. All
+    /// entries here share `at == watermark` (the watermark cannot pass
+    /// a pending event).
+    immediate: VecDeque<Entry<E>>,
     seq: u64,
     /// Latest time popped so far; used to detect causality violations.
     watermark: SimTime,
@@ -59,12 +74,29 @@ impl<E> Ord for Entry<E> {
 impl<E> Calendar<E> {
     /// Creates an empty calendar.
     pub fn new() -> Self {
-        Calendar { heap: BinaryHeap::new(), seq: 0, watermark: SimTime::ZERO }
+        Calendar {
+            heap: BinaryHeap::new(),
+            immediate: VecDeque::new(),
+            seq: 0,
+            watermark: SimTime::ZERO,
+        }
     }
 
     /// Creates an empty calendar with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Calendar { heap: BinaryHeap::with_capacity(cap), seq: 0, watermark: SimTime::ZERO }
+        Calendar {
+            heap: BinaryHeap::with_capacity(cap),
+            immediate: VecDeque::with_capacity(cap.min(1024)),
+            seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more events, so a
+    /// burst of scheduling (e.g. a mini-batch fan-out) does not pay
+    /// repeated reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -81,31 +113,73 @@ impl<E> Calendar<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        let entry = Entry { at, seq, event };
+        if at == self.watermark {
+            self.immediate.push_back(entry);
+        } else {
+            self.heap.push(Reverse(entry));
+        }
+    }
+
+    /// True when the next event in FIFO-per-instant order sits in the
+    /// immediate ring rather than the heap.
+    fn immediate_is_next(&self) -> bool {
+        match (self.immediate.front(), self.heap.peek()) {
+            (Some(_), None) => true,
+            (Some(f), Some(Reverse(h))) => (f.at, f.seq) < (h.at, h.seq),
+            (None, _) => false,
+        }
     }
 
     /// Removes and returns the earliest event, advancing the causality
     /// watermark to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| {
-            self.watermark = e.at;
-            (e.at, e.event)
-        })
+        let entry = if self.immediate_is_next() {
+            self.immediate.pop_front()
+        } else {
+            self.heap.pop().map(|Reverse(e)| e)
+        }?;
+        self.watermark = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Pops every event with timestamp `<= until` into `out` (appending,
+    /// in delivery order), advancing the watermark as [`Calendar::pop`]
+    /// would. Returns the number of events moved.
+    ///
+    /// This is the engine inner loop's batch fast path: draining one
+    /// instant's events in a block lets the caller iterate a flat buffer
+    /// while newly scheduled same-instant events (which always carry
+    /// higher sequence numbers) land in the next batch — the delivery
+    /// order is identical to repeated `pop` calls.
+    pub fn drain_until(&mut self, until: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let mut n = 0;
+        while self.peek_time().is_some_and(|t| t <= until) {
+            // The unwrap cannot fail: peek_time just saw an event.
+            out.push(self.pop().expect("event present"));
+            n += 1;
+        }
+        n
     }
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        match (self.immediate.front(), self.heap.peek()) {
+            (Some(f), Some(Reverse(h))) => Some(f.at.min(h.at)),
+            (Some(f), None) => Some(f.at),
+            (None, Some(Reverse(h))) => Some(h.at),
+            (None, None) => None,
+        }
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.immediate.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.immediate.is_empty()
     }
 
     /// The latest time returned by [`Calendar::pop`] so far.
@@ -149,6 +223,41 @@ mod tests {
     }
 
     #[test]
+    fn immediate_fast_path_preserves_fifo_with_heap_ties() {
+        let mut cal = Calendar::new();
+        // Two heap events at t=10, scheduled before the watermark gets
+        // there (seq 0 and 1).
+        cal.schedule(SimTime::from_ns(10), "heap-a");
+        cal.schedule(SimTime::from_ns(10), "heap-b");
+        assert_eq!(cal.pop().unwrap().1, "heap-a"); // watermark now 10
+                                                    // An immediate event at the watermark (seq 2) must NOT overtake
+                                                    // the equal-time heap event with the lower sequence number.
+        cal.schedule(SimTime::from_ns(10), "imm-c");
+        cal.schedule(SimTime::from_ns(11), "late");
+        cal.schedule(SimTime::from_ns(10), "imm-d");
+        assert_eq!(cal.pop().unwrap().1, "heap-b");
+        assert_eq!(cal.pop().unwrap().1, "imm-c");
+        assert_eq!(cal.pop().unwrap().1, "imm-d");
+        assert_eq!(cal.pop().unwrap().1, "late");
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn immediate_events_at_time_zero() {
+        // Before any pop the watermark is zero, so t=0 events take the
+        // fast path straight away — and still interleave FIFO.
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::ZERO, 0);
+        cal.schedule(SimTime::from_ns(5), 2);
+        cal.schedule(SimTime::ZERO, 1);
+        assert_eq!(cal.len(), 3);
+        assert_eq!(cal.peek_time(), Some(SimTime::ZERO));
+        assert_eq!(cal.pop(), Some((SimTime::ZERO, 0)));
+        assert_eq!(cal.pop(), Some((SimTime::ZERO, 1)));
+        assert_eq!(cal.pop(), Some((SimTime::from_ns(5), 2)));
+    }
+
+    #[test]
     #[should_panic(expected = "scheduled in the past")]
     fn scheduling_into_past_panics() {
         let mut cal = Calendar::new();
@@ -169,5 +278,61 @@ mod tests {
         assert_eq!(cal.len(), 1);
         assert!(!cal.is_empty());
         assert_eq!(cal.peek_time(), Some(SimTime::from_ns(42)));
+    }
+
+    #[test]
+    fn drain_until_batches_one_instant_fifo() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ns(10), 'a');
+        cal.schedule(SimTime::from_ns(10), 'b');
+        cal.schedule(SimTime::from_ns(20), 'c');
+        let mut buf = Vec::new();
+        let n = cal.drain_until(SimTime::from_ns(10), &mut buf);
+        assert_eq!(n, 2);
+        assert_eq!(
+            buf,
+            vec![(SimTime::from_ns(10), 'a'), (SimTime::from_ns(10), 'b')]
+        );
+        // The watermark advanced with the drained events...
+        assert_eq!(cal.now(), SimTime::from_ns(10));
+        // ...and same-instant events scheduled afterwards still deliver
+        // after the batch (higher seq), before later times.
+        cal.schedule(SimTime::from_ns(10), 'd');
+        buf.clear();
+        assert_eq!(cal.drain_until(SimTime::from_ns(30), &mut buf), 2);
+        assert_eq!(
+            buf,
+            vec![(SimTime::from_ns(10), 'd'), (SimTime::from_ns(20), 'c')]
+        );
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn drain_until_advances_watermark_monotonically() {
+        let mut cal = Calendar::new();
+        for t in [5u64, 1, 9, 1, 5] {
+            cal.schedule(SimTime::from_ns(t), t);
+        }
+        let mut buf = Vec::new();
+        cal.drain_until(SimTime::from_ns(5), &mut buf);
+        let times: Vec<u64> = buf.iter().map(|&(t, _)| t.as_ns()).collect();
+        assert_eq!(times, vec![1, 1, 5, 5]);
+        assert_eq!(cal.now(), SimTime::from_ns(5));
+        assert_eq!(cal.len(), 1);
+        // Causality: the watermark now rejects anything before 5 ns.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cal.schedule(SimTime::from_ns(3), 3);
+        }));
+        assert!(r.is_err(), "pre-watermark schedule must panic after drain");
+    }
+
+    #[test]
+    fn drain_until_on_empty_is_noop() {
+        let mut cal: Calendar<()> = Calendar::with_capacity(16);
+        let mut buf = Vec::new();
+        assert_eq!(cal.drain_until(SimTime::from_ns(100), &mut buf), 0);
+        assert!(buf.is_empty());
+        cal.reserve(32);
+        assert!(cal.is_empty());
     }
 }

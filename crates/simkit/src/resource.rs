@@ -146,7 +146,11 @@ impl BandwidthResource {
     /// Panics if `bytes_per_sec` is zero.
     pub fn new(bytes_per_sec: u64) -> Self {
         assert!(bytes_per_sec > 0, "bandwidth must be positive");
-        BandwidthResource { bytes_per_sec, pipe: SerialResource::new(), bytes_moved: 0 }
+        BandwidthResource {
+            bytes_per_sec,
+            pipe: SerialResource::new(),
+            bytes_moved: 0,
+        }
     }
 
     /// Schedules a transfer of `bytes` arriving at `arrival`.

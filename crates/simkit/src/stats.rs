@@ -70,7 +70,12 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -152,7 +157,12 @@ impl Histogram {
     pub fn new(bin_width: Duration, nbins: usize) -> Self {
         assert!(!bin_width.is_zero(), "bin width must be positive");
         assert!(nbins > 0, "need at least one bin");
-        Histogram { bin_width, bins: vec![0; nbins], overflow: 0, summary: Summary::new() }
+        Histogram {
+            bin_width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            summary: Summary::new(),
+        }
     }
 
     /// Records a duration.
@@ -221,7 +231,11 @@ pub struct UtilizationTracker {
 impl UtilizationTracker {
     /// Creates a tracker that is idle at time zero.
     pub fn new() -> Self {
-        UtilizationTracker { busy: false, last_change: SimTime::ZERO, busy_time: Duration::ZERO }
+        UtilizationTracker {
+            busy: false,
+            last_change: SimTime::ZERO,
+            busy_time: Duration::ZERO,
+        }
     }
 
     /// Records a busy/idle transition at time `now`.
@@ -279,7 +293,12 @@ impl BusyTimeline {
     /// Panics if `slice` is zero.
     pub fn new(slice: Duration) -> Self {
         assert!(!slice.is_zero(), "slice must be positive");
-        BusyTimeline { slice, acc: Vec::new(), active: 0, last_change: SimTime::ZERO }
+        BusyTimeline {
+            slice,
+            acc: Vec::new(),
+            active: 0,
+            last_change: SimTime::ZERO,
+        }
     }
 
     /// Records that one more unit became active at `now`.
@@ -319,7 +338,10 @@ impl BusyTimeline {
     pub fn finish(mut self, end: SimTime) -> Vec<f64> {
         self.advance(end);
         let slice_ns = self.slice.as_ns() as f64;
-        self.acc.iter().map(|&busy_ns| busy_ns as f64 / slice_ns).collect()
+        self.acc
+            .iter()
+            .map(|&busy_ns| busy_ns as f64 / slice_ns)
+            .collect()
     }
 
     /// Number of currently active units.

@@ -84,7 +84,10 @@ impl SimTime {
     /// Panics in debug builds if `earlier` is after `self`.
     #[inline]
     pub fn duration_since(self, earlier: SimTime) -> Duration {
-        debug_assert!(earlier.0 <= self.0, "duration_since: {earlier:?} > {self:?}");
+        debug_assert!(
+            earlier.0 <= self.0,
+            "duration_since: {earlier:?} > {self:?}"
+        );
         Duration(self.0.saturating_sub(earlier.0))
     }
 
@@ -342,7 +345,10 @@ mod tests {
     #[test]
     fn cycles_duration() {
         // 500 cycles at 500 MHz = 1 us.
-        assert_eq!(Duration::from_cycles(500, 500_000_000), Duration::from_us(1));
+        assert_eq!(
+            Duration::from_cycles(500, 500_000_000),
+            Duration::from_us(1)
+        );
     }
 
     #[test]
@@ -350,7 +356,10 @@ mod tests {
         let early = SimTime::from_ns(10);
         let late = SimTime::from_ns(20);
         assert_eq!(early.saturating_duration_since(late), Duration::ZERO);
-        assert_eq!(Duration::from_ns(5).saturating_sub(Duration::from_ns(9)), Duration::ZERO);
+        assert_eq!(
+            Duration::from_ns(5).saturating_sub(Duration::from_ns(9)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -363,7 +372,9 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Duration = [Duration::from_ns(1), Duration::from_ns(2)].into_iter().sum();
+        let total: Duration = [Duration::from_ns(1), Duration::from_ns(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Duration::from_ns(3));
     }
 
@@ -373,7 +384,13 @@ mod tests {
         let b = Duration::from_ns(9);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
-        assert_eq!(SimTime::from_ns(4).max(SimTime::from_ns(9)), SimTime::from_ns(9));
-        assert_eq!(SimTime::from_ns(4).min(SimTime::from_ns(9)), SimTime::from_ns(4));
+        assert_eq!(
+            SimTime::from_ns(4).max(SimTime::from_ns(9)),
+            SimTime::from_ns(9)
+        );
+        assert_eq!(
+            SimTime::from_ns(4).min(SimTime::from_ns(9)),
+            SimTime::from_ns(4)
+        );
     }
 }

@@ -52,7 +52,11 @@ impl Trace {
     /// Creates a trace bounded to `capacity` events (0 disables
     /// recording entirely).
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { ring: VecDeque::with_capacity(capacity.min(1 << 20)), capacity, dropped: 0 }
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Whether recording is enabled.
@@ -70,7 +74,12 @@ impl Trace {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(TraceEvent { at, kind, unit, value });
+        self.ring.push_back(TraceEvent {
+            at,
+            kind,
+            unit,
+            value,
+        });
     }
 
     /// Events currently held.

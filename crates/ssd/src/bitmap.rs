@@ -31,7 +31,10 @@ pub struct BlockBitmap {
 impl BlockBitmap {
     /// Creates an all-clear bitmap over `blocks` blocks.
     pub fn new(blocks: usize) -> Self {
-        BlockBitmap { blocks, words: vec![0; blocks.div_ceil(64)] }
+        BlockBitmap {
+            blocks,
+            words: vec![0; blocks.div_ceil(64)],
+        }
     }
 
     /// Number of blocks covered.
@@ -76,7 +79,9 @@ impl BlockBitmap {
 
     /// Iterates over the set blocks in index order.
     pub fn iter_set(&self) -> impl Iterator<Item = BlockId> + '_ {
-        (0..self.blocks as u32).map(BlockId::new).filter(move |&b| self.get(b))
+        (0..self.blocks as u32)
+            .map(BlockId::new)
+            .filter(move |&b| self.get(b))
     }
 
     /// Serializes to the on-media byte layout (little-endian words).

@@ -163,7 +163,10 @@ impl SsdConfig {
 
     /// The §VII-E traditional-SSD variant (20 µs reads).
     pub fn traditional() -> Self {
-        SsdConfig { timing: FlashTiming::traditional(), ..Self::paper_default() }
+        SsdConfig {
+            timing: FlashTiming::traditional(),
+            ..Self::paper_default()
+        }
     }
 
     /// Returns the config with a different channel count (Fig 18d; dies

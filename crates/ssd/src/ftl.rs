@@ -78,8 +78,14 @@ impl fmt::Display for FtlError {
             FtlError::LpaOutOfRange { lpa, logical_pages } => {
                 write!(f, "lpa {lpa} outside logical capacity {logical_pages}")
             }
-            FtlError::ReservationTooLarge { requested, available } => {
-                write!(f, "cannot reserve {requested} blocks, only {available} free")
+            FtlError::ReservationTooLarge {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "cannot reserve {requested} blocks, only {available} free"
+                )
             }
             FtlError::NotReserved(b) => write!(f, "{b} is not reserved"),
         }
@@ -237,7 +243,10 @@ impl Ftl {
     /// exhausted.
     pub fn write(&mut self, lpa: u64) -> Result<Ppa, FtlError> {
         if lpa as usize >= self.map.len() {
-            return Err(FtlError::LpaOutOfRange { lpa, logical_pages: self.logical_pages() });
+            return Err(FtlError::LpaOutOfRange {
+                lpa,
+                logical_pages: self.logical_pages(),
+            });
         }
         self.invalidate(lpa);
         let ppa = self.allocate_page()?;
@@ -265,7 +274,10 @@ impl Ftl {
     /// blocks remain.
     pub fn reserve_blocks(&mut self, n: usize) -> Result<Vec<BlockId>, FtlError> {
         if self.free.len() < n {
-            return Err(FtlError::ReservationTooLarge { requested: n, available: self.free.len() });
+            return Err(FtlError::ReservationTooLarge {
+                requested: n,
+                available: self.free.len(),
+            });
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -283,8 +295,10 @@ impl Ftl {
     ///
     /// Returns [`FtlError::NotReserved`] for non-reserved blocks.
     pub fn record_reserved_pe(&mut self, block: BlockId) -> Result<(), FtlError> {
-        let info =
-            self.blocks.get_mut(block.index()).ok_or(FtlError::NotReserved(block))?;
+        let info = self
+            .blocks
+            .get_mut(block.index())
+            .ok_or(FtlError::NotReserved(block))?;
         if info.state != BlockState::Reserved {
             return Err(FtlError::NotReserved(block));
         }
@@ -300,8 +314,10 @@ impl Ftl {
     ///
     /// Returns [`FtlError::NotReserved`] if the block was not reserved.
     pub fn release_block(&mut self, block: BlockId) -> Result<(), FtlError> {
-        let info =
-            self.blocks.get_mut(block.index()).ok_or(FtlError::NotReserved(block))?;
+        let info = self
+            .blocks
+            .get_mut(block.index())
+            .ok_or(FtlError::NotReserved(block))?;
         if info.state != BlockState::Reserved {
             return Err(FtlError::NotReserved(block));
         }
@@ -314,7 +330,9 @@ impl Ftl {
 
     /// Whether `block` is currently reserved for DirectGraph.
     pub fn is_reserved(&self, block: BlockId) -> bool {
-        self.blocks.get(block.index()).is_some_and(|b| b.state == BlockState::Reserved)
+        self.blocks
+            .get(block.index())
+            .is_some_and(|b| b.state == BlockState::Reserved)
     }
 
     /// The §VI-A block-level reservation bitmap — the compact metadata
@@ -396,8 +414,9 @@ impl Ftl {
             };
             let info = &mut self.blocks[open.index()];
             if info.written < self.pages_per_block {
-                let ppa =
-                    Ppa::new(open.index() as u64 * self.pages_per_block as u64 + info.written as u64);
+                let ppa = Ppa::new(
+                    open.index() as u64 * self.pages_per_block as u64 + info.written as u64,
+                );
                 info.written += 1;
                 self.write_clock += 1;
                 info.last_write = self.write_clock;
@@ -422,8 +441,11 @@ impl Ftl {
     /// Returns [`FtlError::OutOfSpace`] if migration cannot allocate.
     pub fn gc_once(&mut self) -> Result<Option<usize>, FtlError> {
         // Victim selection per policy, over full (non-reserved) blocks.
-        let candidates =
-            self.blocks.iter().enumerate().filter(|(_, b)| b.state == BlockState::Full);
+        let candidates = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state == BlockState::Full);
         let victim = match self.policy {
             GcPolicy::Greedy => candidates.min_by_key(|(_, b)| b.valid).map(|(i, _)| i),
             GcPolicy::CostBenefit => {
@@ -440,7 +462,9 @@ impl Ftl {
             }
         }
         .map(|i| BlockId::new(i as u32));
-        let Some(victim) = victim else { return Ok(None) };
+        let Some(victim) = victim else {
+            return Ok(None);
+        };
         if self.blocks[victim.index()].valid == self.pages_per_block {
             return Ok(None); // nothing to reclaim anywhere
         }
@@ -530,7 +554,8 @@ mod tests {
         // Write the whole logical space 6 times; GC must reclaim.
         for round in 0..6 {
             for lpa in 0..logical {
-                ftl.write(lpa).unwrap_or_else(|e| panic!("round {round} lpa {lpa}: {e}"));
+                ftl.write(lpa)
+                    .unwrap_or_else(|e| panic!("round {round} lpa {lpa}: {e}"));
             }
         }
         assert!(ftl.stats().erases > 0, "GC should have erased blocks");
@@ -562,7 +587,11 @@ mod tests {
         for &b in &reserved {
             assert!(ftl.is_reserved(b), "{b} lost reservation during churn");
             assert_eq!(ftl.blocks[b.index()].written, 0);
-            assert_eq!(ftl.blocks[b.index()].pe_cycles, 0, "GC touched reserved {b}");
+            assert_eq!(
+                ftl.blocks[b.index()].pe_cycles,
+                0,
+                "GC touched reserved {b}"
+            );
         }
     }
 
@@ -576,8 +605,7 @@ mod tests {
             assert!(bm.get(b));
         }
         // Round-trips through the persisted byte form.
-        let restored =
-            crate::bitmap::BlockBitmap::from_bytes(bm.len(), &bm.to_bytes()).unwrap();
+        let restored = crate::bitmap::BlockBitmap::from_bytes(bm.len(), &bm.to_bytes()).unwrap();
         assert_eq!(restored, bm);
         // Releasing clears the bit.
         ftl.release_block(reserved[0]).unwrap();
@@ -601,7 +629,10 @@ mod tests {
         assert_eq!(ftl.free_blocks(), before - 1);
         assert!(!ftl.is_reserved(blocks[0]));
         // Releasing twice fails.
-        assert!(matches!(ftl.release_block(blocks[0]), Err(FtlError::NotReserved(_))));
+        assert!(matches!(
+            ftl.release_block(blocks[0]),
+            Err(FtlError::NotReserved(_))
+        ));
     }
 
     #[test]
@@ -651,7 +682,10 @@ mod tests {
         assert!(greedy >= 1.0 && cb >= 1.0);
         // The LFS result: age-weighted selection avoids repeatedly
         // migrating cold data; allow a small tolerance.
-        assert!(cb <= greedy * 1.10, "cost-benefit WAF {cb:.3} vs greedy {greedy:.3}");
+        assert!(
+            cb <= greedy * 1.10,
+            "cost-benefit WAF {cb:.3} vs greedy {greedy:.3}"
+        );
     }
 
     #[test]
@@ -662,7 +696,8 @@ mod tests {
             let logical = ftl.logical_pages();
             for round in 0..5 {
                 for lpa in 0..logical {
-                    ftl.write(lpa).unwrap_or_else(|e| panic!("{policy:?} r{round}: {e}"));
+                    ftl.write(lpa)
+                        .unwrap_or_else(|e| panic!("{policy:?} r{round}: {e}"));
                 }
             }
             let mut seen = std::collections::HashSet::new();
@@ -675,7 +710,11 @@ mod tests {
 
     #[test]
     fn stats_waf_sane() {
-        let s = FtlStats { host_writes: 100, gc_writes: 25, erases: 3 };
+        let s = FtlStats {
+            host_writes: 100,
+            gc_writes: 25,
+            erases: 3,
+        };
         assert!((s.waf() - 1.25).abs() < 1e-12);
         assert_eq!(FtlStats::default().waf(), 1.0);
     }

@@ -81,7 +81,10 @@ impl fmt::Display for EngineError {
             EngineError::AcceleratorBusy => write!(f, "accelerator already computing a batch"),
             EngineError::BuffersFull => write!(f, "both DRAM buffer halves in use"),
             EngineError::WrongState { id, state } => {
-                write!(f, "batch {id} in state {state:?} cannot take this transition")
+                write!(
+                    f,
+                    "batch {id} in state {state:?} cannot take this transition"
+                )
             }
             EngineError::UnknownBatch(id) => write!(f, "unknown batch {id}"),
         }
@@ -149,7 +152,9 @@ impl GnnEngine {
         if self.preparing.is_some() {
             return Err(EngineError::BackendBusy);
         }
-        let Some(&id) = self.queue.front() else { return Ok(None) };
+        let Some(&id) = self.queue.front() else {
+            return Ok(None);
+        };
         let buffer = match self.buffer_busy.iter().position(|&b| !b) {
             Some(b) => b as u8,
             None => return Err(EngineError::BuffersFull),
@@ -262,11 +267,17 @@ impl GnnEngine {
     }
 
     fn record(&self, id: u32) -> Result<&BatchRecord, EngineError> {
-        self.batches.iter().find(|b| b.id == id).ok_or(EngineError::UnknownBatch(id))
+        self.batches
+            .iter()
+            .find(|b| b.id == id)
+            .ok_or(EngineError::UnknownBatch(id))
     }
 
     fn record_mut(&mut self, id: u32) -> Result<&mut BatchRecord, EngineError> {
-        self.batches.iter_mut().find(|b| b.id == id).ok_or(EngineError::UnknownBatch(id))
+        self.batches
+            .iter_mut()
+            .find(|b| b.id == id)
+            .ok_or(EngineError::UnknownBatch(id))
     }
 }
 
@@ -356,7 +367,11 @@ mod tests {
         // Perfect pipeline: 4 batches finish at prep + 4*compute = 500,
         // not the serial 4*(100+100) = 800.
         assert_eq!(end, t(500));
-        assert!(e.overlap_time() >= Duration::from_ns(200), "overlap {}", e.overlap_time());
+        assert!(
+            e.overlap_time() >= Duration::from_ns(200),
+            "overlap {}",
+            e.overlap_time()
+        );
     }
 
     #[test]
@@ -405,9 +420,15 @@ mod tests {
     fn wrong_transitions_are_rejected() {
         let mut e = GnnEngine::new();
         e.receive_batch(0, t(0));
-        assert!(matches!(e.finish_prep(0, t(1)), Err(EngineError::WrongState { .. })));
+        assert!(matches!(
+            e.finish_prep(0, t(1)),
+            Err(EngineError::WrongState { .. })
+        ));
         assert_eq!(e.batch_state(9), Err(EngineError::UnknownBatch(9)));
-        assert!(matches!(e.finish_compute(0, t(1)), Err(EngineError::WrongState { .. })));
+        assert!(matches!(
+            e.finish_compute(0, t(1)),
+            Err(EngineError::WrongState { .. })
+        ));
     }
 
     #[test]

@@ -153,7 +153,9 @@ impl HostAdapter {
         // run once over the image, as the firmware would per page.
         Validator::new(dg).verify_image().map_err(|e| match e {
             directgraph::ValidationError::AddressOutOfBounds { source_page, .. } => {
-                HostError::EmbeddedAddressOutOfBounds { page: source_page.as_u64() }
+                HostError::EmbeddedAddressOutOfBounds {
+                    page: source_page.as_u64(),
+                }
             }
             _ => HostError::NotFlushed,
         })?;
@@ -190,17 +192,29 @@ impl HostAdapter {
             if validator.verify_target(node, addr).is_err() {
                 // The firmware rejects the whole batch command; the
                 // expected non-zero status is folded into BadTarget.
-                let _ = self
-                    .roundtrip(NvmeCommand::StartBatch { targets: targets.len() as u32 }, false);
+                let _ = self.roundtrip(
+                    NvmeCommand::StartBatch {
+                        targets: targets.len() as u32,
+                    },
+                    false,
+                );
                 return Err(HostError::BadTarget { node });
             }
         }
         let records: Vec<TargetRecord> = targets
             .iter()
-            .map(|&(node, addr)| TargetRecord { node: node.as_u32(), addr })
+            .map(|&(node, addr)| TargetRecord {
+                node: node.as_u32(),
+                addr,
+            })
             .collect();
         let _payload = TargetRecord::encode_batch(&records);
-        self.roundtrip(NvmeCommand::StartBatch { targets: targets.len() as u32 }, true)?;
+        self.roundtrip(
+            NvmeCommand::StartBatch {
+                targets: targets.len() as u32,
+            },
+            true,
+        )?;
         self.batches_started += 1;
         Ok(())
     }
@@ -243,7 +257,9 @@ impl HostAdapter {
             .map_err(|_| HostError::DeviceStatus { status: 0xFFFE })?;
         let completion = self.qp.host_reap().expect("just completed");
         if completion.status != 0 {
-            return Err(HostError::DeviceStatus { status: completion.status });
+            return Err(HostError::DeviceStatus {
+                status: completion.status,
+            });
         }
         Ok(())
     }
@@ -324,8 +340,15 @@ mod tests {
         host.setup_directgraph(&dg).unwrap();
         // Claim node 0 at node 1's address.
         let wrong = dg.directory().primary_addr(NodeId::new(1)).unwrap();
-        let err = host.start_batch(&dg, &[(NodeId::new(0), wrong)]).unwrap_err();
-        assert_eq!(err, HostError::BadTarget { node: NodeId::new(0) });
+        let err = host
+            .start_batch(&dg, &[(NodeId::new(0), wrong)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HostError::BadTarget {
+                node: NodeId::new(0)
+            }
+        );
         assert_eq!(host.batches_started(), 0);
     }
 
@@ -348,7 +371,10 @@ mod tests {
         for i in 0..host.flushed_pages() {
             let ppa = host.ppa_of_flushed_page(i);
             let block = BlockId::new((ppa / ppb as u64) as u32);
-            assert!(host.ftl().is_reserved(block), "page {i} -> {ppa} not reserved");
+            assert!(
+                host.ftl().is_reserved(block),
+                "page {i} -> {ppa} not reserved"
+            );
         }
     }
 
@@ -365,6 +391,9 @@ mod tests {
         };
         let mut host = HostAdapter::new(Ftl::new(&geo, 0.1), 4);
         let err = host.setup_directgraph(&dg).unwrap_err();
-        assert!(matches!(err, HostError::Ftl(FtlError::ReservationTooLarge { .. })));
+        assert!(matches!(
+            err,
+            HostError::Ftl(FtlError::ReservationTooLarge { .. })
+        ));
     }
 }

@@ -36,5 +36,5 @@ pub use gnn_engine::{BatchState, GnnEngine};
 pub use host::{HostAdapter, HostError};
 pub use modes::{DeviceMode, ModeController};
 pub use nvme::{NvmeCommand, QueuePair, TargetRecord};
-pub use reliability::{ReclamationOutcome, Scrubber, ScrubReport};
+pub use reliability::{ReclamationOutcome, ScrubReport, Scrubber};
 pub use router::{CommandRouter, RouterStats};

@@ -82,7 +82,11 @@ impl ModeController {
                 true
             }
             DeviceMode::Acceleration => {
-                self.deferred.push_back(DeferredRequest { lpa, is_write, arrival: now });
+                self.deferred.push_back(DeferredRequest {
+                    lpa,
+                    is_write,
+                    arrival: now,
+                });
                 false
             }
         }

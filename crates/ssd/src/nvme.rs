@@ -200,7 +200,11 @@ impl QueuePair {
         if next_tail == self.cq_head {
             return Err(QueueError::CompletionFull);
         }
-        self.cq[self.cq_tail] = Some(Completion { cid, status, phase: self.phase });
+        self.cq[self.cq_tail] = Some(Completion {
+            cid,
+            status,
+            phase: self.phase,
+        });
         self.cq_tail = next_tail;
         if self.cq_tail == 0 {
             // Ring wrapped: flip the phase so the host can tell new
@@ -266,7 +270,12 @@ impl NvmeCommand {
                 b[0] = opcode::FLUSH_PAGE;
                 b[1..9].copy_from_slice(&ppa.to_le_bytes());
             }
-            NvmeCommand::ConfigureGnn { hops, fanout, feature_bytes, batch_size } => {
+            NvmeCommand::ConfigureGnn {
+                hops,
+                fanout,
+                feature_bytes,
+                batch_size,
+            } => {
                 b[0] = opcode::CONFIGURE;
                 b[1] = hops;
                 b[2..4].copy_from_slice(&fanout.to_le_bytes());
@@ -433,11 +442,21 @@ mod tests {
     #[test]
     fn command_encoding_roundtrips() {
         let cmds = [
-            NvmeCommand::Read { lpa: 0xDEAD_BEEF_CAFE, npages: 17 },
+            NvmeCommand::Read {
+                lpa: 0xDEAD_BEEF_CAFE,
+                npages: 17,
+            },
             NvmeCommand::Write { lpa: 42, npages: 1 },
             NvmeCommand::ReserveBlocks { count: 1000 },
-            NvmeCommand::FlushPage { ppa: 0x1234_5678_9ABC },
-            NvmeCommand::ConfigureGnn { hops: 3, fanout: 3, feature_bytes: 400, batch_size: 256 },
+            NvmeCommand::FlushPage {
+                ppa: 0x1234_5678_9ABC,
+            },
+            NvmeCommand::ConfigureGnn {
+                hops: 3,
+                fanout: 3,
+                feature_bytes: 400,
+                batch_size: 256,
+            },
             NvmeCommand::StartBatch { targets: 256 },
         ];
         for cmd in cmds {
@@ -449,7 +468,10 @@ mod tests {
     #[test]
     fn target_records_roundtrip() {
         let records: Vec<TargetRecord> = (0..10)
-            .map(|i| TargetRecord { node: i, addr: PhysAddr::from_raw(i * 16 + 3) })
+            .map(|i| TargetRecord {
+                node: i,
+                addr: PhysAddr::from_raw(i * 16 + 3),
+            })
             .collect();
         let bytes = TargetRecord::encode_batch(&records);
         assert_eq!(bytes.len(), 80);

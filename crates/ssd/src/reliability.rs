@@ -39,7 +39,10 @@ pub enum ReclamationOutcome {
     /// The wear gap was below threshold; nothing moved.
     NotNeeded { wear_gap: f64 },
     /// DirectGraph migrated: pages moved and old blocks released.
-    Migrated { pages_moved: u64, blocks_released: usize },
+    Migrated {
+        pages_moved: u64,
+        blocks_released: usize,
+    },
 }
 
 /// The firmware scrubbing/wear-management engine for one DirectGraph.
@@ -60,7 +63,11 @@ impl Scrubber {
     /// Panics if `pages_per_block` is zero.
     pub fn new(reliability: ReliabilityModel, pages_per_block: usize) -> Self {
         assert!(pages_per_block > 0, "pages_per_block must be positive");
-        Scrubber { reliability, pages_per_block, scrub_pe: Vec::new() }
+        Scrubber {
+            reliability,
+            pages_per_block,
+            scrub_pe: Vec::new(),
+        }
     }
 
     /// Runs one scrubbing pass over every written DirectGraph page,
@@ -74,7 +81,10 @@ impl Scrubber {
                 self.scrub_pe.resize(block + 1, 0);
             }
             report.pages_scanned += 1;
-            match self.reliability.read_outcome(retention, self.scrub_pe[block] as u64) {
+            match self
+                .reliability
+                .read_outcome(retention, self.scrub_pe[block] as u64)
+            {
                 EccOutcome::Clean => {}
                 EccOutcome::Corrected(_) => {
                     report.pages_corrected += 1;
@@ -154,7 +164,10 @@ pub fn reclaim_if_needed(
         ftl.release_block(b)?;
     }
     *old_blocks = new_blocks;
-    Ok(ReclamationOutcome::Migrated { pages_moved: pages, blocks_released: released })
+    Ok(ReclamationOutcome::Migrated {
+        pages_moved: pages,
+        blocks_released: released,
+    })
 }
 
 #[cfg(test)]
@@ -204,7 +217,10 @@ mod tests {
             let r = s.scrub_pass(&dg, Duration::from_secs(3600));
             total_uncorrectable += r.pages_uncorrectable;
         }
-        assert_eq!(total_uncorrectable, 0, "Z-NAND + hourly scrubbing should never lose data");
+        assert_eq!(
+            total_uncorrectable, 0,
+            "Z-NAND + hourly scrubbing should never lose data"
+        );
     }
 
     #[test]
@@ -220,8 +236,7 @@ mod tests {
         };
         let mut ftl = Ftl::new(&geo, 0.1);
         let mut blocks = ftl.reserve_blocks(8).unwrap();
-        let out =
-            reclaim_if_needed(&mut dg, &mut ftl, &mut blocks, 10.0, 1 << 20, 16).unwrap();
+        let out = reclaim_if_needed(&mut dg, &mut ftl, &mut blocks, 10.0, 1 << 20, 16).unwrap();
         assert!(matches!(out, ReclamationOutcome::NotNeeded { .. }));
         assert_eq!(blocks.len(), 8);
     }
@@ -250,10 +265,12 @@ mod tests {
             }
         }
         assert!(ftl.wear_gap() > 0.0);
-        let out = reclaim_if_needed(&mut dg, &mut ftl, &mut blocks, 0.001, 1 << 20, 16)
-            .unwrap();
+        let out = reclaim_if_needed(&mut dg, &mut ftl, &mut blocks, 0.001, 1 << 20, 16).unwrap();
         match out {
-            ReclamationOutcome::Migrated { pages_moved, blocks_released } => {
+            ReclamationOutcome::Migrated {
+                pages_moved,
+                blocks_released,
+            } => {
                 assert_eq!(pages_moved, pages);
                 assert_eq!(blocks_released, 8);
             }
@@ -264,6 +281,9 @@ mod tests {
         assert!(blocks.iter().all(|&b| ftl.is_reserved(b)));
         // Graph still resolvable after migration.
         let addr = dg.directory().primary_addr(NodeId::new(0)).unwrap();
-        assert_eq!(dg.image().parse_section(addr).unwrap().node(), NodeId::new(0));
+        assert_eq!(
+            dg.image().parse_section(addr).unwrap().node(),
+            NodeId::new(0)
+        );
     }
 }

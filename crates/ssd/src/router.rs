@@ -211,7 +211,7 @@ mod tests {
         let (mut router, geo, layout) = setup();
         router.route(cmd_for_page(layout, 0)); // die 0 of channel 0
         router.route(cmd_for_page(layout, 4)); // die 1 of channel 0
-        // Die 0 busy: issuer must pick die 1.
+                                               // Die 0 busy: issuer must pick die 1.
         let (die, _) = router
             .issue_for_channel(0, |d| d.die_in_channel(&geo) == 1)
             .expect("die 1 available");

@@ -18,7 +18,11 @@ fn main() -> Result<(), WorkloadError> {
         .prepare()?;
     let exp = Experiment::new(&workload);
 
-    println!("Ablation chain on {} ({} targets/batch):\n", workload.spec().dataset, 256);
+    println!(
+        "Ablation chain on {} ({} targets/batch):\n",
+        workload.spec().dataset,
+        256
+    );
 
     let mut table = Table::new(&[
         "platform",

@@ -58,12 +58,18 @@ fn main() -> Result<(), WorkloadError> {
 
     // Run a 2-hop sampling cascade entirely through the die-sampler
     // model, like the SSD backend would.
-    let cfg = GnnDieConfig { num_hops: 2, fanout: 3, feature_bytes: 400 };
+    let cfg = GnnDieConfig {
+        num_hops: 2,
+        fanout: 3,
+        feature_bytes: 400,
+    };
     let mut sampler = DieSampler::new(cfg, 99);
     let mut frontier = vec![SampleCommand::root(addr, 0)];
     let mut visited = 0u64;
     while let Some(cmd) = frontier.pop() {
-        let out = sampler.execute(&cmd, dg.image()).expect("image well-formed");
+        let out = sampler
+            .execute(&cmd, dg.image())
+            .expect("image well-formed");
         if out.visited.is_some() {
             visited += 1;
         }

@@ -6,10 +6,10 @@
 //! cargo run --release --example functional_pipeline
 //! ```
 
-use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
-use beacongnn::{Dataset, NodeId, Workload, WorkloadError};
 use beacon_gnn::subgraph::{Subgraph, VisitRecord};
 use beacon_gnn::{GnnForward, HostSampler};
+use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
+use beacongnn::{Dataset, NodeId, Workload, WorkloadError};
 
 fn main() -> Result<(), WorkloadError> {
     let workload = Workload::builder()
@@ -37,7 +37,9 @@ fn main() -> Result<(), WorkloadError> {
         let mut records = Vec::new();
         let mut frontier = vec![SampleCommand::root(addr, 0)];
         while let Some(cmd) = frontier.pop() {
-            let out = sampler.execute(&cmd, dg.image()).expect("well-formed image");
+            let out = sampler
+                .execute(&cmd, dg.image())
+                .expect("well-formed image");
             if let Some(node) = out.visited {
                 records.push(VisitRecord {
                     node,

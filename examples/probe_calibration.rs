@@ -3,10 +3,22 @@
 use beacongnn::{Dataset, Experiment, Platform, SsdConfig, Workload};
 
 fn main() {
-    let w = Workload::builder().dataset(Dataset::Amazon).nodes(12_000).batch_size(256).batches(3).seed(2024).prepare().unwrap();
+    let w = Workload::builder()
+        .dataset(Dataset::Amazon)
+        .nodes(12_000)
+        .batch_size(256)
+        .batches(3)
+        .seed(2024)
+        .prepare()
+        .unwrap();
     for (name, ssd) in [
         ("16x8", SsdConfig::paper_default()),
-        ("32x16", SsdConfig::paper_default().with_channels(32).with_dies_per_channel(16)),
+        (
+            "32x16",
+            SsdConfig::paper_default()
+                .with_channels(32)
+                .with_dies_per_channel(16),
+        ),
     ] {
         let exp = Experiment::new(&w).ssd(ssd);
         {

@@ -33,7 +33,10 @@ fn main() -> Result<(), WorkloadError> {
             report.blocks_reprogrammed,
             report.pages_uncorrectable,
         );
-        assert_eq!(report.pages_uncorrectable, 0, "scrubbing must outpace decay");
+        assert_eq!(
+            report.pages_uncorrectable, 0,
+            "scrubbing must outpace decay"
+        );
     }
 
     // --- Wear-leveling reclamation. ---
@@ -66,7 +69,10 @@ fn main() -> Result<(), WorkloadError> {
         .expect("node 0");
     let dg = workload_dg_mut(&mut workload);
     match reclaim_if_needed(dg, &mut ftl, &mut blocks, 0.5, 1 << 16, 64).expect("reclaim") {
-        ReclamationOutcome::Migrated { pages_moved, blocks_released } => {
+        ReclamationOutcome::Migrated {
+            pages_moved,
+            blocks_released,
+        } => {
             println!("reclamation migrated {pages_moved} pages, released {blocks_released} blocks");
         }
         ReclamationOutcome::NotNeeded { wear_gap } => {

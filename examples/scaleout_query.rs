@@ -31,7 +31,11 @@ fn main() -> Result<(), WorkloadError> {
             &queries,
             9,
         );
-        t.row_owned(vec![p.to_string(), format!("{}", lat.mean), format!("{}", lat.max)]);
+        t.row_owned(vec![
+            p.to_string(),
+            format!("{}", lat.mean),
+            format!("{}", lat.max),
+        ]);
     }
     println!("{}", t.render());
 

@@ -17,10 +17,18 @@ fn convert_then_inspect_roundtrip() {
         .arg(&dgr)
         .output()
         .expect("convert runs");
-    assert!(out.status.success(), "convert failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "convert failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dgr.exists());
 
-    let out = beacongnn().arg("inspect").arg(&dgr).output().expect("inspect runs");
+    let out = beacongnn()
+        .arg("inspect")
+        .arg(&dgr)
+        .output()
+        .expect("inspect runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("800"), "node count shown: {stdout}");
@@ -33,12 +41,25 @@ fn convert_then_inspect_roundtrip() {
 fn run_reports_metrics() {
     let out = beacongnn()
         .args([
-            "run", "--dataset", "amazon", "--nodes", "1000", "--batch", "8", "--batches", "1",
-            "--platform", "BG-2",
+            "run",
+            "--dataset",
+            "amazon",
+            "--nodes",
+            "1000",
+            "--batch",
+            "8",
+            "--batches",
+            "1",
+            "--platform",
+            "BG-2",
         ])
         .output()
         .expect("run executes");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("throughput"));
     assert!(stdout.contains("BG-2"));
@@ -47,12 +68,33 @@ fn run_reports_metrics() {
 #[test]
 fn compare_lists_all_platforms() {
     let out = beacongnn()
-        .args(["compare", "--dataset", "movielens", "--nodes", "800", "--batch", "8"])
+        .args([
+            "compare",
+            "--dataset",
+            "movielens",
+            "--nodes",
+            "800",
+            "--batch",
+            "8",
+        ])
         .output()
         .expect("compare executes");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for p in ["CC", "SmartSage", "GList", "BG-1", "BG-DG", "BG-SP", "BG-DGSP", "BG-2"] {
+    for p in [
+        "CC",
+        "SmartSage",
+        "GList",
+        "BG-1",
+        "BG-DG",
+        "BG-SP",
+        "BG-DGSP",
+        "BG-2",
+    ] {
         assert!(stdout.contains(p), "missing {p} in: {stdout}");
     }
 }
@@ -67,7 +109,10 @@ fn unknown_subcommand_fails_with_usage() {
 
 #[test]
 fn missing_dataset_flag_is_an_error() {
-    let out = beacongnn().args(["run", "--nodes", "100"]).output().expect("executes");
+    let out = beacongnn()
+        .args(["run", "--nodes", "100"])
+        .output()
+        .expect("executes");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--dataset"));
 }

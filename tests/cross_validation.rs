@@ -2,9 +2,9 @@
 //! sampler implement the same sampling semantics — uniform fanout with
 //! replacement — so their outputs must agree statistically.
 
-use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
 use beacon_gnn::{GnnModelConfig, HostSampler};
 use beacon_graph::{generate, FeatureTable, NodeId};
+use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
 use directgraph::{build::DirectGraphBuilder, AddrLayout, DirectGraph};
 use std::collections::HashMap;
 
@@ -17,11 +17,7 @@ fn build_dg(graph: &beacon_graph::CsrGraph, feat_dim: usize, seed: u64) -> Direc
 
 /// Runs one full die-sampler cascade from `target` and returns visit
 /// counts per node.
-fn die_cascade(
-    dg: &DirectGraph,
-    sampler: &mut DieSampler,
-    target: NodeId,
-) -> HashMap<NodeId, u64> {
+fn die_cascade(dg: &DirectGraph, sampler: &mut DieSampler, target: NodeId) -> HashMap<NodeId, u64> {
     let addr = dg.directory().primary_addr(target).unwrap();
     let mut frontier = vec![SampleCommand::root(addr, 0)];
     let mut visits: HashMap<NodeId, u64> = HashMap::new();
@@ -40,7 +36,11 @@ fn both_samplers_visit_subgraph_node_counts() {
     let graph = generate::uniform(500, 10, 3);
     let dg = build_dg(&graph, 16, 3);
     let model = GnnModelConfig::paper_default(16);
-    let cfg = GnnDieConfig { num_hops: 3, fanout: 3, feature_bytes: 32 };
+    let cfg = GnnDieConfig {
+        num_hops: 3,
+        fanout: 3,
+        feature_bytes: 32,
+    };
 
     let mut host = HostSampler::new(model, 7);
     let mut die = DieSampler::new(cfg, 7);
@@ -59,7 +59,11 @@ fn hop1_marginal_distribution_is_uniform_over_neighbors() {
     // sampler; each neighbor should be hit ~uniformly.
     let graph = generate::uniform(50, 8, 5);
     let dg = build_dg(&graph, 8, 5);
-    let cfg = GnnDieConfig { num_hops: 1, fanout: 1, feature_bytes: 16 };
+    let cfg = GnnDieConfig {
+        num_hops: 1,
+        fanout: 1,
+        feature_bytes: 16,
+    };
     let mut die = DieSampler::new(cfg, 11);
     let target = NodeId::new(0);
     let neighbors = graph.neighbors(target);
@@ -84,7 +88,10 @@ fn hop1_marginal_distribution_is_uniform_over_neighbors() {
         let expect = trials as f64 * mult as f64 / neighbors.len() as f64;
         let c = *counts.get(&nb).unwrap_or(&0) as f64;
         let dev = (c - expect).abs() / expect;
-        assert!(dev < 0.15, "neighbor {nb} hit {c} vs expected {expect} (dev {dev:.3})");
+        assert!(
+            dev < 0.15,
+            "neighbor {nb} hit {c} vs expected {expect} (dev {dev:.3})"
+        );
     }
     // Nothing outside the neighbor list was visited at hop 1.
     for v in counts.keys() {
@@ -115,10 +122,17 @@ fn overflow_nodes_sample_across_full_neighbor_range() {
         .parse_section(dg.directory().primary_addr(NodeId::new(0)).unwrap())
         .unwrap();
     let p = p.as_primary().unwrap().clone();
-    assert!(!p.secondary_addrs.is_empty(), "test needs overflow neighbors");
+    assert!(
+        !p.secondary_addrs.is_empty(),
+        "test needs overflow neighbors"
+    );
     let inline = p.inline_count() as u32;
 
-    let cfg = GnnDieConfig { num_hops: 1, fanout: 8, feature_bytes: 128 };
+    let cfg = GnnDieConfig {
+        num_hops: 1,
+        fanout: 8,
+        feature_bytes: 128,
+    };
     let mut die = DieSampler::new(cfg, 13);
     let mut saw_overflow = false;
     for _ in 0..400 {
@@ -128,7 +142,10 @@ fn overflow_nodes_sample_across_full_neighbor_range() {
             break;
         }
     }
-    assert!(saw_overflow, "sampler never reached secondary-section neighbors");
+    assert!(
+        saw_overflow,
+        "sampler never reached secondary-section neighbors"
+    );
 }
 
 #[test]
@@ -139,7 +156,11 @@ fn subgraph_reconstruction_matches_die_stream() {
 
     let graph = generate::uniform(300, 6, 21);
     let dg = build_dg(&graph, 8, 21);
-    let cfg = GnnDieConfig { num_hops: 2, fanout: 2, feature_bytes: 16 };
+    let cfg = GnnDieConfig {
+        num_hops: 2,
+        fanout: 2,
+        feature_bytes: 16,
+    };
     let mut die = DieSampler::new(cfg, 3);
     let target = NodeId::new(42);
     let addr = dg.directory().primary_addr(target).unwrap();
@@ -152,8 +173,7 @@ fn subgraph_reconstruction_matches_die_stream() {
             records.push(VisitRecord {
                 node: v,
                 hop: cmd.hop,
-                parent: (cmd.parent != SampleCommand::NO_PARENT)
-                    .then(|| NodeId::new(cmd.parent)),
+                parent: (cmd.parent != SampleCommand::NO_PARENT).then(|| NodeId::new(cmd.parent)),
             });
         }
         frontier.extend(out.new_commands);

@@ -41,16 +41,23 @@ fn full_deployment_lifecycle() {
         page_size: 4096,
     };
     let mut host = HostAdapter::new(Ftl::new(&geo, 0.1), geo.pages_per_block);
-    host.setup_directgraph(workload.directgraph()).expect("setup succeeds");
+    host.setup_directgraph(workload.directgraph())
+        .expect("setup succeeds");
     assert_eq!(host.flushed_pages(), pages as u64);
 
     // 3. Launch verified batches and simulate them.
     for batch in workload.batches() {
         let targets: Vec<_> = batch
             .iter()
-            .map(|&v| (v, workload.directgraph().directory().primary_addr(v).unwrap()))
+            .map(|&v| {
+                (
+                    v,
+                    workload.directgraph().directory().primary_addr(v).unwrap(),
+                )
+            })
             .collect();
-        host.start_batch(workload.directgraph(), &targets).expect("batch verifies");
+        host.start_batch(workload.directgraph(), &targets)
+            .expect("batch verifies");
     }
     assert_eq!(host.batches_started(), 2);
 
@@ -70,7 +77,10 @@ fn full_deployment_lifecycle() {
         geo.pages_per_block,
     );
     let report = scrubber.scrub_pass(workload.directgraph(), Duration::from_secs(90 * 86_400));
-    assert_eq!(report.pages_uncorrectable, 0, "scrubbing must not lose data");
+    assert_eq!(
+        report.pages_uncorrectable, 0,
+        "scrubbing must not lose data"
+    );
 
     let mut blocks = host.reserved_blocks().to_vec();
     {
@@ -109,10 +119,16 @@ fn full_deployment_lifecycle() {
         workload.seed(),
     )
     .run(workload.batches());
-    assert_eq!(after.nodes_visited, before.nodes_visited, "same sampling work after migration");
+    assert_eq!(
+        after.nodes_visited, before.nodes_visited,
+        "same sampling work after migration"
+    );
     assert_eq!(after.targets, before.targets);
     // Timing may shift slightly (pages moved to different dies), but
     // the run must stay in the same regime.
     let ratio = after.throughput() / before.throughput();
-    assert!((0.5..=2.0).contains(&ratio), "throughput regime shifted {ratio:.2}x");
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "throughput regime shifted {ratio:.2}x"
+    );
 }

@@ -81,8 +81,14 @@ fn bg2_power_stays_under_pcie_budget() {
     // §VII-D: BG-2 averages 13.4 W, far below the 75 W PCIe limit.
     let w = workload(Dataset::Amazon, 6_000, 64);
     let m = Experiment::new(&w).run(Platform::Bg2);
-    let power = m.energy.breakdown(&EnergyCosts::default_costs()).avg_power(m.makespan);
-    assert!(power < 75.0, "BG-2 average power {power:.1} W exceeds PCIe budget");
+    let power = m
+        .energy
+        .breakdown(&EnergyCosts::default_costs())
+        .avg_power(m.makespan);
+    assert!(
+        power < 75.0,
+        "BG-2 average power {power:.1} W exceeds PCIe budget"
+    );
     assert!(power > 0.0);
 }
 
@@ -91,8 +97,8 @@ fn functional_gnn_agrees_across_sampling_paths() {
     // The same model computed over host-sampled subgraphs must produce
     // finite, nonzero embeddings — and the die-sampler path visits a
     // statistically similar number of nodes.
-    use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
     use beacon_gnn::{GnnForward, HostSampler};
+    use beacongnn::flash::sampler::{DieSampler, GnnDieConfig, SampleCommand};
 
     let w = workload(Dataset::Ogbn, 2_000, 4);
     let model = w.model();

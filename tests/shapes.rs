@@ -28,8 +28,14 @@ fn fig18b_shape_bandwidth() {
     let fast = SsdConfig::paper_default().with_channel_bandwidth(2_400_000_000);
     let sp_gain = tput(&w, Platform::BgSp, fast) / tput(&w, Platform::BgSp, slow);
     let bg1_gain = tput(&w, Platform::Bg1, fast) / tput(&w, Platform::Bg1, slow);
-    assert!(sp_gain < 1.15, "BG-SP should be bandwidth-insensitive, got {sp_gain:.2}x");
-    assert!(bg1_gain > 1.2, "BG-1 should gain from bandwidth, got {bg1_gain:.2}x");
+    assert!(
+        sp_gain < 1.15,
+        "BG-SP should be bandwidth-insensitive, got {sp_gain:.2}x"
+    );
+    assert!(
+        bg1_gain > 1.2,
+        "BG-1 should gain from bandwidth, got {bg1_gain:.2}x"
+    );
 }
 
 #[test]
@@ -41,8 +47,14 @@ fn fig18e_shape_dies() {
     let many = SsdConfig::paper_default().with_dies_per_channel(16);
     let bg1_gain = tput(&w, Platform::Bg1, many) / tput(&w, Platform::Bg1, few);
     let bg2_gain = tput(&w, Platform::Bg2, many) / tput(&w, Platform::Bg2, few);
-    assert!(bg1_gain < 1.1, "BG-1 die scaling should be flat, got {bg1_gain:.2}x");
-    assert!(bg2_gain > 1.2, "BG-2 should scale with dies, got {bg2_gain:.2}x");
+    assert!(
+        bg1_gain < 1.1,
+        "BG-1 die scaling should be flat, got {bg1_gain:.2}x"
+    );
+    assert!(
+        bg2_gain > 1.2,
+        "BG-2 should scale with dies, got {bg2_gain:.2}x"
+    );
 }
 
 #[test]
@@ -71,7 +83,10 @@ fn fig18f_shape_page_size() {
         / Experiment::new(&large).run(Platform::Bg1).throughput();
     let bg2_ratio = Experiment::new(&small).run(Platform::Bg2).throughput()
         / Experiment::new(&large).run(Platform::Bg2).throughput();
-    assert!(bg1_ratio > 2.0, "BG-1 should strongly prefer small pages, got {bg1_ratio:.2}x");
+    assert!(
+        bg1_ratio > 2.0,
+        "BG-1 should strongly prefer small pages, got {bg1_ratio:.2}x"
+    );
     // BG-2 is near-insensitive (within ±30% at this small scale, vs
     // BG-1's >2x swing); the mild preference for large pages comes from
     // fewer secondary-section reads.
@@ -92,13 +107,15 @@ fn fig15_shape_barrier_valleys() {
         let end = simkit::SimTime::ZERO + m.prep_time;
         let curve = m.die_timeline.curve(simkit::Duration::from_us(20), end);
         let mean = curve.iter().sum::<f64>() / curve.len() as f64;
-        let var =
-            curve.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / curve.len() as f64;
+        let var = curve.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / curve.len() as f64;
         var.sqrt() / mean.max(1e-9)
     };
     let sp = cov(Platform::BgSp);
     let dgsp = cov(Platform::BgDgsp);
-    assert!(sp > dgsp * 1.2, "BG-SP CoV {sp:.2} should exceed BG-DGSP {dgsp:.2}");
+    assert!(
+        sp > dgsp * 1.2,
+        "BG-SP CoV {sp:.2} should exceed BG-DGSP {dgsp:.2}"
+    );
 }
 
 #[test]
