@@ -78,6 +78,12 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    // Profile report goes to stderr only, so stdout stays byte-identical
+    // whether or not the `profile` feature / BEACON_PROFILE are on.
+    if simkit::profile::is_enabled() {
+        eprint!("\n--- profile ---\n{}", simkit::profile::report());
+    }
 }
 
 /// Runs every figure. Fig 14 doubles as the parallel-speedup
@@ -87,8 +93,12 @@ fn main() {
 fn run_all(jobs: usize) {
     // Calibration: the Fig 14 matrix (8 platforms × 5 workloads) timed
     // both ways. The parallel pass's results also render the figure, so
-    // the calibration costs one extra sequential sweep, not two.
+    // the calibration costs one extra sequential sweep, not two. The
+    // workload-build phase (cache population during matrix
+    // construction) is timed apart from the execution passes.
+    let tb = Instant::now();
     let matrix = bench::fig14_matrix(DEFAULT_NODES, DEFAULT_BATCH);
+    let workload_build_s = tb.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let seq_results = matrix.run_sequential();
     let sequential_s = t0.elapsed().as_secs_f64();
@@ -173,15 +183,18 @@ fn run_all(jobs: usize) {
         1.0
     };
     eprintln!(
-        "fig14 matrix ({} cells): sequential {sequential_s:.3} s, parallel {parallel_s:.3} s, \
-         speedup {speedup:.2}x",
+        "fig14 matrix ({} cells): build {workload_build_s:.3} s, sequential {sequential_s:.3} s, \
+         parallel {parallel_s:.3} s, speedup {speedup:.2}x",
         matrix.len()
     );
 
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"calibration_cells\": {},", matrix.len());
+    let _ = writeln!(json, "  \"workload_build_s\": {workload_build_s:.6},");
     let _ = writeln!(json, "  \"sequential_s\": {sequential_s:.6},");
     let _ = writeln!(json, "  \"parallel_s\": {parallel_s:.6},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.4},");

@@ -1,24 +1,39 @@
 //! Dependency-free performance smoke test.
 //!
-//! Times a fixed BG-2 simulation with `std::time::Instant` only — no
-//! bench harness, no external crates — so any environment that can
-//! build the workspace can track simulator performance over time:
+//! Times a fixed BG-2 simulation plus a parallel-scaling sweep with
+//! `std::time::Instant` only — no bench harness, no external crates —
+//! so any environment that can build the workspace can track simulator
+//! performance over time:
 //!
 //! ```sh
 //! cargo run --release -p beacon-bench --bin perf_smoke
+//! cargo run --release -p beacon-bench --bin perf_smoke -- --jobs 4 --min-speedup 1.5
 //! cargo run --release -p beacon-bench --bin perf_smoke -- --iters 5 --json perf.json
 //! ```
 //!
-//! Prints a human-readable line per phase to stderr and a single JSON
-//! object to stdout (or to `--json PATH`), e.g.:
+//! Three phases, reported separately so a regression can be attributed:
 //!
-//! ```json
-//! {"workload_prepare_s": 0.41, "run_best_s": 0.22, "runs_per_s": 4.5, ...}
-//! ```
+//! 1. **workload prepare** — synthesizing one 8k-node graph and its
+//!    DirectGraph image (allocator + synthesis heavy, runs once).
+//! 2. **single-cell execution** — repeated BG-2 runs of that workload
+//!    (the engine inner loop; `--iters` controls repetitions).
+//! 3. **parallel sweep** — the Fig 14 platform × dataset matrix at
+//!    reduced scale, executed sequentially and then at each power of
+//!    two up to `--jobs`, with the matrix (workload-build) phase timed
+//!    apart from the cell-execution passes.
+//!
+//! Prints a human-readable line per phase to stderr and a single JSON
+//! object to stdout (or to `--json PATH`). `--min-speedup X` turns the
+//! sweep into a gate: the process exits non-zero if the speedup at the
+//! highest job count falls below `X`. The gate auto-skips (with a
+//! warning) when the host has fewer cores than that job count — a
+//! single-core container cannot exhibit parallel speedup, and failing
+//! there would only punish the hardware.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use beacon_bench as bench;
 use beacongnn::{Dataset, Platform, RunCell, Workload};
 
 /// Fixed smoke-test shape: large enough that the event calendar and
@@ -28,30 +43,37 @@ const BATCH: usize = 128;
 const BATCHES: usize = 2;
 const SEED: u64 = 7;
 
+/// Parallel-sweep matrix shape (8 platforms × 5 datasets = 40 cells);
+/// smaller than the single-cell phase so the whole sweep stays fast.
+const MATRIX_NODES: usize = 4_000;
+const MATRIX_BATCH: usize = 64;
+
 fn main() {
     let mut iters = 3usize;
+    let mut jobs = 4usize;
+    let mut min_speedup: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--iters" => {
-                let v = args.next().unwrap_or_default();
-                iters = v.parse().unwrap_or_else(|_| {
-                    eprintln!("--iters expects a positive integer, got `{v}`");
-                    std::process::exit(2);
-                });
-            }
+            "--iters" => iters = parse_arg(&mut args, "--iters"),
+            "--jobs" => jobs = parse_arg(&mut args, "--jobs"),
+            "--min-speedup" => min_speedup = Some(parse_arg(&mut args, "--min-speedup")),
             "--json" => json_path = args.next(),
             other => {
                 eprintln!(
-                    "unknown argument `{other}`; usage: perf_smoke [--iters N] [--json PATH]"
+                    "unknown argument `{other}`; usage: perf_smoke [--iters N] [--jobs N] \
+                     [--min-speedup X] [--json PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
     let iters = iters.max(1);
+    let jobs = jobs.max(1);
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
 
+    // Phase 1: workload preparation (synthesis + DirectGraph build).
     let t0 = Instant::now();
     let workload = std::sync::Arc::new(
         Workload::builder()
@@ -66,6 +88,7 @@ fn main() {
     let prepare_s = t0.elapsed().as_secs_f64();
     eprintln!("prepare: {prepare_s:.3} s ({NODES} nodes, batch {BATCH} x {BATCHES})");
 
+    // Phase 2: single-cell engine execution (the hot loop).
     let cell = RunCell::new(Platform::Bg2, workload);
     // One warm-up run so allocator and page-cache effects do not skew
     // the first timed iteration.
@@ -90,6 +113,47 @@ fn main() {
         warm.nodes_visited as f64, warm.makespan
     );
 
+    // Phase 3: parallel-scaling sweep on the Fig 14 matrix. Workload
+    // build (cache population during matrix construction) is timed
+    // apart from the cell-execution passes so the two phases cannot be
+    // conflated when the numbers move.
+    let tb = Instant::now();
+    let matrix = bench::fig14_matrix(MATRIX_NODES, MATRIX_BATCH);
+    let build_s = tb.elapsed().as_secs_f64();
+    eprintln!(
+        "matrix build: {build_s:.3} s ({} cells, {MATRIX_NODES} nodes)",
+        matrix.len()
+    );
+
+    let ts = Instant::now();
+    let baseline = matrix.run_sequential();
+    let sequential_s = ts.elapsed().as_secs_f64();
+    eprintln!("matrix sequential: {sequential_s:.3} s");
+
+    let mut job_counts = vec![1usize];
+    while let Some(&last) = job_counts.last() {
+        if last >= jobs {
+            break;
+        }
+        job_counts.push((last * 2).min(jobs));
+    }
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &j in &job_counts {
+        let t = Instant::now();
+        let results = matrix.run_parallel(j);
+        let secs = t.elapsed().as_secs_f64();
+        for (a, b) in baseline.iter().zip(&results) {
+            assert_eq!(
+                (a.nodes_visited, a.makespan),
+                (b.nodes_visited, b.makespan),
+                "parallel execution must match the sequential baseline"
+            );
+        }
+        let speedup = if secs > 0.0 { sequential_s / secs } else { 1.0 };
+        eprintln!("matrix --jobs {j}: {secs:.3} s, speedup {speedup:.2}x");
+        rows.push((j, secs, speedup));
+    }
+
     let mut json = String::new();
     json.push('{');
     let _ = write!(json, "\"platform\": \"BG-2\", ");
@@ -98,6 +162,7 @@ fn main() {
         "\"nodes\": {NODES}, \"batch\": {BATCH}, \"batches\": {BATCHES}, "
     );
     let _ = write!(json, "\"seed\": {SEED}, \"iters\": {iters}, ");
+    let _ = write!(json, "\"host_cores\": {host_cores}, ");
     let _ = write!(json, "\"workload_prepare_s\": {prepare_s:.6}, ");
     let _ = write!(
         json,
@@ -110,8 +175,21 @@ fn main() {
     );
     let _ = write!(json, "\"nodes_visited\": {}, ", warm.nodes_visited);
     let _ = write!(json, "\"flash_reads\": {}, ", warm.flash_reads);
-    let _ = write!(json, "\"makespan_ns\": {}", warm.makespan.as_ns());
-    json.push_str("}\n");
+    let _ = write!(json, "\"makespan_ns\": {}, ", warm.makespan.as_ns());
+    let _ = write!(
+        json,
+        "\"matrix\": {{\"cells\": {}, \"nodes\": {MATRIX_NODES}, \"batch\": {MATRIX_BATCH}, \
+         \"workload_build_s\": {build_s:.6}, \"sequential_s\": {sequential_s:.6}, \"rows\": [",
+        matrix.len()
+    );
+    for (i, (j, secs, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { ", " } else { "" };
+        let _ = write!(
+            json,
+            "{{\"jobs\": {j}, \"seconds\": {secs:.6}, \"speedup\": {speedup:.4}}}{comma}"
+        );
+    }
+    json.push_str("]}}\n");
 
     match json_path {
         Some(path) => {
@@ -120,4 +198,32 @@ fn main() {
         }
         None => print!("{json}"),
     }
+
+    if let Some(min) = min_speedup {
+        let &(top_jobs, _, top_speedup) = rows.last().expect("at least one sweep row");
+        if host_cores < top_jobs {
+            eprintln!(
+                "speedup gate skipped: host has {host_cores} cores, \
+                 cannot scale to {top_jobs} jobs"
+            );
+        } else if top_speedup < min {
+            eprintln!(
+                "speedup gate FAILED: {top_speedup:.2}x at --jobs {top_jobs} \
+                 (required >= {min:.2}x)"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("speedup gate passed: {top_speedup:.2}x >= {min:.2}x");
+        }
+    }
+}
+
+/// Parses the next argument as `T`, exiting with a usage error if it is
+/// missing or malformed.
+fn parse_arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let v = args.next().unwrap_or_default();
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a number, got `{v}`");
+        std::process::exit(2);
+    })
 }

@@ -26,9 +26,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use beacon_platforms::{Engine, Platform, RunMetrics};
+use beacon_platforms::{Engine, EngineScratch, Platform, RunMetrics};
 use beacon_ssd::SsdConfig;
 
 use crate::workload::{Workload, WorkloadBuilder, WorkloadError};
@@ -138,6 +138,15 @@ impl RunCell {
 
     /// Runs the simulation.
     pub fn execute(&self) -> RunMetrics {
+        let mut scratch = EngineScratch::new();
+        self.execute_with(&mut scratch)
+    }
+
+    /// Runs the simulation with caller-owned scratch buffers, so a
+    /// worker executing many cells reuses one warm calendar slab and
+    /// outcome pool instead of growing fresh ones per cell. Results are
+    /// bit-identical to [`RunCell::execute`].
+    pub fn execute_with(&self, scratch: &mut EngineScratch) -> RunMetrics {
         Engine::new(
             self.platform,
             self.ssd,
@@ -145,7 +154,7 @@ impl RunCell {
             self.workload.directgraph(),
             self.seed,
         )
-        .run(self.workload.batches())
+        .run_with(scratch, self.workload.batches())
     }
 }
 
@@ -207,9 +216,14 @@ impl RunMatrix {
         self.cells.is_empty()
     }
 
-    /// Executes every cell on the calling thread, in order.
+    /// Executes every cell on the calling thread, in order, sharing one
+    /// warm scratch across cells.
     pub fn run_sequential(&self) -> Vec<RunMetrics> {
-        self.cells.iter().map(RunCell::execute).collect()
+        let mut scratch = EngineScratch::new();
+        self.cells
+            .iter()
+            .map(|c| c.execute_with(&mut scratch))
+            .collect()
     }
 
     /// Executes the matrix on `jobs` worker threads; see
@@ -267,11 +281,17 @@ impl ParallelRunner {
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
                     scope.spawn(|| {
+                        // Per-worker scratch: each worker's calendar
+                        // slab, drain buffer and outcome pool warm up
+                        // once and serve every cell it steals, keeping
+                        // workers out of the global allocator (the main
+                        // cross-thread contention point).
+                        let mut scratch = EngineScratch::new();
                         let mut mine = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(cell) = cells.get(i) else { break };
-                            mine.push((i, cell.execute()));
+                            mine.push((i, cell.execute_with(&mut scratch)));
                         }
                         mine
                     })
@@ -303,6 +323,15 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// One cache entry: a once-cell for the prepared workload plus a build
+/// lock so concurrent requests for the *same* key build once and wait,
+/// while requests for *different* keys build fully concurrently.
+#[derive(Debug, Default)]
+struct CacheSlot {
+    ready: OnceLock<Arc<Workload>>,
+    building: Mutex<()>,
+}
+
 /// Prepares each distinct workload once and hands out [`Arc`] clones.
 ///
 /// Sweeps that vary only the device configuration (core counts, channel
@@ -312,10 +341,14 @@ pub fn default_jobs() -> usize {
 /// cache (their identity is the graph itself).
 ///
 /// The cache is internally synchronized and can be shared across
-/// threads (e.g. as a `static`).
+/// threads (e.g. as a `static`). The map lock is only ever held for a
+/// key lookup — multi-second workload builds happen outside it, each
+/// under its own per-key lock, so parallel workers preparing *distinct*
+/// workloads never serialize on each other (this was the root cause of
+/// the sweep's negative parallel speedup).
 #[derive(Debug, Default)]
 pub struct WorkloadCache {
-    map: Mutex<HashMap<String, Arc<Workload>>>,
+    map: Mutex<HashMap<String, Arc<CacheSlot>>>,
 }
 
 impl WorkloadCache {
@@ -325,32 +358,58 @@ impl WorkloadCache {
     }
 
     /// Returns the cached workload for `builder`'s parameters, preparing
-    /// and inserting it on first use.
-    ///
-    /// The lock is held across preparation on purpose: concurrent
-    /// requests for the same key then build once and wait, rather than
-    /// racing to do the expensive synthesis twice.
+    /// and inserting it on first use. Concurrent callers with the same
+    /// parameters share one build; callers with different parameters
+    /// build concurrently.
     ///
     /// # Errors
     ///
-    /// Returns [`WorkloadError`] if preparation fails (nothing is
-    /// cached in that case).
+    /// Returns [`WorkloadError`] if preparation fails. Nothing is cached
+    /// in that case — the slot is removed so a later caller can retry.
     pub fn get_or_prepare(&self, builder: WorkloadBuilder) -> Result<Arc<Workload>, WorkloadError> {
         let Some(key) = builder.fingerprint() else {
             return Ok(Arc::new(builder.prepare()?));
         };
-        let mut map = self.map.lock().expect("workload cache poisoned");
-        if let Some(w) = map.get(&key) {
+        let slot = {
+            let mut map = self.map.lock().expect("workload cache poisoned");
+            Arc::clone(map.entry(key.clone()).or_default())
+        };
+        if let Some(w) = slot.ready.get() {
             return Ok(Arc::clone(w));
         }
-        let w = Arc::new(builder.prepare()?);
-        map.insert(key, Arc::clone(&w));
-        Ok(w)
+        // Serialize builders of *this* key only; re-check under the
+        // lock in case a racing builder just finished.
+        let _build = slot.building.lock().expect("workload build lock poisoned");
+        if let Some(w) = slot.ready.get() {
+            return Ok(Arc::clone(w));
+        }
+        match builder.prepare() {
+            Ok(w) => {
+                let w = Arc::new(w);
+                let _ = slot.ready.set(Arc::clone(&w));
+                Ok(w)
+            }
+            Err(e) => {
+                let mut map = self.map.lock().expect("workload cache poisoned");
+                if let Some(s) = map.get(&key) {
+                    if Arc::ptr_eq(s, &slot) {
+                        map.remove(&key);
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
-    /// Number of distinct workloads currently cached.
+    /// Number of distinct workloads currently cached (slots still being
+    /// built do not count).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("workload cache poisoned").len()
+        self.map
+            .lock()
+            .expect("workload cache poisoned")
+            .values()
+            .filter(|s| s.ready.get().is_some())
+            .count()
     }
 
     /// Returns `true` if nothing is cached.
@@ -463,6 +522,31 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(first.graph().num_nodes(), 500);
+    }
+
+    #[test]
+    fn cache_builds_once_under_concurrent_same_key_requests() {
+        let cache = WorkloadCache::new();
+        let b = || {
+            Workload::builder()
+                .nodes(600)
+                .batch_size(8)
+                .batches(1)
+                .seed(11)
+        };
+        let results: Vec<Arc<Workload>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.get_or_prepare(b()).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for w in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], w),
+                "racing same-key requests must share one build"
+            );
+        }
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

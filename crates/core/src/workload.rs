@@ -141,6 +141,7 @@ impl WorkloadBuilder {
     /// Returns [`WorkloadError`] if the page size is unsupported or
     /// conversion fails.
     pub fn prepare(self) -> Result<Workload, WorkloadError> {
+        let _prep_phase = simkit::profile::phase("workload/prepare");
         let layout = AddrLayout::for_page_size(self.page_size)
             .ok_or(WorkloadError::BadPageSize(self.page_size))?;
         let mut spec = DatasetSpec::preset(self.dataset).at_scale(self.nodes);

@@ -22,8 +22,6 @@
 //!
 //! The final hop performs feature retrieval only — no further commands.
 
-use std::collections::BTreeMap;
-
 use beacon_graph::NodeId;
 use directgraph::layout::secondary_capacity;
 use directgraph::{PageStore, PhysAddr, Section, SectionParseError};
@@ -167,6 +165,10 @@ pub struct DieSampler {
     config: GnnDieConfig,
     trng: Xoshiro256StarStar,
     executed: u64,
+    /// Reusable `(secondary index, coalesced count)` scratch for
+    /// overflow-hit coalescing, so the hot path allocates nothing in
+    /// steady state. Always left empty between commands.
+    coalesce: Vec<(usize, u16)>,
 }
 
 impl DieSampler {
@@ -177,6 +179,7 @@ impl DieSampler {
             config,
             trng: Xoshiro256StarStar::seeded(trng_seed),
             executed: 0,
+            coalesce: Vec::new(),
         }
     }
 
@@ -197,6 +200,11 @@ impl DieSampler {
 
     /// Executes one sampling command against the flash image.
     ///
+    /// Convenience wrapper over [`DieSampler::execute_into`] that
+    /// returns a freshly allocated outcome. Hot paths should prefer
+    /// `execute_into` with a pooled outcome so the child-command vector
+    /// is reused across commands.
+    ///
     /// # Errors
     ///
     /// Returns [`SamplerError`] when the section is missing or malformed
@@ -206,21 +214,47 @@ impl DieSampler {
         cmd: &SampleCommand,
         store: &PageStore,
     ) -> Result<SampleOutcome, SamplerError> {
+        let mut out = SampleOutcome {
+            visited: None,
+            feature_bytes: 0,
+            new_commands: Vec::new(),
+        };
+        self.execute_into(cmd, store, &mut out)?;
+        Ok(out)
+    }
+
+    /// Executes one sampling command, writing the result into `out`
+    /// (cleared first; its `new_commands` allocation is reused).
+    ///
+    /// On error `out` is left cleared — no visit, no feature bytes, no
+    /// child commands — which is exactly the §VI-E abort semantics: the
+    /// command's subtree is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplerError`] when the section is missing or malformed
+    /// (the §VI-E on-die runtime check).
+    pub fn execute_into(
+        &mut self,
+        cmd: &SampleCommand,
+        store: &PageStore,
+        out: &mut SampleOutcome,
+    ) -> Result<(), SamplerError> {
+        out.visited = None;
+        out.feature_bytes = 0;
+        out.new_commands.clear();
         self.executed += 1;
         let section = store.parse_section(cmd.target)?;
         match section {
             Section::Primary(p) => {
-                let mut out = SampleOutcome {
-                    visited: Some(p.node),
-                    feature_bytes: p.feature.len(),
-                    new_commands: Vec::new(),
-                };
+                out.visited = Some(p.node);
+                out.feature_bytes = p.feature.len();
                 if cmd.hop >= self.config.num_hops {
-                    return Ok(out); // final hop: feature retrieval only
+                    return Ok(()); // final hop: feature retrieval only
                 }
                 let total = p.total_neighbors as u64;
                 if total == 0 {
-                    return Ok(out);
+                    return Ok(());
                 }
                 let fanout = if cmd.count == 0 {
                     self.config.fanout
@@ -230,8 +264,10 @@ impl DieSampler {
                 let inline = p.inline_neighbors.len() as u64;
                 let sec_cap = secondary_capacity(store.layout().page_size()) as u64;
                 // Coalesce overflow hits per secondary section so each
-                // secondary page is read once (paper §V-A).
-                let mut coalesced: BTreeMap<usize, u16> = BTreeMap::new();
+                // secondary page is read once (paper §V-A). The scratch
+                // is tiny (≤ fanout entries), so linear-probe accumulate
+                // plus one sort beats a per-command tree allocation.
+                debug_assert!(self.coalesce.is_empty());
                 for _ in 0..fanout {
                     let r = self.trng.next_bounded(total);
                     if r < inline {
@@ -244,10 +280,16 @@ impl DieSampler {
                         });
                     } else {
                         let j = ((r - inline) / sec_cap) as usize;
-                        *coalesced.entry(j).or_insert(0) += 1;
+                        match self.coalesce.iter_mut().find(|(k, _)| *k == j) {
+                            Some((_, c)) => *c += 1,
+                            None => self.coalesce.push((j, 1)),
+                        }
                     }
                 }
-                for (j, count) in coalesced {
+                // Ascending secondary index, matching the ordered-map
+                // iteration the engine's determinism contract relies on.
+                self.coalesce.sort_unstable_by_key(|&(j, _)| j);
+                for &(j, count) in &self.coalesce {
                     out.new_commands.push(SampleCommand {
                         target: p.secondary_addrs[j],
                         hop: cmd.hop,
@@ -256,7 +298,8 @@ impl DieSampler {
                         parent: p.node.as_u32(),
                     });
                 }
-                Ok(out)
+                self.coalesce.clear();
+                Ok(())
             }
             Section::Secondary(s) => {
                 if cmd.count == 0 {
@@ -264,13 +307,8 @@ impl DieSampler {
                     return Err(SamplerError::WrongSectionKind { target: cmd.target });
                 }
                 let n = s.neighbors.len() as u64;
-                let mut out = SampleOutcome {
-                    visited: None,
-                    feature_bytes: 0,
-                    new_commands: Vec::new(),
-                };
                 if n == 0 {
-                    return Ok(out);
+                    return Ok(());
                 }
                 for _ in 0..cmd.count {
                     let idx = self.trng.next_bounded(n) as usize;
@@ -282,7 +320,7 @@ impl DieSampler {
                         parent: s.node.as_u32(),
                     });
                 }
-                Ok(out)
+                Ok(())
             }
         }
     }
@@ -448,6 +486,60 @@ mod tests {
         let a = DieSampler::new(cfg, 3).execute(&cmd, dg.image()).unwrap();
         let b = DieSampler::new(cfg, 3).execute(&cmd, dg.image()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn execute_into_matches_execute_with_reused_buffer() {
+        let dg = build(25.0, 16, 300);
+        let cfg = GnnDieConfig::paper_default(32);
+        let mut fresh_sampler = DieSampler::new(cfg, 3);
+        let mut pooled_sampler = DieSampler::new(cfg, 3);
+        let mut out = SampleOutcome {
+            visited: Some(NodeId::new(99)), // stale garbage, must be cleared
+            feature_bytes: 777,
+            new_commands: vec![SampleCommand::root(
+                dg.directory().primary_addr(NodeId::new(0)).unwrap(),
+                9,
+            )],
+        };
+        for v in 0..30u32 {
+            let cmd = SampleCommand::root(dg.directory().primary_addr(NodeId::new(v)).unwrap(), 0);
+            let fresh = fresh_sampler.execute(&cmd, dg.image()).unwrap();
+            pooled_sampler
+                .execute_into(&cmd, dg.image(), &mut out)
+                .unwrap();
+            assert_eq!(out, fresh, "pooled outcome diverged at node {v}");
+        }
+        assert_eq!(fresh_sampler.executed(), pooled_sampler.executed());
+    }
+
+    #[test]
+    fn execute_into_clears_outcome_on_error() {
+        let dg = build(900.0, 600, 100);
+        let mut sec_addr = None;
+        for v in 0..100u32 {
+            let addr = dg.directory().primary_addr(NodeId::new(v)).unwrap();
+            let p = dg.image().parse_section(addr).unwrap();
+            if let Some(a) = p.as_primary().unwrap().secondary_addrs.first() {
+                sec_addr = Some(*a);
+                break;
+            }
+        }
+        let sec_addr = sec_addr.expect("graph should have secondaries");
+        let mut sampler = DieSampler::new(GnnDieConfig::paper_default(1200), 1);
+        let mut out = SampleOutcome {
+            visited: Some(NodeId::new(1)),
+            feature_bytes: 5,
+            new_commands: vec![SampleCommand::root(sec_addr, 0)],
+        };
+        let err = sampler
+            .execute_into(&SampleCommand::root(sec_addr, 0), dg.image(), &mut out)
+            .unwrap_err();
+        assert!(matches!(err, SamplerError::WrongSectionKind { .. }));
+        // §VI-E abort: the outcome carries nothing.
+        assert_eq!(out.visited, None);
+        assert_eq!(out.feature_bytes, 0);
+        assert!(out.new_commands.is_empty());
     }
 
     #[test]

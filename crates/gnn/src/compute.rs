@@ -104,63 +104,82 @@ impl GnnForward {
             self.model.feature_dim,
             "feature dim mismatch"
         );
-        // h^(0): raw features for every vertex.
-        let mut h: Vec<Vec<f32>> = (0..sg.len())
-            .map(|vi| features.feature(sg.node_at(vi)).to_vec())
-            .collect();
+        let hidden = self.model.hidden_dim;
+        // Embeddings live in two flat row-major buffers that swap roles
+        // each layer; one aggregation buffer is reused across all nodes
+        // and hops. Summation order is identical to the per-node-vector
+        // formulation, so results are bit-identical — only the
+        // allocation pattern changes (4 buffers per call instead of
+        // O(nodes × layers)).
+        let mut cur_dim = self.model.feature_dim;
+        let mut cur: Vec<f32> = Vec::with_capacity(sg.len() * cur_dim.max(hidden));
+        for vi in 0..sg.len() {
+            cur.extend_from_slice(features.feature(sg.node_at(vi)));
+        }
+        let mut nxt: Vec<f32> = vec![0.0; sg.len() * hidden];
+        let mut agg: Vec<f32> = Vec::with_capacity(cur_dim.max(hidden));
         for layer in 1..=self.model.hops {
             let w = &self.weights[(layer - 1) as usize];
             let in_dim = self.model.layer_input_dim(layer);
             let keep_hops = self.model.hops - layer;
-            let mut next = vec![Vec::new(); sg.len()];
             for hop in 0..=keep_hops {
-                for (vi, _) in sg.at_hop(hop) {
-                    // AGGREGATE over self + children.
-                    let children = sg.children_of(vi);
-                    let mut agg = h[vi].clone();
+                for (vi, _) in sg.iter_at_hop(hop) {
+                    // AGGREGATE over self + children. Children were all
+                    // updated in the previous layer (hop + 1 ≤ previous
+                    // keep_hops), so their rows in `cur` are live.
+                    agg.clear();
+                    agg.extend_from_slice(&cur[vi * cur_dim..(vi + 1) * cur_dim]);
                     match self.aggregation {
                         Aggregation::Sum | Aggregation::Mean => {
-                            for &ci in &children {
-                                for (a, b) in agg.iter_mut().zip(&h[ci]) {
+                            let mut k = 1.0f32;
+                            for ci in sg.iter_children_of(vi) {
+                                let child = &cur[ci * cur_dim..(ci + 1) * cur_dim];
+                                for (a, b) in agg.iter_mut().zip(child) {
                                     *a += b;
                                 }
+                                k += 1.0;
                             }
                             if self.aggregation == Aggregation::Mean {
-                                let k = (children.len() + 1) as f32;
                                 for a in &mut agg {
                                     *a /= k;
                                 }
                             }
                         }
                         Aggregation::Max => {
-                            for &ci in &children {
-                                for (a, b) in agg.iter_mut().zip(&h[ci]) {
+                            for ci in sg.iter_children_of(vi) {
+                                let child = &cur[ci * cur_dim..(ci + 1) * cur_dim];
+                                for (a, b) in agg.iter_mut().zip(child) {
                                     *a = a.max(*b);
                                 }
                             }
                         }
                     }
                     debug_assert_eq!(agg.len(), in_dim);
-                    // UPDATE: perceptron (W'agg, ReLU).
-                    let mut out = vec![0.0f32; self.model.hidden_dim];
+                    // UPDATE: perceptron (W'agg, ReLU). Weight rows are
+                    // walked contiguously (row-major, row per input).
+                    let out = &mut nxt[vi * hidden..(vi + 1) * hidden];
+                    out.fill(0.0);
                     for (i, &x) in agg.iter().enumerate() {
                         if x == 0.0 {
                             continue;
                         }
-                        let row = &w[i * self.model.hidden_dim..(i + 1) * self.model.hidden_dim];
+                        let row = &w[i * hidden..(i + 1) * hidden];
                         for (o, &wv) in out.iter_mut().zip(row) {
                             *o += x * wv;
                         }
                     }
-                    for o in &mut out {
+                    for o in out.iter_mut() {
                         *o = o.max(0.0);
                     }
-                    next[vi] = out;
                 }
             }
-            h = next;
+            std::mem::swap(&mut cur, &mut nxt);
+            cur_dim = hidden;
+            // `nxt` (last layer's inputs) becomes next layer's output
+            // buffer; rows are overwritten before any read.
+            nxt.resize(sg.len() * hidden, 0.0);
         }
-        std::mem::take(&mut h[0])
+        cur[..cur_dim].to_vec()
     }
 }
 

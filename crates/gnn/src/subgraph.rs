@@ -96,22 +96,32 @@ impl Subgraph {
 
     /// Vertices at hop `h`, as `(vertex_index, node)`.
     pub fn at_hop(&self, h: u8) -> Vec<(usize, NodeId)> {
+        self.iter_at_hop(h).collect()
+    }
+
+    /// Iterates `(vertex index, node)` pairs at hop `h` without
+    /// allocating (the hot-path form of [`Subgraph::at_hop`]).
+    pub fn iter_at_hop(&self, h: u8) -> impl Iterator<Item = (usize, NodeId)> + '_ {
         self.vertices
             .iter()
             .enumerate()
-            .filter(|(_, &(_, hop, _))| hop == h)
+            .filter(move |(_, &(_, hop, _))| hop == h)
             .map(|(i, &(n, _, _))| (i, n))
-            .collect()
     }
 
     /// Children vertex indices of the vertex at `index`.
     pub fn children_of(&self, index: usize) -> Vec<usize> {
+        self.iter_children_of(index).collect()
+    }
+
+    /// Iterates the vertex indices sampled from `index` without
+    /// allocating (the hot-path form of [`Subgraph::children_of`]).
+    pub fn iter_children_of(&self, index: usize) -> impl Iterator<Item = usize> + '_ {
         self.vertices
             .iter()
             .enumerate()
-            .filter(|(_, &(_, _, p))| p == index)
+            .filter(move |(_, &(_, _, p))| p == index)
             .map(|(i, _)| i)
-            .collect()
     }
 
     /// The node at vertex `index`.

@@ -27,9 +27,11 @@ use beacon_gnn::{GnnModelConfig, MinibatchWorkload};
 use beacon_graph::NodeId;
 use beacon_ssd::SsdConfig;
 use directgraph::DirectGraph;
-use simkit::{BandwidthResource, Calendar, Duration, SerialResource, SimTime};
+use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime};
 
-use crate::metrics::{CmdBreakdown, HopWindow, RunMetrics, StageBreakdown, TimelineBuilder};
+use crate::metrics::{
+    CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown, TimelineBuilder,
+};
 use crate::spec::{
     BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,
 };
@@ -122,7 +124,12 @@ impl StepQueue {
     }
 }
 
-#[derive(Debug)]
+/// Index of a [`SampleOutcome`] in the engine's outcome pool. Events
+/// carry this instead of a `Box<SampleOutcome>` so every event is a
+/// small `Copy` value and the per-command heap allocation disappears.
+type OutcomeIdx = u32;
+
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// Command address available at the frontend (lifetime start).
     Arrive(Cmd),
@@ -132,19 +139,88 @@ enum Event {
     DieReq(Cmd, SimTime),
     /// Request the channel bus after sensing (carries the die-grant
     /// start for phase accounting).
-    XferReq(Cmd, SimTime, SimTime, Box<SampleOutcome>),
+    XferReq(Cmd, SimTime, SimTime, OutcomeIdx),
     /// Post-transfer steps remaining before completion; carries the
     /// transfer end time and the channel-queue wait already incurred.
-    Post(
-        Cmd,
-        SimTime,
-        SimTime,
-        Duration,
-        Box<SampleOutcome>,
-        StepQueue,
-    ),
+    Post(Cmd, SimTime, SimTime, Duration, OutcomeIdx, StepQueue),
     /// Hop barrier released: buffered commands of this hop may arrive.
     ReleaseHop(u8),
+}
+
+/// Slab of [`SampleOutcome`]s with a free list.
+///
+/// Each flash command holds one outcome from `DieReq` until its `Post`
+/// chain completes; releasing clears the outcome but keeps its
+/// `new_commands` allocation, so in steady state the sampler writes
+/// into recycled vectors and the hot path never touches the allocator.
+#[derive(Debug, Default)]
+struct OutcomePool {
+    slots: Vec<SampleOutcome>,
+    free: Vec<OutcomeIdx>,
+    allocated: u64,
+    reused: u64,
+}
+
+impl OutcomePool {
+    fn acquire(&mut self) -> OutcomeIdx {
+        match self.free.pop() {
+            Some(i) => {
+                self.reused += 1;
+                i
+            }
+            None => {
+                let i = OutcomeIdx::try_from(self.slots.len()).expect("outcome pool overflow");
+                self.slots.push(SampleOutcome {
+                    visited: None,
+                    feature_bytes: 0,
+                    new_commands: Vec::new(),
+                });
+                self.allocated += 1;
+                i
+            }
+        }
+    }
+
+    fn release(&mut self, idx: OutcomeIdx) {
+        let o = &mut self.slots[idx as usize];
+        o.visited = None;
+        o.feature_bytes = 0;
+        o.new_commands.clear();
+        self.free.push(idx);
+    }
+
+    fn get(&self, idx: OutcomeIdx) -> &SampleOutcome {
+        &self.slots[idx as usize]
+    }
+
+    fn reset_stats(&mut self) {
+        self.allocated = 0;
+        self.reused = 0;
+    }
+}
+
+/// Reusable per-worker simulation buffers: the event calendar (with its
+/// slab pool), the drain batch buffer, the sample-outcome pool, and the
+/// hop-release scratch.
+///
+/// One scratch serves any number of sequential [`Engine::run_with`]
+/// calls; after the first run its pools are warm and subsequent runs
+/// allocate nothing in the event loop. Sharing a scratch never changes
+/// results — a run with a reused scratch is bit-identical to one with a
+/// fresh scratch (the calendar is reset between runs).
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    calendar: Calendar<Event>,
+    batch: Vec<(SimTime, Event)>,
+    outcomes: OutcomePool,
+    release_buf: Vec<Cmd>,
+}
+
+impl EngineScratch {
+    /// Creates an empty scratch; pools grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// One platform simulation over a prepared DirectGraph image.
@@ -163,6 +239,14 @@ pub struct Engine<'a> {
     samplers: Vec<DieSampler>,
 
     calendar: Calendar<Event>,
+    batch_buf: Vec<(SimTime, Event)>,
+    outcomes: OutcomePool,
+    release_buf: Vec<Cmd>,
+    /// Calendar pool stats at run start (the calendar may arrive warm
+    /// from a shared scratch), so per-run deltas are reportable.
+    cal_base: simkit::PoolStats,
+    events_processed: u64,
+    calendar_peak: usize,
 
     // Per-batch state.
     outstanding: u64,
@@ -231,6 +315,12 @@ impl<'a> Engine<'a> {
             pcie: BandwidthResource::new(ssd.pcie_bandwidth),
             samplers,
             calendar: Calendar::new(),
+            batch_buf: Vec::new(),
+            outcomes: OutcomePool::default(),
+            release_buf: Vec::new(),
+            cal_base: simkit::PoolStats::default(),
+            events_processed: 0,
+            calendar_peak: 0,
             outstanding: 0,
             hop_outstanding: vec![0; hops],
             hop_buffers: vec![Vec::new(); hops],
@@ -290,7 +380,34 @@ impl<'a> Engine<'a> {
     /// Runs the full workload: `batches` mini-batches of targets, with
     /// data preparation of batch *i+1* pipelined against computation of
     /// batch *i* (§VI-D).
-    pub fn run(mut self, batches: &[Vec<NodeId>]) -> RunMetrics {
+    pub fn run(self, batches: &[Vec<NodeId>]) -> RunMetrics {
+        let mut scratch = EngineScratch::new();
+        self.run_with(&mut scratch, batches)
+    }
+
+    /// Like [`Engine::run`], but borrows its calendar, drain buffer and
+    /// outcome pool from `scratch` so consecutive runs on one worker
+    /// reuse warm allocations. Results are identical to [`Engine::run`].
+    pub fn run_with(mut self, scratch: &mut EngineScratch, batches: &[Vec<NodeId>]) -> RunMetrics {
+        scratch.calendar.reset();
+        scratch.batch.clear();
+        scratch.release_buf.clear();
+        scratch.outcomes.reset_stats();
+        std::mem::swap(&mut self.calendar, &mut scratch.calendar);
+        std::mem::swap(&mut self.batch_buf, &mut scratch.batch);
+        std::mem::swap(&mut self.outcomes, &mut scratch.outcomes);
+        std::mem::swap(&mut self.release_buf, &mut scratch.release_buf);
+        self.cal_base = self.calendar.pool_stats();
+        let metrics = self.run_inner(batches);
+        std::mem::swap(&mut self.calendar, &mut scratch.calendar);
+        std::mem::swap(&mut self.batch_buf, &mut scratch.batch);
+        std::mem::swap(&mut self.outcomes, &mut scratch.outcomes);
+        std::mem::swap(&mut self.release_buf, &mut scratch.release_buf);
+        metrics
+    }
+
+    fn run_inner(&mut self, batches: &[Vec<NodeId>]) -> RunMetrics {
+        let _run_phase = profile::phase("engine/run");
         let workload = MinibatchWorkload::new(self.model, 0);
         let _ = workload; // per-batch workloads built below (sizes vary)
         let accel = match self.spec.compute {
@@ -390,6 +507,20 @@ impl<'a> Engine<'a> {
             })
             .collect();
 
+        let cal_stats = self.calendar.pool_stats();
+        let pools = PoolCounters {
+            events_processed: self.events_processed,
+            event_slots_allocated: cal_stats.slots_allocated - self.cal_base.slots_allocated,
+            event_slots_reused: cal_stats.slots_reused - self.cal_base.slots_reused,
+            outcome_slots_allocated: self.outcomes.allocated,
+            outcome_slots_reused: self.outcomes.reused,
+        };
+        profile::count("engine/events_processed", pools.events_processed);
+        profile::count("engine/event_slots_allocated", pools.event_slots_allocated);
+        profile::count("engine/event_slots_reused", pools.event_slots_reused);
+        profile::count("engine/outcome_slots_reused", pools.outcome_slots_reused);
+        profile::count("engine/calendar_peak_depth", self.calendar_peak as u64);
+
         RunMetrics {
             platform: self.spec.name,
             targets: targets_total,
@@ -400,21 +531,23 @@ impl<'a> Engine<'a> {
             makespan: makespan - SimTime::ZERO,
             prep_time: prep_total,
             compute_time: compute_total,
-            cmd_breakdown: self.cmd_breakdown,
+            cmd_breakdown: std::mem::take(&mut self.cmd_breakdown),
             stages,
             hop_windows,
-            die_timeline: self.die_timeline,
-            channel_timeline: self.channel_timeline,
-            energy: self.energy,
+            die_timeline: std::mem::replace(&mut self.die_timeline, TimelineBuilder::new()),
+            channel_timeline: std::mem::replace(&mut self.channel_timeline, TimelineBuilder::new()),
+            energy: std::mem::replace(&mut self.energy, EnergyLedger::new()),
             total_dies: self.ssd.geometry.total_dies(),
             total_channels: self.ssd.geometry.channels,
-            trace: self.trace,
+            trace: std::mem::replace(&mut self.trace, simkit::Trace::with_capacity(0)),
+            pools,
         }
     }
 
     /// Simulates one batch's data preparation starting at `t0`; returns
     /// the completion time.
     fn run_prep(&mut self, batch: &[NodeId], t0: SimTime) -> SimTime {
+        let _prep_phase = profile::phase("engine/prep");
         for s in &mut self.hop_outstanding {
             *s = 0;
         }
@@ -485,25 +618,33 @@ impl<'a> Engine<'a> {
         // follow-up events at the current instant, and those carry
         // higher sequence numbers than everything in the batch, so
         // dispatching a flat buffer delivers the exact same order as a
-        // one-at-a-time pop loop.
-        let mut batch: Vec<(SimTime, Event)> = Vec::with_capacity(256);
+        // one-at-a-time pop loop. The buffer lives on the engine (and
+        // in the scratch across runs), so draining allocates nothing
+        // once warm.
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        if batch.capacity() == 0 {
+            batch.reserve(256);
+        }
         while let Some(t) = self.calendar.peek_time() {
-            self.calendar.drain_until(t, &mut batch);
+            self.calendar_peak = self.calendar_peak.max(self.calendar.len());
+            let n = self.calendar.drain_until(t, &mut batch);
+            self.events_processed += n as u64;
             for (now, ev) in batch.drain(..) {
                 match ev {
                     Event::Arrive(cmd) => self.on_arrive(cmd, now),
                     Event::Pre(cmd, created, steps) => self.on_pre(cmd, created, steps, now),
                     Event::DieReq(cmd, created) => self.on_die_req(cmd, created, now),
-                    Event::XferReq(cmd, created, die_start, outcome) => {
-                        self.on_xfer_req(cmd, created, die_start, outcome, now)
+                    Event::XferReq(cmd, created, die_start, oi) => {
+                        self.on_xfer_req(cmd, created, die_start, oi, now)
                     }
-                    Event::Post(cmd, created, xfer_end, chan_wait, outcome, steps) => {
-                        self.on_post(cmd, created, xfer_end, chan_wait, outcome, steps, now)
+                    Event::Post(cmd, created, xfer_end, chan_wait, oi, steps) => {
+                        self.on_post(cmd, created, xfer_end, chan_wait, oi, steps, now)
                     }
                     Event::ReleaseHop(h) => self.on_release_hop(h, now),
                 }
             }
         }
+        self.batch_buf = batch;
     }
 
     fn on_arrive(&mut self, cmd: Cmd, now: SimTime) {
@@ -557,7 +698,9 @@ impl<'a> Engine<'a> {
 
     fn on_pre(&mut self, cmd: Cmd, created: SimTime, mut steps: StepQueue, now: SimTime) {
         match steps.pop_front() {
-            None => self.calendar.schedule(now, Event::DieReq(cmd, created)),
+            None => {
+                self.calendar.schedule(now, Event::DieReq(cmd, created));
+            }
             Some(step) => {
                 let end = self.exec_step(step, now);
                 self.calendar.schedule(end, Event::Pre(cmd, created, steps));
@@ -588,32 +731,38 @@ impl<'a> Engine<'a> {
         // only the *costs* differ by platform). Feature-table reads
         // just return the vector. A §VI-E on-die check failure aborts
         // the command: its subtree is dropped, control returns to
-        // firmware, and the run continues.
-        let outcome = match cmd.kind {
-            CmdKind::FeatureRead => Box::new(SampleOutcome {
-                visited: None,
-                feature_bytes: self.model.feature_bytes(),
-                new_commands: Vec::new(),
-            }),
-            CmdKind::Visit => match self.samplers[die].execute(&cmd.sample, self.dg.image()) {
-                Ok(out) => Box::new(out),
-                Err(_) => {
+        // firmware, and the run continues. The outcome is written into
+        // a pooled slot whose command vector is recycled across
+        // commands — no per-command heap allocation.
+        let dg = self.dg;
+        let oi = self.outcomes.acquire();
+        match cmd.kind {
+            CmdKind::FeatureRead => {
+                let feature_bytes = self.model.feature_bytes();
+                let out = &mut self.outcomes.slots[oi as usize];
+                debug_assert!(out.visited.is_none() && out.new_commands.is_empty());
+                out.feature_bytes = feature_bytes;
+            }
+            CmdKind::Visit => {
+                // `execute_into` leaves the outcome cleared on error —
+                // exactly the empty outcome the abort path needs.
+                if self.samplers[die]
+                    .execute_into(
+                        &cmd.sample,
+                        dg.image(),
+                        &mut self.outcomes.slots[oi as usize],
+                    )
+                    .is_err()
+                {
                     self.sampler_faults += 1;
-                    Box::new(SampleOutcome {
-                        visited: None,
-                        feature_bytes: 0,
-                        new_commands: Vec::new(),
-                    })
                 }
-            },
-        };
+            }
+        }
         self.cmd_breakdown
             .wait_before_flash
             .record_duration(grant.start.saturating_duration_since(created));
-        self.calendar.schedule(
-            grant.end,
-            Event::XferReq(cmd, created, grant.start, outcome),
-        );
+        self.calendar
+            .schedule(grant.end, Event::XferReq(cmd, created, grant.start, oi));
     }
 
     fn on_xfer_req(
@@ -621,14 +770,14 @@ impl<'a> Engine<'a> {
         cmd: Cmd,
         created: SimTime,
         die_start: SimTime,
-        outcome: Box<SampleOutcome>,
+        oi: OutcomeIdx,
         now: SimTime,
     ) {
         let die = self.die_of(cmd);
         let channel = die % self.ssd.geometry.channels;
         let bytes = match self.spec.transfer {
             TransferGranularity::Page => self.ssd.geometry.page_size as u64,
-            TransferGranularity::Useful => outcome.result_bytes() as u64,
+            TransferGranularity::Useful => self.outcomes.get(oi).result_bytes() as u64,
         };
         let service = self.ssd.timing.command_overhead + self.ssd.timing.transfer_time(bytes);
         let grant = self.channels[channel].acquire(now, service);
@@ -647,14 +796,15 @@ impl<'a> Engine<'a> {
             .flash
             .record_duration((now - die_start) + (grant.end - grant.start));
 
-        let steps = self.post_steps(&cmd, &outcome, bytes);
+        let steps = self.post_steps(&cmd, oi, bytes);
         self.calendar.schedule(
             grant.end,
-            Event::Post(cmd, created, grant.end, chan_wait, outcome, steps),
+            Event::Post(cmd, created, grant.end, chan_wait, oi, steps),
         );
     }
 
-    fn post_steps(&self, cmd: &Cmd, outcome: &SampleOutcome, xfer_bytes: u64) -> StepQueue {
+    fn post_steps(&self, cmd: &Cmd, oi: OutcomeIdx, xfer_bytes: u64) -> StepQueue {
+        let outcome = self.outcomes.get(oi);
         let fw = &self.ssd.firmware;
         let mut steps = StepQueue::new();
         if cmd.kind == CmdKind::FeatureRead {
@@ -740,7 +890,7 @@ impl<'a> Engine<'a> {
         created: SimTime,
         xfer_end: SimTime,
         chan_wait: Duration,
-        outcome: Box<SampleOutcome>,
+        oi: OutcomeIdx,
         mut steps: StepQueue,
         now: SimTime,
     ) {
@@ -748,7 +898,7 @@ impl<'a> Engine<'a> {
             let end = self.exec_step(step, now);
             self.calendar.schedule(
                 end,
-                Event::Post(cmd, created, xfer_end, chan_wait, outcome, steps),
+                Event::Post(cmd, created, xfer_end, chan_wait, oi, steps),
             );
             return;
         }
@@ -770,7 +920,7 @@ impl<'a> Engine<'a> {
             let h = cmd.sample.hop as usize;
             self.hop_last[h] = Some(self.hop_last[h].map_or(now, |t| t.max(now)));
         }
-        if let Some(node) = outcome.visited {
+        if let Some(node) = self.outcomes.get(oi).visited {
             self.nodes_visited += 1;
             if self.spec.host_feature_lookup {
                 // Feature lookup stays on the host: fetch this node's
@@ -778,15 +928,19 @@ impl<'a> Engine<'a> {
                 self.spawn_feature_read(node, cmd.sample.hop, cmd.sample.subgraph, now);
             }
         }
-        for child in &outcome.new_commands {
+        // Index loop: `spawn` needs `&mut self`, and each child is a
+        // small `Copy` record, so re-borrowing per iteration is free.
+        for i in 0..self.outcomes.get(oi).new_commands.len() {
+            let child = self.outcomes.get(oi).new_commands[i];
             self.spawn(
                 Cmd {
-                    sample: *child,
+                    sample: child,
                     kind: CmdKind::Visit,
                 },
                 now,
             );
         }
+        self.outcomes.release(oi);
         self.complete(cmd, now);
     }
 
@@ -820,12 +974,16 @@ impl<'a> Engine<'a> {
 
     fn on_release_hop(&mut self, hop: u8, now: SimTime) {
         self.hop_released[hop as usize] = true;
-        // Take the buffer instead of copying it out; `spawn` refills a
-        // fresh one for the next batch if this hop buffers again.
-        let cmds = std::mem::take(&mut self.hop_buffers[hop as usize]);
-        for cmd in cmds {
+        // Swap the buffer out through a reusable scratch vector so both
+        // the hop buffer and the scratch keep their capacity — the old
+        // `mem::take` here leaked the allocation every release.
+        debug_assert!(self.release_buf.is_empty());
+        std::mem::swap(&mut self.release_buf, &mut self.hop_buffers[hop as usize]);
+        for i in 0..self.release_buf.len() {
+            let cmd = self.release_buf[i];
             self.calendar.schedule(now, Event::Arrive(cmd));
         }
+        self.release_buf.clear();
     }
 
     fn exec_step(&mut self, step: Step, now: SimTime) -> SimTime {
@@ -1040,6 +1198,62 @@ mod tests {
         let mut buf = Vec::new();
         m.trace.to_csv(&mut buf).unwrap();
         assert!(buf.len() > 100);
+    }
+
+    #[test]
+    fn steady_state_reuses_event_and_outcome_pools() {
+        let m = run_platform(Platform::Bg2, 2, 64);
+        assert!(m.pools.events_processed > 1_000, "{:?}", m.pools);
+        // The calendar slab plateaus at peak concurrency; the vast
+        // majority of schedules must be served by recycling.
+        assert!(
+            m.pools.event_slots_reused > 4 * m.pools.event_slots_allocated,
+            "event pool not recycling in steady state: {:?}",
+            m.pools
+        );
+        // One outcome per flash command, held only across its own
+        // pipeline: the pool stays small and recycles heavily.
+        assert!(
+            m.pools.outcome_slots_reused > 4 * m.pools.outcome_slots_allocated,
+            "outcome pool not recycling in steady state: {:?}",
+            m.pools
+        );
+    }
+
+    #[test]
+    fn shared_scratch_is_bit_identical_and_warm() {
+        let dg = make_dg(2_000, 25.0, 128);
+        let model = GnnModelConfig::paper_default(128);
+        let ssd = SsdConfig::paper_default();
+        let targets: Vec<Vec<NodeId>> = (0..2)
+            .map(|b| (0..48).map(|i| NodeId::new(b * 48 + i)).collect())
+            .collect();
+
+        let fresh = Engine::new(Platform::Bg2, ssd, model, &dg, 42).run(&targets);
+        let mut scratch = EngineScratch::new();
+        let first = Engine::new(Platform::Bg2, ssd, model, &dg, 42)
+            .run_with(&mut scratch, &targets);
+        let second =
+            Engine::new(Platform::Bg2, ssd, model, &dg, 42).run_with(&mut scratch, &targets);
+
+        for m in [&first, &second] {
+            assert_eq!(m.makespan, fresh.makespan);
+            assert_eq!(m.nodes_visited, fresh.nodes_visited);
+            assert_eq!(m.flash_reads, fresh.flash_reads);
+            assert_eq!(m.energy.channel_bytes, fresh.energy.channel_bytes);
+        }
+        // The second run found every pool warm: zero new slab slots.
+        assert_eq!(
+            second.pools.event_slots_allocated, 0,
+            "warm calendar slab must not grow: {:?}",
+            second.pools
+        );
+        assert_eq!(
+            second.pools.outcome_slots_allocated, 0,
+            "warm outcome pool must not grow: {:?}",
+            second.pools
+        );
+        assert_eq!(second.pools.events_processed, first.pools.events_processed);
     }
 
     #[test]

@@ -167,6 +167,27 @@ impl TimelineBuilder {
     }
 }
 
+/// Allocator-recycling counters from the engine's event and outcome
+/// pools (populated per run; see `simkit::profile` for the richer
+/// opt-in instrumentation).
+///
+/// In steady state both pools should plateau: `*_allocated` counts the
+/// slots ever created (bounded by peak concurrency), `*_reused` the
+/// schedules/commands served by recycling — the allocations avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Events dispatched by the engine's drain loop.
+    pub events_processed: u64,
+    /// Calendar slab slots ever created.
+    pub event_slots_allocated: u64,
+    /// Calendar schedules served from the free list.
+    pub event_slots_reused: u64,
+    /// Sample-outcome slots ever created.
+    pub outcome_slots_allocated: u64,
+    /// Sample-outcome acquisitions served from the free list.
+    pub outcome_slots_reused: u64,
+}
+
 /// The complete result of one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -210,6 +231,8 @@ pub struct RunMetrics {
     /// Optional event trace (empty unless enabled via
     /// [`Engine::with_trace`](crate::Engine::with_trace)).
     pub trace: simkit::Trace,
+    /// Event/outcome pool recycling behaviour of this run.
+    pub pools: PoolCounters,
 }
 
 impl RunMetrics {

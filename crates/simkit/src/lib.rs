@@ -31,13 +31,14 @@
 //! ```
 
 pub mod calendar;
+pub mod profile;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use calendar::Calendar;
+pub use calendar::{Calendar, EventKey, PoolStats};
 pub use resource::{BandwidthResource, SerialResource};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use time::{Duration, SimTime};

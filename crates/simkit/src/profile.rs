@@ -1,0 +1,227 @@
+//! Lightweight, compile-time-gated profiling: scoped phase timers and
+//! per-run counters.
+//!
+//! The simulator's hot paths cannot afford instrumentation overhead in
+//! ordinary builds, so everything here compiles to no-ops unless the
+//! `profile` cargo feature is enabled:
+//!
+//! ```sh
+//! cargo run --release --features simkit/profile -p beacon-bench --bin perf_smoke
+//! ```
+//!
+//! With the feature on, recording is still gated at runtime: set
+//! `BEACON_PROFILE=1` in the environment (or call [`set_enabled`]) to
+//! start collecting. Two kinds of data are collected into one global
+//! registry:
+//!
+//! * **Phases** — [`phase("engine/prep")`](phase) returns a guard that
+//!   adds its scope's wall-clock time to the named phase on drop.
+//! * **Counters** — [`count("calendar/pool_reuse", n)`](count) adds to
+//!   a named monotonic counter (events popped, allocations avoided,
+//!   queue depths observed, …).
+//!
+//! [`report`] renders everything recorded so far, sorted by name so the
+//! output is stable; [`reset`] clears the registry between measurement
+//! windows. See `docs/profiling.md` for the end-to-end workflow.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::profile;
+//!
+//! {
+//!     let _p = profile::phase("example/setup");
+//!     profile::count("example/items", 3);
+//! }
+//! // Without the `profile` feature (or with it, but disabled at
+//! // runtime) nothing is recorded and the report is empty.
+//! let text = profile::report();
+//! assert!(text.is_empty() || text.contains("example/items"));
+//! ```
+
+#[cfg(feature = "profile")]
+mod enabled {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    #[derive(Debug, Default, Clone, Copy)]
+    struct Cell {
+        /// Accumulated nanoseconds (phases) or count (counters).
+        total: u64,
+        /// Number of contributions.
+        hits: u64,
+    }
+
+    #[derive(Debug, Default)]
+    struct Registry {
+        phases: BTreeMap<&'static str, Cell>,
+        counters: BTreeMap<&'static str, Cell>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    fn enabled_flag() -> &'static AtomicBool {
+        static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+        ENABLED.get_or_init(|| {
+            AtomicBool::new(
+                std::env::var("BEACON_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0"),
+            )
+        })
+    }
+
+    /// True when profiling is compiled in *and* enabled at runtime.
+    pub fn is_enabled() -> bool {
+        enabled_flag().load(Ordering::Relaxed)
+    }
+
+    /// Turns runtime collection on or off (overrides `BEACON_PROFILE`).
+    pub fn set_enabled(on: bool) {
+        enabled_flag().store(on, Ordering::Relaxed);
+    }
+
+    /// A scoped phase timer; adds its elapsed time on drop.
+    #[derive(Debug)]
+    pub struct PhaseGuard {
+        name: &'static str,
+        start: Option<Instant>,
+    }
+
+    impl Drop for PhaseGuard {
+        fn drop(&mut self) {
+            if let Some(start) = self.start {
+                let ns = start.elapsed().as_nanos() as u64;
+                let mut reg = registry().lock().expect("profile registry poisoned");
+                let cell = reg.phases.entry(self.name).or_default();
+                cell.total += ns;
+                cell.hits += 1;
+            }
+        }
+    }
+
+    /// Starts a scoped phase timer named `name`.
+    pub fn phase(name: &'static str) -> PhaseGuard {
+        PhaseGuard {
+            name,
+            start: is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Adds `n` to the counter named `name`.
+    pub fn count(name: &'static str, n: u64) {
+        if !is_enabled() {
+            return;
+        }
+        let mut reg = registry().lock().expect("profile registry poisoned");
+        let cell = reg.counters.entry(name).or_default();
+        cell.total += n;
+        cell.hits += 1;
+    }
+
+    /// Clears everything recorded so far.
+    pub fn reset() {
+        let mut reg = registry().lock().expect("profile registry poisoned");
+        reg.phases.clear();
+        reg.counters.clear();
+    }
+
+    /// Renders the registry: one `phase <name> <total_ms> <hits>` or
+    /// `count <name> <total> <hits>` line per entry, name-sorted.
+    pub fn report() -> String {
+        use std::fmt::Write as _;
+        let reg = registry().lock().expect("profile registry poisoned");
+        let mut out = String::new();
+        for (name, c) in &reg.phases {
+            let _ = writeln!(
+                out,
+                "phase {name} {:.3} ms over {} scopes",
+                c.total as f64 / 1e6,
+                c.hits
+            );
+        }
+        for (name, c) in &reg.counters {
+            let _ = writeln!(out, "count {name} {} over {} records", c.total, c.hits);
+        }
+        out
+    }
+}
+
+#[cfg(feature = "profile")]
+pub use enabled::{count, is_enabled, phase, report, reset, set_enabled, PhaseGuard};
+
+#[cfg(not(feature = "profile"))]
+mod disabled {
+    /// Zero-sized stand-in for the scoped timer; does nothing on drop.
+    #[derive(Debug)]
+    pub struct PhaseGuard;
+
+    /// No-op without the `profile` feature.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `profile` feature.
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// No-op without the `profile` feature.
+    #[inline(always)]
+    pub fn phase(_name: &'static str) -> PhaseGuard {
+        PhaseGuard
+    }
+
+    /// No-op without the `profile` feature.
+    #[inline(always)]
+    pub fn count(_name: &'static str, _n: u64) {}
+
+    /// No-op without the `profile` feature.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always empty without the `profile` feature.
+    #[inline(always)]
+    pub fn report() -> String {
+        String::new()
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+pub use disabled::{count, is_enabled, phase, report, reset, set_enabled, PhaseGuard};
+
+#[cfg(all(test, feature = "profile"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_when_enabled() {
+        set_enabled(true);
+        reset();
+        {
+            let _p = phase("test/scope");
+            count("test/counter", 2);
+            count("test/counter", 3);
+        }
+        let text = report();
+        assert!(text.contains("phase test/scope"));
+        assert!(text.contains("count test/counter 5 over 2 records"));
+        reset();
+        assert!(report().is_empty());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn silent_when_disabled() {
+        set_enabled(false);
+        reset();
+        {
+            let _p = phase("quiet/scope");
+            count("quiet/counter", 1);
+        }
+        assert!(report().is_empty());
+    }
+}

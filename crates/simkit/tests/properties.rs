@@ -88,3 +88,104 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// The pooled slab/free-list calendar is a drop-in replacement for a
+    /// naive sorted-list calendar: under arbitrary interleavings of
+    /// schedules, pops, and cancels (including stale-key cancels), the
+    /// delivery order — nondecreasing time with FIFO tie-breaking — is
+    /// identical to the reference model's.
+    #[test]
+    fn pooled_calendar_matches_reference_model(
+        ops in proptest::collection::vec((0u8..10, 0u64..60, 0u64..1000), 1..300),
+    ) {
+        let mut cal = simkit::Calendar::new();
+        // Reference model: live events as (at, seq, id); delivery order
+        // is the (at, seq) minimum. `keys` remembers every key ever
+        // issued so cancels can target live, popped, and already-
+        // cancelled events alike.
+        let mut model: Vec<(u64, u64, u32)> = Vec::new();
+        let mut keys: Vec<(simkit::EventKey, u64, u64, u32)> = Vec::new();
+        let mut seq = 0u64;
+        let mut next_id = 0u32;
+        let mut watermark = 0u64;
+        for (kind, a, b) in ops {
+            match kind {
+                // Schedule at or after the watermark (weight 6/10; a=0
+                // exercises the immediate-ring fast path).
+                0..=5 => {
+                    let at = watermark + a;
+                    let key = cal.schedule(SimTime::from_ns(at), next_id);
+                    model.push((at, seq, next_id));
+                    keys.push((key, at, seq, next_id));
+                    seq += 1;
+                    next_id += 1;
+                }
+                // Pop and compare against the model's (at, seq) minimum.
+                6 | 7 => {
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(at, s, _))| (at, s))
+                        .map(|(i, _)| i);
+                    match expect {
+                        Some(i) => {
+                            let (at, _, id) = model.remove(i);
+                            watermark = at;
+                            prop_assert_eq!(cal.pop(), Some((SimTime::from_ns(at), id)));
+                        }
+                        None => prop_assert_eq!(cal.pop(), None),
+                    }
+                }
+                // Cancel an arbitrary previously issued key; it must
+                // succeed exactly when the event is still live.
+                _ => {
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let (key, at, s, id) = keys[(b as usize) % keys.len()];
+                    let live = model.iter().position(|&e| e == (at, s, id));
+                    let cancelled = cal.cancel(key);
+                    match live {
+                        Some(i) => {
+                            prop_assert!(cancelled, "live event must cancel");
+                            model.remove(i);
+                        }
+                        None => prop_assert!(!cancelled, "stale key must be inert"),
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), model.len());
+        }
+        // Drain the remainder and compare the full tail order.
+        model.sort_by_key(|&(at, s, _)| (at, s));
+        for &(at, _, id) in &model {
+            prop_assert_eq!(cal.pop(), Some((SimTime::from_ns(at), id)));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    /// `drain_until` is equivalent to repeated `pop` calls: same events,
+    /// same order, same watermark afterwards.
+    #[test]
+    fn drain_until_equals_repeated_pop(
+        times in proptest::collection::vec(0u64..50, 1..150),
+        cut in 0u64..50,
+    ) {
+        let mut a = simkit::Calendar::new();
+        let mut b = simkit::Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            a.schedule(SimTime::from_ns(t), i);
+            b.schedule(SimTime::from_ns(t), i);
+        }
+        let mut drained = Vec::new();
+        a.drain_until(SimTime::from_ns(cut), &mut drained);
+        let mut popped = Vec::new();
+        while b.peek_time().is_some_and(|t| t <= SimTime::from_ns(cut)) {
+            popped.push(b.pop().unwrap());
+        }
+        prop_assert_eq!(drained, popped);
+        prop_assert_eq!(a.now(), b.now());
+        prop_assert_eq!(a.len(), b.len());
+    }
+}
