@@ -1,6 +1,6 @@
 //! Dependency-free performance smoke test.
 //!
-//! Times a fixed BG-2 simulation plus a parallel-scaling sweep with
+//! Times a fixed BG-2 simulation plus two scaling sweeps with
 //! `std::time::Instant` only — no bench harness, no external crates —
 //! so any environment that can build the workspace can track simulator
 //! performance over time:
@@ -8,33 +8,40 @@
 //! ```sh
 //! cargo run --release -p beacon-bench --bin perf_smoke
 //! cargo run --release -p beacon-bench --bin perf_smoke -- --jobs 4 --min-speedup 1.5
+//! cargo run --release -p beacon-bench --bin perf_smoke -- --build-jobs 4 --min-build-speedup 1.5
 //! cargo run --release -p beacon-bench --bin perf_smoke -- --iters 5 --json perf.json
 //! ```
 //!
-//! Three phases, reported separately so a regression can be attributed:
+//! Four phases, reported separately so a regression can be attributed:
 //!
-//! 1. **workload prepare** — synthesizing one 8k-node graph and its
-//!    DirectGraph image (allocator + synthesis heavy, runs once).
-//! 2. **single-cell execution** — repeated BG-2 runs of that workload
+//! 1. **workload build sweep** — synthesizing one 8k-node graph and its
+//!    DirectGraph image at each power of two of build threads up to
+//!    `--build-jobs`, asserting the image digest never changes.
+//! 2. **cached prepare** — the same workload through [`beacongnn::WorkloadCache`]
+//!    (honouring `BEACON_WORKLOAD_CACHE`); near-zero when the on-disk
+//!    cache is warm.
+//! 3. **single-cell execution** — repeated BG-2 runs of that workload
 //!    (the engine inner loop; `--iters` controls repetitions).
-//! 3. **parallel sweep** — the Fig 14 platform × dataset matrix at
+//! 4. **parallel sweep** — the Fig 14 platform × dataset matrix at
 //!    reduced scale, executed sequentially and then at each power of
 //!    two up to `--jobs`, with the matrix (workload-build) phase timed
 //!    apart from the cell-execution passes.
 //!
-//! Prints a human-readable line per phase to stderr and a single JSON
-//! object to stdout (or to `--json PATH`). `--min-speedup X` turns the
-//! sweep into a gate: the process exits non-zero if the speedup at the
-//! highest job count falls below `X`. The gate auto-skips (with a
-//! warning) when the host has fewer cores than that job count — a
-//! single-core container cannot exhibit parallel speedup, and failing
-//! there would only punish the hardware.
+//! Timings go to stderr. Stdout carries only deterministic content: two
+//! `digest …` lines that must be byte-identical between cold- and
+//! warm-cache runs (CI `cmp`s them), plus — when `--json PATH` is *not*
+//! given — the JSON report. `--min-speedup X` / `--min-build-speedup X`
+//! turn the sweeps into gates: the process exits non-zero if the
+//! speedup at the highest job/thread count falls below `X`. Both gates
+//! auto-skip (with a warning) when the host has fewer cores than that
+//! count — a single-core container cannot exhibit parallel speedup, and
+//! failing there would only punish the hardware.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use beacon_bench as bench;
-use beacongnn::{Dataset, Platform, RunCell, Workload};
+use beacongnn::{Dataset, Platform, RunCell, Workload, WorkloadCache};
 
 /// Fixed smoke-test shape: large enough that the event calendar and
 /// resource models dominate, small enough to finish in seconds.
@@ -48,22 +55,49 @@ const SEED: u64 = 7;
 const MATRIX_NODES: usize = 4_000;
 const MATRIX_BATCH: usize = 64;
 
+fn smoke_builder() -> beacongnn::WorkloadBuilder {
+    Workload::builder()
+        .dataset(Dataset::Amazon)
+        .nodes(NODES)
+        .batch_size(BATCH)
+        .batches(BATCHES)
+        .seed(SEED)
+}
+
+/// FNV-1a fold, for order-sensitive digests of result streams.
+fn fnv1a_fold(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
 fn main() {
     let mut iters = 3usize;
     let mut jobs = 4usize;
+    let mut build_jobs = 4usize;
     let mut min_speedup: Option<f64> = None;
+    let mut min_build_speedup: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--iters" => iters = parse_arg(&mut args, "--iters"),
             "--jobs" => jobs = parse_arg(&mut args, "--jobs"),
+            "--build-jobs" => build_jobs = parse_arg(&mut args, "--build-jobs"),
             "--min-speedup" => min_speedup = Some(parse_arg(&mut args, "--min-speedup")),
+            "--min-build-speedup" => {
+                min_build_speedup = Some(parse_arg(&mut args, "--min-build-speedup"))
+            }
             "--json" => json_path = args.next(),
             other => {
                 eprintln!(
                     "unknown argument `{other}`; usage: perf_smoke [--iters N] [--jobs N] \
-                     [--min-speedup X] [--json PATH]"
+                     [--build-jobs N] [--min-speedup X] [--min-build-speedup X] [--json PATH]"
                 );
                 std::process::exit(2);
             }
@@ -71,24 +105,68 @@ fn main() {
     }
     let iters = iters.max(1);
     let jobs = jobs.max(1);
+    let build_jobs = build_jobs.max(1);
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
 
-    // Phase 1: workload preparation (synthesis + DirectGraph build).
-    let t0 = Instant::now();
-    let workload = std::sync::Arc::new(
-        Workload::builder()
-            .dataset(Dataset::Amazon)
-            .nodes(NODES)
-            .batch_size(BATCH)
-            .batches(BATCHES)
-            .seed(SEED)
-            .prepare()
-            .expect("smoke workload prepares"),
-    );
-    let prepare_s = t0.elapsed().as_secs_f64();
-    eprintln!("prepare: {prepare_s:.3} s ({NODES} nodes, batch {BATCH} x {BATCHES})");
+    // Phase 1: workload preparation (synthesis + DirectGraph build) at
+    // each power of two of build threads. Every point must produce the
+    // same image — `digest()` covers pages, directory, and stats.
+    let mut thread_counts = vec![1usize];
+    while let Some(&last) = thread_counts.last() {
+        if last >= build_jobs {
+            break;
+        }
+        thread_counts.push((last * 2).min(build_jobs));
+    }
+    let mut build_rows: Vec<(usize, f64, f64)> = Vec::new();
+    let mut workload = None;
+    let mut digest = 0u64;
+    for &threads in &thread_counts {
+        simkit::par::set_build_threads(threads);
+        let t = Instant::now();
+        let w = smoke_builder().prepare().expect("smoke workload prepares");
+        let secs = t.elapsed().as_secs_f64();
+        if workload.is_none() {
+            digest = w.directgraph().digest();
+        } else {
+            assert_eq!(
+                w.directgraph().digest(),
+                digest,
+                "workload build must be byte-identical at any thread count"
+            );
+        }
+        let base = build_rows.first().map_or(secs, |&(_, s, _)| s);
+        let speedup = if secs > 0.0 { base / secs } else { 1.0 };
+        eprintln!("prepare --build-jobs {threads}: {secs:.3} s, speedup {speedup:.2}x");
+        build_rows.push((threads, secs, speedup));
+        workload = Some(w);
+    }
+    let prepare_s = build_rows.first().map_or(0.0, |&(_, s, _)| s);
+    let workload = std::sync::Arc::new(workload.expect("at least one build point"));
+    eprintln!("prepare: {prepare_s:.3} s single-thread ({NODES} nodes, batch {BATCH} x {BATCHES})");
 
-    // Phase 2: single-cell engine execution (the hot loop).
+    // Phase 2: the same workload through the disk-aware cache. Cold
+    // runs pay one extra build plus the serialization; warm runs load
+    // the image from disk and should be near-zero.
+    let t = Instant::now();
+    let cached = WorkloadCache::new()
+        .get_or_prepare(smoke_builder())
+        .expect("cached smoke workload prepares");
+    let cached_prepare_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        cached.directgraph().digest(),
+        digest,
+        "cached workload must match the freshly built image"
+    );
+    drop(cached);
+    let cache_stats = beacongnn::diskcache::stats();
+    eprintln!(
+        "cached prepare: {cached_prepare_s:.3} s (disk hits {}, misses {})",
+        cache_stats.hits, cache_stats.misses
+    );
+    println!("digest workload 0x{digest:016x}");
+
+    // Phase 3: single-cell engine execution (the hot loop).
     let cell = RunCell::new(Platform::Bg2, workload);
     // One warm-up run so allocator and page-cache effects do not skew
     // the first timed iteration.
@@ -113,7 +191,7 @@ fn main() {
         warm.nodes_visited as f64, warm.makespan
     );
 
-    // Phase 3: parallel-scaling sweep on the Fig 14 matrix. Workload
+    // Phase 4: parallel-scaling sweep on the Fig 14 matrix. Workload
     // build (cache population during matrix construction) is timed
     // apart from the cell-execution passes so the two phases cannot be
     // conflated when the numbers move.
@@ -129,6 +207,12 @@ fn main() {
     let baseline = matrix.run_sequential();
     let sequential_s = ts.elapsed().as_secs_f64();
     eprintln!("matrix sequential: {sequential_s:.3} s");
+    let matrix_digest = baseline.iter().fold(FNV_OFFSET, |h, m| {
+        let h = fnv1a_fold(h, &m.nodes_visited.to_le_bytes());
+        let h = fnv1a_fold(h, &m.flash_reads.to_le_bytes());
+        fnv1a_fold(h, &m.makespan.as_ns().to_le_bytes())
+    });
+    println!("digest matrix 0x{matrix_digest:016x}");
 
     let mut job_counts = vec![1usize];
     while let Some(&last) = job_counts.last() {
@@ -153,6 +237,7 @@ fn main() {
         eprintln!("matrix --jobs {j}: {secs:.3} s, speedup {speedup:.2}x");
         rows.push((j, secs, speedup));
     }
+    let final_cache = beacongnn::diskcache::stats();
 
     let mut json = String::new();
     json.push('{');
@@ -164,6 +249,21 @@ fn main() {
     let _ = write!(json, "\"seed\": {SEED}, \"iters\": {iters}, ");
     let _ = write!(json, "\"host_cores\": {host_cores}, ");
     let _ = write!(json, "\"workload_prepare_s\": {prepare_s:.6}, ");
+    let _ = write!(json, "\"workload_digest\": \"0x{digest:016x}\", ");
+    let _ = write!(json, "\"build\": {{\"rows\": [");
+    for (i, (t, secs, speedup)) in build_rows.iter().enumerate() {
+        let comma = if i + 1 < build_rows.len() { ", " } else { "" };
+        let _ = write!(
+            json,
+            "{{\"threads\": {t}, \"seconds\": {secs:.6}, \"speedup\": {speedup:.4}}}{comma}"
+        );
+    }
+    let _ = write!(json, "], \"cached_prepare_s\": {cached_prepare_s:.6}}}, ");
+    let _ = write!(
+        json,
+        "\"disk_cache\": {{\"hits\": {}, \"misses\": {}}}, ",
+        final_cache.hits, final_cache.misses
+    );
     let _ = write!(
         json,
         "\"run_best_s\": {best:.6}, \"run_mean_s\": {mean:.6}, "
@@ -179,6 +279,7 @@ fn main() {
     let _ = write!(
         json,
         "\"matrix\": {{\"cells\": {}, \"nodes\": {MATRIX_NODES}, \"batch\": {MATRIX_BATCH}, \
+         \"digest\": \"0x{matrix_digest:016x}\", \
          \"workload_build_s\": {build_s:.6}, \"sequential_s\": {sequential_s:.6}, \"rows\": [",
         matrix.len()
     );
@@ -199,6 +300,24 @@ fn main() {
         None => print!("{json}"),
     }
 
+    let mut failed = false;
+    if let Some(min) = min_build_speedup {
+        let &(top_threads, _, top_speedup) = build_rows.last().expect("at least one build row");
+        if host_cores < top_threads {
+            eprintln!(
+                "build speedup gate skipped: host has {host_cores} cores, \
+                 cannot scale to {top_threads} build threads"
+            );
+        } else if top_speedup < min {
+            eprintln!(
+                "build speedup gate FAILED: {top_speedup:.2}x at {top_threads} threads \
+                 (required >= {min:.2}x)"
+            );
+            failed = true;
+        } else {
+            eprintln!("build speedup gate passed: {top_speedup:.2}x >= {min:.2}x");
+        }
+    }
     if let Some(min) = min_speedup {
         let &(top_jobs, _, top_speedup) = rows.last().expect("at least one sweep row");
         if host_cores < top_jobs {
@@ -211,10 +330,13 @@ fn main() {
                 "speedup gate FAILED: {top_speedup:.2}x at --jobs {top_jobs} \
                  (required >= {min:.2}x)"
             );
-            std::process::exit(1);
+            failed = true;
         } else {
             eprintln!("speedup gate passed: {top_speedup:.2}x >= {min:.2}x");
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -42,6 +42,7 @@
 //! # Ok::<(), beacongnn::WorkloadError>(())
 //! ```
 
+pub mod diskcache;
 pub mod matrix;
 pub mod report;
 pub mod runner;

@@ -25,12 +25,14 @@
 //! the device configuration: each distinct workload is prepared once.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use beacon_platforms::{Engine, EngineScratch, Platform, RunMetrics};
 use beacon_ssd::SsdConfig;
 
+use crate::diskcache;
 use crate::workload::{Workload, WorkloadBuilder, WorkloadError};
 
 // The whole module rests on experiment inputs being freely shareable
@@ -346,15 +348,47 @@ struct CacheSlot {
 /// under its own per-key lock, so parallel workers preparing *distinct*
 /// workloads never serialize on each other (this was the root cause of
 /// the sweep's negative parallel speedup).
+///
+/// Below the in-memory map sits an optional **persistent layer** (see
+/// [`crate::diskcache`]): on an in-memory miss the per-key build first
+/// tries to deserialize a previously saved workload from disk, and a
+/// fresh build is saved back best-effort. [`WorkloadCache::new`]
+/// resolves the directory from `BEACON_WORKLOAD_CACHE` (default
+/// `target/workload-cache`; `0`/`off`/empty disables);
+/// [`WorkloadCache::in_memory`] opts out entirely and
+/// [`WorkloadCache::with_disk_dir`] pins an explicit directory (used by
+/// tests, which must not share a process-global path).
 #[derive(Debug, Default)]
 pub struct WorkloadCache {
     map: Mutex<HashMap<String, Arc<CacheSlot>>>,
+    disk: Option<PathBuf>,
 }
 
 impl WorkloadCache {
-    /// An empty cache.
+    /// An empty cache with the environment-resolved persistent layer.
     pub fn new() -> Self {
+        WorkloadCache {
+            map: Mutex::default(),
+            disk: diskcache::default_dir(),
+        }
+    }
+
+    /// An empty cache without a persistent layer.
+    pub fn in_memory() -> Self {
         Self::default()
+    }
+
+    /// An empty cache persisting to `dir`.
+    pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
+        WorkloadCache {
+            map: Mutex::default(),
+            disk: Some(dir.into()),
+        }
+    }
+
+    /// The persistent layer's directory, if one is configured.
+    pub fn disk_dir(&self) -> Option<&std::path::Path> {
+        self.disk.as_deref()
     }
 
     /// Returns the cached workload for `builder`'s parameters, preparing
@@ -383,8 +417,20 @@ impl WorkloadCache {
         if let Some(w) = slot.ready.get() {
             return Ok(Arc::clone(w));
         }
+        // In-memory miss: a sibling process may have already built and
+        // persisted this workload.
+        if let Some(dir) = &self.disk {
+            if let Some(w) = diskcache::load(dir, &key) {
+                let w = Arc::new(w);
+                let _ = slot.ready.set(Arc::clone(&w));
+                return Ok(w);
+            }
+        }
         match builder.prepare() {
             Ok(w) => {
+                if let Some(dir) = &self.disk {
+                    diskcache::save(dir, &key, &w);
+                }
                 let w = Arc::new(w);
                 let _ = slot.ready.set(Arc::clone(&w));
                 Ok(w)
@@ -547,6 +593,38 @@ mod tests {
             );
         }
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_layer_shares_builds_across_cache_instances() {
+        let dir = std::env::temp_dir().join(format!("beacon-matrix-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = || {
+            Workload::builder()
+                .dataset(crate::Dataset::Movielens)
+                .nodes(400)
+                .batch_size(8)
+                .batches(1)
+                .seed(23)
+        };
+        // First "process": builds fresh and persists.
+        let first = WorkloadCache::with_disk_dir(&dir);
+        assert_eq!(first.disk_dir(), Some(dir.as_path()));
+        let a = first.get_or_prepare(b()).unwrap();
+        // Second "process": fresh in-memory map, same directory — must
+        // load the identical workload instead of rebuilding.
+        let hits_before = diskcache::stats().hits;
+        let second = WorkloadCache::with_disk_dir(&dir);
+        let c = second.get_or_prepare(b()).unwrap();
+        assert_eq!(diskcache::stats().hits, hits_before + 1);
+        assert_eq!(a.directgraph().digest(), c.directgraph().digest());
+        assert_eq!(a.batches(), c.batches());
+        assert_eq!(a.graph(), c.graph());
+        // In-memory caches stay independent objects.
+        assert!(!Arc::ptr_eq(&a, &c));
+        // An in-memory cache has no persistent layer.
+        assert_eq!(WorkloadCache::in_memory().disk_dir(), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

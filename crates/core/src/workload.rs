@@ -152,15 +152,31 @@ impl WorkloadBuilder {
                 spec.feature_dim = features.dim();
                 (graph, features)
             }
-            None => (spec.build_graph(self.seed), spec.build_features(self.seed)),
+            None => {
+                let graph = {
+                    let _p = simkit::profile::phase("workload/graph");
+                    spec.build_graph(self.seed)
+                };
+                let features = {
+                    let _p = simkit::profile::phase("workload/features");
+                    spec.build_features(self.seed)
+                };
+                (graph, features)
+            }
         };
         let num_nodes = graph.num_nodes();
-        let dg = DirectGraphBuilder::new(layout).build(&graph, &features)?;
+        let dg = {
+            let _p = simkit::profile::phase("workload/directgraph");
+            DirectGraphBuilder::new(layout).build(&graph, &features)?
+        };
         let model = self
             .model
             .unwrap_or_else(|| GnnModelConfig::paper_default(spec.feature_dim));
-        let mut stream = MinibatchStream::new(num_nodes, self.batch_size, self.seed ^ 0xBA7C);
-        let batches = (0..self.batches).map(|_| stream.next_batch()).collect();
+        let batches = {
+            let _p = simkit::profile::phase("workload/batches");
+            let mut stream = MinibatchStream::new(num_nodes, self.batch_size, self.seed ^ 0xBA7C);
+            (0..self.batches).map(|_| stream.next_batch()).collect()
+        };
         Ok(Workload {
             spec,
             graph,
@@ -186,6 +202,30 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// Reassembles a workload from deserialized parts (the disk-cache
+    /// load path). Callers are responsible for the parts being mutually
+    /// consistent — the cache validates them against its checksum and
+    /// fingerprint before getting here.
+    pub(crate) fn from_parts(
+        spec: DatasetSpec,
+        graph: CsrGraph,
+        features: FeatureTable,
+        dg: DirectGraph,
+        model: GnnModelConfig,
+        batches: Vec<Vec<NodeId>>,
+        seed: u64,
+    ) -> Self {
+        Workload {
+            spec,
+            graph,
+            features,
+            dg,
+            model,
+            batches,
+            seed,
+        }
+    }
+
     /// Starts building a workload.
     pub fn builder() -> WorkloadBuilder {
         WorkloadBuilder {

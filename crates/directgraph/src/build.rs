@@ -29,6 +29,11 @@ use crate::layout::{
     HEADER_BYTES, PRIMARY_FIXED_BYTES,
 };
 
+/// Pages per parallel serialization work item (step 2). Fixed — never
+/// derived from the thread count — so the encoded image is identical at
+/// any parallelism level.
+const PAGE_CHUNK: usize = 64;
+
 /// Errors from DirectGraph construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
@@ -187,6 +192,41 @@ impl DirectGraph {
         self.stats
     }
 
+    /// A 64-bit FNV-1a digest over the layout, every stored page (index
+    /// and bytes), the directory, and the build statistics — the "golden
+    /// image hash" used to assert byte-identical construction across
+    /// build-thread counts and cache round-trips.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.layout.page_size() as u64).to_le_bytes());
+        for (idx, bytes) in self.store.iter_pages() {
+            eat(&idx.as_u64().to_le_bytes());
+            eat(bytes);
+        }
+        for addr in &self.directory.primary {
+            eat(&addr.to_raw().to_le_bytes());
+        }
+        let s = self.stats;
+        for v in [
+            s.primary_pages,
+            s.secondary_pages,
+            s.secondary_sections,
+            s.used_bytes,
+            s.edges,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        h
+    }
+
     /// Computes the Table IV storage-inflation report against the raw
     /// representation (4 B per edge + FP-16 feature table).
     pub fn inflation(&self, features: &FeatureTable) -> InflationReport {
@@ -329,6 +369,10 @@ impl DirectGraphBuilder {
         let sec_cap = secondary_capacity(page_size);
 
         // ---- Step 1: metadata collection & placement. ----
+        // Placement is inherently sequential (first-fit over a shared
+        // open-page window), but cheap; it produces the per-page plan
+        // that step 2 parallelizes over.
+        let plan_phase = simkit::profile::phase("directgraph/plan");
         let mut placer = Placer::new(self.layout, self.max_open_pages);
         let mut plans: Vec<NodePlan> = Vec::with_capacity(graph.num_nodes());
         let mut stats = BuildStats::default();
@@ -383,43 +427,75 @@ impl DirectGraphBuilder {
         let directory = NodeDirectory {
             primary: plans.iter().map(|p| p.primary_addr).collect(),
         };
+        // End the plan phase before encode starts (`drop()` would lint
+        // as drop_non_drop when the guard compiles to a no-op ZST).
+        let _ = plan_phase;
 
         // ---- Step 2: serialization. ----
-        let mut store = PageStore::new(self.layout);
-        for (page_idx, sections) in pages.into_iter().enumerate() {
-            let mut enc = PageEncoder::new(page_size);
-            for plan in sections {
-                match plan {
-                    SectionPlan::Primary { node } => {
-                        let v = NodeId::new(node);
-                        let np = &plans[v.index()];
-                        let inline: Vec<PhysAddr> = graph.neighbors(v)[..np.n_inline]
-                            .iter()
-                            .map(|&n| directory.primary_addr(n).expect("neighbor in directory"))
-                            .collect();
-                        let feature = encode_fp16(features.feature(v));
-                        enc.push_primary(
-                            node,
-                            graph.degree(v) as u32,
-                            &np.secondary_addrs,
-                            &feature,
-                            &inline,
-                        );
+        // Every page's content is fully determined by the step-1 plan,
+        // so pages encode independently on build threads, in fixed
+        // chunks; results land in index order regardless of schedule.
+        let _encode_phase = simkit::profile::phase("directgraph/encode");
+        let mut encoded: Vec<Option<Box<[u8]>>> = Vec::with_capacity(pages.len());
+        encoded.resize_with(pages.len(), || None);
+        {
+            let plans = &plans;
+            let pages = &pages;
+            let directory = &directory;
+            simkit::par::for_each_chunk_mut(&mut encoded, PAGE_CHUNK, |start, chunk| {
+                // One feature-encode buffer per worker chunk, reused
+                // across every node on these pages.
+                let mut feature = Vec::new();
+                let mut inline: Vec<PhysAddr> = Vec::new();
+                let mut addrs: Vec<PhysAddr> = Vec::new();
+                for (k, out) in chunk.iter_mut().enumerate() {
+                    let mut enc = PageEncoder::new(page_size);
+                    for plan in &pages[start + k] {
+                        match *plan {
+                            SectionPlan::Primary { node } => {
+                                let v = NodeId::new(node);
+                                let np = &plans[v.index()];
+                                inline.clear();
+                                inline.extend(graph.neighbors(v)[..np.n_inline].iter().map(|&n| {
+                                    directory.primary_addr(n).expect("neighbor in directory")
+                                }));
+                                encode_fp16_into(features.feature(v), &mut feature);
+                                enc.push_primary(
+                                    node,
+                                    graph.degree(v) as u32,
+                                    &np.secondary_addrs,
+                                    &feature,
+                                    &inline,
+                                );
+                            }
+                            SectionPlan::Secondary { node, sec_idx } => {
+                                let v = NodeId::new(node);
+                                let np = &plans[v.index()];
+                                let (start, count) = np.sec_ranges[sec_idx as usize];
+                                addrs.clear();
+                                addrs.extend(
+                                    graph.neighbors(v)[start as usize..(start + count) as usize]
+                                        .iter()
+                                        .map(|&n| {
+                                            directory
+                                                .primary_addr(n)
+                                                .expect("neighbor in directory")
+                                        }),
+                                );
+                                enc.push_secondary(node, start, &addrs);
+                            }
+                        }
                     }
-                    SectionPlan::Secondary { node, sec_idx } => {
-                        let v = NodeId::new(node);
-                        let np = &plans[v.index()];
-                        let (start, count) = np.sec_ranges[sec_idx as usize];
-                        let addrs: Vec<PhysAddr> = graph.neighbors(v)
-                            [start as usize..(start + count) as usize]
-                            .iter()
-                            .map(|&n| directory.primary_addr(n).expect("neighbor in directory"))
-                            .collect();
-                        enc.push_secondary(node, start, &addrs);
-                    }
+                    *out = Some(enc.finish());
                 }
-            }
-            store.write_page(PageIndex::new(page_idx as u64), enc.finish());
+            });
+        }
+        let mut store = PageStore::new(self.layout);
+        for (page_idx, bytes) in encoded.into_iter().enumerate() {
+            store.write_page(
+                PageIndex::new(page_idx as u64),
+                bytes.expect("every planned page encoded"),
+            );
         }
 
         Ok(DirectGraph {
@@ -569,12 +645,22 @@ fn plan_shape(deg: usize, feat_bytes: usize, page_size: usize, sec_cap: usize) -
 
 /// Truncates f32 features to IEEE-754 half-precision bytes (the paper
 /// stores features as FP-16).
+#[allow(dead_code)]
 fn encode_fp16(values: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len() * 2);
+    let mut out = Vec::new();
+    encode_fp16_into(values, &mut out);
+    out
+}
+
+/// [`encode_fp16`] into a caller-owned buffer (cleared first), so the
+/// per-node build loop reuses one allocation instead of a fresh `Vec`
+/// per node.
+fn encode_fp16_into(values: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(values.len() * 2);
     for &v in values {
         out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
     }
-    out
 }
 
 /// Round-to-nearest-even f32 → f16 bit conversion.
@@ -750,6 +836,23 @@ mod tests {
         let (b, _, _) = build_small(15.0, 16, 300);
         assert_eq!(a.directory(), b.directory());
         assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn serialization_is_thread_count_invariant() {
+        simkit::par::set_build_threads(1);
+        let (reference, graph, features) = build_small(30.0, 48, 2_000);
+        for threads in [2, 8] {
+            simkit::par::set_build_threads(threads);
+            let dg = DirectGraphBuilder::new(layout())
+                .build(&graph, &features)
+                .unwrap();
+            assert_eq!(dg.digest(), reference.digest(), "threads={threads}");
+            assert_eq!(dg.directory(), reference.directory());
+            assert_eq!(dg.stats(), reference.stats());
+        }
+        simkit::par::set_build_threads(1);
     }
 
     #[test]

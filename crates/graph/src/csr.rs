@@ -75,6 +75,49 @@ pub struct CsrGraph {
 }
 
 impl CsrGraph {
+    /// Assembles a graph directly from CSR arrays, validating the
+    /// invariants [`CsrGraphBuilder::build`] guarantees. This is the
+    /// fast path for generators and deserializers that compute offsets
+    /// up front and fill adjacency ranges independently (possibly in
+    /// parallel) instead of growing per-node vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty, does not start at 0, is not
+    /// monotone, or does not end at `adjacency.len()`, or if any
+    /// adjacency entry is out of node range.
+    pub fn from_raw_parts(offsets: Vec<u64>, adjacency: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            adjacency.len() as u64,
+            "offsets must end at adjacency length"
+        );
+        let n = offsets.len() - 1;
+        assert!(
+            adjacency.iter().all(|v| v.index() < n),
+            "adjacency entry out of node range"
+        );
+        CsrGraph { offsets, adjacency }
+    }
+
+    /// The CSR offset array (`num_nodes + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The flat adjacency array, concatenated in node order.
+    #[inline]
+    pub fn adjacency(&self) -> &[NodeId] {
+        &self.adjacency
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -292,5 +335,24 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         CsrGraphBuilder::new(1).add_edge(NodeId::new(0), NodeId::new(9));
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_matches_builder() {
+        let g = diamond();
+        let rebuilt = CsrGraph::from_raw_parts(g.offsets().to_vec(), g.adjacency().to_vec());
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn raw_parts_rejects_decreasing_offsets() {
+        CsrGraph::from_raw_parts(vec![0, 2, 1], vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency entry out of node range")]
+    fn raw_parts_rejects_out_of_range_target() {
+        CsrGraph::from_raw_parts(vec![0, 1], vec![NodeId::new(5)]);
     }
 }

@@ -6,9 +6,17 @@
 //! functional computation but account for storage and transfer sizes at
 //! the FP-16 width the paper uses.
 
-use simkit::SplitMix64;
+use simkit::{par, SplitMix64};
 
 use crate::csr::NodeId;
+
+/// Feature rows per parallel work item; fixed so chunk boundaries (and
+/// output) are identical at any thread count.
+const ROWS_PER_CHUNK: usize = 256;
+
+/// Stream salt separating feature draws from every graph-generator
+/// stream family.
+const SALT_FEATURES: u64 = 0x5EED_00F1;
 
 /// Bytes per stored feature scalar (FP-16 per the paper).
 pub const FEATURE_SCALAR_BYTES: usize = 2;
@@ -43,10 +51,19 @@ impl FeatureTable {
     /// Panics if `dim` is zero.
     pub fn synthetic(num_nodes: usize, dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "feature dimension must be positive");
-        let mut rng = SplitMix64::new(seed);
-        let data = (0..num_nodes * dim)
-            .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
-            .collect();
+        // One stream per row: each node's vector is a pure function of
+        // (seed, node), so rows synthesize independently on any number
+        // of build threads with byte-identical output.
+        let mut data = vec![0f32; num_nodes * dim];
+        par::for_each_chunk_mut(&mut data, ROWS_PER_CHUNK * dim, |start, chunk| {
+            let first_row = start / dim;
+            for (k, row) in chunk.chunks_mut(dim).enumerate() {
+                let mut rng = SplitMix64::for_stream(seed, SALT_FEATURES, (first_row + k) as u64);
+                for v in row {
+                    *v = (rng.next_f64() * 2.0 - 1.0) as f32;
+                }
+            }
+        });
         FeatureTable { dim, data }
     }
 
@@ -85,6 +102,12 @@ impl FeatureTable {
     pub fn feature(&self, v: NodeId) -> &[f32] {
         let i = v.index();
         &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole table, row-major (used by workload serialization).
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.data
     }
 
     /// Storage footprint of one vector at FP-16 width, in bytes.
@@ -148,5 +171,20 @@ mod tests {
     #[should_panic(expected = "multiple of dim")]
     fn ragged_rows_panic() {
         FeatureTable::from_rows(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn synthetic_is_thread_count_invariant() {
+        par::set_build_threads(1);
+        let reference = FeatureTable::synthetic(1_000, 48, 21);
+        for threads in [2, 8] {
+            par::set_build_threads(threads);
+            assert_eq!(
+                FeatureTable::synthetic(1_000, 48, 21),
+                reference,
+                "threads={threads}"
+            );
+        }
+        par::set_build_threads(1);
     }
 }

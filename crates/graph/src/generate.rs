@@ -11,10 +11,34 @@
 //! * [`power_law`] — Chung-Lu style: nodes draw degrees from a truncated
 //!   power law, matching the heavy-tailed neighborhoods of social and
 //!   e-commerce graphs (and the Densification-law argument of §VII-F).
+//!
+//! Every generator derives one RNG stream per node (or per edge) via
+//! [`SplitMix64::for_stream`] instead of walking a single sequential
+//! generator. That makes each node's draws a pure function of
+//! `(seed, node)`, so node ranges can be generated on any number of
+//! [`simkit::par`] worker threads — with fixed chunk boundaries — and
+//! still produce byte-identical CSR output at every thread count.
 
-use simkit::SplitMix64;
+use simkit::{par, SplitMix64};
 
 use crate::csr::{CsrGraph, CsrGraphBuilder, NodeId};
+
+/// Nodes per parallel work item. Fixed (never derived from the thread
+/// count) so chunk boundaries — and therefore output — are identical at
+/// any parallelism level.
+const NODE_CHUNK: usize = 1024;
+
+/// Edges per parallel work item for edge-stream generators (R-MAT).
+const EDGE_CHUNK: usize = 8192;
+
+// Distinct stream salts per generator stage: two stages must never read
+// the same (seed, index) stream.
+const SALT_UNIFORM: u64 = 0x5EED_0001;
+const SALT_PL_DEGREE: u64 = 0x5EED_0002;
+const SALT_PL_ROUND: u64 = 0x5EED_0003;
+const SALT_PL_WIRE: u64 = 0x5EED_0004;
+const SALT_RMAT: u64 = 0x5EED_0005;
+const SALT_BIPARTITE: u64 = 0x5EED_0006;
 
 /// Generates a graph where every node has exactly `degree` out-neighbors
 /// drawn uniformly (self-loops excluded, duplicates allowed — like
@@ -33,18 +57,23 @@ use crate::csr::{CsrGraph, CsrGraphBuilder, NodeId};
 /// assert_eq!(g.num_edges(), 800);
 /// ```
 pub fn uniform(num_nodes: usize, degree: usize, seed: u64) -> CsrGraph {
-    if degree > 0 {
-        assert!(num_nodes >= 2, "need at least two nodes to draw neighbors");
+    if degree == 0 {
+        return CsrGraphBuilder::new(num_nodes).build();
     }
-    let mut rng = SplitMix64::new(seed);
-    let mut b = CsrGraphBuilder::new(num_nodes);
-    for u in 0..num_nodes as u32 {
-        for _ in 0..degree {
-            let v = draw_other(&mut rng, num_nodes as u64, u);
-            b.add_edge(NodeId::new(u), NodeId::new(v as u32));
+    assert!(num_nodes >= 2, "need at least two nodes to draw neighbors");
+    let mut adjacency = vec![NodeId::default(); num_nodes * degree];
+    par::for_each_chunk_mut(&mut adjacency, NODE_CHUNK * degree, |start, chunk| {
+        let first_node = start / degree;
+        for (k, row) in chunk.chunks_mut(degree).enumerate() {
+            let u = (first_node + k) as u32;
+            let mut rng = SplitMix64::for_stream(seed, SALT_UNIFORM, u as u64);
+            for slot in row {
+                *slot = NodeId::new(draw_other(&mut rng, num_nodes as u64, u) as u32);
+            }
         }
-    }
-    b.build()
+    });
+    let offsets = (0..=num_nodes).map(|i| (i * degree) as u64).collect();
+    CsrGraph::from_raw_parts(offsets, adjacency)
 }
 
 /// Parameters for the Chung-Lu power-law generator.
@@ -96,46 +125,73 @@ impl PowerLawConfig {
 pub fn power_law(cfg: &PowerLawConfig, seed: u64) -> CsrGraph {
     assert!(cfg.num_nodes >= 2, "need at least two nodes");
     assert!(cfg.avg_degree > 0.0, "average degree must be positive");
-    let mut rng = SplitMix64::new(seed);
     let n = cfg.num_nodes;
+    let max_degree = cfg.max_degree as f64;
 
-    // Draw raw degrees d_i ∝ pareto(exponent), truncated to [1, max_degree].
+    // Draw raw degrees d_i ∝ pareto(exponent), one stream per node. The
+    // draws are invariant across calibration — only the scale factor
+    // moves — so they happen exactly once.
     let alpha = cfg.exponent - 1.0; // pareto shape for the CCDF
-    let mut degrees: Vec<f64> = (0..n)
-        .map(|_| {
+    let mut raw = vec![0f64; n];
+    par::for_each_chunk_mut(&mut raw, NODE_CHUNK, |start, chunk| {
+        for (k, d) in chunk.iter_mut().enumerate() {
+            let mut rng = SplitMix64::for_stream(seed, SALT_PL_DEGREE, (start + k) as u64);
             let u = rng.next_f64().max(1e-12);
-            let d = u.powf(-1.0 / alpha); // pareto with x_min = 1
-            d.min(cfg.max_degree as f64)
-        })
-        .collect();
+            *d = u.powf(-1.0 / alpha).min(max_degree); // pareto with x_min = 1
+        }
+    });
 
-    // Rescale so the mean matches avg_degree. Clamping to
-    // [1, max_degree] shifts the mean, so iterate rescale-and-clamp to a
-    // fixed point (converges in a handful of rounds).
+    // Calibrate a single scale factor so the clamped mean matches
+    // avg_degree. Clamping to [1, max_degree] shifts the mean, so
+    // iterate to a fixed point (a handful of rounds); the raw draws are
+    // read-only and the reduction order is fixed, so the result is
+    // schedule-independent.
+    let mut scale = 1.0f64;
     for _ in 0..12 {
-        let mean: f64 = degrees.iter().sum::<f64>() / n as f64;
+        let mean = raw
+            .iter()
+            .map(|&d| (d * scale).clamp(1.0, max_degree))
+            .sum::<f64>()
+            / n as f64;
         let rel_err = (mean - cfg.avg_degree).abs() / cfg.avg_degree;
         if rel_err < 0.005 {
             break;
         }
-        let scale = cfg.avg_degree / mean;
-        for d in &mut degrees {
-            *d = (*d * scale).clamp(1.0, cfg.max_degree as f64);
-        }
+        scale *= cfg.avg_degree / mean;
     }
 
-    // Integer degrees via stochastic rounding to preserve the mean.
-    let int_degrees: Vec<usize> = degrees
-        .iter()
-        .map(|&d| {
-            let floor = d.floor();
-            let frac = d - floor;
-            let up = rng.next_f64() < frac;
-            (floor as usize + usize::from(up)).min(cfg.max_degree)
-        })
-        .collect();
+    // Integer degrees via stochastic rounding (per-node streams) to
+    // preserve the mean; keep the real-valued degrees as Chung-Lu
+    // weights.
+    let mut degrees = vec![0f64; n];
+    let mut int_degrees = vec![0usize; n];
+    {
+        let raw = &raw;
+        let jobs: Vec<_> = degrees
+            .chunks_mut(NODE_CHUNK)
+            .zip(int_degrees.chunks_mut(NODE_CHUNK))
+            .enumerate()
+            .map(|(c, (dchunk, ichunk))| {
+                move || {
+                    let start = c * NODE_CHUNK;
+                    for (k, (d, di)) in dchunk.iter_mut().zip(ichunk.iter_mut()).enumerate() {
+                        let i = start + k;
+                        *d = (raw[i] * scale).clamp(1.0, max_degree);
+                        let floor = d.floor();
+                        let frac = *d - floor;
+                        let mut rng = SplitMix64::for_stream(seed, SALT_PL_ROUND, i as u64);
+                        let up = rng.next_f64() < frac;
+                        *di = (floor as usize + usize::from(up)).min(cfg.max_degree);
+                    }
+                }
+            })
+            .collect();
+        par::run_jobs(jobs);
+    }
+    drop(raw);
 
-    // Chung-Lu target sampling: alias-free cumulative-weight binary search.
+    // Chung-Lu target sampling: alias-free cumulative-weight binary
+    // search. Prefix sums are sequential (order-fixed f64 accumulation).
     let mut cumulative: Vec<f64> = Vec::with_capacity(n);
     let mut acc = 0.0;
     for &d in &degrees {
@@ -144,23 +200,51 @@ pub fn power_law(cfg: &PowerLawConfig, seed: u64) -> CsrGraph {
     }
     let total = acc;
 
-    let mut b = CsrGraphBuilder::new(n);
-    for (u, &deg) in int_degrees.iter().enumerate() {
-        for _ in 0..deg {
-            let mut v;
-            loop {
-                let x = rng.next_f64() * total;
-                v = match cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
-                    Ok(i) | Err(i) => i.min(n - 1),
-                };
-                if v != u {
-                    break;
-                }
-            }
-            b.add_edge(NodeId::new(u as u32), NodeId::new(v as u32));
-        }
+    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    for &d in &int_degrees {
+        offsets.push(offsets.last().unwrap() + d as u64);
     }
-    b.build()
+
+    // Wire edges: one stream per source node, adjacency carved into
+    // per-chunk slices at offset boundaries so workers write disjoint
+    // regions of the final array.
+    let mut adjacency = vec![NodeId::default(); *offsets.last().unwrap() as usize];
+    {
+        let offsets = &offsets;
+        let int_degrees = &int_degrees;
+        let cumulative = &cumulative;
+        let mut rest = adjacency.as_mut_slice();
+        let mut jobs = Vec::with_capacity(n.div_ceil(NODE_CHUNK));
+        for start in (0..n).step_by(NODE_CHUNK) {
+            let end = (start + NODE_CHUNK).min(n);
+            let len = (offsets[end] - offsets[start]) as usize;
+            let (slice, tail) = rest.split_at_mut(len);
+            rest = tail;
+            jobs.push(move || {
+                let mut pos = 0usize;
+                for (u, &node_degree) in int_degrees.iter().enumerate().take(end).skip(start) {
+                    let mut rng = SplitMix64::for_stream(seed, SALT_PL_WIRE, u as u64);
+                    for _ in 0..node_degree {
+                        let mut v;
+                        loop {
+                            let x = rng.next_f64() * total;
+                            v = match cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+                                Ok(i) | Err(i) => i.min(n - 1),
+                            };
+                            if v != u {
+                                break;
+                            }
+                        }
+                        slice[pos] = NodeId::new(v as u32);
+                        pos += 1;
+                    }
+                }
+            });
+        }
+        par::run_jobs(jobs);
+    }
+    CsrGraph::from_raw_parts(offsets, adjacency)
 }
 
 fn draw_other(rng: &mut SplitMix64, n: u64, exclude: u32) -> u64 {
@@ -170,6 +254,28 @@ fn draw_other(rng: &mut SplitMix64, n: u64, exclude: u32) -> u64 {
             return v;
         }
     }
+}
+
+/// Stable counting sort of directed edge pairs into CSR form: adjacency
+/// entries of each source keep their pair-array order, matching what a
+/// sequential append-per-node builder would produce.
+fn csr_from_pairs(num_nodes: usize, pairs: &[(u32, u32)]) -> CsrGraph {
+    let mut counts = vec![0u64; num_nodes + 1];
+    for &(u, _) in pairs {
+        counts[u as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut adjacency = vec![NodeId::default(); pairs.len()];
+    for &(u, v) in pairs {
+        let at = &mut cursor[u as usize];
+        adjacency[*at as usize] = NodeId::new(v);
+        *at += 1;
+    }
+    CsrGraph::from_raw_parts(offsets, adjacency)
 }
 
 /// Parameters of the recursive-matrix (R-MAT) generator.
@@ -223,31 +329,33 @@ pub fn rmat(cfg: &RmatConfig, seed: u64) -> CsrGraph {
     let d = 1.0 - cfg.a - cfg.b - cfg.c;
     assert!(d > 0.0, "quadrant probabilities must sum below 1");
     let n = 1usize << cfg.scale;
-    let mut rng = SplitMix64::new(seed);
-    let mut b = CsrGraphBuilder::new(n);
     let edges = n * cfg.edge_factor;
-    for _ in 0..edges {
-        let (mut u, mut v) = (0usize, 0usize);
-        for _ in 0..cfg.scale {
-            let r = rng.next_f64();
-            let (du, dv) = if r < cfg.a {
-                (0, 0)
-            } else if r < cfg.a + cfg.b {
-                (0, 1)
-            } else if r < cfg.a + cfg.b + cfg.c {
-                (1, 0)
-            } else {
-                (1, 1)
-            };
-            u = (u << 1) | du;
-            v = (v << 1) | dv;
+    let mut pairs = vec![(0u32, 0u32); edges];
+    par::for_each_chunk_mut(&mut pairs, EDGE_CHUNK, |start, chunk| {
+        for (k, pair) in chunk.iter_mut().enumerate() {
+            let mut rng = SplitMix64::for_stream(seed, SALT_RMAT, (start + k) as u64);
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..cfg.scale {
+                let r = rng.next_f64();
+                let (du, dv) = if r < cfg.a {
+                    (0, 0)
+                } else if r < cfg.a + cfg.b {
+                    (0, 1)
+                } else if r < cfg.a + cfg.b + cfg.c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | du;
+                v = (v << 1) | dv;
+            }
+            if u == v {
+                v = draw_other(&mut rng, n as u64, u as u32) as usize;
+            }
+            *pair = (u as u32, v as u32);
         }
-        if u == v {
-            v = draw_other(&mut rng, n as u64, u as u32) as usize;
-        }
-        b.add_edge(NodeId::new(u as u32), NodeId::new(v as u32));
-    }
-    b.build()
+    });
+    csr_from_pairs(n, &pairs)
 }
 
 /// Generates a bipartite interaction graph (users × items, stored as
@@ -268,22 +376,32 @@ pub fn rmat(cfg: &RmatConfig, seed: u64) -> CsrGraph {
 /// assert_eq!(g.num_edges(), 2 * 100 * 5);
 /// ```
 pub fn bipartite(users: usize, items: usize, ratings_per_user: usize, seed: u64) -> CsrGraph {
-    if ratings_per_user > 0 {
-        assert!(users > 0 && items > 0, "both sides must be non-empty");
+    if ratings_per_user == 0 {
+        return CsrGraphBuilder::new(users + items).build();
     }
-    let mut rng = SplitMix64::new(seed);
-    let mut b = CsrGraphBuilder::new(users + items);
-    for u in 0..users {
-        for _ in 0..ratings_per_user {
-            // Popularity skew: square the uniform draw so low item
-            // indices are hit far more often (hit-movie effect).
-            let x = rng.next_f64();
-            let item = ((x * x) * items as f64) as usize;
-            let item = item.min(items - 1);
-            b.add_undirected_edge(NodeId::new(u as u32), NodeId::new((users + item) as u32));
-        }
-    }
-    b.build()
+    assert!(users > 0 && items > 0, "both sides must be non-empty");
+    let mut pairs = vec![(0u32, 0u32); 2 * users * ratings_per_user];
+    par::for_each_chunk_mut(
+        &mut pairs,
+        NODE_CHUNK * 2 * ratings_per_user,
+        |start, chunk| {
+            let first_user = start / (2 * ratings_per_user);
+            for (k, user_pairs) in chunk.chunks_mut(2 * ratings_per_user).enumerate() {
+                let u = (first_user + k) as u32;
+                let mut rng = SplitMix64::for_stream(seed, SALT_BIPARTITE, u as u64);
+                for both in user_pairs.chunks_mut(2) {
+                    // Popularity skew: square the uniform draw so low item
+                    // indices are hit far more often (hit-movie effect).
+                    let x = rng.next_f64();
+                    let item = ((x * x) * items as f64) as usize;
+                    let item = (users + item.min(items - 1)) as u32;
+                    both[0] = (u, item);
+                    both[1] = (item, u);
+                }
+            }
+        },
+    );
+    csr_from_pairs(users + items, &pairs)
 }
 
 #[cfg(test)]
@@ -343,6 +461,65 @@ mod tests {
         for v in g.nodes() {
             assert!(g.degree(v) >= 1, "{v} has no neighbors");
         }
+    }
+
+    /// Regression pin for the calibrate-once degree pipeline: the exact
+    /// degree sequence for a fixed (config, seed) pair, summarized as an
+    /// FNV-1a hash plus spot values. Any change to the draw streams, the
+    /// scalar calibration, or the stochastic rounding shows up here.
+    #[test]
+    fn power_law_degree_sequence_pinned() {
+        let cfg = PowerLawConfig::new(4_000, 16.0);
+        let g = power_law(&cfg, 99);
+        let mut h = 0xcbf29ce484222325u64;
+        for v in g.nodes() {
+            for b in (g.degree(v) as u32).to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        let spot: Vec<usize> = [0usize, 1, 777, 1999, 3999]
+            .iter()
+            .map(|&i| g.degree(NodeId::new(i as u32)))
+            .collect();
+        assert_eq!(
+            (h, spot),
+            (8526064610743682520, vec![10, 21, 5, 62, 11]),
+            "degree sequence drifted for fixed seed"
+        );
+    }
+
+    #[test]
+    fn generators_are_thread_count_invariant() {
+        let reference = {
+            par::set_build_threads(1);
+            (
+                uniform(2_000, 6, 11),
+                power_law(&PowerLawConfig::new(3_000, 14.0), 11),
+                rmat(&RmatConfig::graph500(10, 6), 11),
+                bipartite(800, 60, 7, 11),
+            )
+        };
+        for threads in [2, 8] {
+            par::set_build_threads(threads);
+            assert_eq!(uniform(2_000, 6, 11), reference.0, "uniform@{threads}");
+            assert_eq!(
+                power_law(&PowerLawConfig::new(3_000, 14.0), 11),
+                reference.1,
+                "power_law@{threads}"
+            );
+            assert_eq!(
+                rmat(&RmatConfig::graph500(10, 6), 11),
+                reference.2,
+                "rmat@{threads}"
+            );
+            assert_eq!(
+                bipartite(800, 60, 7, 11),
+                reference.3,
+                "bipartite@{threads}"
+            );
+        }
+        par::set_build_threads(1);
     }
 
     #[test]

@@ -1231,8 +1231,8 @@ mod tests {
 
         let fresh = Engine::new(Platform::Bg2, ssd, model, &dg, 42).run(&targets);
         let mut scratch = EngineScratch::new();
-        let first = Engine::new(Platform::Bg2, ssd, model, &dg, 42)
-            .run_with(&mut scratch, &targets);
+        let first =
+            Engine::new(Platform::Bg2, ssd, model, &dg, 42).run_with(&mut scratch, &targets);
         let second =
             Engine::new(Platform::Bg2, ssd, model, &dg, 42).run_with(&mut scratch, &targets);
 

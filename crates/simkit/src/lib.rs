@@ -11,6 +11,9 @@
 //! * [`rng`] — seedable, portable pseudo-random number generators
 //!   (SplitMix64 and xoshiro256**). Simulations never touch OS entropy,
 //!   so identical configurations replay identically.
+//! * [`par`] — deterministic build-time parallelism: fixed-boundary
+//!   chunking over scoped worker threads, byte-identical at any thread
+//!   count.
 //! * [`stats`] — counters, streaming summaries, fixed-bin histograms,
 //!   time-weighted utilization trackers and event timelines used to
 //!   regenerate the paper's figures.
@@ -31,6 +34,7 @@
 //! ```
 
 pub mod calendar;
+pub mod par;
 pub mod profile;
 pub mod resource;
 pub mod rng;

@@ -1,0 +1,184 @@
+//! Deterministic build-time parallelism.
+//!
+//! Offline preparation work (graph synthesis, feature synthesis, page
+//! serialization) is embarrassingly parallel *as long as the output
+//! cannot observe the schedule*. This module provides the minimal
+//! scaffolding for that discipline without pulling in a thread-pool
+//! dependency: jobs are partitioned by **fixed, input-derived chunk
+//! boundaries** (never by worker count), each job writes only its own
+//! disjoint output region, and workers are plain `std::thread::scope`
+//! threads draining a shared queue. The result is byte-identical at any
+//! thread count, including 1.
+//!
+//! The worker count comes from [`build_threads`]: the
+//! `BEACON_BUILD_THREADS` environment variable if set, otherwise the
+//! host's available parallelism. [`set_build_threads`] overrides it at
+//! runtime (used by benchmarks sweeping thread counts and by
+//! determinism tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::par;
+//!
+//! let mut data = vec![0u64; 10_000];
+//! par::for_each_chunk_mut(&mut data, 1024, |start, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (start + i) as u64 * 3;
+//!     }
+//! });
+//! assert_eq!(data[7777], 7777 * 3);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 means "not yet resolved"; resolution happens lazily on first use
+/// so `set_build_threads` can win over the environment when called
+/// before any parallel work runs.
+static BUILD_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads build-time parallel loops use.
+///
+/// Resolution order: a prior [`set_build_threads`] call, else the
+/// `BEACON_BUILD_THREADS` environment variable (must parse to ≥ 1),
+/// else the host's available parallelism. Never less than 1.
+pub fn build_threads() -> usize {
+    let v = BUILD_THREADS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let n = resolve_default();
+    // Benign race: concurrent first calls resolve to the same value.
+    BUILD_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+fn resolve_default() -> usize {
+    if let Ok(s) = std::env::var("BEACON_BUILD_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Sets the worker count for subsequent build-time parallel loops
+/// (clamped to ≥ 1). Output never depends on this value — only
+/// wall-clock time does.
+pub fn set_build_threads(n: usize) {
+    BUILD_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Runs every job, on [`build_threads`] scoped workers when that pays.
+///
+/// Jobs must be independent: each may only touch state it owns (moved
+/// captures or disjoint `&mut` regions). With one worker (or one job)
+/// everything runs inline on the caller's thread, in order — the
+/// sequential reference the parallel schedule is tested against.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_jobs<F>(jobs: Vec<F>)
+where
+    F: FnOnce() + Send,
+{
+    let threads = build_threads().min(jobs.len());
+    if threads <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let queue = Mutex::new(jobs);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("build job queue poisoned").pop();
+                match job {
+                    Some(job) => job(),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Splits `data` into fixed `chunk`-element pieces and applies `f` to
+/// each, in parallel. `f` receives the chunk's starting element index
+/// and the chunk itself; boundaries depend only on `chunk`, so results
+/// are identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero; propagates a panic from `f`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let f = &f;
+    let jobs: Vec<_> = data
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(i, piece)| move || f(i * chunk, piece))
+        .collect();
+    run_jobs(jobs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_fill_matches_sequential_at_any_thread_count() {
+        let expected: Vec<u64> = (0..5_000u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 8] {
+            set_build_threads(threads);
+            let mut data = vec![0u64; 5_000];
+            for_each_chunk_mut(&mut data, 333, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = ((start + i) as u64).wrapping_mul(0x9E37);
+                }
+            });
+            assert_eq!(data, expected, "threads={threads}");
+        }
+        set_build_threads(1);
+    }
+
+    #[test]
+    fn run_jobs_executes_every_job_once() {
+        use std::sync::atomic::AtomicU64;
+        set_build_threads(4);
+        let hits = AtomicU64::new(0);
+        let jobs: Vec<_> = (0..100u64)
+            .map(|i| {
+                let hits = &hits;
+                move || {
+                    hits.fetch_add(i + 1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        run_jobs(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 100 * 101 / 2);
+        set_build_threads(1);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        run_jobs(Vec::<fn()>::new());
+        let mut empty: [u8; 0] = [];
+        for_each_chunk_mut(&mut empty, 16, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let mut data = [1u8];
+        for_each_chunk_mut(&mut data, 0, |_, _| {});
+    }
+}

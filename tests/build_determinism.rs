@@ -1,0 +1,126 @@
+//! Cross-thread and cross-process determinism of the workload build
+//! pipeline.
+//!
+//! The build pipeline (graph synthesis → feature synthesis → DirectGraph
+//! serialization) runs on `simkit::par` worker threads with fixed chunk
+//! boundaries and per-node RNG streams; these tests pin the contract
+//! that its output is *byte-identical* at any thread count and across a
+//! disk-cache round-trip. `cargo test` runs test functions concurrently
+//! and `set_build_threads` is process-global, so each comparison
+//! re-sets the thread count immediately before building — the pipeline
+//! must hold its contract no matter which value is in effect.
+
+use beacongnn::{Dataset, Workload, WorkloadCache};
+use simkit::par;
+
+fn build(dataset: Dataset, threads: usize) -> Workload {
+    par::set_build_threads(threads);
+    Workload::builder()
+        .dataset(dataset)
+        .nodes(600)
+        .batch_size(16)
+        .batches(2)
+        .seed(41)
+        .prepare()
+        .expect("workload prepares")
+}
+
+/// The complete observable identity of a workload build.
+fn identity(w: &Workload) -> (u64, usize, Vec<u32>, Vec<u32>) {
+    let feature_bits: Vec<u32> = w.features().values().iter().map(|v| v.to_bits()).collect();
+    let batch_ids: Vec<u32> = w.batches().iter().flatten().map(|v| v.as_u32()).collect();
+    (
+        w.directgraph().digest(),
+        w.directgraph().image().pages_written(),
+        feature_bits,
+        batch_ids,
+    )
+}
+
+#[test]
+fn every_dataset_builds_identically_at_1_2_and_8_threads() {
+    for dataset in Dataset::ALL {
+        let reference = build(dataset, 1);
+        let ref_id = identity(&reference);
+        for threads in [2, 8] {
+            let w = build(dataset, threads);
+            assert_eq!(
+                identity(&w),
+                ref_id,
+                "{dataset} image diverged at {threads} build threads"
+            );
+            assert_eq!(
+                w.directgraph().directory(),
+                reference.directgraph().directory(),
+                "{dataset} directory diverged at {threads} build threads"
+            );
+            assert_eq!(
+                w.directgraph().stats(),
+                reference.directgraph().stats(),
+                "{dataset} stats diverged at {threads} build threads"
+            );
+            assert_eq!(w.graph(), reference.graph());
+        }
+    }
+    par::set_build_threads(1);
+}
+
+#[test]
+fn disk_cache_round_trip_is_bit_identical_to_fresh_build() {
+    let dir = std::env::temp_dir().join(format!("beacon-build-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let builder = || {
+        Workload::builder()
+            .dataset(Dataset::Amazon)
+            .nodes(900)
+            .batch_size(32)
+            .batches(2)
+            .seed(77)
+    };
+    let fresh = builder().prepare().unwrap();
+    // Populate the cache (build + save), then load from a second cache
+    // instance as a different process would.
+    WorkloadCache::with_disk_dir(&dir)
+        .get_or_prepare(builder())
+        .unwrap();
+    let loaded = WorkloadCache::with_disk_dir(&dir)
+        .get_or_prepare(builder())
+        .unwrap();
+    assert_eq!(identity(&fresh), identity(&loaded));
+    assert_eq!(fresh.graph(), loaded.graph());
+    assert_eq!(fresh.spec(), loaded.spec());
+    assert_eq!(fresh.model(), loaded.model());
+    assert_eq!(fresh.seed(), loaded.seed());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cached_and_fresh_workloads_simulate_identically() {
+    let dir = std::env::temp_dir().join(format!("beacon-build-sim-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let builder = || {
+        Workload::builder()
+            .dataset(Dataset::Ogbn)
+            .nodes(700)
+            .batch_size(16)
+            .batches(2)
+            .seed(13)
+    };
+    let fresh = std::sync::Arc::new(builder().prepare().unwrap());
+    WorkloadCache::with_disk_dir(&dir)
+        .get_or_prepare(builder())
+        .unwrap();
+    let loaded = WorkloadCache::with_disk_dir(&dir)
+        .get_or_prepare(builder())
+        .unwrap();
+    for platform in [beacongnn::Platform::Cc, beacongnn::Platform::Bg2] {
+        let a = beacongnn::RunCell::new(platform, std::sync::Arc::clone(&fresh)).execute();
+        let b = beacongnn::RunCell::new(platform, std::sync::Arc::clone(&loaded)).execute();
+        assert_eq!(
+            (a.nodes_visited, a.flash_reads, a.makespan),
+            (b.nodes_visited, b.flash_reads, b.makespan),
+            "{platform:?} results diverged between fresh and cached workloads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
