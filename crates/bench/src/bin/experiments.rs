@@ -17,6 +17,8 @@
 //! Fig 14 matrix.
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufWriter;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -68,12 +70,13 @@ fn main() {
         "array" => print!("{}", array()),
         "ablation" => print!("{}", ablation()),
         "interference" => print!("{}", interference()),
+        "obs" => obs(&positional[1..]),
         "all" => run_all(jobs),
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig7a fig14 fig15 fig15f \
                  fig16 fig17 fig18 [sweep] fig19 table4 trad_ssd query array ablation \
-                 config all (plus --jobs N)"
+                 config obs all (plus --jobs N)"
             );
             std::process::exit(2);
         }
@@ -740,4 +743,128 @@ fn config() -> String {
     }
     let _ = writeln!(out, "\n{}", t.render());
     out
+}
+
+/// `obs` — the observability smoke: one observed run (spans + metrics
+/// report) plus an all-platform matrix summary executed through the
+/// parallel runner at the `--jobs` setting.
+///
+/// All stdout and both export files derive from the simulation alone,
+/// so they are byte-identical at any job count — CI diffs them across
+/// `--jobs 1` and `--jobs 4`. File-write confirmations go to stderr
+/// (paths differ between CI passes).
+fn obs(args: &[String]) {
+    let mut platform = Platform::Bg2;
+    let mut dataset = beacongnn::Dataset::Amazon;
+    let mut nodes = 4_000usize;
+    let mut batch = 64usize;
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--platform" => {
+                let v = value("--platform");
+                platform = Platform::ALL
+                    .into_iter()
+                    .find(|p| p.name().eq_ignore_ascii_case(&v))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown platform `{v}`");
+                        std::process::exit(2);
+                    });
+            }
+            "--dataset" => {
+                let v = value("--dataset");
+                dataset = beacongnn::Dataset::ALL
+                    .into_iter()
+                    .find(|d| d.name().eq_ignore_ascii_case(&v))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown dataset `{v}`");
+                        std::process::exit(2);
+                    });
+            }
+            "--nodes" => {
+                let v = value("--nodes");
+                nodes = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--nodes expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--batch" => {
+                let v = value("--batch");
+                batch = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--batch expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--trace" => trace = Some(value("--trace")),
+            "--metrics" => metrics = Some(value("--metrics")),
+            other => {
+                eprintln!("unknown obs flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (m, reg) = bench::obs_report(platform, dataset, nodes, batch);
+
+    let mut out = String::new();
+    header(
+        &mut out,
+        "observability smoke — spans, metrics report, matrix summary",
+    );
+    let mut t = Table::new(&["metric", "value"]);
+    t.row_owned(vec!["platform".into(), m.platform.to_string()]);
+    t.row_owned(vec!["dataset".into(), dataset.to_string()]);
+    t.row_owned(vec!["targets".into(), m.targets.to_string()]);
+    t.row_owned(vec!["makespan".into(), format!("{}", m.makespan)]);
+    t.row_owned(vec!["flash reads".into(), m.flash_reads.to_string()]);
+    t.row_owned(vec!["spans".into(), m.spans.len().to_string()]);
+    t.row_owned(vec!["spans dropped".into(), m.spans.dropped().to_string()]);
+    let router = m.router.unwrap_or_default();
+    t.row_owned(vec!["router routed".into(), router.routed.to_string()]);
+    t.row_owned(vec![
+        "router cross-channel".into(),
+        router.cross_channel.to_string(),
+    ]);
+    if let Some(ftl) = m.ftl {
+        t.row_owned(vec!["ftl erases".into(), ftl.erases.to_string()]);
+        t.row_owned(vec!["ftl waf".into(), format!("{:.3}", ftl.waf())]);
+    }
+    t.row_owned(vec![
+        "report sections".into(),
+        reg.section_names().len().to_string(),
+    ]);
+    let _ = writeln!(out, "{}", t.render());
+    print!("{out}");
+
+    if let Some(path) = trace {
+        let file = File::create(&path).unwrap_or_else(|e| {
+            eprintln!("create {path}: {e}");
+            std::process::exit(1);
+        });
+        simkit::ChromeTraceWriter::write(&m.spans, BufWriter::new(file)).unwrap_or_else(|e| {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("trace written to {path} ({} spans)", m.spans.len());
+    }
+    if let Some(path) = metrics {
+        let file = File::create(&path).unwrap_or_else(|e| {
+            eprintln!("create {path}: {e}");
+            std::process::exit(1);
+        });
+        reg.write_json(BufWriter::new(file)).unwrap_or_else(|e| {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics written to {path}");
+    }
 }

@@ -26,8 +26,16 @@
 //!    reduced scale, executed sequentially and then at each power of
 //!    two up to `--jobs`, with the matrix (workload-build) phase timed
 //!    apart from the cell-execution passes.
+//! 5. **fig18 matrix** — the Fig 18 controller-core sensitivity matrix
+//!    (BG chain × core counts) run sequentially with observability
+//!    *disabled*. This is the wall-clock the `--baseline-json` gate
+//!    tracks: any regression here is hot-path overhead.
+//! 6. **observability** — the phase-3 cell re-run with `simkit::obs`
+//!    enabled: simulated results must match the unobserved run exactly,
+//!    two observed runs must produce byte-identical metric reports, and
+//!    the obs wall-clock cost is reported.
 //!
-//! Timings go to stderr. Stdout carries only deterministic content: two
+//! Timings go to stderr. Stdout carries only deterministic content:
 //! `digest …` lines that must be byte-identical between cold- and
 //! warm-cache runs (CI `cmp`s them), plus — when `--json PATH` is *not*
 //! given — the JSON report. `--min-speedup X` / `--min-build-speedup X`
@@ -35,13 +43,19 @@
 //! speedup at the highest job/thread count falls below `X`. Both gates
 //! auto-skip (with a warning) when the host has fewer cores than that
 //! count — a single-core container cannot exhibit parallel speedup, and
-//! failing there would only punish the hardware.
+//! failing there would only punish the hardware. `--baseline-json PATH
+//! --max-regress-pct X` gates the phase-5 obs-disabled wall-clock
+//! against the `fig18_matrix_s` recorded in a previous report; it
+//! auto-skips when the baseline is missing or unreadable.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use beacon_bench as bench;
-use beacongnn::{Dataset, Platform, RunCell, Workload, WorkloadCache};
+use beacongnn::{
+    Dataset, Experiment, Platform, RunCell, RunMatrix, SsdConfig, Workload, WorkloadCache,
+};
 
 /// Fixed smoke-test shape: large enough that the event calendar and
 /// resource models dominate, small enough to finish in seconds.
@@ -83,6 +97,8 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut min_build_speedup: Option<f64> = None;
     let mut json_path: Option<String> = None;
+    let mut baseline_json: Option<String> = None;
+    let mut max_regress_pct: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -94,10 +110,15 @@ fn main() {
                 min_build_speedup = Some(parse_arg(&mut args, "--min-build-speedup"))
             }
             "--json" => json_path = args.next(),
+            "--baseline-json" => baseline_json = args.next(),
+            "--max-regress-pct" => {
+                max_regress_pct = Some(parse_arg(&mut args, "--max-regress-pct"))
+            }
             other => {
                 eprintln!(
                     "unknown argument `{other}`; usage: perf_smoke [--iters N] [--jobs N] \
-                     [--build-jobs N] [--min-speedup X] [--min-build-speedup X] [--json PATH]"
+                     [--build-jobs N] [--min-speedup X] [--min-build-speedup X] [--json PATH] \
+                     [--baseline-json PATH] [--max-regress-pct X]"
                 );
                 std::process::exit(2);
             }
@@ -167,7 +188,7 @@ fn main() {
     println!("digest workload 0x{digest:016x}");
 
     // Phase 3: single-cell engine execution (the hot loop).
-    let cell = RunCell::new(Platform::Bg2, workload);
+    let cell = RunCell::new(Platform::Bg2, Arc::clone(&workload));
     // One warm-up run so allocator and page-cache effects do not skew
     // the first timed iteration.
     let warm = cell.execute();
@@ -239,6 +260,80 @@ fn main() {
     }
     let final_cache = beacongnn::diskcache::stats();
 
+    // Phase 5: the Fig 18 controller-core sensitivity matrix (BG chain
+    // × core counts) run sequentially with observability disabled. The
+    // `--baseline-json` gate below compares this wall-clock against a
+    // previous report, so the obs layer's disabled path stays within
+    // noise of the pre-obs hot path.
+    let w18 = bench::workload(Dataset::Amazon, MATRIX_NODES, MATRIX_BATCH);
+    let mut fig18_matrix = RunMatrix::new();
+    for &cores in &[1usize, 2, 4, 8] {
+        let ssd = SsdConfig::paper_default().with_cores(cores);
+        for p in Platform::BG_CHAIN {
+            fig18_matrix.push(RunCell::new(p, Arc::clone(&w18)).ssd(ssd));
+        }
+    }
+    let t = Instant::now();
+    let fig18_results = fig18_matrix.run_sequential();
+    let fig18_matrix_s = t.elapsed().as_secs_f64();
+    let fig18_digest = fig18_results.iter().fold(FNV_OFFSET, |h, m| {
+        let h = fnv1a_fold(h, &m.nodes_visited.to_le_bytes());
+        let h = fnv1a_fold(h, &m.flash_reads.to_le_bytes());
+        fnv1a_fold(h, &m.makespan.as_ns().to_le_bytes())
+    });
+    eprintln!(
+        "fig18 matrix ({} cells, obs disabled): {fig18_matrix_s:.3} s",
+        fig18_matrix.len()
+    );
+    println!("digest fig18 0x{fig18_digest:016x}");
+
+    // Phase 6: observability determinism + cost. The observed run must
+    // reproduce the unobserved phase-3 results exactly, two observed
+    // runs must render byte-identical metric reports, and the observed
+    // wall-clock is reported next to the unobserved best.
+    let exp = Experiment::new(&workload);
+    let mut obs_times = Vec::with_capacity(iters);
+    let mut observed = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let m = exp.run_observed(Platform::Bg2, 1 << 20);
+        obs_times.push(t.elapsed().as_secs_f64());
+        observed = Some(m);
+    }
+    let observed = observed.expect("at least one observed run");
+    assert_eq!(
+        (
+            observed.nodes_visited,
+            observed.flash_reads,
+            observed.makespan
+        ),
+        (warm.nodes_visited, warm.flash_reads, warm.makespan),
+        "observability must not change simulated results"
+    );
+    let report_a = observed.metrics_registry().to_json_string();
+    let report_b = exp
+        .run_observed(Platform::Bg2, 1 << 20)
+        .metrics_registry()
+        .to_json_string();
+    assert_eq!(
+        report_a, report_b,
+        "metric reports must be byte-identical across identical runs"
+    );
+    let obs_best = obs_times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let obs_overhead_pct = if best > 0.0 {
+        (obs_best / best - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    let report_digest = fnv1a_fold(FNV_OFFSET, report_a.as_bytes());
+    eprintln!(
+        "observed run: best {obs_best:.3} s ({obs_overhead_pct:+.1}% vs unobserved best), \
+         {} spans, report {} bytes",
+        observed.spans.len(),
+        report_a.len()
+    );
+    println!("digest metrics 0x{report_digest:016x}");
+
     let mut json = String::new();
     json.push('{');
     let _ = write!(json, "\"platform\": \"BG-2\", ");
@@ -290,7 +385,20 @@ fn main() {
             "{{\"jobs\": {j}, \"seconds\": {secs:.6}, \"speedup\": {speedup:.4}}}{comma}"
         );
     }
-    json.push_str("]}}\n");
+    json.push_str("]}, ");
+    let _ = write!(
+        json,
+        "\"fig18_matrix_s\": {fig18_matrix_s:.6}, \
+         \"fig18_digest\": \"0x{fig18_digest:016x}\", "
+    );
+    let _ = write!(
+        json,
+        "\"obs\": {{\"run_best_s\": {obs_best:.6}, \"overhead_pct\": {obs_overhead_pct:.2}, \
+         \"spans\": {}, \"report_bytes\": {}, \"report_digest\": \"0x{report_digest:016x}\"}}",
+        observed.spans.len(),
+        report_a.len()
+    );
+    json.push_str("}\n");
 
     match json_path {
         Some(path) => {
@@ -335,9 +443,53 @@ fn main() {
             eprintln!("speedup gate passed: {top_speedup:.2}x >= {min:.2}x");
         }
     }
+    if let Some(path) = baseline_json {
+        let max_pct = max_regress_pct.unwrap_or(2.0);
+        match std::fs::read_to_string(&path) {
+            Err(e) => {
+                eprintln!("fig18 regression gate skipped: cannot read {path}: {e}");
+            }
+            Ok(text) => match scan_json_f64(&text, "\"fig18_matrix_s\": ") {
+                None => eprintln!(
+                    "fig18 regression gate skipped: no fig18_matrix_s in {path} \
+                     (baseline predates the obs layer?)"
+                ),
+                Some(base) if base <= 0.0 => {
+                    eprintln!("fig18 regression gate skipped: baseline {base} s is not positive");
+                }
+                Some(base) => {
+                    let pct = (fig18_matrix_s / base - 1.0) * 100.0;
+                    if pct > max_pct {
+                        eprintln!(
+                            "fig18 regression gate FAILED: {fig18_matrix_s:.3} s vs baseline \
+                             {base:.3} s ({pct:+.1}%, allowed +{max_pct:.1}%)"
+                        );
+                        failed = true;
+                    } else {
+                        eprintln!(
+                            "fig18 regression gate passed: {fig18_matrix_s:.3} s vs baseline \
+                             {base:.3} s ({pct:+.1}%, allowed +{max_pct:.1}%)"
+                        );
+                    }
+                }
+            },
+        }
+    }
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Pulls the number following `key` out of a flat JSON report without a
+/// JSON parser: finds the first occurrence of the exact `"key": `
+/// pattern and reads the numeric token after it.
+fn scan_json_f64(text: &str, key: &str) -> Option<f64> {
+    let start = text.find(key)? + key.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Parses the next argument as `T`, exiting with a usage error if it is

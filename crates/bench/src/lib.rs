@@ -649,6 +649,54 @@ pub struct InterferenceRow {
     pub expected_deferral: Duration,
 }
 
+// ---------------------------------------------------------------------
+// Observability smoke — one observed run + a parallel matrix summary.
+// ---------------------------------------------------------------------
+
+/// Runs one platform with the sim-time observability layer enabled on
+/// the cached workload. Timing matches the unobserved run; only the
+/// returned metrics carry spans and router/FTL/occupancy statistics.
+pub fn observed_run(
+    platform: Platform,
+    dataset: Dataset,
+    nodes: usize,
+    batch: usize,
+    span_capacity: usize,
+) -> RunMetrics {
+    let w = workload(dataset, nodes, batch);
+    Experiment::new(&w).run_observed(platform, span_capacity)
+}
+
+/// Builds the observability smoke report: the observed run's full
+/// metrics registry plus a `matrix` section summarizing all eight
+/// platforms on the same workload, executed through the parallel
+/// runner at the configured job count.
+///
+/// Every value derives from the simulation alone — no wall-clock, no
+/// host topology — so the report is byte-identical at any `--jobs`.
+pub fn obs_report(
+    platform: Platform,
+    dataset: Dataset,
+    nodes: usize,
+    batch: usize,
+) -> (RunMetrics, simkit::MetricsRegistry) {
+    let m = observed_run(platform, dataset, nodes, batch, 1 << 20);
+    let mut reg = m.metrics_registry();
+
+    let w = workload(dataset, nodes, batch);
+    let mut matrix = RunMatrix::new();
+    matrix.add_platforms(&Platform::ALL, &w);
+    let results = run_matrix(&matrix);
+    let sec = reg.section("matrix");
+    sec.set_str("dataset", dataset.name());
+    sec.set_u64("cells", results.len() as u64);
+    for (p, r) in Platform::ALL.iter().zip(&results) {
+        sec.set_f64(&format!("{p}_throughput"), r.throughput());
+        sec.set_duration(&format!("{p}_makespan"), r.makespan);
+    }
+    (m, reg)
+}
+
 /// Measures the §VI-G deferral window across batch sizes on BG-2.
 pub fn interference(nodes: usize) -> Vec<InterferenceRow> {
     let sizes = [32usize, 64, 128, 256];

@@ -46,7 +46,8 @@ fn print_usage() {
     eprintln!(
         "usage:\n  beacongnn convert --dataset <name> [--nodes N] --out <file.dgr>\n  \
          beacongnn inspect <file.dgr>\n  \
-         beacongnn run --dataset <name> [--nodes N] [--platform P] [--batch N] [--batches N]\n  \
+         beacongnn run --dataset <name> [--nodes N] [--platform P] [--batch N] [--batches N]\n      \
+         [--trace out.json|out.csv] [--metrics out.metrics.json]\n  \
          beacongnn compare --dataset <name> [--nodes N] [--batch N]\n\
          datasets: reddit amazon movielens ogbn ppi\n\
          platforms: CC SmartSage GList BG-1 BG-DG BG-SP BG-DGSP BG-2"
@@ -178,8 +179,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let platform = parse_platform(flags.get("--platform").unwrap_or("BG-2"))?;
     let w = build_workload(&flags)?;
     let trace_path = flags.get("--trace");
-    let m = if trace_path.is_some() {
-        // Trace-enabled run through the engine directly.
+    let metrics_path = flags.get("--metrics");
+    // `--trace foo.csv` keeps the legacy event-ring CSV; any other
+    // extension gets a Chrome trace-event JSON (Perfetto-loadable).
+    let csv_trace = trace_path.is_some_and(|p| p.ends_with(".csv"));
+    let m = if csv_trace {
+        // Legacy CSV trace runs through the engine directly.
         beacongnn::platforms::Engine::new(
             platform,
             Experiment::new(&w).config(),
@@ -189,19 +194,38 @@ fn run(args: &[String]) -> Result<(), String> {
         )
         .with_trace(1 << 20)
         .run(w.batches())
+    } else if trace_path.is_some() || metrics_path.is_some() {
+        Experiment::new(&w).run_observed(platform, 1 << 20)
     } else {
         Experiment::new(&w).run(platform)
     };
     if let Some(path) = trace_path {
         let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        m.trace
-            .to_csv(BufWriter::new(file))
+        if csv_trace {
+            m.trace
+                .to_csv(BufWriter::new(file))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "trace written to {path} ({} events, {} dropped)",
+                m.trace.len(),
+                m.trace.dropped()
+            );
+        } else {
+            simkit::ChromeTraceWriter::write(&m.spans, BufWriter::new(file))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "trace written to {path} ({} spans, {} dropped)",
+                m.spans.len(),
+                m.spans.dropped()
+            );
+        }
+    }
+    if let Some(path) = metrics_path {
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        m.metrics_registry()
+            .write_json(BufWriter::new(file))
             .map_err(|e| format!("write {path}: {e}"))?;
-        println!(
-            "trace written to {path} ({} events, {} dropped)",
-            m.trace.len(),
-            m.trace.dropped()
-        );
+        println!("metrics written to {path}");
     }
     let mut t = Table::new(&["metric", "value"]);
     t.row_owned(vec!["platform".into(), m.platform.to_string()]);

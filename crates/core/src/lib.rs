@@ -63,3 +63,4 @@ pub use beacon_flash as flash;
 pub use beacon_platforms as platforms;
 pub use beacon_ssd as ssd;
 pub use directgraph;
+pub use simkit;

@@ -67,6 +67,25 @@ impl<'a> Experiment<'a> {
         .run(self.workload.batches())
     }
 
+    /// Runs one platform with the sim-time observability layer enabled:
+    /// the returned metrics carry up to `span_capacity` spans (die
+    /// sense, channel transfer, batch pipeline stages), the router
+    /// mirror statistics (BG-2), and the FTL setup-replay statistics.
+    ///
+    /// Timing is identical to [`Experiment::run`]; observability is
+    /// bookkeeping only.
+    pub fn run_observed(&self, platform: Platform, span_capacity: usize) -> RunMetrics {
+        Engine::new(
+            platform,
+            self.ssd,
+            self.workload.model(),
+            self.workload.directgraph(),
+            self.seed,
+        )
+        .with_obs(span_capacity)
+        .run(self.workload.batches())
+    }
+
     /// Runs several platforms and returns `(platform, metrics)` pairs.
     pub fn run_all(&self, platforms: &[Platform]) -> Vec<(Platform, RunMetrics)> {
         platforms.iter().map(|&p| (p, self.run(p))).collect()

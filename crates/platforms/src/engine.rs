@@ -25,12 +25,14 @@ use beacon_energy::EnergyLedger;
 use beacon_flash::{DieSampler, GnnDieConfig, SampleCommand, SampleOutcome};
 use beacon_gnn::{GnnModelConfig, MinibatchWorkload};
 use beacon_graph::NodeId;
-use beacon_ssd::SsdConfig;
+use beacon_ssd::{CommandRouter, Ftl, FtlStats, HostAdapter, SsdConfig};
 use directgraph::DirectGraph;
+use simkit::obs::{SpanRecorder, UnitKind};
 use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime};
 
 use crate::metrics::{
-    CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown, TimelineBuilder,
+    AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
+    TimelineBuilder,
 };
 use crate::spec::{
     BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,
@@ -271,6 +273,14 @@ pub struct Engine<'a> {
     /// only by host-feature-lookup platforms).
     feature_page_base: u64,
     trace: simkit::Trace,
+    /// Observability spans (disabled by default; one branch per site).
+    obs: SpanRecorder,
+    /// Functional command-router mirror, instantiated only on
+    /// hardware-router platforms with observability enabled. Commands
+    /// are routed at spawn and popped at their die grant — pure
+    /// bookkeeping that feeds `RouterStats`; the timing model is
+    /// untouched.
+    router: Option<CommandRouter>,
 }
 
 impl<'a> Engine<'a> {
@@ -339,6 +349,8 @@ impl<'a> Engine<'a> {
             channel_bytes_accum: 0,
             feature_page_base: dg.image().pages_written() as u64 + 64,
             trace: simkit::Trace::with_capacity(0),
+            obs: SpanRecorder::disabled(),
+            router: None,
             ssd,
         }
     }
@@ -349,6 +361,26 @@ impl<'a> Engine<'a> {
     /// [`simkit::Trace::to_csv`]).
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace = simkit::Trace::with_capacity(capacity);
+        self
+    }
+
+    /// Enables the observability layer, retaining up to `capacity`
+    /// spans (die senses, channel transfers, batch phases, compute
+    /// windows, command completions — export with
+    /// [`simkit::ChromeTraceWriter`]).
+    ///
+    /// Enabling observability also activates the side collectors that
+    /// are too costly (or pointless) on plain runs: the functional
+    /// command-router mirror on hardware-router platforms (feeding
+    /// [`RunMetrics::router`]) and the FTL setup replay (feeding
+    /// [`RunMetrics::ftl`]). None of them perturb simulated timing —
+    /// an observed run's `RunMetrics` core figures are identical to an
+    /// unobserved run's.
+    pub fn with_obs(mut self, capacity: usize) -> Self {
+        self.obs = SpanRecorder::with_capacity(capacity);
+        if capacity > 0 && self.spec.backend_control == BackendControl::HardwareRouter {
+            self.router = Some(CommandRouter::new(&self.ssd.geometry, self.dg.layout()));
+        }
         self
     }
 
@@ -374,7 +406,7 @@ impl<'a> Engine<'a> {
             },
             kind: CmdKind::FeatureRead,
         };
-        self.spawn(cmd, at);
+        self.spawn(cmd, at, None);
     }
 
     /// Runs the full workload: `batches` mini-batches of targets, with
@@ -438,6 +470,10 @@ impl<'a> Engine<'a> {
             let prep_end = self.run_prep(batch, prep_start);
             prep_total += prep_end - prep_start;
             prep_cursor = prep_end;
+            if self.obs.is_enabled() {
+                self.obs
+                    .record(UnitKind::Engine, 0, "prep", prep_start, prep_end, bi as f64);
+            }
 
             // Computation of this batch overlaps the next batch's prep.
             // The paper's experiments run GNN *training*, so the
@@ -452,6 +488,16 @@ impl<'a> Engine<'a> {
                     * (self.model.feature_bytes() as u64 + NODE_ID_BYTES);
                 let grant = self.pcie.transfer(compute_start, bytes);
                 self.energy.pcie_bytes += bytes;
+                if self.obs.is_enabled() {
+                    self.obs.record(
+                        UnitKind::Pcie,
+                        0,
+                        "batch_features",
+                        grant.start,
+                        grant.end,
+                        bytes as f64,
+                    );
+                }
                 compute_start = grant.end;
             } else if !self.ssd.dram_bypass {
                 // SSD accelerator streams features from internal DRAM
@@ -465,6 +511,16 @@ impl<'a> Engine<'a> {
             compute_total += ct;
             compute_free = compute_start + ct;
             compute_ends.push(compute_free);
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    UnitKind::Accelerator,
+                    0,
+                    "compute",
+                    compute_start,
+                    compute_free,
+                    bi as f64,
+                );
+            }
             makespan = makespan.max(compute_free).max(prep_end);
             self.energy.macs += wl.total_macs();
             self.energy.reduce_ops += wl.total_reduce_ops();
@@ -521,6 +577,35 @@ impl<'a> Engine<'a> {
         profile::count("engine/outcome_slots_reused", pools.outcome_slots_reused);
         profile::count("engine/calendar_peak_depth", self.calendar_peak as u64);
 
+        // Sustained occupancy: delivered MACs / reduce ops against each
+        // array's peak over the whole compute window.
+        let accel_occupancy = {
+            let cw = compute_total.as_secs_f64();
+            let peak_macs =
+                cw * accel.systolic.clock_hz() as f64 * accel.systolic.macs_per_cycle() as f64;
+            let peak_reduce = cw * accel.vector.clock_hz() as f64 * accel.vector.lanes() as f64;
+            AccelOccupancy {
+                systolic: if peak_macs > 0.0 {
+                    self.energy.macs as f64 / peak_macs
+                } else {
+                    0.0
+                },
+                vector: if peak_reduce > 0.0 {
+                    self.energy.reduce_ops as f64 / peak_reduce
+                } else {
+                    0.0
+                },
+            }
+        };
+        // FTL statistics come from replaying the DirectGraph setup
+        // flush — observability runs only (the plain path never builds
+        // an FTL).
+        let ftl = if self.obs.is_enabled() {
+            Self::replay_ftl_setup(self.dg, &self.ssd)
+        } else {
+            None
+        };
+
         RunMetrics {
             platform: self.spec.name,
             targets: targets_total,
@@ -541,7 +626,30 @@ impl<'a> Engine<'a> {
             total_channels: self.ssd.geometry.channels,
             trace: std::mem::replace(&mut self.trace, simkit::Trace::with_capacity(0)),
             pools,
+            spans: std::mem::replace(&mut self.obs, SpanRecorder::disabled()),
+            sampler_executed: self.samplers.iter().map(DieSampler::executed).sum(),
+            router: self.router.as_ref().map(CommandRouter::stats),
+            ftl,
+            accel_occupancy,
         }
+    }
+
+    /// Replays the §VI-A DirectGraph flush through a functional FTL to
+    /// recover host-write / GC / erase statistics. The FTL is built over
+    /// a capacity-shrunken copy of the run geometry (same channel/die
+    /// shape and page size, just enough blocks for the image plus
+    /// headroom) so the replay stays cheap at any configured capacity;
+    /// the statistics only depend on image size and block geometry.
+    fn replay_ftl_setup(dg: &DirectGraph, ssd: &SsdConfig) -> Option<FtlStats> {
+        let mut geo = ssd.geometry;
+        let pages = dg.image().pages_written();
+        let blocks_needed = pages.div_ceil(geo.pages_per_block).max(1);
+        let planes = geo.total_dies() * geo.planes_per_die;
+        geo.blocks_per_plane = (2 * blocks_needed + 16).div_ceil(planes).max(1);
+        let ftl = Ftl::new(&geo, 0.07);
+        let mut host = HostAdapter::new(ftl, geo.pages_per_block);
+        host.setup_directgraph(dg).ok()?;
+        Some(host.ftl().stats())
     }
 
     /// Simulates one batch's data preparation starting at `t0`; returns
@@ -594,6 +702,7 @@ impl<'a> Engine<'a> {
                     kind: CmdKind::Visit,
                 },
                 start,
+                None,
             );
         }
         self.drain();
@@ -601,8 +710,13 @@ impl<'a> Engine<'a> {
     }
 
     /// Registers a command as outstanding and schedules (or buffers) its
-    /// arrival.
-    fn spawn(&mut self, cmd: Cmd, at: SimTime) {
+    /// arrival. `src_channel` is the channel the command was generated
+    /// on (None for host-injected roots) — it only feeds the
+    /// observability router mirror's cross-channel statistic.
+    fn spawn(&mut self, cmd: Cmd, at: SimTime, src_channel: Option<usize>) {
+        if let Some(router) = self.router.as_mut() {
+            router.route_from(cmd.sample, src_channel);
+        }
         let hop = cmd.sample.hop as usize;
         self.outstanding += 1;
         self.hop_outstanding[hop] += 1;
@@ -720,6 +834,22 @@ impl<'a> Engine<'a> {
             self.trace
                 .record(grant.start, "die_sense", die as u64, cmd.sample.hop as f64);
         }
+        if self.obs.is_enabled() {
+            self.obs.record(
+                UnitKind::Die,
+                die as u32,
+                "sense",
+                grant.start,
+                grant.end,
+                cmd.sample.hop as f64,
+            );
+            if let Some(router) = self.router.as_mut() {
+                // Mirror the round-robin issuer: this die went idle and
+                // accepted its next dispatch-queue command.
+                let channel = die % self.ssd.geometry.channels;
+                router.issue_for_channel(channel, |d| d.index() == die);
+            }
+        }
         self.flash_reads += 1;
         self.energy.flash_page_reads += 1;
         if self.spec.sampling == SamplingLocation::Die {
@@ -785,6 +915,16 @@ impl<'a> Engine<'a> {
         if self.trace.is_enabled() {
             self.trace
                 .record(grant.start, "chan_xfer", channel as u64, bytes as f64);
+        }
+        if self.obs.is_enabled() {
+            self.obs.record(
+                UnitKind::Channel,
+                channel as u32,
+                "xfer",
+                grant.start,
+                grant.end,
+                bytes as f64,
+            );
         }
         self.channel_bytes_accum += bytes;
         // The command's own flash processing: die service (sense +
@@ -915,6 +1055,10 @@ impl<'a> Engine<'a> {
                 cmd.sample.hop as f64,
             );
         }
+        if self.obs.is_enabled() {
+            self.obs
+                .instant(UnitKind::Engine, 0, "cmd_done", now, cmd.sample.hop as f64);
+        }
         let _ = created;
         if self.record_hops {
             let h = cmd.sample.hop as usize;
@@ -928,6 +1072,14 @@ impl<'a> Engine<'a> {
                 self.spawn_feature_read(node, cmd.sample.hop, cmd.sample.subgraph, now);
             }
         }
+        // Children inherit this command's channel as their routing
+        // source (observability only; `None` keeps the plain path free
+        // of the die_of recomputation).
+        let src_channel = if self.router.is_some() {
+            Some(self.die_of(cmd) % self.ssd.geometry.channels)
+        } else {
+            None
+        };
         // Index loop: `spawn` needs `&mut self`, and each child is a
         // small `Copy` record, so re-borrowing per iteration is free.
         for i in 0..self.outcomes.get(oi).new_commands.len() {
@@ -938,6 +1090,7 @@ impl<'a> Engine<'a> {
                     kind: CmdKind::Visit,
                 },
                 now,
+                src_channel,
             );
         }
         self.outcomes.release(oi);
@@ -1198,6 +1351,106 @@ mod tests {
         let mut buf = Vec::new();
         m.trace.to_csv(&mut buf).unwrap();
         assert!(buf.len() > 100);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let dg = make_dg(2_000, 25.0, 128);
+        let model = GnnModelConfig::paper_default(128);
+        let ssd = SsdConfig::paper_default();
+        let batch: Vec<NodeId> = (0..32).map(NodeId::new).collect();
+        let plain = Engine::new(Platform::Bg2, ssd, model, &dg, 9).run(std::slice::from_ref(&batch));
+        let observed = Engine::new(Platform::Bg2, ssd, model, &dg, 9)
+            .with_obs(1 << 20)
+            .run(&[batch]);
+        // Observability must not perturb the simulation.
+        assert_eq!(observed.makespan, plain.makespan);
+        assert_eq!(observed.nodes_visited, plain.nodes_visited);
+        assert_eq!(observed.flash_reads, plain.flash_reads);
+        assert_eq!(observed.energy.channel_bytes, plain.energy.channel_bytes);
+        // The plain run collects no side channels...
+        assert!(plain.spans.is_empty() && plain.router.is_none() && plain.ftl.is_none());
+        // ...the observed run collects all of them.
+        assert!(!observed.spans.is_empty());
+        let senses = observed
+            .spans
+            .iter()
+            .filter(|s| s.kind == simkit::UnitKind::Die && s.name == "sense")
+            .count() as u64;
+        assert_eq!(senses, observed.flash_reads);
+        let router = observed.router.expect("BG-2 mirrors the router");
+        assert_eq!(router.routed, observed.flash_reads);
+        assert_eq!(router.issued, observed.flash_reads);
+        assert!(router.cross_channel > 0, "{router:?}");
+        assert!(router.max_queue_depth >= 1);
+        let ftl = observed.ftl.expect("obs runs replay the FTL setup");
+        // The DirectGraph flush programs *reserved* blocks, which
+        // bypass the regular write path: the setup cost shows up as
+        // erases (one P/E per reserved block), not host writes.
+        assert_eq!(ftl.host_writes, 0);
+        assert_eq!(ftl.gc_writes, 0);
+        let blocks_needed =
+            dg.image()
+                .pages_written()
+                .div_ceil(SsdConfig::paper_default().geometry.pages_per_block) as u64;
+        assert_eq!(ftl.erases, blocks_needed);
+        assert!(ftl.waf() >= 1.0);
+        assert_eq!(observed.sampler_executed, plain.sampler_executed);
+        assert!(observed.accel_occupancy.systolic > 0.0);
+        assert!(observed.accel_occupancy.systolic <= 1.0);
+        assert!(observed.accel_occupancy.vector > 0.0);
+        assert!(observed.accel_occupancy.vector <= 1.0);
+    }
+
+    #[test]
+    fn metrics_report_is_byte_stable_and_complete() {
+        let dg = make_dg(1_000, 20.0, 64);
+        let model = GnnModelConfig::paper_default(64);
+        let batch: Vec<NodeId> = (0..16).map(NodeId::new).collect();
+        let run = || {
+            Engine::new(Platform::Bg2, SsdConfig::paper_default(), model, &dg, 3)
+                .with_obs(1 << 18)
+                .run(std::slice::from_ref(&batch))
+        };
+        let a = run().metrics_registry().to_json_string();
+        let b = run().metrics_registry().to_json_string();
+        assert_eq!(a, b, "identical runs must serialize byte-identically");
+        for section in [
+            "\"run\"",
+            "\"command_breakdown\"",
+            "\"stages\"",
+            "\"die_utilization\"",
+            "\"channel_utilization\"",
+            "\"hops\"",
+            "\"router\"",
+            "\"ftl\"",
+            "\"accelerator\"",
+            "\"energy\"",
+            "\"pools\"",
+            "\"trace\"",
+        ] {
+            assert!(a.contains(section), "missing section {section}");
+        }
+        assert!(a.contains("\"present\": true"));
+    }
+
+    #[test]
+    fn firmware_platforms_have_no_router_mirror() {
+        let dg = make_dg(1_000, 20.0, 64);
+        let model = GnnModelConfig::paper_default(64);
+        let batch: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+        let m = Engine::new(Platform::Bg1, SsdConfig::paper_default(), model, &dg, 3)
+            .with_obs(1 << 16)
+            .run(&[batch]);
+        assert!(m.router.is_none(), "BG-1 is firmware-controlled");
+        assert!(m.ftl.is_some(), "FTL replay is platform-independent");
+        let reg = m.metrics_registry();
+        let router = reg.get("router").unwrap();
+        assert_eq!(
+            router.get("present"),
+            Some(&simkit::MetricValue::Bool(false))
+        );
+        assert_eq!(router.get("routed"), Some(&simkit::MetricValue::U64(0)));
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod spec;
 pub use array::{evaluate_array, evaluate_array_partitioned, ArrayConfig, ArrayScaling};
 pub use engine::{Engine, EngineScratch};
 pub use metrics::{
-    CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown, TimelineBuilder,
+    AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
+    TimelineBuilder,
 };
 pub use query::{measure_query_latency, query_latency_under_load, QueryLatency};
 pub use spec::{

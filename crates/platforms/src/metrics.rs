@@ -1,6 +1,8 @@
 //! Run metrics: everything the paper's figures are drawn from.
 
 use beacon_energy::EnergyLedger;
+use beacon_ssd::{FtlStats, RouterStats};
+use simkit::obs::{MetricsRegistry, SpanRecorder};
 use simkit::stats::Summary;
 use simkit::{Duration, SimTime};
 
@@ -188,6 +190,19 @@ pub struct PoolCounters {
     pub outcome_slots_reused: u64,
 }
 
+/// Sustained occupancy of the accelerator arrays over the compute
+/// window: delivered work (MACs / reduce ops) divided by the array's
+/// peak capacity over the total compute time. Both are in `[0, 1]` and
+/// include the time the *other* array holds the pipeline, so they read
+/// as "fraction of the compute window this array did useful work".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccelOccupancy {
+    /// Systolic (GEMM) array occupancy.
+    pub systolic: f64,
+    /// Vector (aggregation) array occupancy.
+    pub vector: f64,
+}
+
 /// The complete result of one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -233,6 +248,22 @@ pub struct RunMetrics {
     pub trace: simkit::Trace,
     /// Event/outcome pool recycling behaviour of this run.
     pub pools: PoolCounters,
+    /// Observability spans (empty unless enabled via
+    /// [`Engine::with_obs`](crate::Engine::with_obs); export with
+    /// [`simkit::ChromeTraceWriter`]).
+    pub spans: SpanRecorder,
+    /// Sampling commands executed by the on-die samplers (sampler
+    /// hits), summed over dies.
+    pub sampler_executed: u64,
+    /// Command-router traffic statistics, mirrored from the functional
+    /// [`beacon_ssd::CommandRouter`] on hardware-router platforms when
+    /// observability is enabled; `None` otherwise.
+    pub router: Option<RouterStats>,
+    /// FTL write/GC statistics from replaying the DirectGraph flush,
+    /// collected only when observability is enabled; `None` otherwise.
+    pub ftl: Option<FtlStats>,
+    /// Accelerator array occupancy over the compute window.
+    pub accel_occupancy: AccelOccupancy,
 }
 
 impl RunMetrics {
@@ -272,6 +303,116 @@ impl RunMetrics {
                 String::new()
             },
         )
+    }
+
+    /// Snapshots the whole run into a [`MetricsRegistry`] — the
+    /// structured per-run report behind `--metrics`.
+    ///
+    /// Section and field order is fixed; every value derives from the
+    /// simulation alone (no wall-clock, no host identity), so two
+    /// identical runs serialize byte-identically at any `--jobs`.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+
+        let run = reg.section("run");
+        run.set_u64("schema_version", 1);
+        run.set_str("platform", self.platform);
+        run.set_u64("targets", self.targets);
+        run.set_u64("batches", self.batches);
+        run.set_u64("nodes_visited", self.nodes_visited);
+        run.set_u64("flash_reads", self.flash_reads);
+        run.set_u64("sampler_executed", self.sampler_executed);
+        run.set_u64("sampler_faults", self.sampler_faults);
+        run.set_duration("makespan", self.makespan);
+        run.set_duration("prep_time", self.prep_time);
+        run.set_duration("compute_time", self.compute_time);
+        run.set_f64("throughput_targets_per_s", self.throughput());
+
+        let cmd = reg.section("command_breakdown");
+        cmd.set_summary(
+            "wait_before_flash_ns",
+            &self.cmd_breakdown.wait_before_flash,
+        );
+        cmd.set_summary("flash_ns", &self.cmd_breakdown.flash);
+        cmd.set_summary("wait_after_flash_ns", &self.cmd_breakdown.wait_after_flash);
+        cmd.set_f64("mean_lifetime_ns", self.cmd_breakdown.mean_lifetime_ns());
+        let (wb, fl, wa) = self.cmd_breakdown.fractions();
+        cmd.set_f64("frac_wait_before", wb);
+        cmd.set_f64("frac_flash", fl);
+        cmd.set_f64("frac_wait_after", wa);
+
+        let stages = reg.section("stages");
+        stages.set_duration("flash_read", self.stages.flash_read);
+        stages.set_duration("channel", self.stages.channel);
+        stages.set_duration("firmware", self.stages.firmware);
+        stages.set_duration("dram", self.stages.dram);
+        stages.set_duration("pcie", self.stages.pcie);
+        stages.set_duration("host", self.stages.host);
+        stages.set_duration("accel", self.stages.accel);
+
+        let du = self.die_utilization();
+        let cu = self.channel_utilization();
+        let dies = reg.section("die_utilization");
+        dies.set_u64("total_dies", self.total_dies as u64);
+        dies.set_u64("busy_ns", self.die_timeline.busy_total().as_ns());
+        dies.set_u64("intervals", self.die_timeline.len() as u64);
+        dies.set_f64("utilization", du);
+        let chans = reg.section("channel_utilization");
+        chans.set_u64("total_channels", self.total_channels as u64);
+        chans.set_u64("busy_ns", self.channel_timeline.busy_total().as_ns());
+        chans.set_u64("intervals", self.channel_timeline.len() as u64);
+        chans.set_f64("utilization", cu);
+
+        let hops = reg.section("hops");
+        hops.set_u64("windows", self.hop_windows.len() as u64);
+        for w in &self.hop_windows {
+            hops.set_u64(&format!("hop{}_start_ns", w.hop), w.start.as_ns());
+            hops.set_u64(&format!("hop{}_end_ns", w.hop), w.end.as_ns());
+        }
+
+        let router = reg.section("router");
+        router.set_bool("present", self.router.is_some());
+        self.router.unwrap_or_default().record_into(router);
+
+        let ftl = reg.section("ftl");
+        ftl.set_bool("present", self.ftl.is_some());
+        self.ftl.unwrap_or_default().record_into(ftl);
+
+        let accel = reg.section("accelerator");
+        accel.set_f64("systolic_occupancy", self.accel_occupancy.systolic);
+        accel.set_f64("vector_occupancy", self.accel_occupancy.vector);
+        accel.set_u64("macs", self.energy.macs);
+        accel.set_u64("reduce_ops", self.energy.reduce_ops);
+        accel.set_duration("compute_time", self.compute_time);
+
+        let energy = reg.section("energy");
+        energy.set_u64("flash_page_reads", self.energy.flash_page_reads);
+        energy.set_u64("channel_bytes", self.energy.channel_bytes);
+        energy.set_u64("dram_bytes", self.energy.dram_bytes);
+        energy.set_u64("pcie_bytes", self.energy.pcie_bytes);
+        energy.set_duration("core_busy", self.energy.core_busy);
+        energy.set_duration("host_cpu_busy", self.energy.host_cpu_busy);
+        energy.set_u64("macs", self.energy.macs);
+        energy.set_u64("reduce_ops", self.energy.reduce_ops);
+        energy.set_u64("sampler_cmds", self.energy.sampler_cmds);
+        energy.set_u64("router_cmds", self.energy.router_cmds);
+
+        let pools = reg.section("pools");
+        pools.set_u64("events_processed", self.pools.events_processed);
+        pools.set_u64("event_slots_allocated", self.pools.event_slots_allocated);
+        pools.set_u64("event_slots_reused", self.pools.event_slots_reused);
+        pools.set_u64(
+            "outcome_slots_allocated",
+            self.pools.outcome_slots_allocated,
+        );
+        pools.set_u64("outcome_slots_reused", self.pools.outcome_slots_reused);
+
+        let trace = reg.section("trace");
+        trace.set_u64("spans", self.spans.len() as u64);
+        trace.set_u64("spans_dropped", self.spans.dropped());
+        trace.set_u64("legacy_events", self.trace.len() as u64);
+
+        reg
     }
 
     /// Mean die utilization over the prep window, in `[0, 1]`.

@@ -19,6 +19,9 @@
 //!   regenerate the paper's figures.
 //! * [`resource`] — first-come-first-served serial and bandwidth
 //!   resources with queueing-delay accounting.
+//! * [`obs`] — sim-time observability: unit-keyed spans, Chrome
+//!   trace-event export (Perfetto-loadable), and deterministic
+//!   per-run metric reports with stable field ordering.
 //!
 //! ## Example
 //!
@@ -34,6 +37,7 @@
 //! ```
 
 pub mod calendar;
+pub mod obs;
 pub mod par;
 pub mod profile;
 pub mod resource;
@@ -43,6 +47,9 @@ pub mod time;
 pub mod trace;
 
 pub use calendar::{Calendar, EventKey, PoolStats};
+pub use obs::{
+    ChromeTraceWriter, MetricValue, MetricsRegistry, Section, Span, SpanRecorder, UnitKind,
+};
 pub use resource::{BandwidthResource, SerialResource};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use time::{Duration, SimTime};

@@ -191,6 +191,11 @@ impl Histogram {
         self.summary.max().map(Duration::from_ns_f64)
     }
 
+    /// Observations that landed past the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
     /// The `q`-quantile (0.0–1.0) as the upper edge of the containing bin;
     /// observations in the overflow bin report the recorded maximum.
     ///
@@ -399,6 +404,87 @@ mod tests {
         h.record(Duration::from_us(100));
         assert_eq!(h.percentile(0.5), Some(Duration::from_us(100)));
         assert_eq!(h.max(), Some(Duration::from_us(100)));
+    }
+
+    #[test]
+    fn histogram_empty_percentiles_are_none() {
+        let h = Histogram::new(Duration::from_us(1), 4);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(1.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample_every_quantile() {
+        let mut h = Histogram::new(Duration::from_us(1), 10);
+        h.record(Duration::from_us(3));
+        // With one observation every quantile (including q=0, whose
+        // rank clamps to the first observation) lands in its bin and
+        // reports the bin's upper edge.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(Duration::from_us(4)), "q={q}");
+        }
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_all_in_overflow_bin() {
+        let mut h = Histogram::new(Duration::from_ns(10), 3);
+        for ns in [40, 50, 60] {
+            h.record(Duration::from_ns(ns));
+        }
+        assert_eq!(h.overflow(), 3);
+        // Every quantile walks past the (empty) regular bins and falls
+        // back to the recorded maximum.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(q), Some(Duration::from_ns(60)), "q={q}");
+        }
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn histogram_boundary_sample_lands_in_overflow() {
+        // A sample exactly at nbins * bin_width is the first value past
+        // the last bin's half-open range.
+        let mut h = Histogram::new(Duration::from_ns(10), 3);
+        h.record(Duration::from_ns(30));
+        assert_eq!(h.overflow(), 1);
+        h.record(Duration::from_ns(29));
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn utilization_zero_length_busy_intervals() {
+        let mut u = UtilizationTracker::new();
+        // Busy then immediately idle at the same instant: no busy time.
+        u.set_busy(SimTime::from_ns(10), true);
+        u.set_busy(SimTime::from_ns(10), false);
+        assert_eq!(u.busy_time(), Duration::ZERO);
+        // A run of zero-length toggles at one instant stays at zero.
+        for _ in 0..3 {
+            u.set_busy(SimTime::from_ns(20), true);
+            u.set_busy(SimTime::from_ns(20), false);
+        }
+        assert_eq!(u.finish(SimTime::from_ns(20)), Duration::ZERO);
+        assert_eq!(u.utilization(SimTime::from_ns(100)), 0.0);
+        // Zero-length toggles between real busy spans don't disturb the
+        // accumulated total.
+        let mut v = UtilizationTracker::new();
+        v.set_busy(SimTime::from_ns(0), true);
+        v.set_busy(SimTime::from_ns(10), true); // redundant re-assert
+        v.set_busy(SimTime::from_ns(30), false);
+        assert_eq!(v.finish(SimTime::from_ns(30)), Duration::from_ns(30));
+    }
+
+    #[test]
+    fn utilization_zero_window_is_zero() {
+        let mut u = UtilizationTracker::new();
+        assert_eq!(u.utilization(SimTime::ZERO), 0.0);
     }
 
     #[test]

@@ -105,15 +105,36 @@ impl Trace {
     /// Writes the trace as CSV (`time_ns,kind,unit,value`) to `writer`.
     /// A `&mut` reference can be passed as the writer.
     ///
+    /// `kind` labels containing CSV metacharacters (comma, quote,
+    /// newline) are quoted with doubled inner quotes per RFC 4180, so a
+    /// hostile or careless label can never corrupt the row structure.
+    ///
     /// # Errors
     ///
     /// Returns any underlying I/O error.
     pub fn to_csv<W: Write>(&self, mut writer: W) -> io::Result<()> {
         writeln!(writer, "time_ns,kind,unit,value")?;
         for e in &self.ring {
-            writeln!(writer, "{},{},{},{}", e.at.as_ns(), e.kind, e.unit, e.value)?;
+            writeln!(
+                writer,
+                "{},{},{},{}",
+                e.at.as_ns(),
+                csv_field(e.kind),
+                e.unit,
+                e.value
+            )?;
         }
         Ok(())
+    }
+}
+
+/// Quotes a CSV field when it contains a metacharacter; passes plain
+/// fields through untouched (borrowed, no allocation on the fast path).
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains(['"', ',', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
     }
 }
 
@@ -150,6 +171,76 @@ mod tests {
         assert!(t.is_empty());
         assert!(!t.is_enabled());
         assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn csv_escapes_hostile_kind_labels() {
+        let mut t = Trace::with_capacity(4);
+        t.record(SimTime::from_ns(1), "a,b", 0, 1.0);
+        t.record(SimTime::from_ns(2), "say \"hi\"", 0, 2.0);
+        t.record(SimTime::from_ns(3), "line\nbreak", 0, 3.0);
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("1,\"a,b\",0,1"));
+        assert!(s.contains("2,\"say \"\"hi\"\"\",0,2"));
+        assert!(s.contains("3,\"line\nbreak\",0,3"));
+        // Unquoted commas appear only as the three real separators per
+        // row: every data row still splits into exactly four fields
+        // under an RFC 4180 reader (quoted regions keep theirs).
+        assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn csv_export_of_short_ring_reflects_evictions() {
+        // A ring shorter than the event stream exports only the
+        // retained tail — header plus `capacity` rows, newest last.
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5u64 {
+            t.record(SimTime::from_ns(i), "e", i, 0.0);
+        }
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "3,e,3,0");
+        assert_eq!(lines[2], "4,e,4,0");
+        assert_eq!(t.dropped(), 3);
+    }
+
+    /// A writer that fails after `ok_writes` successful writes.
+    struct FailingWriter {
+        ok_writes: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok_writes -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn csv_export_propagates_io_errors() {
+        let mut t = Trace::with_capacity(4);
+        t.record(SimTime::from_ns(1), "e", 0, 0.0);
+        // Failure on the very first write (the header)...
+        let err = t.to_csv(FailingWriter { ok_writes: 0 }).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // ...and mid-body, after the header went through.
+        assert!(t.to_csv(FailingWriter { ok_writes: 1 }).is_err());
+        // A healthy writer still succeeds afterwards (export does not
+        // consume or corrupt the trace).
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

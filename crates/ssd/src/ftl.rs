@@ -145,6 +145,14 @@ impl FtlStats {
         }
         (self.host_writes + self.gc_writes) as f64 / self.host_writes as f64
     }
+
+    /// Writes the stats into one section of a per-run metrics report.
+    pub fn record_into(&self, s: &mut simkit::obs::Section) {
+        s.set_u64("host_writes", self.host_writes);
+        s.set_u64("gc_writes", self.gc_writes);
+        s.set_u64("erases", self.erases);
+        s.set_f64("waf", self.waf());
+    }
 }
 
 /// A page-mapped FTL with greedy GC and reserved-block support.

@@ -31,7 +31,7 @@ pub mod router;
 
 pub use bitmap::BlockBitmap;
 pub use config::{FirmwareCosts, HostCosts, SsdConfig};
-pub use ftl::{BlockId, Ftl, FtlError, Ppa};
+pub use ftl::{BlockId, Ftl, FtlError, FtlStats, Ppa};
 pub use gnn_engine::{BatchState, GnnEngine};
 pub use host::{HostAdapter, HostError};
 pub use modes::{DeviceMode, ModeController};

@@ -31,6 +31,16 @@ pub struct RouterStats {
     pub max_queue_depth: usize,
 }
 
+impl RouterStats {
+    /// Writes the stats into one section of a per-run metrics report.
+    pub fn record_into(&self, s: &mut simkit::obs::Section) {
+        s.set_u64("routed", self.routed);
+        s.set_u64("cross_channel", self.cross_channel);
+        s.set_u64("issued", self.issued);
+        s.set_u64("max_queue_depth", self.max_queue_depth as u64);
+    }
+}
+
 /// The per-channel dispatch queues + crossbar of the BG-2 backend.
 ///
 /// # Examples

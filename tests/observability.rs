@@ -1,0 +1,176 @@
+//! Observability-layer integration tests.
+//!
+//! The contract under test: enabling `simkit::obs` observability never
+//! changes simulated timing, the per-run metrics report is
+//! byte-identical across repeated runs, and the Chrome trace export is
+//! well-formed JSON that Perfetto can load.
+
+use beacongnn::{Experiment, Platform, Workload};
+
+fn workload() -> Workload {
+    Workload::builder()
+        .nodes(1_500)
+        .batch_size(24)
+        .batches(2)
+        .seed(2024)
+        .prepare()
+        .expect("workload prepares")
+}
+
+#[test]
+fn observed_runs_match_unobserved_timing() {
+    let w = workload();
+    let exp = Experiment::new(&w);
+    for platform in Platform::ALL {
+        let plain = exp.run(platform);
+        let observed = exp.run_observed(platform, 1 << 20);
+        assert_eq!(plain.makespan, observed.makespan, "{platform}");
+        assert_eq!(plain.prep_time, observed.prep_time, "{platform}");
+        assert_eq!(plain.nodes_visited, observed.nodes_visited, "{platform}");
+        assert_eq!(plain.flash_reads, observed.flash_reads, "{platform}");
+        assert_eq!(plain.energy, observed.energy, "{platform}");
+        assert!(plain.spans.is_empty(), "{platform}: obs-off run has spans");
+        assert!(
+            !observed.spans.is_empty(),
+            "{platform}: observed run has no spans"
+        );
+    }
+}
+
+#[test]
+fn metrics_report_is_byte_identical_across_runs() {
+    let w = workload();
+    let exp = Experiment::new(&w);
+    let a = exp.run_observed(Platform::Bg2, 1 << 20).metrics_registry();
+    let b = exp.run_observed(Platform::Bg2, 1 << 20).metrics_registry();
+    assert_eq!(a.to_json_string(), b.to_json_string());
+    // Required report sections (ISSUE acceptance list).
+    for section in [
+        "run",
+        "command_breakdown",
+        "die_utilization",
+        "channel_utilization",
+        "router",
+        "ftl",
+        "accelerator",
+        "energy",
+    ] {
+        assert!(a.get(section).is_some(), "missing section `{section}`");
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_wellformed_json() {
+    let w = workload();
+    let m = Experiment::new(&w).run_observed(Platform::Bg2, 1 << 20);
+    let mut buf = Vec::new();
+    beacongnn::simkit::ChromeTraceWriter::write(&m.spans, &mut buf).expect("trace writes");
+    let json = String::from_utf8(buf).expect("trace is UTF-8");
+    check_json(&json);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"displayTimeUnit\""));
+    // One complete event per die-sense span plus metadata records.
+    assert!(json.matches("\"ph\":\"X\"").count() > 0);
+    assert!(json.matches("\"ph\":\"M\"").count() > 0);
+}
+
+/// Minimal recursive-descent JSON validator: accepts exactly the value
+/// grammar (objects, arrays, strings, numbers, literals) and rejects
+/// trailing garbage. Enough to guarantee Perfetto/chrome://tracing and
+/// `json.load` can parse the export without pulling in a JSON crate.
+fn check_json(s: &str) {
+    let bytes = s.as_bytes();
+    let end = parse_value(bytes, skip_ws(bytes, 0));
+    assert_eq!(skip_ws(bytes, end), bytes.len(), "trailing garbage");
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn parse_value(b: &[u8], i: usize) -> usize {
+    match b.get(i) {
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, b"true"),
+        Some(b'f') => parse_lit(b, i, b"false"),
+        Some(b'n') => parse_lit(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        other => panic!("unexpected token {other:?} at byte {i}"),
+    }
+}
+
+fn parse_object(b: &[u8], mut i: usize) -> usize {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b'}') {
+        return i + 1;
+    }
+    loop {
+        i = parse_string(b, skip_ws(b, i));
+        i = skip_ws(b, i);
+        assert_eq!(b.get(i), Some(&b':'), "expected `:` at byte {i}");
+        i = parse_value(b, skip_ws(b, i + 1));
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return i + 1,
+            other => panic!("expected `,` or `}}`, got {other:?} at byte {i}"),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], mut i: usize) -> usize {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b']') {
+        return i + 1;
+    }
+    loop {
+        i = parse_value(b, skip_ws(b, i));
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b']') => return i + 1,
+            other => panic!("expected `,` or `]`, got {other:?} at byte {i}"),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: usize) -> usize {
+    assert_eq!(b.get(i), Some(&b'"'), "expected string at byte {i}");
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'"' => return j + 1,
+            b'\\' => j += 2,
+            c if c < 0x20 => panic!("raw control byte {c:#x} in string at {j}"),
+            _ => j += 1,
+        }
+    }
+    panic!("unterminated string starting at byte {i}");
+}
+
+fn parse_number(b: &[u8], mut i: usize) -> usize {
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let start = i;
+    while i < b.len() && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        i += 1;
+    }
+    assert!(i > start, "empty number at byte {start}");
+    i
+}
+
+fn parse_lit(b: &[u8], i: usize, lit: &[u8]) -> usize {
+    assert_eq!(
+        b.get(i..i + lit.len()),
+        Some(lit),
+        "bad literal at byte {i}"
+    );
+    i + lit.len()
+}
