@@ -34,16 +34,23 @@
 //!    enabled: simulated results must match the unobserved run exactly,
 //!    two observed runs must produce byte-identical metric reports, and
 //!    the obs wall-clock cost is reported.
+//! 7. **intra-run parallelism** — the phase-3 cell on the partitioned
+//!    per-channel engine at 1 and `--run-threads` worker threads:
+//!    metric reports must be byte-identical (thread-count invariance)
+//!    and the wall-clock ratio feeds the `--min-run-speedup` gate.
 //!
 //! Timings go to stderr. Stdout carries only deterministic content:
 //! `digest …` lines that must be byte-identical between cold- and
 //! warm-cache runs (CI `cmp`s them), plus — when `--json PATH` is *not*
 //! given — the JSON report. `--min-speedup X` / `--min-build-speedup X`
 //! turn the sweeps into gates: the process exits non-zero if the
-//! speedup at the highest job/thread count falls below `X`. Both gates
-//! auto-skip (with a warning) when the host has fewer cores than that
+//! speedup at the highest job/thread count falls below `X`. These gates
+//! (and `--min-run-speedup X` for phase 7) auto-skip (with a warning)
+//! when the host has fewer cores than that
 //! count — a single-core container cannot exhibit parallel speedup, and
-//! failing there would only punish the hardware. `--baseline-json PATH
+//! failing there would only punish the hardware. `--max-ns-per-event X`
+//! gates the phase-3 wall-clock per simulated event (soft-skipping if
+//! the run reports zero events). `--baseline-json PATH
 //! --max-regress-pct X` gates the phase-5 obs-disabled wall-clock
 //! against the `fig18_matrix_s` recorded in a previous report; it
 //! auto-skips when the baseline is missing or unreadable.
@@ -94,8 +101,11 @@ fn main() {
     let mut iters = 3usize;
     let mut jobs = 4usize;
     let mut build_jobs = 4usize;
+    let mut run_threads = 4usize;
     let mut min_speedup: Option<f64> = None;
     let mut min_build_speedup: Option<f64> = None;
+    let mut min_run_speedup: Option<f64> = None;
+    let mut max_ns_per_event: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut baseline_json: Option<String> = None;
     let mut max_regress_pct: Option<f64> = None;
@@ -105,9 +115,16 @@ fn main() {
             "--iters" => iters = parse_arg(&mut args, "--iters"),
             "--jobs" => jobs = parse_arg(&mut args, "--jobs"),
             "--build-jobs" => build_jobs = parse_arg(&mut args, "--build-jobs"),
+            "--run-threads" => run_threads = parse_arg(&mut args, "--run-threads"),
             "--min-speedup" => min_speedup = Some(parse_arg(&mut args, "--min-speedup")),
             "--min-build-speedup" => {
                 min_build_speedup = Some(parse_arg(&mut args, "--min-build-speedup"))
+            }
+            "--min-run-speedup" => {
+                min_run_speedup = Some(parse_arg(&mut args, "--min-run-speedup"))
+            }
+            "--max-ns-per-event" => {
+                max_ns_per_event = Some(parse_arg(&mut args, "--max-ns-per-event"))
             }
             "--json" => json_path = args.next(),
             "--baseline-json" => baseline_json = args.next(),
@@ -117,8 +134,9 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument `{other}`; usage: perf_smoke [--iters N] [--jobs N] \
-                     [--build-jobs N] [--min-speedup X] [--min-build-speedup X] [--json PATH] \
-                     [--baseline-json PATH] [--max-regress-pct X]"
+                     [--build-jobs N] [--run-threads N] [--min-speedup X] \
+                     [--min-build-speedup X] [--min-run-speedup X] [--max-ns-per-event X] \
+                     [--json PATH] [--baseline-json PATH] [--max-regress-pct X]"
                 );
                 std::process::exit(2);
             }
@@ -127,6 +145,7 @@ fn main() {
     let iters = iters.max(1);
     let jobs = jobs.max(1);
     let build_jobs = build_jobs.max(1);
+    let run_threads = run_threads.max(1);
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     // Phase 1: workload preparation (synthesis + DirectGraph build) at
@@ -206,9 +225,18 @@ fn main() {
     }
     let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let mean = times.iter().sum::<f64>() / times.len() as f64;
+    // Wall-clock cost per simulated event — the per-event figure the
+    // hot-path budget tracks. Zero events (impossible for a healthy
+    // run, but kept non-fatal) reports as 0 and soft-skips the gate.
+    let events = warm.pools.events_processed;
+    let ns_per_event = if events > 0 && best.is_finite() {
+        best * 1e9 / events as f64
+    } else {
+        0.0
+    };
     eprintln!(
         "BG-2 {NODES}-node run: best {best:.3} s, mean {mean:.3} s, \
-         {:.0} nodes visited, makespan {}",
+         {:.0} nodes visited, makespan {}, {events} events ({ns_per_event:.0} ns/event)",
         warm.nodes_visited as f64, warm.makespan
     );
 
@@ -334,6 +362,49 @@ fn main() {
     );
     println!("digest metrics 0x{report_digest:016x}");
 
+    // Phase 7: intra-run parallelism. The same BG-2 cell on the
+    // partitioned per-channel engine, serial round protocol vs
+    // `--run-threads` workers. Results must be byte-identical (the
+    // partitioned engine's own thread-invariance contract); the
+    // wall-clock ratio is the single-run scaling number the
+    // `--min-run-speedup` gate tracks.
+    let mut part_t1 = Vec::with_capacity(iters);
+    let mut part_tn = Vec::with_capacity(iters);
+    let mut part_serial = None;
+    let mut part_parallel = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let m = exp.run_partitioned(Platform::Bg2, 1);
+        part_t1.push(t.elapsed().as_secs_f64());
+        part_serial = Some(m);
+        let t = Instant::now();
+        let m = exp.run_partitioned(Platform::Bg2, run_threads);
+        part_tn.push(t.elapsed().as_secs_f64());
+        part_parallel = Some(m);
+    }
+    let part_serial = part_serial.expect("at least one partitioned run");
+    let part_parallel = part_parallel.expect("at least one partitioned run");
+    let part_report = part_serial.metrics_registry().to_json_string();
+    assert_eq!(
+        part_report,
+        part_parallel.metrics_registry().to_json_string(),
+        "partitioned engine must be byte-identical at any thread count"
+    );
+    let part_t1_best = part_t1.iter().cloned().fold(f64::INFINITY, f64::min);
+    let part_tn_best = part_tn.iter().cloned().fold(f64::INFINITY, f64::min);
+    let run_speedup = if part_tn_best > 0.0 {
+        part_t1_best / part_tn_best
+    } else {
+        1.0
+    };
+    let part_digest = fnv1a_fold(FNV_OFFSET, part_report.as_bytes());
+    eprintln!(
+        "partitioned run: 1 thread best {part_t1_best:.3} s, {run_threads} threads best \
+         {part_tn_best:.3} s, speedup {run_speedup:.2}x, makespan {}",
+        part_serial.makespan
+    );
+    println!("digest partition 0x{part_digest:016x}");
+
     let mut json = String::new();
     json.push('{');
     let _ = write!(json, "\"platform\": \"BG-2\", ");
@@ -368,6 +439,10 @@ fn main() {
         "\"runs_per_s\": {:.4}, ",
         if best > 0.0 { 1.0 / best } else { 0.0 }
     );
+    let _ = write!(
+        json,
+        "\"events_processed\": {events}, \"ns_per_event\": {ns_per_event:.2}, "
+    );
     let _ = write!(json, "\"nodes_visited\": {}, ", warm.nodes_visited);
     let _ = write!(json, "\"flash_reads\": {}, ", warm.flash_reads);
     let _ = write!(json, "\"makespan_ns\": {}, ", warm.makespan.as_ns());
@@ -394,9 +469,15 @@ fn main() {
     let _ = write!(
         json,
         "\"obs\": {{\"run_best_s\": {obs_best:.6}, \"overhead_pct\": {obs_overhead_pct:.2}, \
-         \"spans\": {}, \"report_bytes\": {}, \"report_digest\": \"0x{report_digest:016x}\"}}",
+         \"spans\": {}, \"report_bytes\": {}, \"report_digest\": \"0x{report_digest:016x}\"}}, ",
         observed.spans.len(),
         report_a.len()
+    );
+    let _ = write!(
+        json,
+        "\"partition\": {{\"threads\": {run_threads}, \"t1_best_s\": {part_t1_best:.6}, \
+         \"tn_best_s\": {part_tn_best:.6}, \"speedup\": {run_speedup:.4}, \
+         \"digest\": \"0x{part_digest:016x}\"}}"
     );
     json.push_str("}\n");
 
@@ -441,6 +522,32 @@ fn main() {
             failed = true;
         } else {
             eprintln!("speedup gate passed: {top_speedup:.2}x >= {min:.2}x");
+        }
+    }
+    if let Some(min) = min_run_speedup {
+        if host_cores < run_threads {
+            eprintln!(
+                "run speedup gate skipped: host has {host_cores} cores, \
+                 cannot scale to {run_threads} run threads"
+            );
+        } else if run_speedup < min {
+            eprintln!(
+                "run speedup gate FAILED: {run_speedup:.2}x at --run-threads {run_threads} \
+                 (required >= {min:.2}x)"
+            );
+            failed = true;
+        } else {
+            eprintln!("run speedup gate passed: {run_speedup:.2}x >= {min:.2}x");
+        }
+    }
+    if let Some(max) = max_ns_per_event {
+        if events == 0 {
+            eprintln!("ns/event gate skipped: run reported zero events processed");
+        } else if ns_per_event > max {
+            eprintln!("ns/event gate FAILED: {ns_per_event:.0} ns/event (allowed <= {max:.0})");
+            failed = true;
+        } else {
+            eprintln!("ns/event gate passed: {ns_per_event:.0} ns/event <= {max:.0}");
         }
     }
     if let Some(path) = baseline_json {

@@ -1,6 +1,6 @@
 //! Experiment runner: platforms × workloads × device configs.
 
-use beacon_platforms::{Engine, Platform, RunMetrics};
+use beacon_platforms::{Engine, PartitionedEngine, Platform, RunMetrics};
 use beacon_ssd::SsdConfig;
 
 use crate::workload::Workload;
@@ -64,6 +64,24 @@ impl<'a> Experiment<'a> {
             self.workload.directgraph(),
             self.seed,
         )
+        .run(self.workload.batches())
+    }
+
+    /// Runs one platform on the partitioned per-channel engine with
+    /// `threads` worker threads (see
+    /// [`PartitionedEngine`](beacon_platforms::PartitionedEngine)).
+    /// Results are byte-identical at any thread count; platforms whose
+    /// pipeline is not channel-separable (everything except BG-2) fall
+    /// back to the serial engine and match [`Experiment::run`] exactly.
+    pub fn run_partitioned(&self, platform: Platform, threads: usize) -> RunMetrics {
+        PartitionedEngine::new(
+            platform,
+            self.ssd,
+            self.workload.model(),
+            self.workload.directgraph(),
+            self.seed,
+        )
+        .threads(threads)
         .run(self.workload.batches())
     }
 

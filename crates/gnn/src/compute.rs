@@ -133,10 +133,7 @@ impl GnnForward {
                         Aggregation::Sum | Aggregation::Mean => {
                             let mut k = 1.0f32;
                             for ci in sg.iter_children_of(vi) {
-                                let child = &cur[ci * cur_dim..(ci + 1) * cur_dim];
-                                for (a, b) in agg.iter_mut().zip(child) {
-                                    *a += b;
-                                }
+                                add_assign(&mut agg, &cur[ci * cur_dim..(ci + 1) * cur_dim]);
                                 k += 1.0;
                             }
                             if self.aggregation == Aggregation::Mean {
@@ -147,10 +144,7 @@ impl GnnForward {
                         }
                         Aggregation::Max => {
                             for ci in sg.iter_children_of(vi) {
-                                let child = &cur[ci * cur_dim..(ci + 1) * cur_dim];
-                                for (a, b) in agg.iter_mut().zip(child) {
-                                    *a = a.max(*b);
-                                }
+                                max_assign(&mut agg, &cur[ci * cur_dim..(ci + 1) * cur_dim]);
                             }
                         }
                     }
@@ -163,10 +157,7 @@ impl GnnForward {
                         if x == 0.0 {
                             continue;
                         }
-                        let row = &w[i * hidden..(i + 1) * hidden];
-                        for (o, &wv) in out.iter_mut().zip(row) {
-                            *o += x * wv;
-                        }
+                        axpy(out, x, &w[i * hidden..(i + 1) * hidden]);
                     }
                     for o in out.iter_mut() {
                         *o = o.max(0.0);
@@ -180,6 +171,62 @@ impl GnnForward {
             nxt.resize(sg.len() * hidden, 0.0);
         }
         cur[..cur_dim].to_vec()
+    }
+}
+
+// Element-wise kernels of the forward pass, unrolled 4 wide through
+// `chunks_exact` so the compiler sees fixed-length bodies it can keep
+// in vector registers even when it cannot infer the slice lengths.
+// Each output element still sees exactly the operations of the naive
+// zip loop, in the same order — no reassociation — so results stay
+// bit-identical.
+
+/// `dst[i] += src[i]` over the common prefix (Eq. 1's vector_sum step).
+#[inline]
+fn add_assign(dst: &mut [f32], src: &[f32]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (d4, s4) in d.by_ref().zip(s.by_ref()) {
+        d4[0] += s4[0];
+        d4[1] += s4[1];
+        d4[2] += s4[2];
+        d4[3] += s4[3];
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a += b;
+    }
+}
+
+/// `dst[i] = max(dst[i], src[i])` over the common prefix.
+#[inline]
+fn max_assign(dst: &mut [f32], src: &[f32]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (d4, s4) in d.by_ref().zip(s.by_ref()) {
+        d4[0] = d4[0].max(s4[0]);
+        d4[1] = d4[1].max(s4[1]);
+        d4[2] = d4[2].max(s4[2]);
+        d4[3] = d4[3].max(s4[3]);
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a = a.max(*b);
+    }
+}
+
+/// `dst[i] += x * row[i]` over the common prefix (one weight row of the
+/// perceptron update).
+#[inline]
+fn axpy(dst: &mut [f32], x: f32, row: &[f32]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut r = row.chunks_exact(4);
+    for (d4, r4) in d.by_ref().zip(r.by_ref()) {
+        d4[0] += x * r4[0];
+        d4[1] += x * r4[1];
+        d4[2] += x * r4[2];
+        d4[3] += x * r4[3];
+    }
+    for (o, &wv) in d.into_remainder().iter_mut().zip(r.remainder()) {
+        *o += x * wv;
     }
 }
 

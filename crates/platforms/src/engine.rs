@@ -40,10 +40,10 @@ use crate::spec::{
 
 /// Fixed on-die time for the sampler logic (section walk, TRNG draws,
 /// command generation) on die-sampling platforms.
-const ON_DIE_SAMPLE_TIME: Duration = Duration::from_ns(300);
+pub(crate) const ON_DIE_SAMPLE_TIME: Duration = Duration::from_ns(300);
 /// Bytes of one node-id record shipped to the host per sampled node on
 /// hop-barrier platforms.
-const NODE_ID_BYTES: u64 = 8;
+pub(crate) const NODE_ID_BYTES: u64 = 8;
 
 /// What a command reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,14 +83,45 @@ enum Step {
     Fixed(Duration),
 }
 
+impl Step {
+    /// Packs the step into one word: resource tag in the low three
+    /// bits, payload (nanoseconds or byte count) in the upper 61. No
+    /// modeled duration or transfer approaches 2^61, so the packing is
+    /// lossless; it exists purely to shrink the event structs the
+    /// calendar slab and drain loop copy around.
+    fn pack(self) -> u64 {
+        let (tag, payload) = match self {
+            Step::Core(d) => (0, d.as_ns()),
+            Step::Host(d) => (1, d.as_ns()),
+            Step::Dram(b) => (2, b),
+            Step::Pcie(b) => (3, b),
+            Step::Fixed(d) => (4, d.as_ns()),
+        };
+        debug_assert!(payload < (1 << 61), "step payload overflows packing");
+        (payload << 3) | tag
+    }
+
+    fn unpack(word: u64) -> Step {
+        let payload = word >> 3;
+        match word & 0b111 {
+            0 => Step::Core(Duration::from_ns(payload)),
+            1 => Step::Host(Duration::from_ns(payload)),
+            2 => Step::Dram(payload),
+            3 => Step::Pcie(payload),
+            _ => Step::Fixed(Duration::from_ns(payload)),
+        }
+    }
+}
+
 /// A small inline FIFO of pipeline steps.
 ///
 /// No command ever queues more than four steps (see
 /// [`Engine::post_steps`]), so the steps live inline in the event
-/// instead of a heap-allocated `VecDeque` per command.
+/// instead of a heap-allocated `VecDeque` per command — packed one
+/// word per step so the whole queue is 42 bytes instead of 82.
 #[derive(Debug, Clone, Copy)]
 struct StepQueue {
-    steps: [Step; StepQueue::CAP],
+    steps: [u64; StepQueue::CAP],
     head: u8,
     len: u8,
 }
@@ -100,7 +131,7 @@ impl StepQueue {
 
     fn new() -> Self {
         StepQueue {
-            steps: [Step::Fixed(Duration::ZERO); Self::CAP],
+            steps: [0; Self::CAP],
             head: 0,
             len: 0,
         }
@@ -111,7 +142,7 @@ impl StepQueue {
     fn push_back(&mut self, step: Step) {
         let idx = self.head as usize + self.len as usize;
         assert!(idx < Self::CAP, "step queue overflow");
-        self.steps[idx] = step;
+        self.steps[idx] = step.pack();
         self.len += 1;
     }
 
@@ -119,7 +150,7 @@ impl StepQueue {
         if self.len == 0 {
             return None;
         }
-        let step = self.steps[self.head as usize];
+        let step = Step::unpack(self.steps[self.head as usize]);
         self.head += 1;
         self.len -= 1;
         Some(step)
@@ -140,8 +171,9 @@ enum Event {
     /// Request the target die.
     DieReq(Cmd, SimTime),
     /// Request the channel bus after sensing (carries the die-grant
-    /// start for phase accounting).
-    XferReq(Cmd, SimTime, SimTime, OutcomeIdx),
+    /// start for phase accounting and the die index so the striping
+    /// math runs once per command).
+    XferReq(Cmd, SimTime, SimTime, OutcomeIdx, u32),
     /// Post-transfer steps remaining before completion; carries the
     /// transfer end time and the channel-queue wait already incurred.
     Post(Cmd, SimTime, SimTime, Duration, OutcomeIdx, StepQueue),
@@ -156,15 +188,15 @@ enum Event {
 /// `new_commands` allocation, so in steady state the sampler writes
 /// into recycled vectors and the hot path never touches the allocator.
 #[derive(Debug, Default)]
-struct OutcomePool {
-    slots: Vec<SampleOutcome>,
+pub(crate) struct OutcomePool {
+    pub(crate) slots: Vec<SampleOutcome>,
     free: Vec<OutcomeIdx>,
-    allocated: u64,
-    reused: u64,
+    pub(crate) allocated: u64,
+    pub(crate) reused: u64,
 }
 
 impl OutcomePool {
-    fn acquire(&mut self) -> OutcomeIdx {
+    pub(crate) fn acquire(&mut self) -> OutcomeIdx {
         match self.free.pop() {
             Some(i) => {
                 self.reused += 1;
@@ -183,7 +215,7 @@ impl OutcomePool {
         }
     }
 
-    fn release(&mut self, idx: OutcomeIdx) {
+    pub(crate) fn release(&mut self, idx: OutcomeIdx) {
         let o = &mut self.slots[idx as usize];
         o.visited = None;
         o.feature_bytes = 0;
@@ -191,7 +223,7 @@ impl OutcomePool {
         self.free.push(idx);
     }
 
-    fn get(&self, idx: OutcomeIdx) -> &SampleOutcome {
+    pub(crate) fn get(&self, idx: OutcomeIdx) -> &SampleOutcome {
         &self.slots[idx as usize]
     }
 
@@ -202,8 +234,7 @@ impl OutcomePool {
 }
 
 /// Reusable per-worker simulation buffers: the event calendar (with its
-/// slab pool), the drain batch buffer, the sample-outcome pool, and the
-/// hop-release scratch.
+/// slab pool), the sample-outcome pool, and the hop-release scratch.
 ///
 /// One scratch serves any number of sequential [`Engine::run_with`]
 /// calls; after the first run its pools are warm and subsequent runs
@@ -213,7 +244,6 @@ impl OutcomePool {
 #[derive(Debug, Default)]
 pub struct EngineScratch {
     calendar: Calendar<Event>,
-    batch: Vec<(SimTime, Event)>,
     outcomes: OutcomePool,
     release_buf: Vec<Cmd>,
 }
@@ -241,7 +271,6 @@ pub struct Engine<'a> {
     samplers: Vec<DieSampler>,
 
     calendar: Calendar<Event>,
-    batch_buf: Vec<(SimTime, Event)>,
     outcomes: OutcomePool,
     release_buf: Vec<Cmd>,
     /// Calendar pool stats at run start (the calendar may arrive warm
@@ -325,7 +354,6 @@ impl<'a> Engine<'a> {
             pcie: BandwidthResource::new(ssd.pcie_bandwidth),
             samplers,
             calendar: Calendar::new(),
-            batch_buf: Vec::new(),
             outcomes: OutcomePool::default(),
             release_buf: Vec::new(),
             cal_base: simkit::PoolStats::default(),
@@ -422,17 +450,14 @@ impl<'a> Engine<'a> {
     /// reuse warm allocations. Results are identical to [`Engine::run`].
     pub fn run_with(mut self, scratch: &mut EngineScratch, batches: &[Vec<NodeId>]) -> RunMetrics {
         scratch.calendar.reset();
-        scratch.batch.clear();
         scratch.release_buf.clear();
         scratch.outcomes.reset_stats();
         std::mem::swap(&mut self.calendar, &mut scratch.calendar);
-        std::mem::swap(&mut self.batch_buf, &mut scratch.batch);
         std::mem::swap(&mut self.outcomes, &mut scratch.outcomes);
         std::mem::swap(&mut self.release_buf, &mut scratch.release_buf);
         self.cal_base = self.calendar.pool_stats();
         let metrics = self.run_inner(batches);
         std::mem::swap(&mut self.calendar, &mut scratch.calendar);
-        std::mem::swap(&mut self.batch_buf, &mut scratch.batch);
         std::mem::swap(&mut self.outcomes, &mut scratch.outcomes);
         std::mem::swap(&mut self.release_buf, &mut scratch.release_buf);
         metrics
@@ -640,7 +665,7 @@ impl<'a> Engine<'a> {
     /// shape and page size, just enough blocks for the image plus
     /// headroom) so the replay stays cheap at any configured capacity;
     /// the statistics only depend on image size and block geometry.
-    fn replay_ftl_setup(dg: &DirectGraph, ssd: &SsdConfig) -> Option<FtlStats> {
+    pub(crate) fn replay_ftl_setup(dg: &DirectGraph, ssd: &SsdConfig) -> Option<FtlStats> {
         let mut geo = ssd.geometry;
         let pages = dg.image().pages_written();
         let blocks_needed = pages.div_ceil(geo.pages_per_block).max(1);
@@ -728,37 +753,34 @@ impl<'a> Engine<'a> {
     }
 
     fn drain(&mut self) {
-        // Batch-pop one instant at a time: handlers frequently schedule
-        // follow-up events at the current instant, and those carry
-        // higher sequence numbers than everything in the batch, so
-        // dispatching a flat buffer delivers the exact same order as a
-        // one-at-a-time pop loop. The buffer lives on the engine (and
-        // in the scratch across runs), so draining allocates nothing
-        // once warm.
-        let mut batch = std::mem::take(&mut self.batch_buf);
-        if batch.capacity() == 0 {
-            batch.reserve(256);
-        }
-        while let Some(t) = self.calendar.peek_time() {
-            self.calendar_peak = self.calendar_peak.max(self.calendar.len());
-            let n = self.calendar.drain_until(t, &mut batch);
-            self.events_processed += n as u64;
-            for (now, ev) in batch.drain(..) {
-                match ev {
-                    Event::Arrive(cmd) => self.on_arrive(cmd, now),
-                    Event::Pre(cmd, created, steps) => self.on_pre(cmd, created, steps, now),
-                    Event::DieReq(cmd, created) => self.on_die_req(cmd, created, now),
-                    Event::XferReq(cmd, created, die_start, oi) => {
-                        self.on_xfer_req(cmd, created, die_start, oi, now)
-                    }
-                    Event::Post(cmd, created, xfer_end, chan_wait, oi, steps) => {
-                        self.on_post(cmd, created, xfer_end, chan_wait, oi, steps, now)
-                    }
-                    Event::ReleaseHop(h) => self.on_release_hop(h, now),
+        // One-at-a-time pop loop. Handlers frequently schedule
+        // follow-up events at the current instant; those carry higher
+        // sequence numbers than anything already queued, so popping
+        // directly delivers the exact order the old batch-drain loop
+        // (and any serial reference) produces — without staging every
+        // event through an intermediate buffer first.
+        let mut peak = self.calendar_peak;
+        let mut processed = 0u64;
+        while let Some((now, ev)) = {
+            peak = peak.max(self.calendar.len());
+            self.calendar.pop()
+        } {
+            processed += 1;
+            match ev {
+                Event::Arrive(cmd) => self.on_arrive(cmd, now),
+                Event::Pre(cmd, created, steps) => self.on_pre(cmd, created, steps, now),
+                Event::DieReq(cmd, created) => self.on_die_req(cmd, created, now),
+                Event::XferReq(cmd, created, die_start, oi, die) => {
+                    self.on_xfer_req(cmd, created, die_start, oi, die, now)
                 }
+                Event::Post(cmd, created, xfer_end, chan_wait, oi, steps) => {
+                    self.on_post(cmd, created, xfer_end, chan_wait, oi, steps, now)
+                }
+                Event::ReleaseHop(h) => self.on_release_hop(h, now),
             }
         }
-        self.batch_buf = batch;
+        self.calendar_peak = peak;
+        self.events_processed += processed;
     }
 
     fn on_arrive(&mut self, cmd: Cmd, now: SimTime) {
@@ -891,8 +913,10 @@ impl<'a> Engine<'a> {
         self.cmd_breakdown
             .wait_before_flash
             .record_duration(grant.start.saturating_duration_since(created));
-        self.calendar
-            .schedule(grant.end, Event::XferReq(cmd, created, grant.start, oi));
+        self.calendar.schedule(
+            grant.end,
+            Event::XferReq(cmd, created, grant.start, oi, die as u32),
+        );
     }
 
     fn on_xfer_req(
@@ -901,9 +925,10 @@ impl<'a> Engine<'a> {
         created: SimTime,
         die_start: SimTime,
         oi: OutcomeIdx,
+        die: u32,
         now: SimTime,
     ) {
-        let die = self.die_of(cmd);
+        let die = die as usize;
         let channel = die % self.ssd.geometry.channels;
         let bytes = match self.spec.transfer {
             TransferGranularity::Page => self.ssd.geometry.page_size as u64,
@@ -1359,7 +1384,8 @@ mod tests {
         let model = GnnModelConfig::paper_default(128);
         let ssd = SsdConfig::paper_default();
         let batch: Vec<NodeId> = (0..32).map(NodeId::new).collect();
-        let plain = Engine::new(Platform::Bg2, ssd, model, &dg, 9).run(std::slice::from_ref(&batch));
+        let plain =
+            Engine::new(Platform::Bg2, ssd, model, &dg, 9).run(std::slice::from_ref(&batch));
         let observed = Engine::new(Platform::Bg2, ssd, model, &dg, 9)
             .with_obs(1 << 20)
             .run(&[batch]);

@@ -9,6 +9,9 @@
 //!   BG-1 → BG-2 ablation chain, expressed as feature flags.
 //! * [`Engine`] — the event-driven data-preparation + compute pipeline
 //!   (see [`engine`] docs for the stage diagram).
+//! * [`PartitionedEngine`] — the same BG-2 pipeline as N per-channel
+//!   event loops under conservative lookahead (see [`partition`]),
+//!   with identical output at any worker-thread count.
 //! * [`RunMetrics`] — throughput, stage/command latency breakdowns, hop
 //!   timelines, die/channel utilization curves, and the energy ledger:
 //!   the raw material for every figure in §VII.
@@ -40,6 +43,7 @@ pub mod array;
 pub mod engine;
 pub mod metrics;
 pub mod motivation;
+pub mod partition;
 pub mod query;
 pub mod spec;
 
@@ -49,6 +53,7 @@ pub use metrics::{
     AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
     TimelineBuilder,
 };
+pub use partition::PartitionedEngine;
 pub use query::{measure_query_latency, query_latency_under_load, QueryLatency};
 pub use spec::{
     BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,

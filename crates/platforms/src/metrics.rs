@@ -118,6 +118,16 @@ impl TimelineBuilder {
         self.intervals.push((start, end));
     }
 
+    /// Appends another builder's intervals in their recorded order —
+    /// the merge step for per-partition timelines. The busy total is
+    /// exact; interval boundaries follow the concatenated push order
+    /// (contiguous merging applies only at the seam).
+    pub fn absorb(&mut self, other: &TimelineBuilder) {
+        for &(s, e) in &other.intervals {
+            self.push(s, e);
+        }
+    }
+
     /// Total busy unit-time recorded.
     pub fn busy_total(&self) -> Duration {
         self.busy

@@ -1,0 +1,1270 @@
+//! Partitioned per-channel event loops with conservative lookahead.
+//!
+//! [`PartitionedEngine`] runs one simulation as N independent event
+//! loops — one *lane* per flash channel — instead of the single serial
+//! calendar of [`Engine`](crate::Engine). BeaconGNN's BG-2 pipeline
+//! makes this natural: with the hardware command router in control and
+//! die-level sampling, a command's whole lifetime (router issue → die
+//! sense → channel transfer → router parse) touches only the resources
+//! of one channel; lanes interact solely when
+//!
+//! * a sampled child command targets a die on another channel (router
+//!   crossbar forward), or
+//! * a retrieved feature vector is staged in the shared SSD DRAM.
+//!
+//! Both interactions go through [`simkit::sync`]: lanes advance in
+//! bulk-synchronous rounds bounded by a shared horizon (the next
+//! multiple of [`SsdConfig::router_epoch`] above the earliest pending
+//! event), and everything that crosses a lane boundary is buffered as a
+//! message, globally sorted by `(time, key)` with a deterministic
+//! per-command key, and delivered at the round barrier.
+//!
+//! ## Semantics: a partition-count-invariant model, not a bit-replay
+//! ## of the serial engine
+//!
+//! The partitioned model is its own timing semantics for BG-2:
+//! cross-channel forwards and DRAM-staging completions are quantized to
+//! epoch boundaries (the crossbar batches inter-channel traffic), and
+//! same-instant ties are broken by the `(time, key)` order rather than
+//! the serial engine's global insertion order. Those rules are a pure
+//! function of the simulated configuration — **thread count and
+//! partition count are invisible**, so any `threads(n)` produces
+//! byte-identical output to `threads(1)`, which runs the identical
+//! round protocol inline with no worker threads (the serial fallback).
+//! The legacy serial [`Engine`](crate::Engine) remains untouched and
+//! bit-stable; platforms whose spec keeps firmware, the host, or a hop
+//! barrier in the control path (everything except BG-2) are not
+//! channel-separable and transparently fall back to it.
+//!
+//! Determinism argument, in full:
+//!
+//! 1. Within a round, a lane only reads lane-local state plus the
+//!    shared horizon, so its event order is the serial order of its own
+//!    calendar — independent of other lanes and of scheduling.
+//! 2. The horizon is a pure function of the earliest pending event
+//!    ([`EpochWindow::horizon_for`]), itself a minimum over lane-local
+//!    values.
+//! 3. Cross-lane messages are sorted by `(time, key)` before any is
+//!    applied; keys (mini-batch slot × sampling-tree index) are unique,
+//!    so the sorted order is total and worker interleaving cannot show.
+//! 4. Shared resources (DRAM) are acquired only by the coordinator, in
+//!    that sorted order.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use beacon_energy::EnergyLedger;
+use beacon_flash::{DieSampler, GnnDieConfig, SampleCommand};
+use beacon_gnn::{GnnModelConfig, MinibatchWorkload};
+use beacon_graph::NodeId;
+use beacon_ssd::SsdConfig;
+use directgraph::DirectGraph;
+use simkit::obs::{SpanRecorder, UnitKind};
+use simkit::sync::{EpochWindow, MessagePool};
+use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime, Trace};
+
+use crate::engine::{Engine, OutcomePool, NODE_ID_BYTES, ON_DIE_SAMPLE_TIME};
+use crate::metrics::{
+    AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
+    TimelineBuilder,
+};
+use crate::spec::{
+    BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,
+};
+
+/// Sentinel for "lane calendar is empty" in the shared next-event
+/// atomics.
+const IDLE: u64 = u64::MAX;
+
+/// The deterministic identity of one sampling command: mini-batch slot
+/// in the high 64 bits, position in that target's sampling tree in the
+/// low 64. Unique per in-flight command, totally ordering same-instant
+/// messages.
+fn cmd_key(subgraph: u32, tree_index: u64) -> u128 {
+    ((subgraph as u128) << 64) | tree_index as u128
+}
+
+/// A command inside a lane. `tree_index` is the node's position in its
+/// target's sampling tree (root 0; child *i* of node *t* is
+/// `t*(fanout+1) + i + 1`) — the root of the message key. The wrapping
+/// arithmetic only matters for configurations absurdly deeper than the
+/// paper's 2-hop/fanout-10 model, where key collisions would merely
+/// perturb same-instant tie order, still deterministically.
+#[derive(Debug, Clone, Copy)]
+struct LCmd {
+    sample: SampleCommand,
+    tree_index: u64,
+    /// Frontend arrival (lifetime start, for wait accounting).
+    created: SimTime,
+}
+
+impl LCmd {
+    fn key(&self) -> u128 {
+        cmd_key(self.sample.subgraph, self.tree_index)
+    }
+}
+
+/// Lane-local pipeline events. The lane pipeline collapses the serial
+/// engine's generic step machinery to BG-2's fixed shape:
+/// router issue (`Arrive`→`Die`), die sense + on-die sampling
+/// (`Die`→`Xfer`), channel transfer (`Xfer`→`Done`, which carries the
+/// trailing router parse), then either an inline finish or a
+/// DRAM-staging round trip through the coordinator (`Finish`).
+#[derive(Debug, Clone, Copy)]
+enum LaneEvent {
+    Arrive(LCmd),
+    Die(LCmd),
+    Xfer(LCmd, SimTime, u32),
+    Done(LCmd, SimTime, Duration, u32),
+    Finish(u32),
+}
+
+/// A command parked in the lane while its feature bytes cross the
+/// shared DRAM (coordinator-side); resumed by a `Finish` delivery.
+#[derive(Debug, Clone, Copy)]
+struct Parked {
+    cmd: LCmd,
+    xfer_end: SimTime,
+    chan_wait: Duration,
+    oi: u32,
+}
+
+/// Cross-lane messages, carried in a [`MessagePool`] keyed by
+/// `(time, cmd_key)`.
+#[derive(Debug, Clone, Copy)]
+enum Msg {
+    /// Stage `bytes` of features in shared DRAM; resume `parked` on
+    /// `lane` when the transfer completes.
+    DramReq { lane: u32, parked: u32, bytes: u64 },
+    /// Router crossbar forward of a sampled child to another channel.
+    Spawn {
+        lane: u32,
+        sample: SampleCommand,
+        tree_index: u64,
+    },
+}
+
+/// One channel's event loop: the channel bus, its dies and samplers, a
+/// private calendar, and lane-local metric accumulators that merge in
+/// fixed lane order after the run.
+struct Lane<'a> {
+    channel: usize,
+    ssd: SsdConfig,
+    dg: &'a DirectGraph,
+    /// `fanout + 1`, the tree-index radix.
+    radix: u64,
+
+    dies: Vec<SerialResource>,
+    chan: SerialResource,
+    samplers: Vec<DieSampler>,
+    calendar: Calendar<LaneEvent>,
+    cal_base: simkit::PoolStats,
+    outcomes: OutcomePool,
+    parked: Vec<Parked>,
+    parked_free: Vec<u32>,
+    outbox: MessagePool<Msg>,
+
+    record_hops: bool,
+    hop_first: Vec<Option<SimTime>>,
+    hop_last: Vec<Option<SimTime>>,
+    cmd_breakdown: CmdBreakdown,
+    die_timeline: TimelineBuilder,
+    channel_timeline: TimelineBuilder,
+    nodes_visited: u64,
+    flash_reads: u64,
+    sampler_faults: u64,
+    router_cmds: u64,
+    channel_bytes: u64,
+    events_processed: u64,
+    calendar_peak: usize,
+    prep_end: SimTime,
+    trace: Trace,
+    obs: SpanRecorder,
+}
+
+impl<'a> Lane<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        channel: usize,
+        ssd: SsdConfig,
+        die_cfg: GnnDieConfig,
+        dg: &'a DirectGraph,
+        seed: u64,
+        hops: usize,
+        trace_capacity: usize,
+        obs_capacity: usize,
+    ) -> Self {
+        let geo = &ssd.geometry;
+        // Global die d lives on channel d % channels; this lane owns
+        // d = channel, channel + C, channel + 2C, ... (local index d/C).
+        let samplers = (0..geo.dies_per_channel)
+            .map(|k| {
+                let d = (channel + k * geo.channels) as u64;
+                DieSampler::new(die_cfg, seed ^ d.wrapping_mul(0x9E3779B9))
+            })
+            .collect();
+        Lane {
+            channel,
+            dg,
+            radix: die_cfg.fanout as u64 + 1,
+            dies: vec![SerialResource::new(); geo.dies_per_channel],
+            chan: SerialResource::new(),
+            samplers,
+            calendar: Calendar::new(),
+            cal_base: simkit::PoolStats::default(),
+            outcomes: OutcomePool::default(),
+            parked: Vec::new(),
+            parked_free: Vec::new(),
+            outbox: MessagePool::new(),
+            record_hops: true,
+            hop_first: vec![None; hops],
+            hop_last: vec![None; hops],
+            cmd_breakdown: CmdBreakdown::default(),
+            die_timeline: TimelineBuilder::new(),
+            channel_timeline: TimelineBuilder::new(),
+            nodes_visited: 0,
+            flash_reads: 0,
+            sampler_faults: 0,
+            router_cmds: 0,
+            channel_bytes: 0,
+            events_processed: 0,
+            calendar_peak: 0,
+            prep_end: SimTime::ZERO,
+            trace: Trace::with_capacity(trace_capacity),
+            obs: if obs_capacity > 0 {
+                SpanRecorder::with_capacity(obs_capacity)
+            } else {
+                SpanRecorder::disabled()
+            },
+            ssd,
+        }
+    }
+
+    /// Global die index of a command's target page.
+    fn die_of(&self, sample: &SampleCommand) -> usize {
+        let (page, _) = self.dg.layout().unpack(sample.target);
+        self.ssd.geometry.die_of(page).index()
+    }
+
+    fn next_time_ns(&self) -> u64 {
+        self.calendar.peek_time().map_or(IDLE, |t| t.as_ns())
+    }
+
+    /// Drains every event strictly below `horizon`.
+    fn run_round(&mut self, horizon: SimTime) {
+        loop {
+            match self.calendar.peek_time() {
+                Some(t) if t < horizon => {}
+                _ => break,
+            }
+            self.calendar_peak = self.calendar_peak.max(self.calendar.len());
+            let (now, ev) = self.calendar.pop().expect("peeked event");
+            self.events_processed += 1;
+            match ev {
+                LaneEvent::Arrive(cmd) => self.on_arrive(cmd, now),
+                LaneEvent::Die(cmd) => self.on_die(cmd, now),
+                LaneEvent::Xfer(cmd, die_start, oi) => self.on_xfer(cmd, die_start, oi, now),
+                LaneEvent::Done(cmd, xfer_end, chan_wait, oi) => {
+                    self.on_done(cmd, xfer_end, chan_wait, oi, now)
+                }
+                LaneEvent::Finish(p) => self.on_finish(p, now),
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, cmd: LCmd, now: SimTime) {
+        if self.record_hops {
+            let h = cmd.sample.hop as usize;
+            self.hop_first[h] = Some(self.hop_first[h].map_or(now, |t| t.min(now)));
+        }
+        self.router_cmds += 1;
+        self.calendar
+            .schedule(now + self.ssd.router_latency, LaneEvent::Die(cmd));
+    }
+
+    fn on_die(&mut self, cmd: LCmd, now: SimTime) {
+        let die = self.die_of(&cmd.sample);
+        let local = die / self.ssd.geometry.channels;
+        let grant =
+            self.dies[local].acquire(now, self.ssd.timing.read_latency + ON_DIE_SAMPLE_TIME);
+        self.die_timeline.push(grant.start, grant.end);
+        if self.trace.is_enabled() {
+            self.trace
+                .record(grant.start, "die_sense", die as u64, cmd.sample.hop as f64);
+        }
+        if self.obs.is_enabled() {
+            self.obs.record(
+                UnitKind::Die,
+                die as u32,
+                "sense",
+                grant.start,
+                grant.end,
+                cmd.sample.hop as f64,
+            );
+        }
+        self.flash_reads += 1;
+        let oi = self.outcomes.acquire();
+        if self.samplers[local]
+            .execute_into(
+                &cmd.sample,
+                self.dg.image(),
+                &mut self.outcomes.slots[oi as usize],
+            )
+            .is_err()
+        {
+            self.sampler_faults += 1;
+        }
+        self.cmd_breakdown
+            .wait_before_flash
+            .record_duration(grant.start.saturating_duration_since(cmd.created));
+        self.calendar
+            .schedule(grant.end, LaneEvent::Xfer(cmd, grant.start, oi));
+    }
+
+    fn on_xfer(&mut self, cmd: LCmd, die_start: SimTime, oi: u32, now: SimTime) {
+        let bytes = self.outcomes.get(oi).result_bytes() as u64;
+        let service = self.ssd.timing.command_overhead + self.ssd.timing.transfer_time(bytes);
+        let grant = self.chan.acquire(now, service);
+        self.channel_timeline.push(grant.start, grant.end);
+        if self.trace.is_enabled() {
+            self.trace
+                .record(grant.start, "chan_xfer", self.channel as u64, bytes as f64);
+        }
+        if self.obs.is_enabled() {
+            self.obs.record(
+                UnitKind::Channel,
+                self.channel as u32,
+                "xfer",
+                grant.start,
+                grant.end,
+                bytes as f64,
+            );
+        }
+        self.channel_bytes += bytes;
+        let chan_wait = grant.start.saturating_duration_since(now);
+        self.cmd_breakdown
+            .flash
+            .record_duration((now - die_start) + (grant.end - grant.start));
+        // Trailing router parse is a fixed, contention-free hop.
+        self.calendar.schedule(
+            grant.end + self.ssd.router_latency,
+            LaneEvent::Done(cmd, grant.end, chan_wait, oi),
+        );
+    }
+
+    fn on_done(
+        &mut self,
+        cmd: LCmd,
+        xfer_end: SimTime,
+        chan_wait: Duration,
+        oi: u32,
+        now: SimTime,
+    ) {
+        let fb = self.outcomes.get(oi).feature_bytes as u64;
+        if fb > 0 && !self.ssd.dram_bypass {
+            let slot = match self.parked_free.pop() {
+                Some(s) => {
+                    self.parked[s as usize] = Parked {
+                        cmd,
+                        xfer_end,
+                        chan_wait,
+                        oi,
+                    };
+                    s
+                }
+                None => {
+                    let s = u32::try_from(self.parked.len()).expect("parked overflow");
+                    self.parked.push(Parked {
+                        cmd,
+                        xfer_end,
+                        chan_wait,
+                        oi,
+                    });
+                    s
+                }
+            };
+            self.outbox.push(
+                now,
+                cmd.key(),
+                Msg::DramReq {
+                    lane: self.channel as u32,
+                    parked: slot,
+                    bytes: fb,
+                },
+            );
+        } else {
+            self.finish(cmd, xfer_end, chan_wait, oi, now);
+        }
+    }
+
+    fn on_finish(&mut self, slot: u32, now: SimTime) {
+        let p = self.parked[slot as usize];
+        self.parked_free.push(slot);
+        self.finish(p.cmd, p.xfer_end, p.chan_wait, p.oi, now);
+    }
+
+    fn finish(&mut self, cmd: LCmd, xfer_end: SimTime, chan_wait: Duration, oi: u32, now: SimTime) {
+        self.cmd_breakdown
+            .wait_after_flash
+            .record_duration(chan_wait + now.saturating_duration_since(xfer_end));
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                "cmd_done",
+                cmd.sample.subgraph as u64,
+                cmd.sample.hop as f64,
+            );
+        }
+        if self.obs.is_enabled() {
+            self.obs
+                .instant(UnitKind::Engine, 0, "cmd_done", now, cmd.sample.hop as f64);
+        }
+        if self.record_hops {
+            let h = cmd.sample.hop as usize;
+            self.hop_last[h] = Some(self.hop_last[h].map_or(now, |t| t.max(now)));
+        }
+        if self.outcomes.get(oi).visited.is_some() {
+            self.nodes_visited += 1;
+        }
+        let channels = self.ssd.geometry.channels;
+        for i in 0..self.outcomes.get(oi).new_commands.len() {
+            let child = self.outcomes.get(oi).new_commands[i];
+            let ti = cmd
+                .tree_index
+                .wrapping_mul(self.radix)
+                .wrapping_add(i as u64 + 1);
+            let lane = self.die_of(&child) % channels;
+            if lane == self.channel {
+                self.calendar.schedule(
+                    now,
+                    LaneEvent::Arrive(LCmd {
+                        sample: child,
+                        tree_index: ti,
+                        created: now,
+                    }),
+                );
+            } else {
+                self.outbox.push(
+                    now,
+                    cmd_key(child.subgraph, ti),
+                    Msg::Spawn {
+                        lane: lane as u32,
+                        sample: child,
+                        tree_index: ti,
+                    },
+                );
+            }
+        }
+        self.outcomes.release(oi);
+        self.prep_end = self.prep_end.max(now);
+    }
+}
+
+/// State shared between the coordinator (main thread) and the lane
+/// workers; every field is either atomic or mutex-guarded, and every
+/// value written into it is a pure function of simulated state.
+struct Shared {
+    epochs: EpochWindow,
+    horizon: AtomicU64,
+    done: AtomicBool,
+    record_hops: AtomicBool,
+    prep_end_max: AtomicU64,
+    next_times: Vec<AtomicU64>,
+    /// Per-lane inbound deliveries `(time_ns, event)`, written by the
+    /// coordinator in globally sorted order, drained by the lane at the
+    /// start of its next round.
+    mailboxes: Vec<Mutex<Vec<(u64, LaneEvent)>>>,
+    /// The round's outbound messages from all lanes, merged and sorted
+    /// by the coordinator at the barrier.
+    pool: Mutex<MessagePool<Msg>>,
+    barrier: Barrier,
+}
+
+impl Shared {
+    fn new(lanes: usize, parties: usize, epochs: EpochWindow) -> Self {
+        Shared {
+            epochs,
+            horizon: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            record_hops: AtomicBool::new(true),
+            prep_end_max: AtomicU64::new(0),
+            next_times: (0..lanes).map(|_| AtomicU64::new(IDLE)).collect(),
+            mailboxes: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+            pool: Mutex::new(MessagePool::new()),
+            barrier: Barrier::new(parties),
+        }
+    }
+}
+
+/// Runs one lane's round: drain inbound deliveries, advance to the
+/// horizon, publish the lane's next event time and its outbound
+/// messages.
+fn lane_round(lane: &mut Lane<'_>, shared: &Shared, li: usize) {
+    let horizon = SimTime::from_ns(shared.horizon.load(Ordering::Acquire));
+    lane.record_hops = shared.record_hops.load(Ordering::Acquire);
+    let inbound = std::mem::take(&mut *shared.mailboxes[li].lock().expect("mailbox"));
+    for (t, ev) in inbound {
+        lane.calendar.schedule(SimTime::from_ns(t), ev);
+    }
+    lane.run_round(horizon);
+    shared.next_times[li].store(lane.next_time_ns(), Ordering::Release);
+    shared
+        .prep_end_max
+        .fetch_max(lane.prep_end.as_ns(), Ordering::AcqRel);
+    if !lane.outbox.is_empty() {
+        shared.pool.lock().expect("pool").absorb(&mut lane.outbox);
+    }
+}
+
+/// Advances every lane one round. The serial driver owns the lanes and
+/// runs them inline; the barrier driver releases persistent workers and
+/// waits for them. Both execute the identical protocol on identical
+/// shared state, which is what makes `threads(1)` the byte-exact
+/// reference for any thread count.
+trait RoundDriver {
+    fn round(&mut self, shared: &Shared);
+}
+
+struct SerialDriver<'l, 'a> {
+    lanes: &'l mut [Lane<'a>],
+}
+
+impl RoundDriver for SerialDriver<'_, '_> {
+    fn round(&mut self, shared: &Shared) {
+        for (li, lane) in self.lanes.iter_mut().enumerate() {
+            lane_round(lane, shared, li);
+        }
+    }
+}
+
+struct BarrierDriver;
+
+impl RoundDriver for BarrierDriver {
+    fn round(&mut self, shared: &Shared) {
+        shared.barrier.wait();
+        // Workers run their lanes here.
+        shared.barrier.wait();
+    }
+}
+
+/// Coordinator-side state: the shared resources lanes may not touch,
+/// plus the batch-pipeline bookkeeping carried over from the serial
+/// engine.
+struct Coordinator {
+    dram: BandwidthResource,
+    pcie: BandwidthResource,
+    energy: EnergyLedger,
+    obs: SpanRecorder,
+    prep_total: Duration,
+    compute_total: Duration,
+    makespan: SimTime,
+    targets_total: u64,
+    rounds: u64,
+    messages: u64,
+}
+
+impl Coordinator {
+    /// Applies one round's messages in globally sorted `(time, key)`
+    /// order: DRAM grants are issued in that order, completions and
+    /// crossbar forwards are quantized to epoch boundaries and posted
+    /// into lane mailboxes. Returns the earliest delivery time, or
+    /// [`IDLE`].
+    fn process_messages(&mut self, shared: &Shared) -> u64 {
+        let mut pool = shared.pool.lock().expect("pool");
+        if pool.is_empty() {
+            return IDLE;
+        }
+        let horizon = shared.horizon.load(Ordering::Acquire);
+        let mut min_delivery = IDLE;
+        let mut deliver = |lane: usize, at: u64, ev: LaneEvent| {
+            shared.mailboxes[lane]
+                .lock()
+                .expect("mailbox")
+                .push((at, ev));
+            min_delivery = min_delivery.min(at);
+        };
+        for (at, key, msg) in pool.drain_sorted() {
+            self.messages += 1;
+            match msg {
+                Msg::DramReq {
+                    lane,
+                    parked,
+                    bytes,
+                } => {
+                    let grant = self.dram.transfer(at, bytes);
+                    self.energy.dram_bytes += bytes;
+                    // A completion may not land in a drained epoch:
+                    // post it at the horizon at the earliest.
+                    deliver(
+                        lane as usize,
+                        grant.end.as_ns().max(horizon),
+                        LaneEvent::Finish(parked),
+                    );
+                }
+                Msg::Spawn {
+                    lane,
+                    sample,
+                    tree_index,
+                } => {
+                    let arrive = shared.epochs.next_boundary(at);
+                    let _ = key;
+                    deliver(
+                        lane as usize,
+                        arrive.as_ns(),
+                        LaneEvent::Arrive(LCmd {
+                            sample,
+                            tree_index,
+                            created: arrive,
+                        }),
+                    );
+                }
+            }
+        }
+        min_delivery
+    }
+}
+
+/// The partitioned BG-2 engine. Construct like [`Engine`](crate::Engine),
+/// pick a worker-thread count, and [`run`](PartitionedEngine::run):
+///
+/// ```
+/// use beacon_graph::{generate, FeatureTable, NodeId};
+/// use beacon_gnn::GnnModelConfig;
+/// use beacon_platforms::{PartitionedEngine, Platform};
+/// use beacon_ssd::SsdConfig;
+/// use directgraph::{build::DirectGraphBuilder, AddrLayout};
+///
+/// let cfg = generate::PowerLawConfig::new(1_000, 20.0);
+/// let graph = generate::power_law(&cfg, 1);
+/// let feats = FeatureTable::synthetic(1_000, 64, 1);
+/// let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+///     .build(&graph, &feats).unwrap();
+///
+/// let model = GnnModelConfig::paper_default(64);
+/// let batch: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+/// let serial = PartitionedEngine::new(Platform::Bg2, SsdConfig::paper_default(), model, &dg, 42)
+///     .run(&[batch.clone()]);
+/// let parallel = PartitionedEngine::new(Platform::Bg2, SsdConfig::paper_default(), model, &dg, 42)
+///     .threads(4)
+///     .run(&[batch]);
+/// assert_eq!(serial.makespan, parallel.makespan);
+/// assert_eq!(serial.nodes_visited, parallel.nodes_visited);
+/// ```
+pub struct PartitionedEngine<'a> {
+    platform: Platform,
+    ssd: SsdConfig,
+    model: GnnModelConfig,
+    dg: &'a DirectGraph,
+    seed: u64,
+    threads: usize,
+    trace_capacity: usize,
+    obs_capacity: usize,
+}
+
+impl<'a> PartitionedEngine<'a> {
+    /// Creates a partitioned engine (one worker thread — the serial
+    /// round protocol — until [`threads`](Self::threads) raises it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SSD geometry's page size differs from the
+    /// DirectGraph layout's (same contract as [`Engine::new`]).
+    pub fn new(
+        platform: Platform,
+        ssd: SsdConfig,
+        model: GnnModelConfig,
+        dg: &'a DirectGraph,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            ssd.geometry.page_size,
+            dg.layout().page_size(),
+            "SSD geometry and DirectGraph layout disagree on page size"
+        );
+        PartitionedEngine {
+            platform,
+            ssd,
+            model,
+            dg,
+            seed,
+            threads: 1,
+            trace_capacity: 0,
+            obs_capacity: 0,
+        }
+    }
+
+    /// Sets the worker-thread count. Output is byte-identical at any
+    /// value; values above the channel count are clamped, and below 2
+    /// the round protocol runs inline with no threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables event tracing (per lane, merged in channel order).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables observability spans (per lane, merged in channel order
+    /// after the coordinator's batch-phase spans). Unlike the serial
+    /// engine, the partitioned path does not wire the functional
+    /// router mirror ([`RunMetrics::router`] stays `None`).
+    pub fn with_obs(mut self, capacity: usize) -> Self {
+        self.obs_capacity = capacity;
+        self
+    }
+
+    /// Whether a platform's pipeline is channel-separable: the hardware
+    /// router controls the backend, sampling happens on the dies, only
+    /// useful bytes cross the channel, and neither the host nor a hop
+    /// barrier sits in the command path. Exactly BG-2 in the paper's
+    /// lineup; every other platform falls back to the serial engine.
+    pub fn partitionable(spec: &PlatformSpec) -> bool {
+        spec.backend_control == BackendControl::HardwareRouter
+            && spec.sampling == SamplingLocation::Die
+            && spec.transfer == TransferGranularity::Useful
+            && !spec.hop_barrier
+            && !spec.features_cross_pcie
+            && !spec.host_feature_lookup
+    }
+
+    /// Runs the workload. Non-partitionable platforms run on the serial
+    /// [`Engine`](crate::Engine) (identical output to calling it
+    /// directly); partitionable ones run the round protocol.
+    pub fn run(self, batches: &[Vec<NodeId>]) -> RunMetrics {
+        let spec = self.platform.spec();
+        if !Self::partitionable(&spec) {
+            let mut engine = Engine::new(self.platform, self.ssd, self.model, self.dg, self.seed);
+            if self.trace_capacity > 0 {
+                engine = engine.with_trace(self.trace_capacity);
+            }
+            if self.obs_capacity > 0 {
+                engine = engine.with_obs(self.obs_capacity);
+            }
+            return engine.run(batches);
+        }
+        self.run_partitioned(&spec, batches)
+    }
+
+    fn run_partitioned(&self, spec: &PlatformSpec, batches: &[Vec<NodeId>]) -> RunMetrics {
+        let _run_phase = profile::phase("partition/run");
+        let geo = self.ssd.geometry;
+        let lanes_n = geo.channels;
+        let die_cfg = GnnDieConfig {
+            num_hops: self.model.hops,
+            fanout: self.model.fanout,
+            feature_bytes: self.model.feature_bytes() as u16,
+        };
+        let hops = self.model.hops as usize + 2;
+        let mut lanes: Vec<Lane<'a>> = (0..lanes_n)
+            .map(|c| {
+                let mut lane = Lane::new(
+                    c,
+                    self.ssd,
+                    die_cfg,
+                    self.dg,
+                    self.seed,
+                    hops,
+                    self.trace_capacity,
+                    self.obs_capacity,
+                );
+                lane.cal_base = lane.calendar.pool_stats();
+                lane
+            })
+            .collect();
+
+        let threads = self.threads.min(lanes_n);
+        let workers = if threads >= 2 { threads } else { 0 };
+        let shared = Shared::new(
+            lanes_n,
+            workers + 1,
+            EpochWindow::new(self.ssd.router_epoch),
+        );
+        let mut coord = Coordinator {
+            dram: BandwidthResource::new(self.ssd.dram_bandwidth),
+            pcie: BandwidthResource::new(self.ssd.pcie_bandwidth),
+            energy: EnergyLedger::new(),
+            obs: if self.obs_capacity > 0 {
+                SpanRecorder::with_capacity(self.obs_capacity)
+            } else {
+                SpanRecorder::disabled()
+            },
+            prep_total: Duration::ZERO,
+            compute_total: Duration::ZERO,
+            makespan: SimTime::ZERO,
+            targets_total: 0,
+            rounds: 0,
+            messages: 0,
+        };
+
+        if workers == 0 {
+            let mut driver = SerialDriver { lanes: &mut lanes };
+            self.run_batches(spec, &shared, &mut coord, &mut driver, batches);
+        } else {
+            // Round-robin the lanes over persistent workers; the global
+            // message sort makes the grouping invisible to results.
+            let mut groups: Vec<Vec<(usize, Lane<'a>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (li, lane) in lanes.drain(..).enumerate() {
+                groups[li % workers].push((li, lane));
+            }
+            let shared_ref = &shared;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|mut group| {
+                        s.spawn(move || loop {
+                            shared_ref.barrier.wait();
+                            if shared_ref.done.load(Ordering::Acquire) {
+                                return group;
+                            }
+                            for (li, lane) in group.iter_mut() {
+                                lane_round(lane, shared_ref, *li);
+                            }
+                            shared_ref.barrier.wait();
+                        })
+                    })
+                    .collect();
+                let mut driver = BarrierDriver;
+                self.run_batches(spec, &shared, &mut coord, &mut driver, batches);
+                shared.done.store(true, Ordering::Release);
+                shared.barrier.wait();
+                let mut by_channel: Vec<Option<Lane<'a>>> = (0..lanes_n).map(|_| None).collect();
+                for handle in handles {
+                    for (li, lane) in handle.join().expect("lane worker") {
+                        by_channel[li] = Some(lane);
+                    }
+                }
+                lanes = by_channel
+                    .into_iter()
+                    .map(|l| l.expect("every lane returned"))
+                    .collect();
+            });
+        }
+
+        profile::count("partition/rounds", coord.rounds);
+        profile::count("partition/messages", coord.messages);
+        profile::count("partition/lanes", lanes_n as u64);
+        self.merge(spec, coord, lanes, batches)
+    }
+
+    /// The batch pipeline of the serial engine's `run_inner`, with
+    /// `run_prep` replaced by the round loop.
+    fn run_batches(
+        &self,
+        spec: &PlatformSpec,
+        shared: &Shared,
+        coord: &mut Coordinator,
+        driver: &mut dyn RoundDriver,
+        batches: &[Vec<NodeId>],
+    ) {
+        let accel = accel_config(spec);
+        let mut compute_free = SimTime::ZERO;
+        let mut prep_cursor = SimTime::ZERO;
+        let mut compute_ends: Vec<SimTime> = Vec::with_capacity(batches.len());
+
+        for (bi, batch) in batches.iter().enumerate() {
+            let _prep_phase = profile::phase("partition/prep");
+            coord.targets_total += batch.len() as u64;
+            shared.record_hops.store(bi == 0, Ordering::Release);
+            let buffer_ready = if bi >= 2 {
+                compute_ends[bi - 2]
+            } else {
+                SimTime::ZERO
+            };
+            let prep_start = prep_cursor.max(buffer_ready);
+            // BG-2 is direct-graph: one customized NVMe command carries
+            // the whole batch's primary-section addresses.
+            let start = prep_start + self.ssd.host.nvme_roundtrip;
+            coord.energy.pcie_bytes += batch.len() as u64 * NODE_ID_BYTES;
+
+            let mut pending_min = IDLE;
+            {
+                let channels = self.ssd.geometry.channels;
+                for (slot, &target) in batch.iter().enumerate() {
+                    let addr = self
+                        .dg
+                        .directory()
+                        .primary_addr(target)
+                        .expect("target node in DirectGraph directory");
+                    let sample = SampleCommand::root(addr, slot as u32);
+                    let (page, _) = self.dg.layout().unpack(sample.target);
+                    let lane = self.ssd.geometry.die_of(page).index() % channels;
+                    shared.mailboxes[lane].lock().expect("mailbox").push((
+                        start.as_ns(),
+                        LaneEvent::Arrive(LCmd {
+                            sample,
+                            tree_index: 0,
+                            created: start,
+                        }),
+                    ));
+                }
+                pending_min = pending_min.min(start.as_ns());
+            }
+
+            loop {
+                let lanes_min = shared
+                    .next_times
+                    .iter()
+                    .map(|t| t.load(Ordering::Acquire))
+                    .min()
+                    .unwrap_or(IDLE);
+                let min_next = lanes_min.min(pending_min);
+                if min_next == IDLE {
+                    break;
+                }
+                let horizon = shared.epochs.horizon_for(SimTime::from_ns(min_next));
+                shared.horizon.store(horizon.as_ns(), Ordering::Release);
+                driver.round(shared);
+                coord.rounds += 1;
+                pending_min = coord.process_messages(shared);
+            }
+
+            let prep_end = SimTime::from_ns(shared.prep_end_max.load(Ordering::Acquire)).max(start);
+            coord.prep_total += prep_end - prep_start;
+            prep_cursor = prep_end;
+            if coord.obs.is_enabled() {
+                coord
+                    .obs
+                    .record(UnitKind::Engine, 0, "prep", prep_start, prep_end, bi as f64);
+            }
+
+            // Computation overlaps the next batch's prep, exactly as in
+            // the serial engine (§VI-D double buffering).
+            let wl = MinibatchWorkload::new(self.model, batch.len() as u64).with_training(true);
+            let compute_start = prep_end.max(compute_free);
+            if !self.ssd.dram_bypass {
+                let bytes = batch.len() as u64
+                    * self.model.subgraph_nodes()
+                    * self.model.feature_bytes() as u64;
+                coord.energy.dram_bytes += bytes;
+            }
+            let ct = wl.compute_time(&accel);
+            coord.compute_total += ct;
+            compute_free = compute_start + ct;
+            compute_ends.push(compute_free);
+            if coord.obs.is_enabled() {
+                coord.obs.record(
+                    UnitKind::Accelerator,
+                    0,
+                    "compute",
+                    compute_start,
+                    compute_free,
+                    bi as f64,
+                );
+            }
+            coord.makespan = coord.makespan.max(compute_free).max(prep_end);
+            coord.energy.macs += wl.total_macs();
+            coord.energy.reduce_ops += wl.total_reduce_ops();
+        }
+    }
+
+    /// Folds lane-local accumulators (in fixed channel order) and the
+    /// coordinator into one [`RunMetrics`].
+    fn merge(
+        &self,
+        spec: &PlatformSpec,
+        mut coord: Coordinator,
+        lanes: Vec<Lane<'a>>,
+        batches: &[Vec<NodeId>],
+    ) -> RunMetrics {
+        let accel = accel_config(spec);
+        let hops = self.model.hops as usize + 2;
+        let mut cmd_breakdown = CmdBreakdown::default();
+        let mut die_timeline = TimelineBuilder::new();
+        let mut channel_timeline = TimelineBuilder::new();
+        let mut hop_first: Vec<Option<SimTime>> = vec![None; hops];
+        let mut hop_last: Vec<Option<SimTime>> = vec![None; hops];
+        let mut pools = PoolCounters::default();
+        let mut trace = Trace::with_capacity(self.trace_capacity);
+        let mut energy = coord.energy;
+        let mut nodes_visited = 0u64;
+        let mut flash_reads = 0u64;
+        let mut sampler_faults = 0u64;
+        let mut sampler_executed = 0u64;
+        let mut flash_busy = Duration::ZERO;
+        let mut channel_busy = Duration::ZERO;
+
+        for lane in &lanes {
+            cmd_breakdown
+                .wait_before_flash
+                .merge(&lane.cmd_breakdown.wait_before_flash);
+            cmd_breakdown.flash.merge(&lane.cmd_breakdown.flash);
+            cmd_breakdown
+                .wait_after_flash
+                .merge(&lane.cmd_breakdown.wait_after_flash);
+            die_timeline.absorb(&lane.die_timeline);
+            channel_timeline.absorb(&lane.channel_timeline);
+            for h in 0..hops {
+                hop_first[h] = match (hop_first[h], lane.hop_first[h]) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                hop_last[h] = match (hop_last[h], lane.hop_last[h]) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let cal = lane.calendar.pool_stats();
+            pools.events_processed += lane.events_processed;
+            pools.event_slots_allocated += cal.slots_allocated - lane.cal_base.slots_allocated;
+            pools.event_slots_reused += cal.slots_reused - lane.cal_base.slots_reused;
+            pools.outcome_slots_allocated += lane.outcomes.allocated;
+            pools.outcome_slots_reused += lane.outcomes.reused;
+            trace.absorb(&lane.trace);
+            coord.obs.absorb(&lane.obs);
+            energy.flash_page_reads += lane.flash_reads;
+            energy.sampler_cmds += lane.flash_reads;
+            energy.router_cmds += lane.router_cmds;
+            energy.channel_bytes += lane.channel_bytes;
+            nodes_visited += lane.nodes_visited;
+            flash_reads += lane.flash_reads;
+            sampler_faults += lane.sampler_faults;
+            sampler_executed += lane.samplers.iter().map(DieSampler::executed).sum::<u64>();
+            flash_busy += lane.dies.iter().map(SerialResource::busy_total).sum();
+            channel_busy += lane.chan.busy_total();
+        }
+        profile::count("partition/events_processed", pools.events_processed);
+
+        let stages = StageBreakdown {
+            flash_read: flash_busy,
+            channel: channel_busy,
+            firmware: Duration::ZERO,
+            dram: coord.dram.busy_total(),
+            pcie: coord.pcie.busy_total(),
+            host: Duration::ZERO,
+            accel: coord.compute_total,
+        };
+        let hop_windows = hop_first
+            .iter()
+            .zip(&hop_last)
+            .enumerate()
+            .filter_map(|(h, (f, l))| {
+                f.zip(*l).map(|(start, end)| HopWindow {
+                    hop: h as u8,
+                    start,
+                    end,
+                })
+            })
+            .collect();
+        let accel_occupancy = {
+            let cw = coord.compute_total.as_secs_f64();
+            let peak_macs =
+                cw * accel.systolic.clock_hz() as f64 * accel.systolic.macs_per_cycle() as f64;
+            let peak_reduce = cw * accel.vector.clock_hz() as f64 * accel.vector.lanes() as f64;
+            AccelOccupancy {
+                systolic: if peak_macs > 0.0 {
+                    energy.macs as f64 / peak_macs
+                } else {
+                    0.0
+                },
+                vector: if peak_reduce > 0.0 {
+                    energy.reduce_ops as f64 / peak_reduce
+                } else {
+                    0.0
+                },
+            }
+        };
+        let ftl = if coord.obs.is_enabled() {
+            Engine::replay_ftl_setup(self.dg, &self.ssd)
+        } else {
+            None
+        };
+
+        RunMetrics {
+            platform: spec.name,
+            targets: coord.targets_total,
+            batches: batches.len() as u64,
+            nodes_visited,
+            flash_reads,
+            sampler_faults,
+            makespan: coord.makespan - SimTime::ZERO,
+            prep_time: coord.prep_total,
+            compute_time: coord.compute_total,
+            cmd_breakdown,
+            stages,
+            hop_windows,
+            die_timeline,
+            channel_timeline,
+            energy,
+            total_dies: self.ssd.geometry.total_dies(),
+            total_channels: self.ssd.geometry.channels,
+            trace,
+            pools,
+            spans: coord.obs,
+            sampler_executed,
+            router: None,
+            ftl,
+            accel_occupancy,
+        }
+    }
+}
+
+fn accel_config(spec: &PlatformSpec) -> beacon_accel::AcceleratorConfig {
+    match spec.compute {
+        ComputeLocation::DiscreteAccel => beacon_accel::AcceleratorConfig::discrete_tpu(),
+        ComputeLocation::SsdAccel => beacon_accel::AcceleratorConfig::ssd_internal(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beacon_graph::{generate, FeatureTable};
+    use directgraph::{build::DirectGraphBuilder, AddrLayout};
+
+    fn make_dg(n: usize, deg: f64, feat: usize) -> DirectGraph {
+        let cfg = generate::PowerLawConfig::new(n, deg);
+        let graph = generate::power_law(&cfg, 7);
+        let features = FeatureTable::synthetic(n, feat, 7);
+        DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+            .build(&graph, &features)
+            .unwrap()
+    }
+
+    fn batches(n: usize, size: usize, nodes: u32) -> Vec<Vec<NodeId>> {
+        (0..n)
+            .map(|b| {
+                (0..size)
+                    .map(|i| NodeId::new(((b * size + i) % nodes as usize) as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn digest(m: &RunMetrics) -> String {
+        m.metrics_registry().to_json_string()
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let dg = make_dg(2_000, 25.0, 128);
+        let model = GnnModelConfig::paper_default(128);
+        let ssd = SsdConfig::paper_default();
+        let b = batches(2, 48, 2_000);
+        let reference = digest(&PartitionedEngine::new(Platform::Bg2, ssd, model, &dg, 42).run(&b));
+        for threads in [2, 4, 8, 32] {
+            let m = PartitionedEngine::new(Platform::Bg2, ssd, model, &dg, 42)
+                .threads(threads)
+                .run(&b);
+            assert_eq!(digest(&m), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn partitioned_tracks_serial_engine_closely() {
+        // The partitioned model quantizes cross-channel forwards and
+        // DRAM completions to epoch boundaries, so it is not bit-equal
+        // to the serial engine — but it must stay a faithful model:
+        // identical work counts, and makespan within a few percent.
+        let dg = make_dg(3_000, 30.0, 200);
+        let model = GnnModelConfig::paper_default(200);
+        let ssd = SsdConfig::paper_default();
+        let b = batches(2, 64, 3_000);
+        let serial = Engine::new(Platform::Bg2, ssd, model, &dg, 42).run(&b);
+        let part = PartitionedEngine::new(Platform::Bg2, ssd, model, &dg, 42).run(&b);
+        assert_eq!(part.targets, serial.targets);
+        assert_eq!(part.flash_reads, serial.flash_reads);
+        assert_eq!(part.nodes_visited, serial.nodes_visited);
+        assert_eq!(part.energy.channel_bytes, serial.energy.channel_bytes);
+        assert_eq!(part.energy.router_cmds, serial.energy.router_cmds);
+        let ratio = part.makespan.as_ns() as f64 / serial.makespan.as_ns() as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "partitioned makespan drifted {ratio:.4}x from serial"
+        );
+    }
+
+    #[test]
+    fn non_partitionable_platforms_match_serial_engine_exactly() {
+        let dg = make_dg(1_500, 20.0, 64);
+        let model = GnnModelConfig::paper_default(64);
+        let ssd = SsdConfig::paper_default();
+        let b = batches(1, 24, 1_500);
+        for p in [Platform::Cc, Platform::Bg1, Platform::BgDgsp] {
+            assert!(!PartitionedEngine::partitionable(&p.spec()), "{p}");
+            let serial = Engine::new(p, ssd, model, &dg, 7).run(&b);
+            let part = PartitionedEngine::new(p, ssd, model, &dg, 7)
+                .threads(8)
+                .run(&b);
+            assert_eq!(digest(&part), digest(&serial), "{p}");
+        }
+    }
+
+    #[test]
+    fn only_bg2_is_partitionable() {
+        let partitionable: Vec<Platform> = Platform::ALL
+            .into_iter()
+            .filter(|p| PartitionedEngine::partitionable(&p.spec()))
+            .collect();
+        assert_eq!(partitionable, vec![Platform::Bg2]);
+    }
+
+    #[test]
+    fn single_channel_geometry_still_runs() {
+        let dg = make_dg(800, 15.0, 64);
+        let model = GnnModelConfig::paper_default(64);
+        let ssd = SsdConfig::paper_default().with_channels(1);
+        let b = batches(1, 8, 800);
+        let a = PartitionedEngine::new(Platform::Bg2, ssd, model, &dg, 3).run(&b);
+        let c = PartitionedEngine::new(Platform::Bg2, ssd, model, &dg, 3)
+            .threads(4)
+            .run(&b);
+        assert!(a.makespan > Duration::ZERO);
+        assert_eq!(digest(&a), digest(&c));
+    }
+
+    #[test]
+    fn epoch_window_shifts_timing_but_not_work() {
+        let dg = make_dg(1_500, 20.0, 64);
+        let model = GnnModelConfig::paper_default(64);
+        let b = batches(1, 32, 1_500);
+        let fine = PartitionedEngine::new(
+            Platform::Bg2,
+            SsdConfig::paper_default().with_router_epoch(Duration::from_ns(100)),
+            model,
+            &dg,
+            9,
+        )
+        .run(&b);
+        let coarse = PartitionedEngine::new(
+            Platform::Bg2,
+            SsdConfig::paper_default().with_router_epoch(Duration::from_us(5)),
+            model,
+            &dg,
+            9,
+        )
+        .run(&b);
+        assert_eq!(fine.flash_reads, coarse.flash_reads);
+        assert_eq!(fine.nodes_visited, coarse.nodes_visited);
+        // Coarser batching can only delay cross-channel work.
+        assert!(coarse.makespan >= fine.makespan);
+    }
+
+    #[test]
+    fn observed_partitioned_run_matches_unobserved() {
+        let dg = make_dg(1_500, 20.0, 64);
+        let model = GnnModelConfig::paper_default(64);
+        let ssd = SsdConfig::paper_default();
+        let b = batches(1, 16, 1_500);
+        let plain = PartitionedEngine::new(Platform::Bg2, ssd, model, &dg, 5).run(&b);
+        let observed = PartitionedEngine::new(Platform::Bg2, ssd, model, &dg, 5)
+            .with_obs(1 << 20)
+            .threads(3)
+            .run(&b);
+        assert_eq!(observed.makespan, plain.makespan);
+        assert_eq!(observed.flash_reads, plain.flash_reads);
+        assert_eq!(observed.nodes_visited, plain.nodes_visited);
+        assert!(plain.spans.is_empty());
+        assert!(!observed.spans.is_empty());
+        let senses = observed
+            .spans
+            .iter()
+            .filter(|s| s.kind == simkit::UnitKind::Die && s.name == "sense")
+            .count() as u64;
+        assert_eq!(senses, observed.flash_reads);
+        assert!(observed.ftl.is_some());
+    }
+}

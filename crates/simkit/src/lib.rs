@@ -14,6 +14,9 @@
 //! * [`par`] — deterministic build-time parallelism: fixed-boundary
 //!   chunking over scoped worker threads, byte-identical at any thread
 //!   count.
+//! * [`sync`] — conservative-lookahead primitives for partitioned
+//!   event loops: epoch-window horizon math and a deterministically
+//!   ordered cross-partition message pool.
 //! * [`stats`] — counters, streaming summaries, fixed-bin histograms,
 //!   time-weighted utilization trackers and event timelines used to
 //!   regenerate the paper's figures.
@@ -43,6 +46,7 @@ pub mod profile;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod trace;
 
@@ -52,5 +56,6 @@ pub use obs::{
 };
 pub use resource::{BandwidthResource, SerialResource};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use sync::{EpochWindow, MessagePool};
 pub use time::{Duration, SimTime};
 pub use trace::{Trace, TraceEvent};

@@ -207,6 +207,19 @@ impl SpanRecorder {
         self.spans.iter()
     }
 
+    /// Appends another recorder's spans, re-stamping their sequence
+    /// numbers to continue this recorder's — the merge step for
+    /// per-partition recorders. Absorbing in a fixed partition order
+    /// yields one recorder indistinguishable from a serial recording;
+    /// capacity and drop accounting behave exactly as if the absorbed
+    /// spans had been recorded here directly.
+    pub fn absorb(&mut self, other: &SpanRecorder) {
+        self.dropped += other.dropped;
+        for s in &other.spans {
+            self.record(s.kind, s.unit, s.name, s.start, s.end, s.value);
+        }
+    }
+
     /// Retained spans sorted canonically by `(time, unit, seq)` — the
     /// export order.
     pub fn sorted(&self) -> Vec<Span> {

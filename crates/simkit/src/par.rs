@@ -181,4 +181,61 @@ mod tests {
         let mut data = [1u8];
         for_each_chunk_mut(&mut data, 0, |_, _| {});
     }
+
+    #[test]
+    fn empty_queue_under_multithread_setting_spawns_nothing() {
+        // threads = min(build_threads, jobs) = 0 → the inline path; an
+        // empty queue must return immediately even when the configured
+        // worker count is large.
+        set_build_threads(16);
+        run_jobs(Vec::<fn()>::new());
+        let mut empty: [u64; 0] = [];
+        for_each_chunk_mut(&mut empty, 1, |_, _| panic!("no chunks expected"));
+        set_build_threads(1);
+    }
+
+    #[test]
+    fn single_thread_runs_inline_and_in_order() {
+        use std::sync::atomic::AtomicUsize;
+        set_build_threads(1);
+        let caller = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        let inline_hits = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                let order = &order;
+                let inline_hits = &inline_hits;
+                move || {
+                    if std::thread::current().id() == caller {
+                        inline_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    order.lock().unwrap().push(i);
+                }
+            })
+            .collect();
+        run_jobs(jobs);
+        // Degenerate path: no workers; every job ran on the caller's
+        // thread, in submission order.
+        assert_eq!(inline_hits.load(Ordering::Relaxed), 8);
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_larger_than_slice_yields_one_full_chunk() {
+        for threads in [1, 4] {
+            set_build_threads(threads);
+            let mut data = [7u32; 5];
+            let calls = Mutex::new(Vec::new());
+            for_each_chunk_mut(&mut data, 100, |start, chunk| {
+                calls.lock().unwrap().push((start, chunk.len()));
+                for v in chunk.iter_mut() {
+                    *v *= 2;
+                }
+            });
+            // One call covering the whole (shorter-than-chunk) slice.
+            assert_eq!(*calls.lock().unwrap(), vec![(0, 5)]);
+            assert_eq!(data, [14; 5]);
+        }
+        set_build_threads(1);
+    }
 }
