@@ -1,0 +1,123 @@
+//! Calendar microbenchmarks: the hierarchical timing wheel under the
+//! three op mixes the engine hot loop actually produces. These isolate
+//! the `schedule`/`pop`/`cancel` costs from the rest of the simulator
+//! so a calendar regression shows up here before it shows up as a
+//! diffuse fig18 wall-clock drift.
+//!
+//! - **schedule_heavy** — bulk insertion followed by one full drain:
+//!   the shape of engine warm-up, where a whole batch of arrivals is
+//!   scheduled before the first pop.
+//! - **drain_heavy** — a small steady-state live set where every pop
+//!   schedules a successor (the engine's dominant regime: each event
+//!   handler schedules the command's next hop).
+//! - **cancel_heavy** — half the scheduled events are cancelled by key
+//!   before the drain, exercising the generation-tagged tombstone path
+//!   and the dead-count purge.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simkit::{Calendar, SimTime};
+use std::hint::black_box;
+
+/// Events per iteration; large enough to cross wheel windows (the
+/// near wheel spans 8192 ns) yet small enough for quick samples.
+const EVENTS: u64 = 64 * 1024;
+
+/// Deterministic xorshift64* stream — no external RNG crates, and the
+/// benches must schedule the same sequence every run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn schedule_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("schedule_heavy", |b| {
+        let mut cal: Calendar<u64> = Calendar::new();
+        b.iter(|| {
+            cal.reset();
+            let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+            // Mix of offsets: mostly near-wheel, a tail into the far
+            // tier, matching the engine's service-time distribution.
+            for i in 0..EVENTS {
+                let spread = if i % 16 == 0 { 100_000 } else { 4_096 };
+                cal.schedule(SimTime::from_ns(rng.next() % spread), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, id)) = cal.pop() {
+                acc = acc.wrapping_add(id);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn drain_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("drain_heavy", |b| {
+        let mut cal: Calendar<u64> = Calendar::new();
+        b.iter(|| {
+            cal.reset();
+            let mut rng = Rng(0xA076_1D64_78BD_642F);
+            // Steady state: 256 live events; every pop reschedules one
+            // successor a short service time ahead, so the wheel cursor
+            // chases the watermark just like the engine's event loop.
+            for i in 0..256u64 {
+                cal.schedule(SimTime::from_ns(rng.next() % 512), i);
+            }
+            let mut acc = 0u64;
+            for _ in 0..EVENTS {
+                let (now, id) = cal.pop().expect("live set never empties");
+                acc = acc.wrapping_add(id);
+                let delay = 1 + rng.next() % 2_048;
+                cal.schedule(now + simkit::Duration::from_ns(delay), id);
+            }
+            while cal.pop().is_some() {}
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn cancel_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("cancel_heavy", |b| {
+        let mut cal: Calendar<u64> = Calendar::new();
+        let mut keys = Vec::with_capacity(EVENTS as usize);
+        b.iter(|| {
+            cal.reset();
+            keys.clear();
+            let mut rng = Rng(0x5851_F42D_4C95_7F2D);
+            for i in 0..EVENTS {
+                keys.push(cal.schedule(SimTime::from_ns(rng.next() % 16_384), i));
+            }
+            // Cancel every other event, newest-first, so tombstones are
+            // spread across occupied buckets rather than purged in
+            // insertion order.
+            let mut cancelled = 0u64;
+            for k in keys.iter().rev().step_by(2) {
+                cancelled += u64::from(cal.cancel(*k));
+            }
+            let mut acc = cancelled;
+            while let Some((_, id)) = cal.pop() {
+                acc = acc.wrapping_add(id);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, schedule_heavy, drain_heavy, cancel_heavy);
+criterion_main!(benches);

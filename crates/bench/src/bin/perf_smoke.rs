@@ -239,6 +239,10 @@ fn main() {
          {:.0} nodes visited, makespan {}, {events} events ({ns_per_event:.0} ns/event)",
         warm.nodes_visited as f64, warm.makespan
     );
+    eprintln!(
+        "calendar occupancy: wheel high-water {}, far high-water {}",
+        warm.pools.calendar_wheel_high_water, warm.pools.calendar_far_high_water
+    );
 
     // Phase 4: parallel-scaling sweep on the Fig 14 matrix. Workload
     // build (cache population during matrix construction) is timed
@@ -442,6 +446,11 @@ fn main() {
     let _ = write!(
         json,
         "\"events_processed\": {events}, \"ns_per_event\": {ns_per_event:.2}, "
+    );
+    let _ = write!(
+        json,
+        "\"calendar_wheel_high_water\": {}, \"calendar_far_high_water\": {}, ",
+        warm.pools.calendar_wheel_high_water, warm.pools.calendar_far_high_water
     );
     let _ = write!(json, "\"nodes_visited\": {}, ", warm.nodes_visited);
     let _ = write!(json, "\"flash_reads\": {}, ", warm.flash_reads);

@@ -1,0 +1,106 @@
+//! Golden digests: pins the deterministic outputs that the CI
+//! determinism smokes otherwise only check for *self*-consistency
+//! (jobs=1 vs jobs=4, cold vs warm cache). These constants are the
+//! digests the current implementation produces; any simulation-visible
+//! change — event ordering, timing model, sampler draw order, workload
+//! synthesis — shifts them and fails here, inside plain `cargo test`,
+//! without running the full figure sweep.
+//!
+//! If a change *intends* to alter simulated results, re-pin the
+//! constants from the test failure output and say so in the commit.
+
+use std::sync::Arc;
+
+use beacon_bench as bench;
+use beacongnn::{Dataset, Platform, RunCell, RunMatrix, SsdConfig, Workload};
+
+/// FNV-1a fold, mirroring `perf_smoke`'s digest of result streams.
+fn fnv1a_fold(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Digest of a run-metrics stream, exactly as `perf_smoke` folds its
+/// `digest matrix …` / `digest fig18 …` stdout lines.
+fn metrics_digest(results: &[beacongnn::RunMetrics]) -> u64 {
+    results.iter().fold(FNV_OFFSET, |h, m| {
+        let h = fnv1a_fold(h, &m.nodes_visited.to_le_bytes());
+        let h = fnv1a_fold(h, &m.flash_reads.to_le_bytes());
+        fnv1a_fold(h, &m.makespan.as_ns().to_le_bytes())
+    })
+}
+
+/// The `digest workload …` line of perf_smoke: the DirectGraph image
+/// digest of the fixed smoke workload (Amazon, 8k nodes, batch 128 × 2,
+/// seed 7).
+#[test]
+fn perf_smoke_workload_digest_is_pinned() {
+    let w = Workload::builder()
+        .dataset(Dataset::Amazon)
+        .nodes(8_000)
+        .batch_size(128)
+        .batches(2)
+        .seed(7)
+        .prepare()
+        .expect("smoke workload prepares");
+    assert_eq!(
+        w.directgraph().digest(),
+        0x26787abe61d5a557,
+        "perf_smoke workload digest drifted"
+    );
+}
+
+/// The `digest matrix …` line of perf_smoke: the Fig 14 platform ×
+/// dataset matrix at smoke scale (4k nodes, batch 64), run sequentially.
+#[test]
+fn perf_smoke_matrix_digest_is_pinned() {
+    let matrix = bench::fig14_matrix(4_000, 64);
+    let results = matrix.run_sequential();
+    assert_eq!(
+        metrics_digest(&results),
+        0x5162b6664821da7d,
+        "perf_smoke fig14-matrix digest drifted"
+    );
+}
+
+/// The `digest fig18 …` line of perf_smoke: the controller-core
+/// sensitivity matrix (BG chain × core counts) at smoke scale.
+#[test]
+fn perf_smoke_fig18_digest_is_pinned() {
+    let w = bench::workload(Dataset::Amazon, 4_000, 64);
+    let mut matrix = RunMatrix::new();
+    for &cores in &[1usize, 2, 4, 8] {
+        let ssd = SsdConfig::paper_default().with_cores(cores);
+        for p in Platform::BG_CHAIN {
+            matrix.push(RunCell::new(p, Arc::clone(&w)).ssd(ssd));
+        }
+    }
+    let results = matrix.run_sequential();
+    assert_eq!(
+        metrics_digest(&results),
+        0xcbeb13e185cab770,
+        "perf_smoke fig18-matrix digest drifted"
+    );
+}
+
+/// The Fig 7b barrier-cost sweep at harness scale — the rows behind the
+/// `experiments fig7b` stdout the CI determinism smoke `cmp`s. Folding
+/// the raw row values pins the same information as the rendered table
+/// without coupling the test to the text formatting.
+#[test]
+fn fig7b_rows_digest_is_pinned() {
+    let rows = bench::fig7b(bench::DEFAULT_NODES);
+    let digest = rows.iter().fold(FNV_OFFSET, |h, r| {
+        let h = fnv1a_fold(h, &(r.batch_size as u64).to_le_bytes());
+        let h = fnv1a_fold(h, &r.barriered_util.to_bits().to_le_bytes());
+        let h = fnv1a_fold(h, &r.out_of_order_util.to_bits().to_le_bytes());
+        fnv1a_fold(h, &r.prep_inflation.to_bits().to_le_bytes())
+    });
+    assert_eq!(digest, 0xbaf2c4555060442d, "fig7b row digest drifted");
+}

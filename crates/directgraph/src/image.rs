@@ -96,6 +96,89 @@ pub struct SecondarySection {
     pub neighbors: Vec<PhysAddr>,
 }
 
+/// A zero-copy view of a parsed section: fixed fields are decoded, the
+/// variable-length arrays stay as borrowed in-page byte ranges with
+/// on-demand indexed decoding. This is the sampler hot path's parse —
+/// [`PageStore::parse_section`] materializes the same data into owned
+/// vectors (three allocations plus a feature copy per call), which the
+/// per-command sampling loop cannot afford.
+#[derive(Debug, Clone, Copy)]
+pub enum SectionView<'a> {
+    /// A node's primary section.
+    Primary(PrimaryView<'a>),
+    /// An overflow neighbor-list section.
+    Secondary(SecondaryView<'a>),
+}
+
+/// Borrowed view of a primary section (see [`SectionView`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PrimaryView<'a> {
+    /// The owning node.
+    pub node: NodeId,
+    /// The node's total neighbor count across inline + secondary storage.
+    pub total_neighbors: u32,
+    /// Length of the feature vector in bytes.
+    pub feature_bytes: usize,
+    secondary: &'a [u8],
+    inline: &'a [u8],
+}
+
+impl PrimaryView<'_> {
+    /// Number of secondary sections.
+    pub fn num_secondary(&self) -> usize {
+        self.secondary.len() / 4
+    }
+
+    /// Address of secondary section `j`, in neighbor order.
+    pub fn secondary_addr(&self, j: usize) -> PhysAddr {
+        addr_at(self.secondary, j)
+    }
+
+    /// Number of neighbors stored inline in this section.
+    pub fn inline_count(&self) -> usize {
+        self.inline.len() / 4
+    }
+
+    /// Primary-section address of inline neighbor `i`.
+    pub fn inline_neighbor(&self, i: usize) -> PhysAddr {
+        addr_at(self.inline, i)
+    }
+}
+
+/// Borrowed view of a secondary section (see [`SectionView`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SecondaryView<'a> {
+    /// The owning node.
+    pub node: NodeId,
+    /// Index (into the owner's neighbor list) of this section's first
+    /// neighbor.
+    pub owner_start: u32,
+    neighbors: &'a [u8],
+}
+
+impl SecondaryView<'_> {
+    /// Number of neighbors in this section.
+    pub fn num_neighbors(&self) -> usize {
+        self.neighbors.len() / 4
+    }
+
+    /// Primary-section address of neighbor `i`.
+    pub fn neighbor(&self, i: usize) -> PhysAddr {
+        addr_at(self.neighbors, i)
+    }
+}
+
+#[inline]
+fn addr_at(bytes: &[u8], i: usize) -> PhysAddr {
+    let o = i * 4;
+    PhysAddr::from_raw(u32::from_le_bytes([
+        bytes[o],
+        bytes[o + 1],
+        bytes[o + 2],
+        bytes[o + 3],
+    ]))
+}
+
 /// Why a section failed to parse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SectionParseError {
@@ -227,6 +310,30 @@ impl PageStore {
     /// Returns a [`SectionParseError`] if the page is missing, the slot
     /// does not exist, or the page bytes are malformed.
     pub fn parse_section(&self, addr: PhysAddr) -> Result<Section, SectionParseError> {
+        let (page, offset, len, kind, page_idx) = self.locate(addr)?;
+        parse_at(page, offset, len, kind, page_idx)
+    }
+
+    /// Like [`parse_section`](PageStore::parse_section), but returns a
+    /// zero-copy [`SectionView`] borrowing the page bytes instead of
+    /// materializing owned vectors — the allocation-free parse the
+    /// per-command sampler loop runs on. Bounds checks and error cases
+    /// are identical to the owned parse.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`parse_section`](PageStore::parse_section).
+    pub fn parse_section_view(&self, addr: PhysAddr) -> Result<SectionView<'_>, SectionParseError> {
+        let (page, offset, len, kind, page_idx) = self.locate(addr)?;
+        view_at(page, offset, len, kind, page_idx)
+    }
+
+    /// The shared slot walk: resolves `addr` to its section's page
+    /// bytes, byte offset, declared length and kind.
+    fn locate(
+        &self,
+        addr: PhysAddr,
+    ) -> Result<(&[u8], usize, usize, SectionKind, PageIndex), SectionParseError> {
         let (page_idx, slot) = self.layout.unpack(addr);
         let page = self
             .read_page(page_idx)
@@ -252,7 +359,7 @@ impl PageStore {
                 });
             }
             if cur_slot == slot {
-                return parse_at(page, offset, len, kind, page_idx);
+                return Ok((page, offset, len, kind, page_idx));
             }
             offset += len;
         }
@@ -342,6 +449,61 @@ fn parse_at(
                 u32::from_le_bytes([sec[pos], sec[pos + 1], sec[pos + 2], sec[pos + 3]]);
             let neighbors = read_addrs(sec, pos + SECONDARY_FIXED_BYTES, neighbor_count as usize);
             Ok(Section::Secondary(SecondarySection {
+                node,
+                owner_start,
+                neighbors,
+            }))
+        }
+    }
+}
+
+fn view_at(
+    page: &[u8],
+    offset: usize,
+    len: usize,
+    kind: SectionKind,
+    page_idx: PageIndex,
+) -> Result<SectionView<'_>, SectionParseError> {
+    let sec = &page[offset..offset + len];
+    let node = NodeId::new(u32::from_le_bytes([sec[4], sec[5], sec[6], sec[7]]));
+    let neighbor_count = u32::from_le_bytes([sec[8], sec[9], sec[10], sec[11]]);
+    match kind {
+        SectionKind::Primary => {
+            let feature_bytes = u16::from_le_bytes([sec[12], sec[13]]) as usize;
+            let num_secondary = u16::from_le_bytes([sec[14], sec[15]]) as usize;
+            let mut pos = HEADER_BYTES + PRIMARY_FIXED_BYTES;
+            let need = pos + num_secondary * 4 + feature_bytes;
+            if need > len {
+                return Err(SectionParseError::Truncated {
+                    page: page_idx,
+                    offset,
+                });
+            }
+            let secondary = &sec[pos..pos + num_secondary * 4];
+            pos += num_secondary * 4 + feature_bytes;
+            let n_inline = (len - pos) / 4;
+            let inline = &sec[pos..pos + n_inline * 4];
+            Ok(SectionView::Primary(PrimaryView {
+                node,
+                total_neighbors: neighbor_count,
+                feature_bytes,
+                secondary,
+                inline,
+            }))
+        }
+        SectionKind::Secondary => {
+            let pos = HEADER_BYTES;
+            if pos + SECONDARY_FIXED_BYTES + neighbor_count as usize * 4 > len {
+                return Err(SectionParseError::Truncated {
+                    page: page_idx,
+                    offset,
+                });
+            }
+            let owner_start =
+                u32::from_le_bytes([sec[pos], sec[pos + 1], sec[pos + 2], sec[pos + 3]]);
+            let start = pos + SECONDARY_FIXED_BYTES;
+            let neighbors = &sec[start..start + neighbor_count as usize * 4];
+            Ok(SectionView::Secondary(SecondaryView {
                 node,
                 owner_start,
                 neighbors,

@@ -58,7 +58,7 @@ pub mod verify;
 
 pub use addr::{AddrLayout, PageIndex, PhysAddr};
 pub use build::{BuildError, DirectGraph, DirectGraphBuilder, NodeDirectory};
-pub use image::{PageStore, Section, SectionParseError};
+pub use image::{PageStore, PrimaryView, SecondaryView, Section, SectionParseError, SectionView};
 pub use inflation::InflationReport;
 pub use serial::LoadError;
 pub use verify::{ValidationError, Validator};

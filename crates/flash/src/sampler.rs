@@ -24,7 +24,7 @@
 
 use beacon_graph::NodeId;
 use directgraph::layout::secondary_capacity;
-use directgraph::{PageStore, PhysAddr, Section, SectionParseError};
+use directgraph::{PageStore, PhysAddr, SectionParseError, SectionView};
 use simkit::Xoshiro256StarStar;
 
 /// Serialized size of one sampling command on the channel, in bytes
@@ -244,11 +244,11 @@ impl DieSampler {
         out.feature_bytes = 0;
         out.new_commands.clear();
         self.executed += 1;
-        let section = store.parse_section(cmd.target)?;
+        let section = store.parse_section_view(cmd.target)?;
         match section {
-            Section::Primary(p) => {
+            SectionView::Primary(p) => {
                 out.visited = Some(p.node);
-                out.feature_bytes = p.feature.len();
+                out.feature_bytes = p.feature_bytes;
                 if cmd.hop >= self.config.num_hops {
                     return Ok(()); // final hop: feature retrieval only
                 }
@@ -261,7 +261,7 @@ impl DieSampler {
                 } else {
                     cmd.count
                 };
-                let inline = p.inline_neighbors.len() as u64;
+                let inline = p.inline_count() as u64;
                 let sec_cap = secondary_capacity(store.layout().page_size()) as u64;
                 // Coalesce overflow hits per secondary section so each
                 // secondary page is read once (paper §V-A). The scratch
@@ -272,7 +272,7 @@ impl DieSampler {
                     let r = self.trng.next_bounded(total);
                     if r < inline {
                         out.new_commands.push(SampleCommand {
-                            target: p.inline_neighbors[r as usize],
+                            target: p.inline_neighbor(r as usize),
                             hop: cmd.hop + 1,
                             count: 0,
                             subgraph: cmd.subgraph,
@@ -291,7 +291,7 @@ impl DieSampler {
                 self.coalesce.sort_unstable_by_key(|&(j, _)| j);
                 for &(j, count) in &self.coalesce {
                     out.new_commands.push(SampleCommand {
-                        target: p.secondary_addrs[j],
+                        target: p.secondary_addr(j),
                         hop: cmd.hop,
                         count,
                         subgraph: cmd.subgraph,
@@ -301,19 +301,19 @@ impl DieSampler {
                 self.coalesce.clear();
                 Ok(())
             }
-            Section::Secondary(s) => {
+            SectionView::Secondary(s) => {
                 if cmd.count == 0 {
                     // A fanout-style command must target a primary section.
                     return Err(SamplerError::WrongSectionKind { target: cmd.target });
                 }
-                let n = s.neighbors.len() as u64;
+                let n = s.num_neighbors() as u64;
                 if n == 0 {
                     return Ok(());
                 }
                 for _ in 0..cmd.count {
                     let idx = self.trng.next_bounded(n) as usize;
                     out.new_commands.push(SampleCommand {
-                        target: s.neighbors[idx],
+                        target: s.neighbor(idx),
                         hop: cmd.hop + 1,
                         count: 0,
                         subgraph: cmd.subgraph,

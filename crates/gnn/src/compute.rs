@@ -174,23 +174,22 @@ impl GnnForward {
     }
 }
 
-// Element-wise kernels of the forward pass, unrolled 4 wide through
+// Element-wise kernels of the forward pass, unrolled 8 wide through
 // `chunks_exact` so the compiler sees fixed-length bodies it can keep
-// in vector registers even when it cannot infer the slice lengths.
-// Each output element still sees exactly the operations of the naive
-// zip loop, in the same order — no reassociation — so results stay
-// bit-identical.
+// in vector registers even when it cannot infer the slice lengths —
+// wide enough for one AVX2 f32 vector per iteration. Each output
+// element still sees exactly the operations of the naive zip loop, in
+// the same order — no reassociation — so results stay bit-identical.
 
 /// `dst[i] += src[i]` over the common prefix (Eq. 1's vector_sum step).
 #[inline]
 fn add_assign(dst: &mut [f32], src: &[f32]) {
-    let mut d = dst.chunks_exact_mut(4);
-    let mut s = src.chunks_exact(4);
-    for (d4, s4) in d.by_ref().zip(s.by_ref()) {
-        d4[0] += s4[0];
-        d4[1] += s4[1];
-        d4[2] += s4[2];
-        d4[3] += s4[3];
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (d8, s8) in d.by_ref().zip(s.by_ref()) {
+        for i in 0..8 {
+            d8[i] += s8[i];
+        }
     }
     for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
         *a += b;
@@ -200,13 +199,12 @@ fn add_assign(dst: &mut [f32], src: &[f32]) {
 /// `dst[i] = max(dst[i], src[i])` over the common prefix.
 #[inline]
 fn max_assign(dst: &mut [f32], src: &[f32]) {
-    let mut d = dst.chunks_exact_mut(4);
-    let mut s = src.chunks_exact(4);
-    for (d4, s4) in d.by_ref().zip(s.by_ref()) {
-        d4[0] = d4[0].max(s4[0]);
-        d4[1] = d4[1].max(s4[1]);
-        d4[2] = d4[2].max(s4[2]);
-        d4[3] = d4[3].max(s4[3]);
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (d8, s8) in d.by_ref().zip(s.by_ref()) {
+        for i in 0..8 {
+            d8[i] = d8[i].max(s8[i]);
+        }
     }
     for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
         *a = a.max(*b);
@@ -217,13 +215,12 @@ fn max_assign(dst: &mut [f32], src: &[f32]) {
 /// perceptron update).
 #[inline]
 fn axpy(dst: &mut [f32], x: f32, row: &[f32]) {
-    let mut d = dst.chunks_exact_mut(4);
-    let mut r = row.chunks_exact(4);
-    for (d4, r4) in d.by_ref().zip(r.by_ref()) {
-        d4[0] += x * r4[0];
-        d4[1] += x * r4[1];
-        d4[2] += x * r4[2];
-        d4[3] += x * r4[3];
+    let mut d = dst.chunks_exact_mut(8);
+    let mut r = row.chunks_exact(8);
+    for (d8, r8) in d.by_ref().zip(r.by_ref()) {
+        for i in 0..8 {
+            d8[i] += x * r8[i];
+        }
     }
     for (o, &wv) in d.into_remainder().iter_mut().zip(r.remainder()) {
         *o += x * wv;

@@ -162,23 +162,124 @@ impl StepQueue {
 /// small `Copy` value and the per-command heap allocation disappears.
 type OutcomeIdx = u32;
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// Command address available at the frontend (lifetime start).
-    Arrive(Cmd),
-    /// Pre-issue steps remaining before the die request.
-    Pre(Cmd, SimTime, StepQueue),
-    /// Request the target die.
-    DieReq(Cmd, SimTime),
-    /// Request the channel bus after sensing (carries the die-grant
-    /// start for phase accounting and the die index so the striping
-    /// math runs once per command).
-    XferReq(Cmd, SimTime, SimTime, OutcomeIdx, u32),
-    /// Post-transfer steps remaining before completion; carries the
-    /// transfer end time and the channel-queue wait already incurred.
-    Post(Cmd, SimTime, SimTime, Duration, OutcomeIdx, StepQueue),
-    /// Hop barrier released: buffered commands of this hop may arrive.
-    ReleaseHop(u8),
+// Flat event-kind discriminants. A calendar event is one packed word —
+// kind in the low three bits, payload (a `CmdStates` slot index, or the
+// hop number for `EV_RELEASE_HOP`) in the upper bits — so the calendar
+// slab holds plain `u64`s instead of a 70-byte enum and the drain
+// loop's dispatch is a branch-predictable jump on three bits.
+/// Command address available at the frontend (lifetime start).
+const EV_ARRIVE: u64 = 0;
+/// Pre-issue steps remaining before the die request.
+const EV_PRE: u64 = 1;
+/// Request the target die.
+const EV_DIE_REQ: u64 = 2;
+/// Request the channel bus after sensing.
+const EV_XFER_REQ: u64 = 3;
+/// Post-transfer steps remaining before completion.
+const EV_POST: u64 = 4;
+/// Hop barrier released: buffered commands of this hop may arrive.
+const EV_RELEASE_HOP: u64 = 5;
+
+/// Packs an event kind and payload into one calendar word.
+#[inline(always)]
+fn ev(kind: u64, payload: u32) -> u64 {
+    ((payload as u64) << 3) | kind
+}
+
+/// Per-command in-flight state, struct-of-arrays.
+///
+/// Each spawned command holds exactly one slot from `Arrive` until its
+/// `Post` chain completes, and has exactly one event in flight at any
+/// moment, so the pool's size is bounded by peak command concurrency.
+/// Fields that are dead in a given phase are reused rather than
+/// duplicated: `tmark` carries the die-grant start between `DieReq` and
+/// `XferReq`, then the transfer end between `XferReq` and the final
+/// `Post`. The SoA split keeps the hot pops (which touch only `cmd` and
+/// one or two sidecar fields per phase) from dragging the whole
+/// 100-byte AoS record through the cache.
+#[derive(Debug, Default)]
+struct CmdStates {
+    cmd: Vec<Cmd>,
+    /// Arrival time (lifetime start) for wait-phase accounting.
+    created: Vec<SimTime>,
+    /// Phase-dependent timestamp: die-grant start, then transfer end.
+    tmark: Vec<SimTime>,
+    /// Channel-queue wait incurred at the transfer stage.
+    chan_wait: Vec<Duration>,
+    /// Outcome-pool slot held from `DieReq` to the final `Post`.
+    oi: Vec<OutcomeIdx>,
+    /// Target die index (striping math runs once per command).
+    die: Vec<u32>,
+    /// Remaining pre/post pipeline steps.
+    steps: Vec<StepQueue>,
+    free: Vec<u32>,
+}
+
+impl CmdStates {
+    fn acquire(&mut self, cmd: Cmd) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.cmd[i as usize] = cmd;
+                i
+            }
+            None => {
+                let i = u32::try_from(self.cmd.len()).expect("command state pool overflow");
+                self.cmd.push(cmd);
+                self.created.push(SimTime::ZERO);
+                self.tmark.push(SimTime::ZERO);
+                self.chan_wait.push(Duration::ZERO);
+                self.oi.push(0);
+                self.die.push(0);
+                self.steps.push(StepQueue::new());
+                i
+            }
+        }
+    }
+
+    fn release(&mut self, i: u32) {
+        self.free.push(i);
+    }
+}
+
+/// Memoized flash service times for the sense/transfer hot path.
+///
+/// Die service is one constant per run (read latency plus the on-die
+/// sampling time where applicable). Channel service depends only on the
+/// transferred byte count, which is bounded by the page size for every
+/// modeled transfer, so a flat table keyed by `bytes` replaces the
+/// per-event `command_overhead + transfer_time(bytes)` division chain.
+#[derive(Debug)]
+pub(crate) struct FlashServiceMemo {
+    /// `read_latency` (+ `ON_DIE_SAMPLE_TIME` on die-sampling specs).
+    pub(crate) die_service: Duration,
+    /// `command_overhead + transfer_time(bytes)` for `0..=page_size`.
+    services: Vec<Duration>,
+    timing: beacon_flash::FlashTiming,
+}
+
+impl FlashServiceMemo {
+    pub(crate) fn new(
+        timing: beacon_flash::FlashTiming,
+        on_die: Duration,
+        page_size: usize,
+    ) -> Self {
+        let services = (0..=page_size as u64)
+            .map(|b| timing.command_overhead + timing.transfer_time(b))
+            .collect();
+        FlashServiceMemo {
+            die_service: timing.read_latency + on_die,
+            services,
+            timing,
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn xfer_service(&self, bytes: u64) -> Duration {
+        match self.services.get(bytes as usize) {
+            Some(&d) => d,
+            None => self.timing.command_overhead + self.timing.transfer_time(bytes),
+        }
+    }
 }
 
 /// Slab of [`SampleOutcome`]s with a free list.
@@ -243,9 +344,11 @@ impl OutcomePool {
 /// fresh scratch (the calendar is reset between runs).
 #[derive(Debug, Default)]
 pub struct EngineScratch {
-    calendar: Calendar<Event>,
+    calendar: Calendar<u64>,
     outcomes: OutcomePool,
+    states: CmdStates,
     release_buf: Vec<Cmd>,
+    span_stage: Vec<simkit::obs::Span>,
 }
 
 impl EngineScratch {
@@ -270,14 +373,19 @@ pub struct Engine<'a> {
     pcie: BandwidthResource,
     samplers: Vec<DieSampler>,
 
-    calendar: Calendar<Event>,
+    calendar: Calendar<u64>,
     outcomes: OutcomePool,
+    states: CmdStates,
     release_buf: Vec<Cmd>,
+    /// Staging buffer for hot-loop observability spans, flushed once
+    /// per batch via [`SpanRecorder::record_batch`].
+    span_stage: Vec<simkit::obs::Span>,
+    /// Memoized flash service times (die sense + channel transfer).
+    memo: FlashServiceMemo,
     /// Calendar pool stats at run start (the calendar may arrive warm
     /// from a shared scratch), so per-run deltas are reportable.
     cal_base: simkit::PoolStats,
     events_processed: u64,
-    calendar_peak: usize,
 
     // Per-batch state.
     outstanding: u64,
@@ -342,6 +450,11 @@ impl<'a> Engine<'a> {
             .map(|d| DieSampler::new(die_cfg, seed ^ (d as u64).wrapping_mul(0x9E3779B9)))
             .collect();
         let hops = model.hops as usize + 2;
+        let on_die = match spec.sampling {
+            SamplingLocation::Die => ON_DIE_SAMPLE_TIME,
+            _ => Duration::ZERO,
+        };
+        let memo = FlashServiceMemo::new(ssd.timing, on_die, geo.page_size);
         Engine {
             spec,
             model,
@@ -355,10 +468,12 @@ impl<'a> Engine<'a> {
             samplers,
             calendar: Calendar::new(),
             outcomes: OutcomePool::default(),
+            states: CmdStates::default(),
             release_buf: Vec::new(),
+            span_stage: Vec::new(),
+            memo,
             cal_base: simkit::PoolStats::default(),
             events_processed: 0,
-            calendar_peak: 0,
             outstanding: 0,
             hop_outstanding: vec![0; hops],
             hop_buffers: vec![Vec::new(); hops],
@@ -451,15 +566,20 @@ impl<'a> Engine<'a> {
     pub fn run_with(mut self, scratch: &mut EngineScratch, batches: &[Vec<NodeId>]) -> RunMetrics {
         scratch.calendar.reset();
         scratch.release_buf.clear();
+        scratch.span_stage.clear();
         scratch.outcomes.reset_stats();
         std::mem::swap(&mut self.calendar, &mut scratch.calendar);
         std::mem::swap(&mut self.outcomes, &mut scratch.outcomes);
+        std::mem::swap(&mut self.states, &mut scratch.states);
         std::mem::swap(&mut self.release_buf, &mut scratch.release_buf);
+        std::mem::swap(&mut self.span_stage, &mut scratch.span_stage);
         self.cal_base = self.calendar.pool_stats();
         let metrics = self.run_inner(batches);
         std::mem::swap(&mut self.calendar, &mut scratch.calendar);
         std::mem::swap(&mut self.outcomes, &mut scratch.outcomes);
+        std::mem::swap(&mut self.states, &mut scratch.states);
         std::mem::swap(&mut self.release_buf, &mut scratch.release_buf);
+        std::mem::swap(&mut self.span_stage, &mut scratch.span_stage);
         metrics
     }
 
@@ -595,12 +715,22 @@ impl<'a> Engine<'a> {
             event_slots_reused: cal_stats.slots_reused - self.cal_base.slots_reused,
             outcome_slots_allocated: self.outcomes.allocated,
             outcome_slots_reused: self.outcomes.reused,
+            calendar_wheel_high_water: cal_stats.wheel_high_water,
+            calendar_far_high_water: cal_stats.far_high_water,
         };
         profile::count("engine/events_processed", pools.events_processed);
         profile::count("engine/event_slots_allocated", pools.event_slots_allocated);
         profile::count("engine/event_slots_reused", pools.event_slots_reused);
         profile::count("engine/outcome_slots_reused", pools.outcome_slots_reused);
-        profile::count("engine/calendar_peak_depth", self.calendar_peak as u64);
+        // The calendar's live high-water equals the peak the old
+        // per-pop `len()` sampling reported: live count only falls at
+        // pops, and the drain always pops after the last schedule.
+        profile::count("engine/calendar_peak_depth", cal_stats.live_high_water);
+        profile::count(
+            "engine/calendar_wheel_high_water",
+            cal_stats.wheel_high_water,
+        );
+        profile::count("engine/calendar_far_high_water", cal_stats.far_high_water);
 
         // Sustained occupancy: delivered MACs / reduce ops against each
         // array's peak over the whole compute window.
@@ -731,6 +861,10 @@ impl<'a> Engine<'a> {
             );
         }
         self.drain();
+        // Flush the spans the handlers staged during the drain, in
+        // exactly the order they were staged — identical sequence
+        // numbering to per-call recording, one push loop per batch.
+        self.obs.record_batch(&mut self.span_stage);
         self.prep_end
     }
 
@@ -746,9 +880,13 @@ impl<'a> Engine<'a> {
         self.outstanding += 1;
         self.hop_outstanding[hop] += 1;
         if self.spec.hop_barrier && !self.hop_released[hop] {
+            // Barrier-buffered commands take no state slot yet; the
+            // slot is acquired when the hop releases and the command
+            // actually enters the pipeline.
             self.hop_buffers[hop].push(cmd);
         } else {
-            self.calendar.schedule(at, Event::Arrive(cmd));
+            let si = self.states.acquire(cmd);
+            self.calendar.schedule(at, ev(EV_ARRIVE, si));
         }
     }
 
@@ -759,31 +897,25 @@ impl<'a> Engine<'a> {
         // directly delivers the exact order the old batch-drain loop
         // (and any serial reference) produces — without staging every
         // event through an intermediate buffer first.
-        let mut peak = self.calendar_peak;
         let mut processed = 0u64;
-        while let Some((now, ev)) = {
-            peak = peak.max(self.calendar.len());
-            self.calendar.pop()
-        } {
+        while let Some((now, word)) = self.calendar.pop() {
             processed += 1;
-            match ev {
-                Event::Arrive(cmd) => self.on_arrive(cmd, now),
-                Event::Pre(cmd, created, steps) => self.on_pre(cmd, created, steps, now),
-                Event::DieReq(cmd, created) => self.on_die_req(cmd, created, now),
-                Event::XferReq(cmd, created, die_start, oi, die) => {
-                    self.on_xfer_req(cmd, created, die_start, oi, die, now)
-                }
-                Event::Post(cmd, created, xfer_end, chan_wait, oi, steps) => {
-                    self.on_post(cmd, created, xfer_end, chan_wait, oi, steps, now)
-                }
-                Event::ReleaseHop(h) => self.on_release_hop(h, now),
+            let payload = (word >> 3) as u32;
+            match word & 0b111 {
+                EV_ARRIVE => self.on_arrive(payload, now),
+                EV_PRE => self.on_pre(payload, now),
+                EV_DIE_REQ => self.on_die_req(payload, now),
+                EV_XFER_REQ => self.on_xfer_req(payload, now),
+                EV_POST => self.on_post(payload, now),
+                _ => self.on_release_hop(payload as u8, now),
             }
         }
-        self.calendar_peak = peak;
         self.events_processed += processed;
     }
 
-    fn on_arrive(&mut self, cmd: Cmd, now: SimTime) {
+    fn on_arrive(&mut self, si: u32, now: SimTime) {
+        let cmd = self.states.cmd[si as usize];
+        self.states.created[si as usize] = now;
         if self.record_hops {
             let h = cmd.sample.hop as usize;
             self.hop_first[h] = Some(self.hop_first[h].map_or(now, |t| t.min(now)));
@@ -798,7 +930,8 @@ impl<'a> Engine<'a> {
                     + self.ssd.firmware.ftl_lookup
                     + self.ssd.firmware.flash_issue,
             ));
-            self.calendar.schedule(now, Event::Pre(cmd, now, pre));
+            self.states.steps[si as usize] = pre;
+            self.calendar.schedule(now, ev(EV_PRE, si));
             return;
         }
         match self.spec.sampling {
@@ -829,42 +962,41 @@ impl<'a> Engine<'a> {
                 }
             },
         }
-        self.calendar.schedule(now, Event::Pre(cmd, now, pre));
+        self.states.steps[si as usize] = pre;
+        self.calendar.schedule(now, ev(EV_PRE, si));
     }
 
-    fn on_pre(&mut self, cmd: Cmd, created: SimTime, mut steps: StepQueue, now: SimTime) {
-        match steps.pop_front() {
+    fn on_pre(&mut self, si: u32, now: SimTime) {
+        match self.states.steps[si as usize].pop_front() {
             None => {
-                self.calendar.schedule(now, Event::DieReq(cmd, created));
+                self.calendar.schedule(now, ev(EV_DIE_REQ, si));
             }
             Some(step) => {
                 let end = self.exec_step(step, now);
-                self.calendar.schedule(end, Event::Pre(cmd, created, steps));
+                self.calendar.schedule(end, ev(EV_PRE, si));
             }
         }
     }
 
-    fn on_die_req(&mut self, cmd: Cmd, created: SimTime, now: SimTime) {
+    fn on_die_req(&mut self, si: u32, now: SimTime) {
+        let cmd = self.states.cmd[si as usize];
         let die = self.die_of(cmd);
-        let on_die = match self.spec.sampling {
-            SamplingLocation::Die => ON_DIE_SAMPLE_TIME,
-            _ => Duration::ZERO,
-        };
-        let grant = self.dies[die].acquire(now, self.ssd.timing.read_latency + on_die);
+        let grant = self.dies[die].acquire(now, self.memo.die_service);
         self.die_timeline.push(grant.start, grant.end);
         if self.trace.is_enabled() {
             self.trace
                 .record(grant.start, "die_sense", die as u64, cmd.sample.hop as f64);
         }
         if self.obs.is_enabled() {
-            self.obs.record(
-                UnitKind::Die,
-                die as u32,
-                "sense",
-                grant.start,
-                grant.end,
-                cmd.sample.hop as f64,
-            );
+            self.span_stage.push(simkit::obs::Span {
+                kind: UnitKind::Die,
+                unit: die as u32,
+                name: "sense",
+                start: grant.start,
+                end: grant.end,
+                value: cmd.sample.hop as f64,
+                seq: 0,
+            });
             if let Some(router) = self.router.as_mut() {
                 // Mirror the round-robin issuer: this die went idle and
                 // accepted its next dispatch-queue command.
@@ -910,31 +1042,28 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        self.cmd_breakdown
-            .wait_before_flash
-            .record_duration(grant.start.saturating_duration_since(created));
-        self.calendar.schedule(
-            grant.end,
-            Event::XferReq(cmd, created, grant.start, oi, die as u32),
+        self.cmd_breakdown.wait_before_flash.record_duration(
+            grant
+                .start
+                .saturating_duration_since(self.states.created[si as usize]),
         );
+        self.states.tmark[si as usize] = grant.start;
+        self.states.oi[si as usize] = oi;
+        self.states.die[si as usize] = die as u32;
+        self.calendar.schedule(grant.end, ev(EV_XFER_REQ, si));
     }
 
-    fn on_xfer_req(
-        &mut self,
-        cmd: Cmd,
-        created: SimTime,
-        die_start: SimTime,
-        oi: OutcomeIdx,
-        die: u32,
-        now: SimTime,
-    ) {
-        let die = die as usize;
+    fn on_xfer_req(&mut self, si: u32, now: SimTime) {
+        let cmd = self.states.cmd[si as usize];
+        let die = self.states.die[si as usize] as usize;
+        let die_start = self.states.tmark[si as usize];
+        let oi = self.states.oi[si as usize];
         let channel = die % self.ssd.geometry.channels;
         let bytes = match self.spec.transfer {
             TransferGranularity::Page => self.ssd.geometry.page_size as u64,
             TransferGranularity::Useful => self.outcomes.get(oi).result_bytes() as u64,
         };
-        let service = self.ssd.timing.command_overhead + self.ssd.timing.transfer_time(bytes);
+        let service = self.memo.xfer_service(bytes);
         let grant = self.channels[channel].acquire(now, service);
         self.channel_timeline.push(grant.start, grant.end);
         if self.trace.is_enabled() {
@@ -942,14 +1071,15 @@ impl<'a> Engine<'a> {
                 .record(grant.start, "chan_xfer", channel as u64, bytes as f64);
         }
         if self.obs.is_enabled() {
-            self.obs.record(
-                UnitKind::Channel,
-                channel as u32,
-                "xfer",
-                grant.start,
-                grant.end,
-                bytes as f64,
-            );
+            self.span_stage.push(simkit::obs::Span {
+                kind: UnitKind::Channel,
+                unit: channel as u32,
+                name: "xfer",
+                start: grant.start,
+                end: grant.end,
+                value: bytes as f64,
+                seq: 0,
+            });
         }
         self.channel_bytes_accum += bytes;
         // The command's own flash processing: die service (sense +
@@ -962,10 +1092,10 @@ impl<'a> Engine<'a> {
             .record_duration((now - die_start) + (grant.end - grant.start));
 
         let steps = self.post_steps(&cmd, oi, bytes);
-        self.calendar.schedule(
-            grant.end,
-            Event::Post(cmd, created, grant.end, chan_wait, oi, steps),
-        );
+        self.states.steps[si as usize] = steps;
+        self.states.tmark[si as usize] = grant.end;
+        self.states.chan_wait[si as usize] = chan_wait;
+        self.calendar.schedule(grant.end, ev(EV_POST, si));
     }
 
     fn post_steps(&self, cmd: &Cmd, oi: OutcomeIdx, xfer_bytes: u64) -> StepQueue {
@@ -1048,25 +1178,16 @@ impl<'a> Engine<'a> {
         steps
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn on_post(
-        &mut self,
-        cmd: Cmd,
-        created: SimTime,
-        xfer_end: SimTime,
-        chan_wait: Duration,
-        oi: OutcomeIdx,
-        mut steps: StepQueue,
-        now: SimTime,
-    ) {
-        if let Some(step) = steps.pop_front() {
+    fn on_post(&mut self, si: u32, now: SimTime) {
+        if let Some(step) = self.states.steps[si as usize].pop_front() {
             let end = self.exec_step(step, now);
-            self.calendar.schedule(
-                end,
-                Event::Post(cmd, created, xfer_end, chan_wait, oi, steps),
-            );
+            self.calendar.schedule(end, ev(EV_POST, si));
             return;
         }
+        let cmd = self.states.cmd[si as usize];
+        let xfer_end = self.states.tmark[si as usize];
+        let chan_wait = self.states.chan_wait[si as usize];
+        let oi = self.states.oi[si as usize];
         // Command fully processed. Channel-queue wait counts toward
         // wait_after_flash (it happens after the sense completes).
         self.cmd_breakdown
@@ -1081,10 +1202,16 @@ impl<'a> Engine<'a> {
             );
         }
         if self.obs.is_enabled() {
-            self.obs
-                .instant(UnitKind::Engine, 0, "cmd_done", now, cmd.sample.hop as f64);
+            self.span_stage.push(simkit::obs::Span {
+                kind: UnitKind::Engine,
+                unit: 0,
+                name: "cmd_done",
+                start: now,
+                end: now,
+                value: cmd.sample.hop as f64,
+                seq: 0,
+            });
         }
-        let _ = created;
         if self.record_hops {
             let h = cmd.sample.hop as usize;
             self.hop_last[h] = Some(self.hop_last[h].map_or(now, |t| t.max(now)));
@@ -1119,6 +1246,7 @@ impl<'a> Engine<'a> {
             );
         }
         self.outcomes.release(oi);
+        self.states.release(si);
         self.complete(cmd, now);
     }
 
@@ -1146,7 +1274,7 @@ impl<'a> Engine<'a> {
             let release_at = now + self.ssd.host.nvme_roundtrip + host_work;
             self.energy.host_cpu_busy += host_work * self.ssd.host.cores as u64;
             self.calendar
-                .schedule(release_at, Event::ReleaseHop((hop + 1) as u8));
+                .schedule(release_at, ev(EV_RELEASE_HOP, (hop + 1) as u32));
         }
     }
 
@@ -1159,7 +1287,8 @@ impl<'a> Engine<'a> {
         std::mem::swap(&mut self.release_buf, &mut self.hop_buffers[hop as usize]);
         for i in 0..self.release_buf.len() {
             let cmd = self.release_buf[i];
-            self.calendar.schedule(now, Event::Arrive(cmd));
+            let si = self.states.acquire(cmd);
+            self.calendar.schedule(now, ev(EV_ARRIVE, si));
         }
         self.release_buf.clear();
     }

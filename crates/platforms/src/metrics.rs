@@ -198,6 +198,14 @@ pub struct PoolCounters {
     pub outcome_slots_allocated: u64,
     /// Sample-outcome acquisitions served from the free list.
     pub outcome_slots_reused: u64,
+    /// High-water mark of events resident in the calendar's near-horizon
+    /// wheel during the run (max across lanes for partitioned runs).
+    /// Diagnostic only — not part of the serialized metrics registry.
+    pub calendar_wheel_high_water: u64,
+    /// High-water mark of events parked in the calendar's far/overflow
+    /// tier during the run (max across lanes for partitioned runs).
+    /// Diagnostic only — not part of the serialized metrics registry.
+    pub calendar_far_high_water: u64,
 }
 
 /// Sustained occupancy of the accelerator arrays over the compute

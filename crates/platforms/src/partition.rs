@@ -63,7 +63,7 @@ use simkit::obs::{SpanRecorder, UnitKind};
 use simkit::sync::{EpochWindow, MessagePool};
 use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime, Trace};
 
-use crate::engine::{Engine, OutcomePool, NODE_ID_BYTES, ON_DIE_SAMPLE_TIME};
+use crate::engine::{Engine, FlashServiceMemo, OutcomePool, NODE_ID_BYTES, ON_DIE_SAMPLE_TIME};
 use crate::metrics::{
     AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
     TimelineBuilder,
@@ -159,6 +159,9 @@ struct Lane<'a> {
     samplers: Vec<DieSampler>,
     calendar: Calendar<LaneEvent>,
     cal_base: simkit::PoolStats,
+    /// Memoized flash service times (shared formulae with the serial
+    /// engine; one table per lane is cheap and keeps lanes `Send`).
+    memo: FlashServiceMemo,
     outcomes: OutcomePool,
     parked: Vec<Parked>,
     parked_free: Vec<u32>,
@@ -176,7 +179,6 @@ struct Lane<'a> {
     router_cmds: u64,
     channel_bytes: u64,
     events_processed: u64,
-    calendar_peak: usize,
     prep_end: SimTime,
     trace: Trace,
     obs: SpanRecorder,
@@ -212,6 +214,7 @@ impl<'a> Lane<'a> {
             samplers,
             calendar: Calendar::new(),
             cal_base: simkit::PoolStats::default(),
+            memo: FlashServiceMemo::new(ssd.timing, ON_DIE_SAMPLE_TIME, geo.page_size),
             outcomes: OutcomePool::default(),
             parked: Vec::new(),
             parked_free: Vec::new(),
@@ -228,7 +231,6 @@ impl<'a> Lane<'a> {
             router_cmds: 0,
             channel_bytes: 0,
             events_processed: 0,
-            calendar_peak: 0,
             prep_end: SimTime::ZERO,
             trace: Trace::with_capacity(trace_capacity),
             obs: if obs_capacity > 0 {
@@ -257,7 +259,6 @@ impl<'a> Lane<'a> {
                 Some(t) if t < horizon => {}
                 _ => break,
             }
-            self.calendar_peak = self.calendar_peak.max(self.calendar.len());
             let (now, ev) = self.calendar.pop().expect("peeked event");
             self.events_processed += 1;
             match ev {
@@ -285,8 +286,7 @@ impl<'a> Lane<'a> {
     fn on_die(&mut self, cmd: LCmd, now: SimTime) {
         let die = self.die_of(&cmd.sample);
         let local = die / self.ssd.geometry.channels;
-        let grant =
-            self.dies[local].acquire(now, self.ssd.timing.read_latency + ON_DIE_SAMPLE_TIME);
+        let grant = self.dies[local].acquire(now, self.memo.die_service);
         self.die_timeline.push(grant.start, grant.end);
         if self.trace.is_enabled() {
             self.trace
@@ -323,7 +323,7 @@ impl<'a> Lane<'a> {
 
     fn on_xfer(&mut self, cmd: LCmd, die_start: SimTime, oi: u32, now: SimTime) {
         let bytes = self.outcomes.get(oi).result_bytes() as u64;
-        let service = self.ssd.timing.command_overhead + self.ssd.timing.transfer_time(bytes);
+        let service = self.memo.xfer_service(bytes);
         let grant = self.chan.acquire(now, service);
         self.channel_timeline.push(grant.start, grant.end);
         if self.trace.is_enabled() {
@@ -1013,6 +1013,9 @@ impl<'a> PartitionedEngine<'a> {
             pools.event_slots_reused += cal.slots_reused - lane.cal_base.slots_reused;
             pools.outcome_slots_allocated += lane.outcomes.allocated;
             pools.outcome_slots_reused += lane.outcomes.reused;
+            pools.calendar_wheel_high_water =
+                pools.calendar_wheel_high_water.max(cal.wheel_high_water);
+            pools.calendar_far_high_water = pools.calendar_far_high_water.max(cal.far_high_water);
             trace.absorb(&lane.trace);
             coord.obs.absorb(&lane.obs);
             energy.flash_page_reads += lane.flash_reads;

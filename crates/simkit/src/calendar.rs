@@ -1,6 +1,6 @@
 //! The event calendar: a time-ordered priority queue of simulation events.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -17,8 +17,12 @@ pub struct EventKey {
     gen: u32,
 }
 
-/// Allocation behaviour of the calendar's event pool (see
+/// Allocation and occupancy behaviour of the calendar (see
 /// [`Calendar::pool_stats`]).
+///
+/// The slot counters are cumulative across [`Calendar::reset`] (the
+/// slab itself survives resets, so its growth history does too); the
+/// high-water marks describe one run and rewind to zero on `reset`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Slots created by growing the slab (each one is a real
@@ -27,6 +31,15 @@ pub struct PoolStats {
     /// Schedules served by recycling a previously freed slot — the
     /// allocations the pool avoided.
     pub slots_reused: u64,
+    /// Peak number of records resident in the near-horizon wheel
+    /// buckets at once. Resets to zero on [`Calendar::reset`].
+    pub wheel_high_water: u64,
+    /// Peak number of records parked in the far/overflow tier at once.
+    /// Resets to zero on [`Calendar::reset`].
+    pub far_high_water: u64,
+    /// Peak number of live pending events at once (the `len()` high
+    /// water, across all tiers). Resets to zero on [`Calendar::reset`].
+    pub live_high_water: u64,
 }
 
 /// One slab slot: the event payload plus its current generation.
@@ -37,7 +50,7 @@ struct Slot<E> {
 }
 
 /// A small Copy record ordered by `(at, seq)`; the payload stays in the
-/// slab so heap sift operations move 24 bytes, not whole events.
+/// slab so queue operations move 24 bytes, not whole events.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     at: SimTime,
@@ -48,97 +61,44 @@ struct Entry {
 
 impl Entry {
     /// The total order the calendar delivers in. `(at, seq)` is unique
-    /// (seq is monotonic), so every correct min-heap pops the exact
-    /// same sequence — the heap's internal layout can never leak into
-    /// simulation results.
+    /// (seq is monotonic), so the queue's internal layout can never
+    /// leak into simulation results.
     #[inline]
     fn key(&self) -> (SimTime, u64) {
         (self.at, self.seq)
     }
 }
 
-/// A 4-ary min-heap of [`Entry`] records keyed by `(at, seq)`.
+/// log2 of the wheel span: the near wheel covers one aligned window of
+/// `WHEEL_SLOTS` nanoseconds with one bucket per nanosecond.
+const WHEEL_BITS: u32 = 13;
+/// Buckets in the near wheel (also the window span in ns).
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// u64 words in the occupancy bitmap.
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// One near-wheel bucket: a FIFO of entries sharing a single timestamp.
 ///
-/// Discrete-event pops dominate the simulator's hot path, and a pop
-/// sifts all the way to a leaf. With 24-byte entries a 4-ary layout
-/// halves the tree depth of a binary heap and keeps each level's
-/// children in one or two cache lines, which measurably shortens the
-/// engine inner loop at the heap depths the platforms reach (10³–10⁵
-/// pending events).
+/// Buckets are 1 ns wide, so every record in a bucket has the same
+/// `at` and append order *is* seq order — popping the front yields the
+/// exact `(time, seq)` minimum with no comparisons at all. `head`
+/// indexes the first unpopped record so the front pops in O(1) without
+/// shifting; the vector is cleared (capacity kept) once drained.
 #[derive(Debug, Clone, Default)]
-struct EntryHeap {
+struct Bucket {
+    head: u32,
     v: Vec<Entry>,
 }
 
-impl EntryHeap {
-    const ARITY: usize = 4;
-
-    fn with_capacity(cap: usize) -> Self {
-        EntryHeap {
-            v: Vec::with_capacity(cap),
-        }
-    }
-
-    fn clear(&mut self) {
-        self.v.clear();
-    }
-
-    fn reserve(&mut self, additional: usize) {
-        self.v.reserve(additional);
-    }
-
-    #[inline]
-    fn peek(&self) -> Option<&Entry> {
-        self.v.first()
-    }
-
-    fn push(&mut self, e: Entry) {
-        self.v.push(e);
-        let mut i = self.v.len() - 1;
-        while i > 0 {
-            let parent = (i - 1) / Self::ARITY;
-            if e.key() < self.v[parent].key() {
-                self.v[i] = self.v[parent];
-                i = parent;
-            } else {
-                break;
-            }
-        }
-        self.v[i] = e;
-    }
-
-    fn pop(&mut self) -> Option<Entry> {
-        let top = *self.v.first()?;
-        let last = self.v.pop().expect("non-empty");
-        if self.v.is_empty() {
-            return Some(top);
-        }
-        // Hole-based sift-down: move `last` toward a leaf, shifting the
-        // smallest child up instead of swapping (one store per level).
-        let len = self.v.len();
-        let mut i = 0;
-        loop {
-            let first_child = i * Self::ARITY + 1;
-            if first_child >= len {
-                break;
-            }
-            let end = (first_child + Self::ARITY).min(len);
-            let mut best = first_child;
-            for c in first_child + 1..end {
-                if self.v[c].key() < self.v[best].key() {
-                    best = c;
-                }
-            }
-            if self.v[best].key() < last.key() {
-                self.v[i] = self.v[best];
-                i = best;
-            } else {
-                break;
-            }
-        }
-        self.v[i] = last;
-        Some(top)
-    }
+/// One far-tier window: all records whose window index exceeds the
+/// wheel's current window, appended in schedule (seq) order.
+///
+/// `min_key` caches the smallest `(at, seq)` in `v` so `peek_time` and
+/// the immediate-ring comparison stay O(1) while the wheel is empty.
+#[derive(Debug, Clone)]
+struct FarWindow {
+    min_key: (SimTime, u64),
+    v: Vec<Entry>,
 }
 
 /// A time-ordered event calendar.
@@ -146,29 +106,50 @@ impl EntryHeap {
 /// Events scheduled for the same instant are delivered in the order they
 /// were scheduled (FIFO tie-breaking via a monotonically increasing
 /// sequence number), which keeps simulations deterministic regardless of
-/// heap internals.
+/// queue internals.
+///
+/// # Hierarchical timing wheel
+///
+/// Pending events live in one of three tiers, all ordered by the same
+/// `(time, seq)` key:
+///
+/// 1. an **immediate ring** for events scheduled at exactly the current
+///    watermark (zero-delay pipeline handoffs) — plain FIFO;
+/// 2. a **near wheel** of [`WHEEL_SLOTS`] one-nanosecond buckets
+///    covering the aligned window containing the watermark. The bucket
+///    index is `at % WHEEL_SLOTS`; a bitmap tracks occupancy so the
+///    next bucket is found with a word scan, and within a bucket FIFO
+///    order is `(time, seq)` order because 1 ns buckets make all
+///    residents share a timestamp;
+/// 3. a **far tier** (`BTreeMap` keyed by window index) for everything
+///    beyond the current window. When the wheel and ring drain, the
+///    earliest far window is distributed into the wheel in one pass.
+///
+/// Schedule and pop are O(1) amortized: each record is touched once on
+/// insert, at most once on window distribution, and once on pop — there
+/// is no per-operation sift like a heap's.
+///
+/// ## Why delivery order is exactly `(time, seq)`
+///
+/// Within one wheel window, the bucket scan visits times in ascending
+/// order and each bucket is FIFO over a single timestamp. The only
+/// subtlety is records that *descend* from the far tier: a window is
+/// distributed at the instant it becomes current — inside `pop`, before
+/// the watermark (and therefore any future `schedule`) can enter it —
+/// so every record already in the far window carries a lower seq than
+/// any later direct insert into the same bucket, and appending the far
+/// records first preserves FIFO exactly.
 ///
 /// # Event pool
 ///
-/// Payloads live in a slab with a free list; the heap and the
+/// Payloads live in a slab with a free list; the wheel and the
 /// immediate ring order small `Copy` records pointing into it. In steady
 /// state — a pipeline scheduling roughly as many events as it pops — the
 /// slab stops growing entirely and every schedule recycles a freed slot,
 /// so the inner loop performs no allocator traffic ([`pool_stats`]
 /// quantifies this). [`schedule`] returns a generation-tagged
 /// [`EventKey`] so callers can [`cancel`] in O(1): the slot's generation
-/// is bumped and the stale heap record is skipped when it surfaces.
-///
-/// # Fast path
-///
-/// Discrete-event models schedule a large share of their events at the
-/// *current* instant (zero-delay pipeline handoffs). Those events bypass
-/// the heap entirely and land in a FIFO ring of "immediate"
-/// events, so the common schedule/pop pair is O(1) with no re-heapify
-/// traffic. Ordering is still globally FIFO-per-instant: the pop path
-/// compares `(time, seq)` across both queues, and every event scheduled
-/// at the watermark necessarily carries a higher sequence number than
-/// any equal-time event still in the heap.
+/// is bumped and the stale queue record is skipped when it surfaces.
 ///
 /// [`schedule`]: Calendar::schedule
 /// [`cancel`]: Calendar::cancel
@@ -188,7 +169,30 @@ impl EntryHeap {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Calendar<E> {
-    heap: EntryHeap,
+    /// Near wheel: `WHEEL_SLOTS` one-ns buckets for the current window.
+    buckets: Vec<Bucket>,
+    /// Bit i set ⇔ bucket i holds at least one record.
+    occupied: [u64; WHEEL_WORDS],
+    /// First ns of the window the wheel currently covers
+    /// (`window_index * WHEEL_SLOTS`).
+    wheel_base: u64,
+    /// Absolute ns the bucket scan resumes from. Invariant: no occupied
+    /// bucket lies before it (inserts clamp it back down).
+    cursor: u64,
+    /// Records resident in wheel buckets (including not-yet-purged
+    /// cancelled ones).
+    wheel_len: usize,
+    /// Far tier: window index → records for that window.
+    far: BTreeMap<u64, FarWindow>,
+    /// Records resident in the far tier (including cancelled ones).
+    far_len: usize,
+    /// Set when a cancel may have invalidated a cached far-window
+    /// `min_key`; verified lazily once the wheel drains.
+    far_dirty: bool,
+    /// Cancelled records still resident in a queue tier. While zero —
+    /// the engine hot loop never cancels — every front is trivially
+    /// live and `purge_front` short-circuits entirely.
+    dead: usize,
     /// Events scheduled at exactly the watermark instant, FIFO. All
     /// live entries here share `at == watermark` (the watermark cannot
     /// pass a pending event).
@@ -206,7 +210,15 @@ impl<E> Calendar<E> {
     /// Creates an empty calendar.
     pub fn new() -> Self {
         Calendar {
-            heap: EntryHeap::default(),
+            buckets: vec![Bucket::default(); WHEEL_SLOTS],
+            occupied: [0; WHEEL_WORDS],
+            wheel_base: 0,
+            cursor: 0,
+            wheel_len: 0,
+            far: BTreeMap::new(),
+            far_len: 0,
+            far_dirty: false,
+            dead: 0,
             immediate: VecDeque::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -217,37 +229,46 @@ impl<E> Calendar<E> {
         }
     }
 
-    /// Creates an empty calendar with pre-allocated capacity.
+    /// Creates an empty calendar with pre-allocated slab capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Calendar {
-            heap: EntryHeap::with_capacity(cap),
-            immediate: VecDeque::with_capacity(cap.min(1024)),
-            slots: Vec::with_capacity(cap),
-            free: Vec::with_capacity(cap.min(1024)),
-            live: 0,
-            seq: 0,
-            watermark: SimTime::ZERO,
-            stats: PoolStats::default(),
-        }
+        let mut cal = Self::new();
+        cal.immediate = VecDeque::with_capacity(cap.min(1024));
+        cal.slots = Vec::with_capacity(cap);
+        cal.free = Vec::with_capacity(cap.min(1024));
+        cal
     }
 
     /// Reserves capacity for at least `additional` more events, so a
     /// burst of scheduling (e.g. a mini-batch fan-out) does not pay
     /// repeated reallocation.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
         let extra = additional.saturating_sub(self.free.len());
         self.slots.reserve(extra);
     }
 
     /// Empties the calendar and rewinds the causality watermark and the
-    /// tie-breaking sequence to zero, **keeping** the slab, free list
-    /// and heap capacity. A reset calendar behaves exactly like a fresh
-    /// one (identical pop order for identical schedules), which is what
-    /// lets one calendar be reused across independent simulation runs
-    /// without re-growing its pool each time.
+    /// tie-breaking sequence to zero, **keeping** the slab, free list,
+    /// bucket and ring capacity. A reset calendar behaves exactly like a
+    /// fresh one (identical pop order for identical schedules), which is
+    /// what lets one calendar be reused across independent simulation
+    /// runs without re-growing its pool each time. Slot counters in
+    /// [`pool_stats`](Calendar::pool_stats) persist across resets; the
+    /// high-water marks rewind to zero.
     pub fn reset(&mut self) {
-        self.heap.clear();
+        if self.wheel_len > 0 {
+            for b in &mut self.buckets {
+                b.head = 0;
+                b.v.clear();
+            }
+            self.occupied = [0; WHEEL_WORDS];
+            self.wheel_len = 0;
+        }
+        self.wheel_base = 0;
+        self.cursor = 0;
+        self.far.clear();
+        self.far_len = 0;
+        self.far_dirty = false;
+        self.dead = 0;
         self.immediate.clear();
         self.free.clear();
         for (i, slot) in self.slots.iter_mut().enumerate() {
@@ -258,6 +279,9 @@ impl<E> Calendar<E> {
         self.live = 0;
         self.seq = 0;
         self.watermark = SimTime::ZERO;
+        self.stats.wheel_high_water = 0;
+        self.stats.far_high_water = 0;
+        self.stats.live_high_water = 0;
     }
 
     /// Schedules `event` to fire at absolute time `at`, returning a key
@@ -294,13 +318,73 @@ impl<E> Calendar<E> {
             }
         };
         self.live += 1;
+        if self.live as u64 > self.stats.live_high_water {
+            self.stats.live_high_water = self.live as u64;
+        }
         let entry = Entry { at, seq, slot, gen };
         if at == self.watermark {
             self.immediate.push_back(entry);
         } else {
-            self.heap.push(entry);
+            self.queue_insert(entry);
         }
         EventKey { slot, gen }
+    }
+
+    /// Routes a future-time entry to the near wheel or the far tier.
+    #[inline]
+    fn queue_insert(&mut self, entry: Entry) {
+        if self.wheel_len == 0 {
+            // An empty wheel may be left anchored ahead of the watermark
+            // (draining far windows whose events were all cancelled
+            // advances the base without a pop). Re-anchor to the
+            // watermark's window so routing below stays ordered: every
+            // pending far window is strictly beyond the watermark's
+            // window, so it remains strictly beyond the re-anchored
+            // wheel too.
+            let anchor = self.watermark.as_ns() & !(WHEEL_SLOTS as u64 - 1);
+            if self.wheel_base != anchor {
+                self.wheel_base = anchor;
+                self.cursor = anchor;
+            }
+        }
+        let ns = entry.at.as_ns();
+        if ns >> WHEEL_BITS == self.wheel_base >> WHEEL_BITS {
+            // Current window: straight into its 1 ns bucket.
+            let idx = (ns - self.wheel_base) as usize;
+            let b = &mut self.buckets[idx];
+            b.v.push(entry);
+            self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+            self.wheel_len += 1;
+            if self.wheel_len as u64 > self.stats.wheel_high_water {
+                self.stats.wheel_high_water = self.wheel_len as u64;
+            }
+            // The scan may already have passed this bucket.
+            if ns < self.cursor {
+                self.cursor = ns;
+            }
+        } else {
+            // Beyond the window: park in the far tier.
+            let w = ns >> WHEEL_BITS;
+            debug_assert!(w > self.wheel_base >> WHEEL_BITS);
+            self.far
+                .entry(w)
+                .and_modify(|win| {
+                    // seq is monotonic, so only a strictly earlier time
+                    // can displace the cached minimum.
+                    if entry.at < win.min_key.0 {
+                        win.min_key = entry.key();
+                    }
+                    win.v.push(entry);
+                })
+                .or_insert_with(|| FarWindow {
+                    min_key: entry.key(),
+                    v: vec![entry],
+                });
+            self.far_len += 1;
+            if self.far_len as u64 > self.stats.far_high_water {
+                self.stats.far_high_water = self.far_len as u64;
+            }
+        }
     }
 
     /// Cancels a pending event in O(1) (amortized): the slot is freed
@@ -319,6 +403,10 @@ impl<E> Calendar<E> {
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(key.slot);
         self.live -= 1;
+        self.dead += 1;
+        // The record may sit in a far window whose cached min_key now
+        // points at a dead entry; re-verify once the wheel drains.
+        self.far_dirty = true;
         self.purge_front();
         true
     }
@@ -330,41 +418,200 @@ impl<E> Calendar<E> {
         slot.gen == entry.gen && slot.event.is_some()
     }
 
-    /// Drops cancelled records from the front of both queues so `peek`
-    /// and `pop` always see a live head.
+    /// Index of the first occupied bucket at or after absolute ns
+    /// `from`. Caller guarantees one exists (`wheel_len > 0` plus the
+    /// cursor invariant).
+    #[inline]
+    fn scan_occupied(&self, from: u64) -> usize {
+        let start = (from - self.wheel_base) as usize;
+        let mut word = start >> 6;
+        let mut bits = self.occupied[word] & (!0u64 << (start & 63));
+        loop {
+            if bits != 0 {
+                return (word << 6) + bits.trailing_zeros() as usize;
+            }
+            word += 1;
+            bits = self.occupied[word];
+        }
+    }
+
+    /// The front record of the earliest occupied wheel bucket.
+    #[inline]
+    fn wheel_head(&self) -> Option<&Entry> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let idx = self.scan_occupied(self.cursor);
+        let b = &self.buckets[idx];
+        Some(&b.v[b.head as usize])
+    }
+
+    /// Pops the front record of wheel bucket `idx` (the caller has
+    /// already scanned it up and advanced the cursor to it).
+    #[inline]
+    fn bucket_pop(&mut self, idx: usize) -> Entry {
+        let b = &mut self.buckets[idx];
+        let e = b.v[b.head as usize];
+        b.head += 1;
+        if b.head as usize == b.v.len() {
+            b.head = 0;
+            b.v.clear();
+            self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+        }
+        self.wheel_len -= 1;
+        e
+    }
+
+    /// Advances the wheel to the earliest far window and distributes its
+    /// records into buckets. Called only when the wheel is empty; dead
+    /// (cancelled) records are dropped during the pass. Returns `false`
+    /// if the far tier is exhausted.
+    fn advance_to_far(&mut self) -> bool {
+        let Some((&w, _)) = self.far.iter().next() else {
+            return false;
+        };
+        let win = self.far.remove(&w).expect("window just observed");
+        self.far_len -= win.v.len();
+        self.wheel_base = w << WHEEL_BITS;
+        self.cursor = self.wheel_base;
+        for e in win.v {
+            if !self.entry_live(&e) {
+                self.dead -= 1;
+                continue;
+            }
+            let idx = (e.at.as_ns() - self.wheel_base) as usize;
+            let b = &mut self.buckets[idx];
+            b.v.push(e);
+            self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+            self.wheel_len += 1;
+        }
+        if self.wheel_len as u64 > self.stats.wheel_high_water {
+            self.stats.wheel_high_water = self.wheel_len as u64;
+        }
+        true
+    }
+
+    /// Drops cancelled records from the front of the ring and the wheel,
+    /// and re-verifies the earliest far window's cached minimum if a
+    /// cancel may have invalidated it — so `peek_time` and
+    /// `immediate_is_next` always see live, exact heads without
+    /// mutating.
     fn purge_front(&mut self) {
+        if self.dead == 0 && !self.far_dirty {
+            return;
+        }
         while let Some(front) = self.immediate.front() {
             if self.entry_live(front) {
                 break;
             }
             self.immediate.pop_front();
+            self.dead -= 1;
         }
-        while let Some(front) = self.heap.peek() {
-            if self.entry_live(front) {
+        while self.wheel_len > 0 {
+            let idx = self.scan_occupied(self.cursor);
+            let b = &self.buckets[idx];
+            let e = b.v[b.head as usize];
+            if self.entry_live(&e) {
                 break;
             }
-            self.heap.pop();
+            let b = &mut self.buckets[idx];
+            b.head += 1;
+            if b.head as usize == b.v.len() {
+                b.head = 0;
+                b.v.clear();
+                self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+            }
+            self.wheel_len -= 1;
+            self.dead -= 1;
+            self.cursor = self.wheel_base + idx as u64;
+        }
+        // Far min_keys are only consulted while the wheel is empty, so
+        // that is the only state needing verification (the flag is set
+        // by cancels, which the engine hot loop never issues).
+        while self.wheel_len == 0 && self.far_dirty {
+            let Some((&w, _)) = self.far.iter().next() else {
+                self.far_dirty = false;
+                break;
+            };
+            let mut win = self.far.remove(&w).expect("window just observed");
+            self.far_len -= win.v.len();
+            let before = win.v.len();
+            let slots = &self.slots;
+            win.v.retain(|e| {
+                slots[e.slot as usize].gen == e.gen && slots[e.slot as usize].event.is_some()
+            });
+            self.dead -= before - win.v.len();
+            if win.v.is_empty() {
+                continue; // whole window dead: verify the next one
+            }
+            let mut mk = win.v[0].key();
+            for e in &win.v[1..] {
+                if e.key() < mk {
+                    mk = e.key();
+                }
+            }
+            win.min_key = mk;
+            self.far_len += win.v.len();
+            self.far.insert(w, win);
+            self.far_dirty = false;
         }
     }
 
-    /// True when the next event in FIFO-per-instant order sits in the
-    /// immediate ring rather than the heap.
-    fn immediate_is_next(&self) -> bool {
-        match (self.immediate.front(), self.heap.peek()) {
-            (Some(_), None) => true,
-            (Some(f), Some(h)) => f.key() < h.key(),
-            (None, _) => false,
+    /// The `(time, seq)` key of the earliest non-immediate record. All
+    /// wheel times precede all far times (the far tier only holds
+    /// windows beyond the wheel's), so the wheel head wins outright
+    /// whenever the wheel is occupied.
+    #[inline]
+    fn queue_head_key(&self) -> Option<(SimTime, u64)> {
+        if let Some(h) = self.wheel_head() {
+            return Some(h.key());
         }
+        self.far.values().next().map(|w| w.min_key)
     }
 
     /// Removes and returns the earliest event, advancing the causality
     /// watermark to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = if self.immediate_is_next() {
-            self.immediate.pop_front()
+        let entry = if self.wheel_len > 0 {
+            // One bitmap scan serves both the ordering check against
+            // the immediate ring and the pop itself; advancing the
+            // cursor is safe either way (no occupied bucket precedes
+            // `idx`).
+            let idx = self.scan_occupied(self.cursor);
+            self.cursor = self.wheel_base + idx as u64;
+            let b = &self.buckets[idx];
+            let head_key = b.v[b.head as usize].key();
+            match self.immediate.front() {
+                Some(f) if f.key() < head_key => {
+                    self.immediate.pop_front().expect("front just observed")
+                }
+                _ => self.bucket_pop(idx),
+            }
+        } else if !self.immediate.is_empty() {
+            // Immediate entries sit at the watermark; far windows lie
+            // strictly beyond the wheel's window, so the ring always
+            // wins while the wheel is empty.
+            self.immediate.pop_front().expect("nonempty ring")
         } else {
-            self.heap.pop()
-        }?;
+            loop {
+                if !self.advance_to_far() {
+                    // Distributing all-dead far windows above may have
+                    // advanced the (empty) wheel past the watermark;
+                    // re-anchor it so later schedules route against the
+                    // watermark's own window again.
+                    self.wheel_base = self.watermark.as_ns() & !(WHEEL_SLOTS as u64 - 1);
+                    self.cursor = self.wheel_base;
+                    return None;
+                }
+                // A freshly distributed window can be empty if every
+                // record in it was cancelled.
+                if self.wheel_len > 0 {
+                    let idx = self.scan_occupied(self.cursor);
+                    self.cursor = self.wheel_base + idx as u64;
+                    break self.bucket_pop(idx);
+                }
+            }
+        };
         let slot = &mut self.slots[entry.slot as usize];
         debug_assert!(slot.gen == entry.gen && slot.event.is_some());
         let event = slot.event.take().expect("live entry has an event");
@@ -397,13 +644,14 @@ impl<E> Calendar<E> {
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        // purge_front maintains the invariant that both queue heads are
-        // live, so peeking needs no skipping.
-        match (self.immediate.front(), self.heap.peek()) {
-            (Some(f), Some(h)) => Some(f.at.min(h.at)),
+        // purge_front maintains the invariant that the ring and wheel
+        // heads are live and the consulted far min is exact, so peeking
+        // needs no skipping.
+        let queued = self.queue_head_key().map(|(t, _)| t);
+        match (self.immediate.front(), queued) {
+            (Some(f), Some(q)) => Some(f.at.min(q)),
             (Some(f), None) => Some(f.at),
-            (None, Some(h)) => Some(h.at),
-            (None, None) => None,
+            (None, q) => q,
         }
     }
 
@@ -422,10 +670,12 @@ impl<E> Calendar<E> {
         self.watermark
     }
 
-    /// Cumulative event-pool behaviour: how many slab slots were ever
-    /// allocated versus how many schedules were served by recycling. A
-    /// steady-state pipeline should show `slots_allocated` plateau at
-    /// its peak concurrency while `slots_reused` keeps growing.
+    /// Cumulative event-pool behaviour plus per-run occupancy marks: how
+    /// many slab slots were ever allocated versus how many schedules
+    /// were served by recycling, and the high-water occupancy of each
+    /// queue tier. A steady-state pipeline should show `slots_allocated`
+    /// plateau at its peak concurrency while `slots_reused` keeps
+    /// growing.
     pub fn pool_stats(&self) -> PoolStats {
         self.stats
     }
@@ -466,19 +716,19 @@ mod tests {
     }
 
     #[test]
-    fn immediate_fast_path_preserves_fifo_with_heap_ties() {
+    fn immediate_fast_path_preserves_fifo_with_wheel_ties() {
         let mut cal = Calendar::new();
-        // Two heap events at t=10, scheduled before the watermark gets
+        // Two wheel events at t=10, scheduled before the watermark gets
         // there (seq 0 and 1).
-        cal.schedule(SimTime::from_ns(10), "heap-a");
-        cal.schedule(SimTime::from_ns(10), "heap-b");
-        assert_eq!(cal.pop().unwrap().1, "heap-a"); // watermark now 10
-                                                    // An immediate event at the watermark (seq 2) must NOT overtake
-                                                    // the equal-time heap event with the lower sequence number.
+        cal.schedule(SimTime::from_ns(10), "wheel-a");
+        cal.schedule(SimTime::from_ns(10), "wheel-b");
+        assert_eq!(cal.pop().unwrap().1, "wheel-a"); // watermark now 10
+                                                     // An immediate event at the watermark (seq 2) must NOT overtake
+                                                     // the equal-time wheel event with the lower sequence number.
         cal.schedule(SimTime::from_ns(10), "imm-c");
         cal.schedule(SimTime::from_ns(11), "late");
         cal.schedule(SimTime::from_ns(10), "imm-d");
-        assert_eq!(cal.pop().unwrap().1, "heap-b");
+        assert_eq!(cal.pop().unwrap().1, "wheel-b");
         assert_eq!(cal.pop().unwrap().1, "imm-c");
         assert_eq!(cal.pop().unwrap().1, "imm-d");
         assert_eq!(cal.pop().unwrap().1, "late");
@@ -614,6 +864,42 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_far_min_keeps_peek_accurate() {
+        // The far tier caches each window's min key; cancelling that
+        // exact event must not leak the stale minimum into peek_time.
+        let span = WHEEL_SLOTS as u64;
+        let mut cal = Calendar::new();
+        let early = cal.schedule(SimTime::from_ns(3 * span + 7), 'x');
+        cal.schedule(SimTime::from_ns(3 * span + 900), 'y');
+        assert_eq!(cal.peek_time(), Some(SimTime::from_ns(3 * span + 7)));
+        assert!(cal.cancel(early));
+        assert_eq!(cal.peek_time(), Some(SimTime::from_ns(3 * span + 900)));
+        assert_eq!(cal.pop(), Some((SimTime::from_ns(3 * span + 900), 'y')));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn far_windows_deliver_in_time_seq_order() {
+        // Spread events across several wheel windows, with ties inside
+        // a distant window, and interleave a post-distribution insert.
+        let span = WHEEL_SLOTS as u64;
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ns(2 * span + 5), "far-a"); // seq 0
+        cal.schedule(SimTime::from_ns(5), "near"); // seq 1
+        cal.schedule(SimTime::from_ns(2 * span + 5), "far-b"); // seq 2
+        cal.schedule(SimTime::from_ns(7 * span + 1), "farther"); // seq 3
+        assert_eq!(cal.pop().unwrap().1, "near");
+        assert_eq!(cal.pop().unwrap().1, "far-a");
+        // The wheel now covers window 2: same-bucket inserts append
+        // after the descended far records (higher seq).
+        cal.schedule(SimTime::from_ns(2 * span + 5), "late-tie");
+        assert_eq!(cal.pop().unwrap().1, "far-b");
+        assert_eq!(cal.pop().unwrap().1, "late-tie");
+        assert_eq!(cal.pop().unwrap().1, "farther");
+        assert!(cal.is_empty());
+    }
+
+    #[test]
     fn stale_keys_never_touch_reused_slots() {
         let mut cal = Calendar::new();
         let old = cal.schedule(SimTime::from_ns(1), 'a');
@@ -643,6 +929,28 @@ mod tests {
             "slab must plateau at peak concurrency"
         );
         assert_eq!(stats.slots_reused, 996, "steady state must recycle");
+        assert_eq!(stats.live_high_water, 4, "peak concurrency is 4");
+    }
+
+    #[test]
+    fn high_water_marks_track_tier_occupancy() {
+        let span = WHEEL_SLOTS as u64;
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ns(1), 'a');
+        cal.schedule(SimTime::from_ns(2), 'b');
+        cal.schedule(SimTime::from_ns(span + 1), 'c'); // far tier
+        let s = cal.pool_stats();
+        assert_eq!(s.wheel_high_water, 2);
+        assert_eq!(s.far_high_water, 1);
+        assert_eq!(s.live_high_water, 3);
+        while cal.pop().is_some() {}
+        // Marks are per-run: reset rewinds them but not the slot totals.
+        cal.reset();
+        let s = cal.pool_stats();
+        assert_eq!(s.wheel_high_water, 0);
+        assert_eq!(s.far_high_water, 0);
+        assert_eq!(s.live_high_water, 0);
+        assert_eq!(s.slots_allocated, 3);
     }
 
     #[test]
@@ -668,5 +976,47 @@ mod tests {
         // The second pass allocated nothing new.
         assert_eq!(reused.pool_stats().slots_allocated, 4);
         assert!(reused.pool_stats().slots_reused >= 4);
+    }
+
+    #[test]
+    fn empty_pop_after_cancelled_far_windows_reanchors_wheel() {
+        // Cancelling every far event and then popping to exhaustion
+        // used to leave the (empty) wheel anchored in a future window:
+        // a later schedule into an earlier window would then misroute
+        // and deliver out of order.
+        let span = WHEEL_SLOTS as u64;
+        let mut cal = Calendar::new();
+        let k1 = cal.schedule(SimTime::from_ns(5 * span + 7), 1u32);
+        let k2 = cal.schedule(SimTime::from_ns(9 * span + 3), 2);
+        assert!(cal.cancel(k1));
+        assert!(cal.cancel(k2));
+        assert_eq!(cal.pop(), None);
+        // Earlier window first, then the old (stale-anchor) window: the
+        // pop order must follow timestamps, not wheel-residency.
+        cal.schedule(SimTime::from_ns(2 * span + 1), 3);
+        cal.schedule(SimTime::from_ns(5 * span + 8), 4);
+        assert_eq!(cal.pop(), Some((SimTime::from_ns(2 * span + 1), 3)));
+        assert_eq!(cal.pop(), Some((SimTime::from_ns(5 * span + 8), 4)));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn reset_clears_far_tier() {
+        let span = WHEEL_SLOTS as u64;
+        let run = |cal: &mut Calendar<u32>| -> Vec<u64> {
+            cal.schedule(SimTime::from_ns(4 * span + 2), 1);
+            cal.schedule(SimTime::from_ns(9), 2);
+            cal.schedule(SimTime::from_ns(span - 1), 3);
+            let mut out = Vec::new();
+            while let Some((t, _)) = cal.pop() {
+                out.push(t.as_ns());
+            }
+            out
+        };
+        let mut cal = Calendar::new();
+        let expect = run(&mut cal);
+        cal.reset();
+        assert_eq!(run(&mut cal), expect);
+        assert_eq!(cal.pool_stats().slots_allocated, 3);
     }
 }

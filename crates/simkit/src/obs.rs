@@ -220,6 +220,35 @@ impl SpanRecorder {
         }
     }
 
+    /// Absorbs spans a caller staged in exact record order (their `seq`
+    /// fields are ignored and re-stamped), clearing `batch`.
+    ///
+    /// This is the batched counterpart of [`record`](Self::record) for
+    /// hot loops: the caller pushes plain [`Span`] values into its own
+    /// staging buffer with no capacity or sequence bookkeeping, then
+    /// flushes once per phase. Because the staging buffer is a single
+    /// FIFO, sequence numbers are assigned in the identical order a
+    /// per-call `record` would have used, and the capacity/drop
+    /// accounting is applied span-by-span exactly as `record` applies
+    /// it — the resulting recorder is indistinguishable.
+    pub fn record_batch(&mut self, batch: &mut Vec<Span>) {
+        if !self.is_enabled() {
+            batch.clear();
+            return;
+        }
+        let room = self.capacity - self.spans.len().min(self.capacity);
+        self.spans.reserve(batch.len().min(room));
+        for s in batch.drain(..) {
+            if self.spans.len() >= self.capacity {
+                self.dropped += 1;
+                continue;
+            }
+            let seq = self.seq;
+            self.seq += 1;
+            self.spans.push(Span { seq, ..s });
+        }
+    }
+
     /// Retained spans sorted canonically by `(time, unit, seq)` — the
     /// export order.
     pub fn sorted(&self) -> Vec<Span> {

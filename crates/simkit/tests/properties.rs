@@ -165,6 +165,124 @@ proptest! {
         prop_assert_eq!(cal.pop(), None);
     }
 
+    /// The cross-tier variant of the reference-model test: time deltas
+    /// up to 100_000 ns span many 8192-ns wheel windows, so schedules
+    /// land in the far tier, promote into the wheel as the watermark
+    /// advances, and wrap the wheel's bucket array repeatedly. Order
+    /// and cancel semantics must stay identical to the flat model.
+    #[test]
+    fn calendar_matches_reference_across_tiers(
+        ops in proptest::collection::vec((0u8..10, 0u64..100_000, 0u64..1000), 1..200),
+    ) {
+        let mut cal = simkit::Calendar::new();
+        let mut model: Vec<(u64, u64, u32)> = Vec::new();
+        let mut keys: Vec<(simkit::EventKey, u64, u64, u32)> = Vec::new();
+        let mut seq = 0u64;
+        let mut next_id = 0u32;
+        let mut watermark = 0u64;
+        for (kind, a, b) in ops {
+            match kind {
+                0..=5 => {
+                    let at = watermark + a;
+                    let key = cal.schedule(SimTime::from_ns(at), next_id);
+                    model.push((at, seq, next_id));
+                    keys.push((key, at, seq, next_id));
+                    seq += 1;
+                    next_id += 1;
+                }
+                6 | 7 => {
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(at, s, _))| (at, s))
+                        .map(|(i, _)| i);
+                    match expect {
+                        Some(i) => {
+                            let (at, _, id) = model.remove(i);
+                            watermark = at;
+                            prop_assert_eq!(cal.pop(), Some((SimTime::from_ns(at), id)));
+                        }
+                        None => prop_assert_eq!(cal.pop(), None),
+                    }
+                }
+                _ => {
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let (key, at, s, id) = keys[(b as usize) % keys.len()];
+                    let live = model.iter().position(|&e| e == (at, s, id));
+                    let cancelled = cal.cancel(key);
+                    match live {
+                        Some(i) => {
+                            prop_assert!(cancelled, "live event must cancel");
+                            model.remove(i);
+                        }
+                        None => prop_assert!(!cancelled, "stale key must be inert"),
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), model.len());
+        }
+        model.sort_by_key(|&(at, s, _)| (at, s));
+        for &(at, _, id) in &model {
+            prop_assert_eq!(cal.pop(), Some((SimTime::from_ns(at), id)));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    /// Equal timestamps drain in schedule order even when the tied
+    /// group sits beyond the wheel window at schedule time (far tier)
+    /// and is only promoted into the wheel later: the `(time, seq)`
+    /// tie-break survives the tier migration.
+    #[test]
+    fn calendar_far_tier_preserves_fifo_ties(
+        tie_at in 8_192u64..200_000,
+        n in 2usize..64,
+    ) {
+        let mut cal = simkit::Calendar::new();
+        for i in 0..n {
+            cal.schedule(SimTime::from_ns(tie_at), i);
+        }
+        for expect in 0..n {
+            prop_assert_eq!(cal.pop(), Some((SimTime::from_ns(tie_at), expect)));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    /// `reset` restores a calendar that has events resident in every
+    /// tier (immediate ring, wheel, far map) to a pristine state: the
+    /// next schedule/pop cycle behaves exactly like a fresh calendar's,
+    /// with tie-break sequence numbering restarted.
+    #[test]
+    fn calendar_reset_then_reuse_across_tiers(
+        first in proptest::collection::vec(0u64..100_000, 1..100),
+        pops in 0usize..50,
+        second in proptest::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let mut cal = simkit::Calendar::new();
+        let mut fresh = simkit::Calendar::new();
+        for (i, &t) in first.iter().enumerate() {
+            cal.schedule(SimTime::from_ns(t), i);
+        }
+        for _ in 0..pops.min(first.len()) {
+            cal.pop();
+        }
+        cal.reset();
+        prop_assert_eq!(cal.len(), 0);
+        prop_assert_eq!(cal.peek_time(), None);
+        prop_assert_eq!(cal.pop(), None);
+        // Second wave: the reused calendar must deliver the same
+        // sequence as a never-used one.
+        for (i, &t) in second.iter().enumerate() {
+            cal.schedule(SimTime::from_ns(t), i);
+            fresh.schedule(SimTime::from_ns(t), i);
+        }
+        while let Some(expect) = fresh.pop() {
+            prop_assert_eq!(cal.pop(), Some(expect));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
     /// `drain_until` is equivalent to repeated `pop` calls: same events,
     /// same order, same watermark afterwards.
     #[test]
