@@ -68,6 +68,7 @@ fn main() {
         "config" => print!("{}", config()),
         "query" => print!("{}", query()),
         "array" => print!("{}", array()),
+        "scaleout" => scaleout(&positional[1..]),
         "ablation" => print!("{}", ablation()),
         "interference" => print!("{}", interference()),
         "obs" => obs(&positional[1..]),
@@ -75,8 +76,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig7a fig14 fig15 fig15f \
-                 fig16 fig17 fig18 [sweep] fig19 table4 trad_ssd query array ablation \
-                 config obs all (plus --jobs N)"
+                 fig16 fig17 fig18 [sweep] fig19 table4 trad_ssd query array scaleout \
+                 ablation config obs all (plus --jobs N)"
             );
             std::process::exit(2);
         }
@@ -125,6 +126,7 @@ fn run_all(jobs: usize) {
         ("trad_ssd", trad_ssd),
         ("query", query),
         ("array", array),
+        ("scaleout", scaleout_figure),
         ("ablation", ablation),
         ("interference", interference),
     ];
@@ -659,6 +661,108 @@ fn array() -> String {
     let _ = writeln!(
         out,
         "paper §VIII: capacity and computation should grow linearly with SSDs over P2P"
+    );
+    out
+}
+
+/// `scaleout [--metrics PATH]` — the simulated multi-SSD array sweep:
+/// 1–16 device lanes behind the partition-aware host router, across
+/// partition strategies and fabrics. `--metrics` writes the 8-device
+/// bfs_grow PCIe-P2P cell's full registry (per-device + fabric-link
+/// sections) as JSON.
+fn scaleout(args: &[String]) {
+    let mut metrics: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics" => {
+                metrics = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--metrics expects a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown scaleout flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = bench::scaleout(DEFAULT_NODES, DEFAULT_BATCH, bench::jobs());
+    print!("{}", scaleout_render(&report));
+    if let Some(path) = metrics {
+        let file = File::create(&path).unwrap_or_else(|e| {
+            eprintln!("create {path}: {e}");
+            std::process::exit(1);
+        });
+        report
+            .showcase
+            .metrics_registry()
+            .write_json(BufWriter::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("write {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("metrics written to {path}");
+    }
+}
+
+fn scaleout_figure() -> String {
+    scaleout_render(&bench::scaleout(
+        DEFAULT_NODES,
+        DEFAULT_BATCH,
+        bench::jobs(),
+    ))
+}
+
+fn scaleout_render(report: &bench::ScaleoutReport) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "§VIII scale-out — simulated multi-SSD array (amazon, BG-2)",
+    );
+    for (fabric, cfg) in bench::scaleout_fabrics() {
+        let _ = writeln!(
+            out,
+            "fabric {fabric}: {:.1} GB/s per link, {} hop latency\n",
+            cfg.bandwidth as f64 / 1e9,
+            cfg.hop_latency
+        );
+        let mut t = Table::new(&[
+            "devices",
+            "partition",
+            "throughput",
+            "efficiency",
+            "cut frac",
+            "cross frac",
+            "fabric traffic",
+        ]);
+        for r in report.rows.iter().filter(|r| r.fabric == fabric) {
+            t.row_owned(vec![
+                r.devices.to_string(),
+                r.strategy.name().to_string(),
+                format!("{:.0}/s", r.targets_per_sec),
+                percent(r.efficiency),
+                percent(r.cut_fraction),
+                percent(r.cross_fraction),
+                format!("{:.2} MB", r.fabric_mb),
+            ]);
+        }
+        let _ = writeln!(out, "{}", t.render());
+    }
+    let s = &report.showcase;
+    let _ = writeln!(
+        out,
+        "showcase (8 devices, bfs_grow, pcie_p2p): {} rounds, {} cross-device messages,\n\
+         {} command-hop edges of {} sampled, makespan {}",
+        s.rounds, s.messages, s.cross_edges, s.total_edges, s.metrics.makespan
+    );
+    let _ = writeln!(
+        out,
+        "paper §VIII: capacity and computation should grow with SSDs over the P2P fabric.\n\
+         On this power-law graph locality partitioning (bfs_grow) trims the cut but\n\
+         concentrates the high-degree hubs on few devices, so the balanced hash/range\n\
+         partitions win end-to-end; on clustered graphs the ranking flips (see the\n\
+         beacon-platforms array tests). A thin fabric caps scaling outright."
     );
     out
 }

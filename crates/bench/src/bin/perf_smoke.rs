@@ -38,6 +38,12 @@
 //!    per-channel engine at 1 and `--run-threads` worker threads:
 //!    metric reports must be byte-identical (thread-count invariance)
 //!    and the wall-clock ratio feeds the `--min-run-speedup` gate.
+//! 8. **array scale-out** — the phase-3 cell sharded over
+//!    `--array-devices` simulated SSDs (bfs_grow partition, PCIe-P2P
+//!    fabric): the cascade is recorded once, then the replay is timed
+//!    at 1 and `--array-threads` device-lane workers. Reports must be
+//!    byte-identical; the wall-clock ratio feeds the
+//!    `--min-array-speedup` gate.
 //!
 //! Timings go to stderr. Stdout carries only deterministic content:
 //! `digest …` lines that must be byte-identical between cold- and
@@ -61,7 +67,8 @@ use std::time::Instant;
 
 use beacon_bench as bench;
 use beacongnn::{
-    Dataset, Experiment, Platform, RunCell, RunMatrix, SsdConfig, Workload, WorkloadCache,
+    ArrayConfig, Dataset, Experiment, Partition, Platform, RunCell, RunMatrix, SsdConfig, Workload,
+    WorkloadCache,
 };
 
 /// Fixed smoke-test shape: large enough that the event calendar and
@@ -102,9 +109,12 @@ fn main() {
     let mut jobs = 4usize;
     let mut build_jobs = 4usize;
     let mut run_threads = 4usize;
+    let mut array_devices = 8usize;
+    let mut array_threads = 4usize;
     let mut min_speedup: Option<f64> = None;
     let mut min_build_speedup: Option<f64> = None;
     let mut min_run_speedup: Option<f64> = None;
+    let mut min_array_speedup: Option<f64> = None;
     let mut max_ns_per_event: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut baseline_json: Option<String> = None;
@@ -116,12 +126,17 @@ fn main() {
             "--jobs" => jobs = parse_arg(&mut args, "--jobs"),
             "--build-jobs" => build_jobs = parse_arg(&mut args, "--build-jobs"),
             "--run-threads" => run_threads = parse_arg(&mut args, "--run-threads"),
+            "--array-devices" => array_devices = parse_arg(&mut args, "--array-devices"),
+            "--array-threads" => array_threads = parse_arg(&mut args, "--array-threads"),
             "--min-speedup" => min_speedup = Some(parse_arg(&mut args, "--min-speedup")),
             "--min-build-speedup" => {
                 min_build_speedup = Some(parse_arg(&mut args, "--min-build-speedup"))
             }
             "--min-run-speedup" => {
                 min_run_speedup = Some(parse_arg(&mut args, "--min-run-speedup"))
+            }
+            "--min-array-speedup" => {
+                min_array_speedup = Some(parse_arg(&mut args, "--min-array-speedup"))
             }
             "--max-ns-per-event" => {
                 max_ns_per_event = Some(parse_arg(&mut args, "--max-ns-per-event"))
@@ -134,8 +149,9 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument `{other}`; usage: perf_smoke [--iters N] [--jobs N] \
-                     [--build-jobs N] [--run-threads N] [--min-speedup X] \
-                     [--min-build-speedup X] [--min-run-speedup X] [--max-ns-per-event X] \
+                     [--build-jobs N] [--run-threads N] [--array-devices N] [--array-threads N] \
+                     [--min-speedup X] [--min-build-speedup X] [--min-run-speedup X] \
+                     [--min-array-speedup X] [--max-ns-per-event X] \
                      [--json PATH] [--baseline-json PATH] [--max-regress-pct X]"
                 );
                 std::process::exit(2);
@@ -146,6 +162,8 @@ fn main() {
     let jobs = jobs.max(1);
     let build_jobs = build_jobs.max(1);
     let run_threads = run_threads.max(1);
+    let array_devices = array_devices.max(1);
+    let array_threads = array_threads.max(1);
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     // Phase 1: workload preparation (synthesis + DirectGraph build) at
@@ -409,6 +427,75 @@ fn main() {
     );
     println!("digest partition 0x{part_digest:016x}");
 
+    // Phase 8: array scale-out. The phase-3 cell sharded over
+    // `--array-devices` simulated SSDs behind the partition-aware host
+    // router. The cascade records once (serial, timed apart); only the
+    // device-lane replay is timed at 1 vs `--array-threads` workers —
+    // that replay is the parallel section the `--min-array-speedup`
+    // gate tracks. Reports must be byte-identical at both counts.
+    let array_cfg = ArrayConfig::pcie_p2p(array_devices);
+    let array_part = Partition::bfs_grow(workload.graph(), array_devices as u32);
+    let t = Instant::now();
+    let cascade = exp
+        .array_engine(Platform::Bg2, array_cfg)
+        .record(workload.batches());
+    let array_record_s = t.elapsed().as_secs_f64();
+    let mut array_t1 = Vec::with_capacity(iters);
+    let mut array_tn = Vec::with_capacity(iters);
+    let mut array_serial = None;
+    let mut array_parallel = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let m = exp
+            .array_engine(Platform::Bg2, array_cfg)
+            .threads(1)
+            .run_recorded(&cascade, &array_part);
+        array_t1.push(t.elapsed().as_secs_f64());
+        array_serial = Some(m);
+        let t = Instant::now();
+        let m = exp
+            .array_engine(Platform::Bg2, array_cfg)
+            .threads(array_threads)
+            .run_recorded(&cascade, &array_part);
+        array_tn.push(t.elapsed().as_secs_f64());
+        array_parallel = Some(m);
+    }
+    let array_serial = array_serial.expect("at least one array run");
+    let array_parallel = array_parallel.expect("at least one array run");
+    let array_report = array_serial.metrics_registry().to_json_string();
+    assert_eq!(
+        array_report,
+        array_parallel.metrics_registry().to_json_string(),
+        "array replay must be byte-identical at any thread count"
+    );
+    let array_t1_best = array_t1.iter().cloned().fold(f64::INFINITY, f64::min);
+    let array_tn_best = array_tn.iter().cloned().fold(f64::INFINITY, f64::min);
+    let array_speedup = if array_tn_best > 0.0 {
+        array_t1_best / array_tn_best
+    } else {
+        1.0
+    };
+    let array_events: u64 = array_serial
+        .per_device
+        .iter()
+        .map(|d| d.events_processed)
+        .sum();
+    let array_ns_per_event = if array_events > 0 && array_t1_best.is_finite() {
+        array_t1_best * 1e9 / array_events as f64
+    } else {
+        0.0
+    };
+    let array_digest = fnv1a_fold(FNV_OFFSET, array_report.as_bytes());
+    eprintln!(
+        "array replay ({array_devices} devices): record {array_record_s:.3} s, 1 thread best \
+         {array_t1_best:.3} s, {array_threads} threads best {array_tn_best:.3} s, speedup \
+         {array_speedup:.2}x, {array_events} events ({array_ns_per_event:.0} ns/event), \
+         efficiency {:.3}, makespan {}",
+        array_serial.efficiency(),
+        array_serial.metrics.makespan
+    );
+    println!("digest array 0x{array_digest:016x}");
+
     let mut json = String::new();
     json.push('{');
     let _ = write!(json, "\"platform\": \"BG-2\", ");
@@ -486,7 +573,16 @@ fn main() {
         json,
         "\"partition\": {{\"threads\": {run_threads}, \"t1_best_s\": {part_t1_best:.6}, \
          \"tn_best_s\": {part_tn_best:.6}, \"speedup\": {run_speedup:.4}, \
-         \"digest\": \"0x{part_digest:016x}\"}}"
+         \"digest\": \"0x{part_digest:016x}\"}}, "
+    );
+    let _ = write!(
+        json,
+        "\"array\": {{\"devices\": {array_devices}, \"threads\": {array_threads}, \
+         \"record_s\": {array_record_s:.6}, \"t1_best_s\": {array_t1_best:.6}, \
+         \"tn_best_s\": {array_tn_best:.6}, \"speedup\": {array_speedup:.4}, \
+         \"events_processed\": {array_events}, \"ns_per_event\": {array_ns_per_event:.2}, \
+         \"efficiency\": {:.6}, \"digest\": \"0x{array_digest:016x}\"}}",
+        array_serial.efficiency()
     );
     json.push_str("}\n");
 
@@ -547,6 +643,22 @@ fn main() {
             failed = true;
         } else {
             eprintln!("run speedup gate passed: {run_speedup:.2}x >= {min:.2}x");
+        }
+    }
+    if let Some(min) = min_array_speedup {
+        if host_cores < array_threads {
+            eprintln!(
+                "array speedup gate skipped: host has {host_cores} cores, \
+                 cannot scale to {array_threads} array threads"
+            );
+        } else if array_speedup < min {
+            eprintln!(
+                "array speedup gate FAILED: {array_speedup:.2}x at --array-threads \
+                 {array_threads} (required >= {min:.2}x)"
+            );
+            failed = true;
+        } else {
+            eprintln!("array speedup gate passed: {array_speedup:.2}x >= {min:.2}x");
         }
     }
     if let Some(max) = max_ns_per_event {

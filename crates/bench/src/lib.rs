@@ -15,8 +15,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use beacon_energy::EnergyCosts;
+use beacon_graph::{CsrGraph, Partition};
 use beacon_platforms::motivation::{die_scaling_sweep, DieScalingPoint};
-use beacon_platforms::{Platform, RunMetrics};
+use beacon_platforms::{ArrayConfig, ArrayRunMetrics, Platform, RunMetrics};
+use beacon_ssd::FabricConfig;
 use beacongnn::{Dataset, Experiment, RunCell, RunMatrix, SsdConfig, Workload, WorkloadCache};
 use simkit::Duration;
 
@@ -604,6 +606,144 @@ pub fn array_scaling(nodes: usize, batch: usize) -> Vec<beacon_platforms::ArrayS
         .collect()
 }
 
+/// Graph partition strategy of the array's host router (see
+/// [`Partition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Node-id modulo: zero metadata, worst cut.
+    Hash,
+    /// Contiguous id ranges: preserves id-order locality.
+    Range,
+    /// Greedy BFS region growing: locality-aware.
+    BfsGrow,
+}
+
+impl PartitionStrategy {
+    /// All strategies in report order.
+    pub const ALL: [PartitionStrategy; 3] = [
+        PartitionStrategy::Hash,
+        PartitionStrategy::Range,
+        PartitionStrategy::BfsGrow,
+    ];
+
+    /// Column name used in the scale-out report.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Hash => "hash",
+            PartitionStrategy::Range => "range",
+            PartitionStrategy::BfsGrow => "bfs_grow",
+        }
+    }
+
+    /// Builds the partition over `graph`.
+    pub fn build(self, graph: &CsrGraph, k: u32) -> Partition {
+        match self {
+            PartitionStrategy::Hash => Partition::hash(graph, k),
+            PartitionStrategy::Range => Partition::range(graph, k),
+            PartitionStrategy::BfsGrow => Partition::bfs_grow(graph, k),
+        }
+    }
+}
+
+/// Device counts swept by the scale-out figure.
+pub const SCALEOUT_DEVICES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The fabrics the scale-out figure sweeps: the §VIII PCIe-P2P
+/// baseline, NVMe-oF (more bandwidth, much higher hop latency), and a
+/// deliberately thin 1 GB/s link that exposes fabric saturation.
+pub fn scaleout_fabrics() -> Vec<(&'static str, FabricConfig)> {
+    vec![
+        ("pcie_p2p", FabricConfig::pcie_p2p()),
+        ("nvme_of", FabricConfig::nvme_of()),
+        (
+            "thin_1gbps",
+            FabricConfig::pcie_p2p().with_bandwidth(1_000_000_000),
+        ),
+    ]
+}
+
+/// One simulated scale-out measurement.
+#[derive(Debug, Clone)]
+pub struct ScaleoutRow {
+    /// Devices in the array.
+    pub devices: usize,
+    /// Partition strategy of the host router.
+    pub strategy: PartitionStrategy,
+    /// Fabric name (see [`scaleout_fabrics`]).
+    pub fabric: &'static str,
+    /// Per-link fabric bandwidth in GB/s.
+    pub fabric_gbps: f64,
+    /// Array throughput, targets/second.
+    pub targets_per_sec: f64,
+    /// Scaling efficiency (1.0 = linear).
+    pub efficiency: f64,
+    /// Static cut fraction of the partition over the source graph.
+    pub cut_fraction: f64,
+    /// Fraction of *sampled* edges that crossed devices at run time.
+    pub cross_fraction: f64,
+    /// Total cross-device fabric traffic in MB (command hops + feature
+    /// returns).
+    pub fabric_mb: f64,
+}
+
+/// The scale-out figure's full result: the sweep grid plus one showcase
+/// run whose per-device/fabric-link metrics registry backs `--metrics`.
+#[derive(Debug, Clone)]
+pub struct ScaleoutReport {
+    /// Devices × strategy × fabric grid, in sweep order.
+    pub rows: Vec<ScaleoutRow>,
+    /// The 8-device bfs_grow PCIe-P2P cell's full metrics.
+    pub showcase: ArrayRunMetrics,
+}
+
+/// Runs the §VIII scale-out sweep: BG-2 on 1–16 simulated devices
+/// under each partition strategy and fabric. The sampling cascade is
+/// recorded once from the serial engine and replayed per cell (it
+/// depends on none of the swept parameters), so the sweep costs one
+/// full simulation plus cheap timing replays.
+pub fn scaleout(nodes: usize, batch: usize, threads: usize) -> ScaleoutReport {
+    let w = workload(Dataset::Amazon, nodes, batch);
+    let exp = Experiment::new(&w);
+    let cascade = exp
+        .array_engine(Platform::Bg2, ArrayConfig::pcie_p2p(1))
+        .record(w.batches());
+    let mut rows = Vec::new();
+    let mut showcase = None;
+    for &devices in &SCALEOUT_DEVICES {
+        for strategy in PartitionStrategy::ALL {
+            let part = strategy.build(w.graph(), devices as u32);
+            let cut = part.cut_fraction(w.graph());
+            for (fabric, cfg) in scaleout_fabrics() {
+                let m = exp
+                    .array_engine(
+                        Platform::Bg2,
+                        ArrayConfig::pcie_p2p(devices).with_fabric(cfg),
+                    )
+                    .threads(threads)
+                    .run_recorded(&cascade, &part);
+                rows.push(ScaleoutRow {
+                    devices,
+                    strategy,
+                    fabric,
+                    fabric_gbps: cfg.bandwidth as f64 / 1e9,
+                    targets_per_sec: m.throughput(),
+                    efficiency: m.efficiency(),
+                    cut_fraction: cut,
+                    cross_fraction: m.cross_fraction(),
+                    fabric_mb: m.fabric_bytes() as f64 / 1e6,
+                });
+                if devices == 8 && strategy == PartitionStrategy::BfsGrow && fabric == "pcie_p2p" {
+                    showcase = Some(m);
+                }
+            }
+        }
+    }
+    ScaleoutReport {
+        rows,
+        showcase: showcase.expect("8-device bfs_grow pcie_p2p cell in sweep"),
+    }
+}
+
 /// §VIII DRAM-bottleneck ablation: BG-2 throughput on a scaled-up
 /// backend (32 channels × 16 dies, where aggregate flash throughput
 /// exceeds the DRAM's) with baseline DRAM, HBM, and flash→SRAM bypass.
@@ -806,6 +946,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scaleout_grid_shape_and_identities() {
+        let report = scaleout(2_000, 32, 2);
+        assert_eq!(
+            report.rows.len(),
+            SCALEOUT_DEVICES.len() * PartitionStrategy::ALL.len() * scaleout_fabrics().len()
+        );
+        for r in &report.rows {
+            assert!(r.targets_per_sec > 0.0, "{r:?}");
+            if r.devices == 1 {
+                // One device is the serial engine verbatim: perfectly
+                // efficient, nothing crosses the fabric.
+                assert!((r.efficiency - 1.0).abs() < 1e-9, "{r:?}");
+                assert_eq!(r.fabric_mb, 0.0, "{r:?}");
+                assert_eq!(r.cross_fraction, 0.0, "{r:?}");
+            } else {
+                assert!(r.efficiency > 0.0 && r.efficiency <= 1.5, "{r:?}");
+            }
+        }
+        assert_eq!(report.showcase.devices, 8);
+        assert!(report.showcase.rounds > 0);
     }
 
     #[test]

@@ -49,9 +49,11 @@ pub mod runner;
 pub mod workload;
 
 pub use beacon_gnn::GnnModelConfig;
-pub use beacon_graph::{Dataset, DatasetSpec, NodeId};
-pub use beacon_platforms::{Platform, RunMetrics};
-pub use beacon_ssd::SsdConfig;
+pub use beacon_graph::{Dataset, DatasetSpec, NodeId, Partition};
+pub use beacon_platforms::{
+    ArrayCascade, ArrayConfig, ArrayEngine, ArrayRunMetrics, Platform, RunMetrics,
+};
+pub use beacon_ssd::{FabricConfig, SsdConfig};
 pub use matrix::{default_jobs, ParallelRunner, RunCell, RunMatrix, WorkloadCache};
 pub use runner::{Experiment, ThroughputStats};
 pub use workload::{Workload, WorkloadBuilder, WorkloadError};

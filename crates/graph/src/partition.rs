@@ -145,6 +145,26 @@ impl Partition {
         cut as f64 / graph.num_edges() as f64
     }
 
+    /// Directed edge counts between every ordered pair of parts, as a
+    /// row-major `k × k` matrix: entry `[from × k + to]` counts edges
+    /// whose source lives in `from` and destination in `to`. The
+    /// diagonal holds intra-part edges; the off-diagonal sum is exactly
+    /// the cut, so `cross / total` reproduces [`cut_fraction`]. The
+    /// array router uses the per-pair counts to price fabric links.
+    ///
+    /// [`cut_fraction`]: Partition::cut_fraction
+    pub fn cross_edges(&self, graph: &CsrGraph) -> Vec<u64> {
+        let k = self.parts as usize;
+        let mut matrix = vec![0u64; k * k];
+        for v in graph.nodes() {
+            let pv = self.part_of(v) as usize;
+            for &nb in graph.neighbors(v) {
+                matrix[pv * k + self.part_of(nb) as usize] += 1;
+            }
+        }
+        matrix
+    }
+
     /// Load imbalance: `max part size / ideal size` (1.0 = perfect).
     pub fn imbalance(&self) -> f64 {
         let sizes = self.sizes();
@@ -247,5 +267,63 @@ mod tests {
     #[should_panic(expected = "at least one part")]
     fn zero_parts_rejected() {
         Partition::hash(&generate::uniform(10, 2, 1), 0);
+    }
+
+    #[test]
+    fn cross_edges_matrix_accounts_for_every_edge() {
+        let g = clustered(4, 100);
+        for p in [
+            Partition::hash(&g, 4),
+            Partition::range(&g, 4),
+            Partition::bfs_grow(&g, 4),
+        ] {
+            let m = p.cross_edges(&g);
+            assert_eq!(m.len(), 16);
+            assert_eq!(m.iter().sum::<u64>(), g.num_edges() as u64);
+            let cross: u64 = (0..4)
+                .flat_map(|a| (0..4).map(move |b| (a, b)))
+                .filter(|&(a, b)| a != b)
+                .map(|(a, b)| m[a * 4 + b])
+                .sum();
+            let expect = p.cut_fraction(&g) * g.num_edges() as f64;
+            assert!((cross as f64 - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_edges_single_part_is_all_diagonal() {
+        let g = generate::uniform(60, 4, 7);
+        let m = Partition::hash(&g, 1).cross_edges(&g);
+        assert_eq!(m, vec![g.num_edges() as u64]);
+    }
+
+    #[test]
+    fn sizes_sum_and_imbalance_are_pinned() {
+        // 10 nodes over 3 parts: hash gives [4, 3, 3]; ideal is 10/3,
+        // so imbalance is exactly 4 / (10/3) = 1.2.
+        let g = generate::uniform(10, 2, 1);
+        let p = Partition::hash(&g, 3);
+        assert_eq!(p.sizes(), vec![4, 3, 3]);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 10);
+        assert!((p.imbalance() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfs_grow_seeding_is_deterministic() {
+        // Region growing has no random input: seeds derive only from
+        // the node numbering, so repeated runs must agree bit-for-bit,
+        // and the first seed (node 0) always lands in part 0.
+        let g = clustered(4, 150);
+        let a = Partition::bfs_grow(&g, 4);
+        let b = Partition::bfs_grow(&g, 4);
+        assert_eq!(a, b);
+        // The first seed (node 0) always lands in part 0, every part
+        // gets seeded, and every node is assigned.
+        assert_eq!(a.part_of(NodeId::new(0)), 0);
+        assert!(a.sizes().iter().all(|&s| s > 0));
+        assert_eq!(a.sizes().iter().sum::<usize>(), g.num_nodes());
+        // Region growing respects the clustering far better than
+        // hashing does.
+        assert!(a.cut_fraction(&g) < Partition::hash(&g, 4).cut_fraction(&g) / 2.0);
     }
 }

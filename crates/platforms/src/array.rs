@@ -3,40 +3,99 @@
 //!
 //! The paper expects BeaconGNN to scale out: multiple BeaconGNN SSDs in
 //! an array, communicating over direct P2P links, with capacity and
-//! compute growing linearly. This module models that array:
+//! compute growing linearly. This module models that array two ways:
 //!
-//! * the graph partitions across SSDs (node → SSD by hash);
-//! * each SSD runs the single-device pipeline on the commands whose
-//!   target section lives on it;
-//! * a sampled neighbor on another SSD turns into a P2P command hop plus
-//!   the eventual feature transfer back to the requesting SSD's
-//!   accelerator buffer.
+//! * [`ArrayEngine`] — the simulated path: a discrete-event multi-SSD
+//!   simulation with one *device lane* per SSD, advanced under the same
+//!   conservative-lookahead round protocol as the per-channel
+//!   [`PartitionedEngine`](crate::PartitionedEngine), with the
+//!   partition-aware host router dispatching each mini-batch target to
+//!   its owning device and cross-partition expansions riding the
+//!   explicit fabric cost model of [`FabricConfig`].
+//! * [`evaluate_array`] / [`evaluate_array_partitioned`] — the analytic
+//!   steady-state solver kept as a cross-check: single-SSD throughput ×
+//!   devices, capped by aggregate fabric bandwidth over the measured
+//!   cross-partition byte volume.
 //!
-//! The model composes measured single-SSD behaviour with the
-//! cross-partition traffic the sampler actually generates: it runs the
-//! real engine once to obtain the per-visit command/feature volumes,
-//! counts true cross-partition edges from the sampled command stream,
-//! and solves for the array's steady-state throughput under the P2P
-//! bandwidth constraint.
+//! ## The simulated path: recorded-cascade replay
+//!
+//! The die samplers are stateful (each die's TRNG advances across
+//! commands in execution order), so re-running sampling per device
+//! would change the sampled subgraphs with the device count. Instead
+//! the array simulation is a two-phase *record/replay*:
+//!
+//! 1. [`ArrayEngine::record`] runs the serial single-SSD engine once
+//!    and logs the functional sampling cascade — every flash command
+//!    with its die, transfer bytes, visited node and children
+//!    ([`CascadeLog`](crate::engine): one record per command, children
+//!    consecutive, child index > parent index).
+//! 2. [`ArrayEngine::run_recorded`] re-times that fixed command set on
+//!    N devices. A prepass assigns every record an *owner* device (the
+//!    partition of its visited node; secondary-section records inherit
+//!    their parent's owner) and a *home* device (the owner of its root
+//!    target, where aggregation happens). Each device lane replays its
+//!    records through the BG-2 pipeline shape — router issue, die
+//!    sense, channel transfer, router parse, DRAM staging — on its own
+//!    full SSD backend. A child owned by another device becomes a
+//!    fabric command hop; a feature retrieved away from its home device
+//!    becomes a fabric feature return that gates the home device's
+//!    compute start.
+//!
+//! Because the command set is fixed by the recording, per-device work
+//! counts sum to the single-device engine's counts *by construction*,
+//! and a 1-device array returns the serial engine's metrics verbatim.
+//!
+//! ## Determinism
+//!
+//! The lane protocol is the per-channel engine's, lifted from channels
+//! to devices: lanes drain events strictly below a shared horizon (the
+//! next multiple of the fabric hop latency — the minimum cross-device
+//! delay — above the earliest pending event), and everything crossing a
+//! device boundary is buffered, globally sorted by `(time, record
+//! index)`, and applied by the coordinator alone: fabric link grants in
+//! sorted order, deliveries quantized to the next window boundary.
+//! Thread count is invisible; any [`threads`](ArrayEngine::threads)
+//! value produces byte-identical reports.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use beacon_energy::EnergyLedger;
 use beacon_flash::{DieSampler, GnnDieConfig, SampleCommand};
-use beacon_gnn::GnnModelConfig;
+use beacon_gnn::{GnnModelConfig, MinibatchWorkload};
 use beacon_graph::{NodeId, Partition};
-use beacon_ssd::SsdConfig;
+use beacon_ssd::{FabricConfig, SsdConfig};
 use directgraph::DirectGraph;
+use simkit::obs::SpanRecorder;
+use simkit::sync::{EpochWindow, MessagePool};
+use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime, Trace};
 
-use crate::engine::Engine;
+use crate::engine::{
+    CascadeLog, CascadeRec, Engine, EngineScratch, FlashServiceMemo, NODE_ID_BYTES,
+    ON_DIE_SAMPLE_TIME,
+};
+use crate::metrics::{
+    AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
+    TimelineBuilder,
+};
+use crate::partition::accel_config;
 use crate::spec::Platform;
 
+/// Sentinel for "lane calendar is empty" in the shared next-event
+/// atomics.
+const IDLE: u64 = u64::MAX;
+
+/// Bytes of one cross-device command hop (a forwarded sampling
+/// command: packed address + hop/count/subgraph header).
+const CMD_HOP_BYTES: u64 = 16;
+
 /// Configuration of a BeaconGNN storage array.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArrayConfig {
     /// SSDs in the array.
     pub ssds: usize,
-    /// Per-link P2P bandwidth in bytes/second (PCIe P2P class).
-    pub p2p_bandwidth: u64,
-    /// Fixed latency per P2P command hop.
-    pub p2p_hop_ns: u64,
+    /// The inter-device fabric (per-link bandwidth + hop latency).
+    pub fabric: FabricConfig,
 }
 
 impl ArrayConfig {
@@ -44,13 +103,26 @@ impl ArrayConfig {
     pub fn pcie_p2p(ssds: usize) -> Self {
         ArrayConfig {
             ssds,
-            p2p_bandwidth: 4_000_000_000,
-            p2p_hop_ns: 600,
+            fabric: FabricConfig::pcie_p2p(),
         }
+    }
+
+    /// An NVMe-oF array of `ssds` devices (10 GB/s links, 5 µs hops).
+    pub fn nvme_of(ssds: usize) -> Self {
+        ArrayConfig {
+            ssds,
+            fabric: FabricConfig::nvme_of(),
+        }
+    }
+
+    /// Replaces the fabric model.
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = fabric;
+        self
     }
 }
 
-/// Result of an array-scaling evaluation.
+/// Result of an analytic array-scaling evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayScaling {
     /// SSDs in the array.
@@ -73,7 +145,8 @@ impl ArrayScaling {
     }
 }
 
-/// Evaluates array scaling for `platform` on a prepared workload.
+/// Evaluates analytic array scaling for `platform` on a prepared
+/// workload.
 ///
 /// Methodology: (1) run the single-SSD engine for the workload to get
 /// its throughput and per-visit traffic; (2) replay the sampling
@@ -198,13 +271,14 @@ pub fn evaluate_array_partitioned(
 
     // Per-target cross traffic: command hops (16 B each) + features.
     let targets: u64 = batches.iter().map(|b| b.len() as u64).sum();
-    let cross_bytes_per_target = (cross_edges * 16 + cross_feature_bytes) as f64 / targets as f64;
+    let cross_bytes_per_target =
+        (cross_edges * CMD_HOP_BYTES + cross_feature_bytes) as f64 / targets as f64;
 
     // Compute capacity: each SSD serves its shard at single-SSD speed.
     let compute_limit = single_throughput * array.ssds as f64;
     // Fabric capacity: every SSD has one P2P port; aggregate fabric
     // bandwidth is ssds × link bandwidth (full-duplex mesh/switch).
-    let fabric_bytes_per_sec = array.p2p_bandwidth as f64 * array.ssds as f64;
+    let fabric_bytes_per_sec = array.fabric.bandwidth as f64 * array.ssds as f64;
     let fabric_limit = if cross_bytes_per_target > 0.0 {
         fabric_bytes_per_sec / cross_bytes_per_target
     } else {
@@ -223,6 +297,1200 @@ pub fn evaluate_array_partitioned(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Simulated path: recorded-cascade replay over device lanes.
+// ---------------------------------------------------------------------------
+
+/// A recorded sampling cascade plus the serial single-SSD run that
+/// produced it: the input to [`ArrayEngine::run_recorded`].
+///
+/// Recording depends only on the workload (platform, SSD, model, graph,
+/// seed, batches) — not on the array size, fabric, or partition — so
+/// one cascade can be replayed across a whole device-count × partition
+/// × fabric sweep.
+pub struct ArrayCascade {
+    log: CascadeLog,
+    single: RunMetrics,
+    batches: Vec<Vec<NodeId>>,
+}
+
+impl ArrayCascade {
+    /// The serial single-SSD run's metrics (the array's baseline).
+    pub fn single_metrics(&self) -> &RunMetrics {
+        &self.single
+    }
+
+    /// Flash commands recorded.
+    pub fn commands(&self) -> usize {
+        self.log.recs.len()
+    }
+}
+
+/// Per-device work and busy-time counters of one array run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceMetrics {
+    /// Device index.
+    pub device: usize,
+    /// Mini-batch targets homed on this device.
+    pub targets: u64,
+    /// Flash page reads this device served.
+    pub flash_reads: u64,
+    /// Nodes visited by commands owned by this device.
+    pub nodes_visited: u64,
+    /// Sampling commands the §VI-E check aborted on this device.
+    pub sampler_faults: u64,
+    /// Bytes its flash channels moved.
+    pub channel_bytes: u64,
+    /// Events its lane processed.
+    pub events_processed: u64,
+    /// Die busy time summed over its dies.
+    pub die_busy: Duration,
+    /// Channel busy time summed over its channels.
+    pub channel_busy: Duration,
+    /// Its DRAM's busy time (feature staging).
+    pub dram_busy: Duration,
+    /// Its accelerator's compute time over all batches.
+    pub compute_time: Duration,
+}
+
+/// Per-link fabric counters of one array run (one egress link per
+/// device).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricLinkMetrics {
+    /// Source device of this egress link.
+    pub device: usize,
+    /// Bytes the link carried (command hops + feature returns).
+    pub bytes: u64,
+    /// Messages the link carried.
+    pub messages: u64,
+    /// Link busy time.
+    pub busy: Duration,
+}
+
+/// The complete result of one simulated array run: the merged
+/// array-level [`RunMetrics`] plus per-device and fabric-link
+/// breakdowns and the partition's traffic statistics.
+#[derive(Debug, Clone)]
+pub struct ArrayRunMetrics {
+    /// Devices in the array.
+    pub devices: usize,
+    /// Merged array-level metrics (targets, makespan, timelines, …).
+    pub metrics: RunMetrics,
+    /// Single-SSD throughput of the recorded baseline run.
+    pub single_throughput: f64,
+    /// Per-device breakdown, in device order.
+    pub per_device: Vec<DeviceMetrics>,
+    /// Per-link fabric counters, in device order.
+    pub links: Vec<FabricLinkMetrics>,
+    /// Sampled edges (visited child commands) in the cascade.
+    pub total_edges: u64,
+    /// Sampled edges whose child was owned by a different device than
+    /// its parent (each one crossed the fabric as a command hop).
+    pub cross_edges: u64,
+    /// Feature bytes retrieved away from their home device (each byte
+    /// crossed the fabric as a feature return).
+    pub cross_feature_bytes: u64,
+    /// Rounds of the conservative-lookahead protocol.
+    pub rounds: u64,
+    /// Cross-device messages delivered.
+    pub messages: u64,
+}
+
+impl ArrayRunMetrics {
+    /// Array throughput in target nodes per second.
+    pub fn throughput(&self) -> f64 {
+        self.metrics.throughput()
+    }
+
+    /// Scaling efficiency: achieved speedup over ideal (`1.0` =
+    /// linear).
+    pub fn efficiency(&self) -> f64 {
+        if self.single_throughput == 0.0 || self.devices == 0 {
+            return 0.0;
+        }
+        (self.throughput() / self.single_throughput) / self.devices as f64
+    }
+
+    /// Fraction of sampled edges that crossed devices.
+    pub fn cross_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cross_edges as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Total bytes the fabric carried.
+    pub fn fabric_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes).sum()
+    }
+
+    /// Snapshots the run into a [`simkit::MetricsRegistry`]: the merged
+    /// [`RunMetrics`] sections followed by an `array` section, one
+    /// `device_<i>` section per device, and one `fabric_link_<i>`
+    /// section per egress link. Section and field order is fixed, so
+    /// two identical runs serialize byte-identically at any thread
+    /// count.
+    pub fn metrics_registry(&self) -> simkit::MetricsRegistry {
+        let mut reg = self.metrics.metrics_registry();
+        let a = reg.section("array");
+        a.set_u64("devices", self.devices as u64);
+        a.set_f64("single_throughput_targets_per_s", self.single_throughput);
+        a.set_f64("efficiency", self.efficiency());
+        a.set_u64("total_edges", self.total_edges);
+        a.set_u64("cross_edges", self.cross_edges);
+        a.set_f64("cross_fraction", self.cross_fraction());
+        a.set_u64("cross_feature_bytes", self.cross_feature_bytes);
+        a.set_u64("fabric_bytes", self.fabric_bytes());
+        a.set_u64("rounds", self.rounds);
+        a.set_u64("messages", self.messages);
+        for d in &self.per_device {
+            let s = reg.section(&format!("device_{}", d.device));
+            s.set_u64("targets", d.targets);
+            s.set_u64("flash_reads", d.flash_reads);
+            s.set_u64("nodes_visited", d.nodes_visited);
+            s.set_u64("sampler_faults", d.sampler_faults);
+            s.set_u64("channel_bytes", d.channel_bytes);
+            s.set_u64("events_processed", d.events_processed);
+            s.set_duration("die_busy", d.die_busy);
+            s.set_duration("channel_busy", d.channel_busy);
+            s.set_duration("dram_busy", d.dram_busy);
+            s.set_duration("compute_time", d.compute_time);
+        }
+        for l in &self.links {
+            let s = reg.section(&format!("fabric_link_{}", l.device));
+            s.set_u64("bytes", l.bytes);
+            s.set_u64("messages", l.messages);
+            s.set_duration("busy", l.busy);
+        }
+        reg
+    }
+}
+
+/// Owner/home assignment and cross-traffic statistics of one cascade
+/// under one partition.
+struct Prepass {
+    /// Owning device of each record (partition of its visited node;
+    /// secondary-section records inherit their parent's owner).
+    owner: Vec<u32>,
+    /// Home device of each record (owner of its root target).
+    home: Vec<u32>,
+    total_edges: u64,
+    cross_edges: u64,
+    cross_feature_bytes: u64,
+}
+
+fn prepass(log: &CascadeLog, batches: &[Vec<NodeId>], partition: &Partition) -> Prepass {
+    let recs = &log.recs;
+    let mut owner = vec![0u32; recs.len()];
+    let mut home = vec![0u32; recs.len()];
+    let mut total_edges = 0u64;
+    let mut cross_edges = 0u64;
+    let mut cross_feature_bytes = 0u64;
+    // Roots first: a root's visited node is its target.
+    for (bi, batch) in batches.iter().enumerate() {
+        let base = log.batch_roots[bi] as usize;
+        for (j, &target) in batch.iter().enumerate() {
+            let p = partition.part_of(target);
+            owner[base + j] = p;
+            home[base + j] = p;
+        }
+    }
+    // One forward pass assigns children (every child index is greater
+    // than its parent's, so parents are always resolved first).
+    for i in 0..recs.len() {
+        let (po, ph) = (owner[i], home[i]);
+        let cs = recs[i].children_start as usize;
+        for c in cs..cs + recs[i].children_len as usize {
+            let visited = recs[c].visited;
+            let co = if visited != u32::MAX {
+                total_edges += 1;
+                let p = partition.part_of(NodeId::new(visited));
+                if p != po {
+                    cross_edges += 1;
+                }
+                p
+            } else {
+                po
+            };
+            owner[c] = co;
+            home[c] = ph;
+        }
+    }
+    for (i, r) in recs.iter().enumerate() {
+        if r.feature_bytes > 0 && owner[i] != home[i] {
+            cross_feature_bytes += r.feature_bytes as u64;
+        }
+    }
+    Prepass {
+        owner,
+        home,
+        total_edges,
+        cross_edges,
+        cross_feature_bytes,
+    }
+}
+
+/// Read-only replay context shared by every lane and the coordinator.
+struct ReplayCtx<'c> {
+    recs: &'c [CascadeRec],
+    owner: &'c [u32],
+    home: &'c [u32],
+}
+
+/// Device-lane pipeline events. `Arrive` carries only the record index
+/// (the arrival instant is the command's lifetime start); later stages
+/// thread the timing they need for the latency breakdown.
+#[derive(Debug, Clone, Copy)]
+enum DevEvent {
+    Arrive(u32),
+    Die(u32, SimTime),
+    Xfer(u32, SimTime, SimTime),
+    Done(u32, SimTime, Duration),
+    Finish(u32, SimTime, Duration),
+}
+
+/// Cross-device messages. Keys are `(record index << 1) | type bit`,
+/// so spawn and feature keys never collide and the global sort is
+/// total.
+#[derive(Debug, Clone, Copy)]
+enum AMsg {
+    /// Forward a sampled child command to its owning device.
+    Spawn { from: u32, to: u32, rec: u32 },
+    /// Return retrieved feature bytes to the record's home device.
+    Feature { from: u32, to: u32, bytes: u64 },
+}
+
+fn spawn_key(rec: u32) -> u128 {
+    (rec as u128) << 1
+}
+
+fn feature_key(rec: u32) -> u128 {
+    ((rec as u128) << 1) | 1
+}
+
+/// One device's event loop: a full SSD backend (all channels, dies and
+/// DRAM), a private calendar, and lane-local metric accumulators that
+/// merge in fixed device order after the run.
+struct DevLane {
+    dev: usize,
+    ssd: SsdConfig,
+    dies: Vec<SerialResource>,
+    chans: Vec<SerialResource>,
+    dram: BandwidthResource,
+    calendar: Calendar<DevEvent>,
+    cal_base: simkit::PoolStats,
+    memo: FlashServiceMemo,
+    outbox: MessagePool<AMsg>,
+
+    record_hops: bool,
+    hop_first: Vec<Option<SimTime>>,
+    hop_last: Vec<Option<SimTime>>,
+    cmd_breakdown: CmdBreakdown,
+    die_timeline: TimelineBuilder,
+    channel_timeline: TimelineBuilder,
+    nodes_visited: u64,
+    flash_reads: u64,
+    sampler_faults: u64,
+    router_cmds: u64,
+    channel_bytes: u64,
+    dram_bytes: u64,
+    events_processed: u64,
+    prep_end: SimTime,
+}
+
+impl DevLane {
+    fn new(dev: usize, ssd: SsdConfig, hops: usize) -> Self {
+        let geo = &ssd.geometry;
+        DevLane {
+            dev,
+            dies: vec![SerialResource::new(); geo.total_dies()],
+            chans: vec![SerialResource::new(); geo.channels],
+            dram: BandwidthResource::new(ssd.dram_bandwidth),
+            calendar: Calendar::new(),
+            cal_base: simkit::PoolStats::default(),
+            memo: FlashServiceMemo::new(ssd.timing, ON_DIE_SAMPLE_TIME, geo.page_size),
+            outbox: MessagePool::new(),
+            record_hops: true,
+            hop_first: vec![None; hops],
+            hop_last: vec![None; hops],
+            cmd_breakdown: CmdBreakdown::default(),
+            die_timeline: TimelineBuilder::new(),
+            channel_timeline: TimelineBuilder::new(),
+            nodes_visited: 0,
+            flash_reads: 0,
+            sampler_faults: 0,
+            router_cmds: 0,
+            channel_bytes: 0,
+            dram_bytes: 0,
+            events_processed: 0,
+            prep_end: SimTime::ZERO,
+            ssd,
+        }
+    }
+
+    fn next_time_ns(&self) -> u64 {
+        self.calendar.peek_time().map_or(IDLE, |t| t.as_ns())
+    }
+
+    /// Drains every event strictly below `horizon`.
+    fn run_round(&mut self, ctx: &ReplayCtx<'_>, horizon: SimTime) {
+        loop {
+            match self.calendar.peek_time() {
+                Some(t) if t < horizon => {}
+                _ => break,
+            }
+            let (now, ev) = self.calendar.pop().expect("peeked event");
+            self.events_processed += 1;
+            match ev {
+                DevEvent::Arrive(rec) => self.on_arrive(ctx, rec, now),
+                DevEvent::Die(rec, created) => self.on_die(ctx, rec, created, now),
+                DevEvent::Xfer(rec, die_start, created) => {
+                    self.on_xfer(ctx, rec, die_start, created, now)
+                }
+                DevEvent::Done(rec, xfer_end, chan_wait) => {
+                    self.on_done(ctx, rec, xfer_end, chan_wait, now)
+                }
+                DevEvent::Finish(rec, xfer_end, chan_wait) => {
+                    self.finish(ctx, rec, xfer_end, chan_wait, now)
+                }
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, ctx: &ReplayCtx<'_>, rec: u32, now: SimTime) {
+        if self.record_hops {
+            let h = ctx.recs[rec as usize].hop as usize;
+            self.hop_first[h] = Some(self.hop_first[h].map_or(now, |t| t.min(now)));
+        }
+        self.router_cmds += 1;
+        self.calendar
+            .schedule(now + self.ssd.router_latency, DevEvent::Die(rec, now));
+    }
+
+    fn on_die(&mut self, ctx: &ReplayCtx<'_>, rec: u32, created: SimTime, now: SimTime) {
+        let r = &ctx.recs[rec as usize];
+        let grant = self.dies[r.die as usize].acquire(now, self.memo.die_service);
+        self.die_timeline.push(grant.start, grant.end);
+        self.flash_reads += 1;
+        if r.fault {
+            self.sampler_faults += 1;
+        }
+        self.cmd_breakdown
+            .wait_before_flash
+            .record_duration(grant.start.saturating_duration_since(created));
+        self.calendar
+            .schedule(grant.end, DevEvent::Xfer(rec, grant.start, created));
+    }
+
+    fn on_xfer(
+        &mut self,
+        ctx: &ReplayCtx<'_>,
+        rec: u32,
+        die_start: SimTime,
+        _created: SimTime,
+        now: SimTime,
+    ) {
+        let r = &ctx.recs[rec as usize];
+        let bytes = r.result_bytes as u64;
+        let service = self.memo.xfer_service(bytes);
+        let chan = r.die as usize % self.ssd.geometry.channels;
+        let grant = self.chans[chan].acquire(now, service);
+        self.channel_timeline.push(grant.start, grant.end);
+        self.channel_bytes += bytes;
+        let chan_wait = grant.start.saturating_duration_since(now);
+        self.cmd_breakdown
+            .flash
+            .record_duration((now - die_start) + (grant.end - grant.start));
+        // Trailing router parse is a fixed, contention-free hop.
+        self.calendar.schedule(
+            grant.end + self.ssd.router_latency,
+            DevEvent::Done(rec, grant.end, chan_wait),
+        );
+    }
+
+    fn on_done(
+        &mut self,
+        ctx: &ReplayCtx<'_>,
+        rec: u32,
+        xfer_end: SimTime,
+        chan_wait: Duration,
+        now: SimTime,
+    ) {
+        let fb = ctx.recs[rec as usize].feature_bytes as u64;
+        if fb > 0 && !self.ssd.dram_bypass {
+            // Stage in this device's own DRAM; the lane owns it, so the
+            // transfer is lane-local (unlike the per-channel engine's
+            // shared-DRAM coordinator round trip).
+            let grant = self.dram.transfer(now, fb);
+            self.dram_bytes += fb;
+            self.calendar
+                .schedule(grant.end, DevEvent::Finish(rec, xfer_end, chan_wait));
+        } else {
+            self.finish(ctx, rec, xfer_end, chan_wait, now);
+        }
+    }
+
+    fn finish(
+        &mut self,
+        ctx: &ReplayCtx<'_>,
+        rec: u32,
+        xfer_end: SimTime,
+        chan_wait: Duration,
+        now: SimTime,
+    ) {
+        let ri = rec as usize;
+        let r = &ctx.recs[ri];
+        self.cmd_breakdown
+            .wait_after_flash
+            .record_duration(chan_wait + now.saturating_duration_since(xfer_end));
+        if self.record_hops {
+            let h = r.hop as usize;
+            self.hop_last[h] = Some(self.hop_last[h].map_or(now, |t| t.max(now)));
+        }
+        if r.visited != u32::MAX {
+            self.nodes_visited += 1;
+        }
+        let me = self.dev as u32;
+        let cs = r.children_start;
+        for c in cs..cs + r.children_len {
+            let to = ctx.owner[c as usize];
+            if to == me {
+                self.calendar.schedule(now, DevEvent::Arrive(c));
+            } else {
+                self.outbox.push(
+                    now,
+                    spawn_key(c),
+                    AMsg::Spawn {
+                        from: me,
+                        to,
+                        rec: c,
+                    },
+                );
+            }
+        }
+        if r.feature_bytes > 0 && ctx.home[ri] != me {
+            self.outbox.push(
+                now,
+                feature_key(rec),
+                AMsg::Feature {
+                    from: me,
+                    to: ctx.home[ri],
+                    bytes: r.feature_bytes as u64,
+                },
+            );
+        }
+        self.prep_end = self.prep_end.max(now);
+    }
+}
+
+/// State shared between the coordinator (main thread) and the lane
+/// workers; the exact shape of the per-channel engine's, lifted to
+/// device lanes.
+struct AShared {
+    epochs: EpochWindow,
+    horizon: AtomicU64,
+    done: AtomicBool,
+    record_hops: AtomicBool,
+    prep_end_max: AtomicU64,
+    next_times: Vec<AtomicU64>,
+    mailboxes: Vec<Mutex<Vec<(u64, DevEvent)>>>,
+    pool: Mutex<MessagePool<AMsg>>,
+    barrier: Barrier,
+}
+
+impl AShared {
+    fn new(lanes: usize, parties: usize, epochs: EpochWindow) -> Self {
+        AShared {
+            epochs,
+            horizon: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            record_hops: AtomicBool::new(true),
+            prep_end_max: AtomicU64::new(0),
+            next_times: (0..lanes).map(|_| AtomicU64::new(IDLE)).collect(),
+            mailboxes: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+            pool: Mutex::new(MessagePool::new()),
+            barrier: Barrier::new(parties),
+        }
+    }
+}
+
+/// Runs one device lane's round: drain inbound deliveries, advance to
+/// the horizon, publish the lane's next event time and its outbound
+/// messages.
+fn lane_round(lane: &mut DevLane, ctx: &ReplayCtx<'_>, shared: &AShared, li: usize) {
+    let horizon = SimTime::from_ns(shared.horizon.load(Ordering::Acquire));
+    lane.record_hops = shared.record_hops.load(Ordering::Acquire);
+    let inbound = std::mem::take(&mut *shared.mailboxes[li].lock().expect("mailbox"));
+    for (t, ev) in inbound {
+        lane.calendar.schedule(SimTime::from_ns(t), ev);
+    }
+    lane.run_round(ctx, horizon);
+    shared.next_times[li].store(lane.next_time_ns(), Ordering::Release);
+    shared
+        .prep_end_max
+        .fetch_max(lane.prep_end.as_ns(), Ordering::AcqRel);
+    if !lane.outbox.is_empty() {
+        shared.pool.lock().expect("pool").absorb(&mut lane.outbox);
+    }
+}
+
+/// Advances every lane one round: inline for the serial fallback,
+/// through the barrier for persistent workers. Identical protocol on
+/// identical shared state, so `threads(1)` is the byte-exact reference
+/// for any thread count.
+trait RoundDriver {
+    fn round(&mut self, ctx: &ReplayCtx<'_>, shared: &AShared);
+}
+
+struct SerialDriver<'l> {
+    lanes: &'l mut [DevLane],
+}
+
+impl RoundDriver for SerialDriver<'_> {
+    fn round(&mut self, ctx: &ReplayCtx<'_>, shared: &AShared) {
+        for (li, lane) in self.lanes.iter_mut().enumerate() {
+            lane_round(lane, ctx, shared, li);
+        }
+    }
+}
+
+struct BarrierDriver;
+
+impl RoundDriver for BarrierDriver {
+    fn round(&mut self, _ctx: &ReplayCtx<'_>, shared: &AShared) {
+        shared.barrier.wait();
+        // Workers run their lanes here.
+        shared.barrier.wait();
+    }
+}
+
+/// Coordinator-side state: the fabric links (which lanes may not
+/// touch) plus the batch-pipeline bookkeeping.
+struct ACoordinator {
+    links: Vec<BandwidthResource>,
+    hop_latency: Duration,
+    link_bytes: Vec<u64>,
+    link_msgs: Vec<u64>,
+    /// Per home device: when the last inbound feature return of the
+    /// current batch lands (gates that device's compute start).
+    feature_ready: Vec<SimTime>,
+    energy: EnergyLedger,
+    prep_total: Duration,
+    compute_total: Duration,
+    device_compute: Vec<Duration>,
+    device_targets: Vec<u64>,
+    makespan: SimTime,
+    targets_total: u64,
+    rounds: u64,
+    messages: u64,
+}
+
+impl ACoordinator {
+    /// Applies one round's messages in globally sorted `(time, key)`
+    /// order: fabric-link grants are issued in that order, command
+    /// hops are quantized to the next lookahead boundary and posted
+    /// into lane mailboxes, feature returns fold into the home
+    /// device's batch-level readiness. Returns the earliest delivery
+    /// time, or [`IDLE`].
+    fn process_messages(&mut self, shared: &AShared) -> u64 {
+        let mut pool = shared.pool.lock().expect("pool");
+        if pool.is_empty() {
+            return IDLE;
+        }
+        let mut min_delivery = IDLE;
+        for (at, _key, msg) in pool.drain_sorted() {
+            self.messages += 1;
+            match msg {
+                AMsg::Spawn { from, to, rec } => {
+                    let grant = self.links[from as usize].transfer(at, CMD_HOP_BYTES);
+                    self.link_bytes[from as usize] += CMD_HOP_BYTES;
+                    self.link_msgs[from as usize] += 1;
+                    let arrive = shared.epochs.quantize(at, grant.end + self.hop_latency);
+                    shared.mailboxes[to as usize]
+                        .lock()
+                        .expect("mailbox")
+                        .push((arrive.as_ns(), DevEvent::Arrive(rec)));
+                    min_delivery = min_delivery.min(arrive.as_ns());
+                }
+                AMsg::Feature { from, to, bytes } => {
+                    let grant = self.links[from as usize].transfer(at, bytes);
+                    self.link_bytes[from as usize] += bytes;
+                    self.link_msgs[from as usize] += 1;
+                    let ready = grant.end + self.hop_latency;
+                    let slot = &mut self.feature_ready[to as usize];
+                    *slot = (*slot).max(ready);
+                }
+            }
+        }
+        min_delivery
+    }
+}
+
+/// The simulated multi-SSD array engine: N device lanes behind a
+/// partition-aware host router, advanced under conservative lookahead
+/// with the fabric hop latency as the window.
+///
+/// ```
+/// use beacon_graph::{generate, FeatureTable, NodeId, Partition};
+/// use beacon_gnn::GnnModelConfig;
+/// use beacon_platforms::{ArrayConfig, ArrayEngine, Platform};
+/// use beacon_ssd::SsdConfig;
+/// use directgraph::{build::DirectGraphBuilder, AddrLayout};
+///
+/// let cfg = generate::PowerLawConfig::new(1_000, 20.0);
+/// let graph = generate::power_law(&cfg, 1);
+/// let feats = FeatureTable::synthetic(1_000, 64, 1);
+/// let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+///     .build(&graph, &feats).unwrap();
+///
+/// let model = GnnModelConfig::paper_default(64);
+/// let batches = vec![(0..16).map(NodeId::new).collect::<Vec<_>>()];
+/// let part = Partition::hash(&graph, 4);
+/// let engine = ArrayEngine::new(
+///     Platform::Bg2, ArrayConfig::pcie_p2p(4), SsdConfig::paper_default(), model, &dg, 42);
+/// let serial = engine.run(&part, &batches);
+/// let threaded = ArrayEngine::new(
+///     Platform::Bg2, ArrayConfig::pcie_p2p(4), SsdConfig::paper_default(), model, &dg, 42)
+///     .threads(4)
+///     .run(&part, &batches);
+/// assert_eq!(serial.metrics.makespan, threaded.metrics.makespan);
+/// ```
+pub struct ArrayEngine<'a> {
+    platform: Platform,
+    array: ArrayConfig,
+    ssd: SsdConfig,
+    model: GnnModelConfig,
+    dg: &'a DirectGraph,
+    seed: u64,
+    threads: usize,
+}
+
+impl<'a> ArrayEngine<'a> {
+    /// Creates an array engine (serial round protocol until
+    /// [`threads`](Self::threads) raises it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is empty, the fabric hop latency is zero
+    /// (it is the lookahead window), or the SSD geometry's page size
+    /// differs from the DirectGraph layout's.
+    pub fn new(
+        platform: Platform,
+        array: ArrayConfig,
+        ssd: SsdConfig,
+        model: GnnModelConfig,
+        dg: &'a DirectGraph,
+        seed: u64,
+    ) -> Self {
+        assert!(array.ssds >= 1, "array needs at least one SSD");
+        assert!(
+            !array.fabric.hop_latency.is_zero(),
+            "fabric hop latency must be positive (it is the lookahead window)"
+        );
+        assert_eq!(
+            ssd.geometry.page_size,
+            dg.layout().page_size(),
+            "SSD geometry and DirectGraph layout disagree on page size"
+        );
+        ArrayEngine {
+            platform,
+            array,
+            ssd,
+            model,
+            dg,
+            seed,
+            threads: 1,
+        }
+    }
+
+    /// Sets the device-worker thread count. Output is byte-identical
+    /// at any value; values above the device count are clamped, and
+    /// below 2 the round protocol runs inline with no threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Phase 1: runs the serial single-SSD engine once and records the
+    /// sampling cascade. The result is reusable across device counts,
+    /// partitions, fabrics and thread counts (it depends on neither).
+    ///
+    /// On platforms that are not channel-separable the cascade is
+    /// empty and only a 1-device replay (the serial metrics verbatim)
+    /// is possible.
+    pub fn record(&self, batches: &[Vec<NodeId>]) -> ArrayCascade {
+        let _phase = profile::phase("array/record");
+        let mut scratch = EngineScratch::new();
+        let engine = Engine::new(self.platform, self.ssd, self.model, self.dg, self.seed);
+        if self.platform.spec().channel_separable() {
+            let (single, log) = engine.record_cascade(&mut scratch, batches);
+            ArrayCascade {
+                log,
+                single,
+                batches: batches.to_vec(),
+            }
+        } else {
+            let single = engine.run_with(&mut scratch, batches);
+            ArrayCascade {
+                log: CascadeLog::default(),
+                single,
+                batches: batches.to_vec(),
+            }
+        }
+    }
+
+    /// Record + replay in one call.
+    pub fn run(&self, partition: &Partition, batches: &[Vec<NodeId>]) -> ArrayRunMetrics {
+        let cascade = self.record(batches);
+        self.run_recorded(&cascade, partition)
+    }
+
+    /// Phase 2: replays a recorded cascade on the array. A 1-device
+    /// array returns the recorded serial run's metrics verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's part count differs from the array
+    /// size, or if the array has more than one device and the platform
+    /// is not channel-separable (only BG-2's pipeline decomposes into
+    /// independent device lanes).
+    pub fn run_recorded(&self, cascade: &ArrayCascade, partition: &Partition) -> ArrayRunMetrics {
+        let devs = self.array.ssds;
+        assert_eq!(
+            partition.parts() as usize,
+            devs,
+            "partition/array size mismatch"
+        );
+        let pre = prepass(&cascade.log, &cascade.batches, partition);
+        let single_throughput = cascade.single.throughput();
+        if devs == 1 {
+            let m = cascade.single.clone();
+            let per_device = vec![DeviceMetrics {
+                device: 0,
+                targets: m.targets,
+                flash_reads: m.flash_reads,
+                nodes_visited: m.nodes_visited,
+                sampler_faults: m.sampler_faults,
+                channel_bytes: m.energy.channel_bytes,
+                events_processed: m.pools.events_processed,
+                die_busy: m.stages.flash_read,
+                channel_busy: m.stages.channel,
+                dram_busy: m.stages.dram,
+                compute_time: m.compute_time,
+            }];
+            return ArrayRunMetrics {
+                devices: 1,
+                metrics: m,
+                single_throughput,
+                per_device,
+                links: vec![FabricLinkMetrics::default()],
+                total_edges: pre.total_edges,
+                cross_edges: 0,
+                cross_feature_bytes: 0,
+                rounds: 0,
+                messages: 0,
+            };
+        }
+        assert!(
+            self.platform.spec().channel_separable(),
+            "multi-device array replay requires a channel-separable platform (BG-2)"
+        );
+        self.replay(cascade, partition, pre, single_throughput)
+    }
+
+    fn replay(
+        &self,
+        cascade: &ArrayCascade,
+        partition: &Partition,
+        pre: Prepass,
+        single_throughput: f64,
+    ) -> ArrayRunMetrics {
+        let _phase = profile::phase("array/replay");
+        let devs = self.array.ssds;
+        let hops = self.model.hops as usize + 2;
+        let ctx = ReplayCtx {
+            recs: &cascade.log.recs,
+            owner: &pre.owner,
+            home: &pre.home,
+        };
+        let mut lanes: Vec<DevLane> = (0..devs)
+            .map(|d| {
+                let mut lane = DevLane::new(d, self.ssd, hops);
+                lane.cal_base = lane.calendar.pool_stats();
+                lane
+            })
+            .collect();
+
+        let threads = self.threads.min(devs);
+        let workers = if threads >= 2 { threads } else { 0 };
+        let shared = AShared::new(
+            devs,
+            workers + 1,
+            EpochWindow::new(self.array.fabric.hop_latency),
+        );
+        let mut coord = ACoordinator {
+            links: (0..devs)
+                .map(|_| BandwidthResource::new(self.array.fabric.bandwidth))
+                .collect(),
+            hop_latency: self.array.fabric.hop_latency,
+            link_bytes: vec![0; devs],
+            link_msgs: vec![0; devs],
+            feature_ready: vec![SimTime::ZERO; devs],
+            energy: EnergyLedger::new(),
+            prep_total: Duration::ZERO,
+            compute_total: Duration::ZERO,
+            device_compute: vec![Duration::ZERO; devs],
+            device_targets: vec![0; devs],
+            makespan: SimTime::ZERO,
+            targets_total: 0,
+            rounds: 0,
+            messages: 0,
+        };
+
+        if workers == 0 {
+            let mut driver = SerialDriver { lanes: &mut lanes };
+            self.run_batches(cascade, partition, &ctx, &shared, &mut coord, &mut driver);
+        } else {
+            // Round-robin the lanes over persistent workers; the
+            // global message sort makes the grouping invisible.
+            let mut groups: Vec<Vec<(usize, DevLane)>> = (0..workers).map(|_| Vec::new()).collect();
+            for (li, lane) in lanes.drain(..).enumerate() {
+                groups[li % workers].push((li, lane));
+            }
+            let shared_ref = &shared;
+            let ctx_ref = &ctx;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|mut group| {
+                        s.spawn(move || loop {
+                            shared_ref.barrier.wait();
+                            if shared_ref.done.load(Ordering::Acquire) {
+                                return group;
+                            }
+                            for (li, lane) in group.iter_mut() {
+                                lane_round(lane, ctx_ref, shared_ref, *li);
+                            }
+                            shared_ref.barrier.wait();
+                        })
+                    })
+                    .collect();
+                let mut driver = BarrierDriver;
+                self.run_batches(cascade, partition, &ctx, &shared, &mut coord, &mut driver);
+                shared.done.store(true, Ordering::Release);
+                shared.barrier.wait();
+                let mut by_device: Vec<Option<DevLane>> = (0..devs).map(|_| None).collect();
+                for handle in handles {
+                    for (li, lane) in handle.join().expect("device worker") {
+                        by_device[li] = Some(lane);
+                    }
+                }
+                lanes = by_device
+                    .into_iter()
+                    .map(|l| l.expect("every lane returned"))
+                    .collect();
+            });
+        }
+
+        profile::count("array/rounds", coord.rounds);
+        profile::count("array/messages", coord.messages);
+        profile::count("array/devices", devs as u64);
+        self.merge(cascade, pre, coord, lanes, single_throughput)
+    }
+
+    /// The serial engine's batch pipeline with `run_prep` replaced by
+    /// the round loop and per-device compute: each device aggregates
+    /// the targets homed on it, gated by its inbound feature returns.
+    fn run_batches(
+        &self,
+        cascade: &ArrayCascade,
+        partition: &Partition,
+        ctx: &ReplayCtx<'_>,
+        shared: &AShared,
+        coord: &mut ACoordinator,
+        driver: &mut dyn RoundDriver,
+    ) {
+        let spec = self.platform.spec();
+        let accel = accel_config(&spec);
+        let devs = self.array.ssds;
+        let mut compute_free = vec![SimTime::ZERO; devs];
+        let mut prep_cursor = SimTime::ZERO;
+        let mut compute_ends: Vec<Vec<SimTime>> = Vec::with_capacity(cascade.batches.len());
+
+        for (bi, batch) in cascade.batches.iter().enumerate() {
+            coord.targets_total += batch.len() as u64;
+            shared.record_hops.store(bi == 0, Ordering::Release);
+            // §VI-D double buffering, array-wide: every device's DRAM
+            // region must have released its half before the next prep
+            // starts (the round loop advances all lanes together).
+            let buffer_ready = if bi >= 2 {
+                compute_ends[bi - 2]
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(SimTime::ZERO)
+            } else {
+                SimTime::ZERO
+            };
+            let prep_start = prep_cursor.max(buffer_ready);
+            // BG-2 is direct-graph: one customized NVMe command per
+            // device carries its shard of primary-section addresses
+            // (host→device is the host PCIe link, not the fabric).
+            let start = prep_start + self.ssd.host.nvme_roundtrip;
+            coord.energy.pcie_bytes += batch.len() as u64 * NODE_ID_BYTES;
+            for slot in &mut coord.feature_ready {
+                *slot = SimTime::ZERO;
+            }
+
+            let base = cascade.log.batch_roots[bi];
+            for j in 0..batch.len() {
+                let rec = base + j as u32;
+                let owner = ctx.owner[rec as usize] as usize;
+                shared.mailboxes[owner]
+                    .lock()
+                    .expect("mailbox")
+                    .push((start.as_ns(), DevEvent::Arrive(rec)));
+            }
+            let mut pending_min = start.as_ns();
+
+            loop {
+                let lanes_min = shared
+                    .next_times
+                    .iter()
+                    .map(|t| t.load(Ordering::Acquire))
+                    .min()
+                    .unwrap_or(IDLE);
+                let min_next = lanes_min.min(pending_min);
+                if min_next == IDLE {
+                    break;
+                }
+                let horizon = shared.epochs.horizon_for(SimTime::from_ns(min_next));
+                shared.horizon.store(horizon.as_ns(), Ordering::Release);
+                driver.round(ctx, shared);
+                coord.rounds += 1;
+                pending_min = coord.process_messages(shared);
+            }
+
+            let prep_end = SimTime::from_ns(shared.prep_end_max.load(Ordering::Acquire)).max(start);
+            coord.prep_total += prep_end - prep_start;
+            prep_cursor = prep_end;
+
+            // Per-device compute overlaps the next batch's prep. A
+            // device aggregates its home targets once the global prep
+            // drained, its inbound feature returns landed, and its own
+            // accelerator freed up.
+            let mut ends = vec![SimTime::ZERO; devs];
+            let mut home_counts = vec![0u64; devs];
+            for &t in batch {
+                home_counts[partition.part_of(t) as usize] += 1;
+            }
+            for (d, &count) in home_counts.iter().enumerate() {
+                if count == 0 {
+                    ends[d] = compute_free[d];
+                    continue;
+                }
+                let wl = MinibatchWorkload::new(self.model, count).with_training(true);
+                let compute_start = prep_end.max(coord.feature_ready[d]).max(compute_free[d]);
+                if !self.ssd.dram_bypass {
+                    let bytes =
+                        count * self.model.subgraph_nodes() * self.model.feature_bytes() as u64;
+                    coord.energy.dram_bytes += bytes;
+                }
+                let ct = wl.compute_time(&accel);
+                coord.compute_total += ct;
+                coord.device_compute[d] += ct;
+                coord.device_targets[d] += count;
+                compute_free[d] = compute_start + ct;
+                ends[d] = compute_free[d];
+                coord.makespan = coord.makespan.max(compute_free[d]);
+                coord.energy.macs += wl.total_macs();
+                coord.energy.reduce_ops += wl.total_reduce_ops();
+            }
+            coord.makespan = coord.makespan.max(prep_end);
+            compute_ends.push(ends);
+        }
+    }
+
+    /// Folds lane-local accumulators (in fixed device order) and the
+    /// coordinator into the merged [`RunMetrics`] plus per-device and
+    /// fabric-link breakdowns.
+    fn merge(
+        &self,
+        cascade: &ArrayCascade,
+        pre: Prepass,
+        coord: ACoordinator,
+        lanes: Vec<DevLane>,
+        single_throughput: f64,
+    ) -> ArrayRunMetrics {
+        let spec = self.platform.spec();
+        let accel = accel_config(&spec);
+        let devs = self.array.ssds;
+        let hops = self.model.hops as usize + 2;
+        let mut cmd_breakdown = CmdBreakdown::default();
+        let mut die_timeline = TimelineBuilder::new();
+        let mut channel_timeline = TimelineBuilder::new();
+        let mut hop_first: Vec<Option<SimTime>> = vec![None; hops];
+        let mut hop_last: Vec<Option<SimTime>> = vec![None; hops];
+        let mut pools = PoolCounters::default();
+        let mut energy = coord.energy;
+        let mut nodes_visited = 0u64;
+        let mut flash_reads = 0u64;
+        let mut sampler_faults = 0u64;
+        let mut flash_busy = Duration::ZERO;
+        let mut channel_busy = Duration::ZERO;
+        let mut dram_busy = Duration::ZERO;
+        let mut per_device = Vec::with_capacity(devs);
+
+        for lane in &lanes {
+            cmd_breakdown
+                .wait_before_flash
+                .merge(&lane.cmd_breakdown.wait_before_flash);
+            cmd_breakdown.flash.merge(&lane.cmd_breakdown.flash);
+            cmd_breakdown
+                .wait_after_flash
+                .merge(&lane.cmd_breakdown.wait_after_flash);
+            die_timeline.absorb(&lane.die_timeline);
+            channel_timeline.absorb(&lane.channel_timeline);
+            for h in 0..hops {
+                hop_first[h] = match (hop_first[h], lane.hop_first[h]) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                hop_last[h] = match (hop_last[h], lane.hop_last[h]) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let cal = lane.calendar.pool_stats();
+            pools.events_processed += lane.events_processed;
+            pools.event_slots_allocated += cal.slots_allocated - lane.cal_base.slots_allocated;
+            pools.event_slots_reused += cal.slots_reused - lane.cal_base.slots_reused;
+            pools.calendar_wheel_high_water =
+                pools.calendar_wheel_high_water.max(cal.wheel_high_water);
+            pools.calendar_far_high_water = pools.calendar_far_high_water.max(cal.far_high_water);
+            energy.flash_page_reads += lane.flash_reads;
+            energy.sampler_cmds += lane.flash_reads;
+            energy.router_cmds += lane.router_cmds;
+            energy.channel_bytes += lane.channel_bytes;
+            energy.dram_bytes += lane.dram_bytes;
+            nodes_visited += lane.nodes_visited;
+            flash_reads += lane.flash_reads;
+            sampler_faults += lane.sampler_faults;
+            let lane_die_busy: Duration = lane.dies.iter().map(SerialResource::busy_total).sum();
+            let lane_chan_busy: Duration = lane.chans.iter().map(SerialResource::busy_total).sum();
+            flash_busy += lane_die_busy;
+            channel_busy += lane_chan_busy;
+            dram_busy += lane.dram.busy_total();
+            per_device.push(DeviceMetrics {
+                device: lane.dev,
+                targets: coord.device_targets[lane.dev],
+                flash_reads: lane.flash_reads,
+                nodes_visited: lane.nodes_visited,
+                sampler_faults: lane.sampler_faults,
+                channel_bytes: lane.channel_bytes,
+                events_processed: lane.events_processed,
+                die_busy: lane_die_busy,
+                channel_busy: lane_chan_busy,
+                dram_busy: lane.dram.busy_total(),
+                compute_time: coord.device_compute[lane.dev],
+            });
+        }
+        profile::count("array/events_processed", pools.events_processed);
+
+        let links: Vec<FabricLinkMetrics> = (0..devs)
+            .map(|d| FabricLinkMetrics {
+                device: d,
+                bytes: coord.link_bytes[d],
+                messages: coord.link_msgs[d],
+                busy: coord.links[d].busy_total(),
+            })
+            .collect();
+        let fabric_busy: Duration = links.iter().map(|l| l.busy).sum();
+
+        let stages = StageBreakdown {
+            flash_read: flash_busy,
+            channel: channel_busy,
+            firmware: Duration::ZERO,
+            dram: dram_busy,
+            // Cross-device traffic rides PCIe-P2P / NVMe-oF links.
+            pcie: fabric_busy,
+            host: Duration::ZERO,
+            accel: coord.compute_total,
+        };
+        let hop_windows = hop_first
+            .iter()
+            .zip(&hop_last)
+            .enumerate()
+            .filter_map(|(h, (f, l))| {
+                f.zip(*l).map(|(start, end)| HopWindow {
+                    hop: h as u8,
+                    start,
+                    end,
+                })
+            })
+            .collect();
+        let accel_occupancy = {
+            let cw = coord.compute_total.as_secs_f64();
+            let peak_macs =
+                cw * accel.systolic.clock_hz() as f64 * accel.systolic.macs_per_cycle() as f64;
+            let peak_reduce = cw * accel.vector.clock_hz() as f64 * accel.vector.lanes() as f64;
+            AccelOccupancy {
+                systolic: if peak_macs > 0.0 {
+                    energy.macs as f64 / peak_macs
+                } else {
+                    0.0
+                },
+                vector: if peak_reduce > 0.0 {
+                    energy.reduce_ops as f64 / peak_reduce
+                } else {
+                    0.0
+                },
+            }
+        };
+
+        let metrics = RunMetrics {
+            platform: spec.name,
+            targets: coord.targets_total,
+            batches: cascade.batches.len() as u64,
+            nodes_visited,
+            flash_reads,
+            sampler_faults,
+            makespan: coord.makespan - SimTime::ZERO,
+            prep_time: coord.prep_total,
+            compute_time: coord.compute_total,
+            cmd_breakdown,
+            stages,
+            hop_windows,
+            die_timeline,
+            channel_timeline,
+            energy,
+            total_dies: self.ssd.geometry.total_dies() * devs,
+            total_channels: self.ssd.geometry.channels * devs,
+            trace: Trace::with_capacity(0),
+            pools,
+            spans: SpanRecorder::disabled(),
+            sampler_executed: cascade.single.sampler_executed,
+            router: None,
+            ftl: None,
+            accel_occupancy,
+        };
+
+        ArrayRunMetrics {
+            devices: devs,
+            metrics,
+            single_throughput,
+            per_device,
+            links,
+            total_edges: pre.total_edges,
+            cross_edges: pre.cross_edges,
+            cross_feature_bytes: pre.cross_feature_bytes,
+            rounds: coord.rounds,
+            messages: coord.messages,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +1506,36 @@ mod tests {
             .unwrap();
         let batches = vec![(0..64).map(NodeId::new).collect()];
         (dg, GnnModelConfig::paper_default(100), batches)
+    }
+
+    fn clustered_dg(clusters: usize, per: usize) -> (beacon_graph::CsrGraph, DirectGraph) {
+        let n = clusters * per;
+        let mut b = beacon_graph::CsrGraphBuilder::new(n);
+        let mut rng = simkit::SplitMix64::new(4);
+        for c in 0..clusters {
+            let base = c * per;
+            for i in 0..per {
+                for _ in 0..8 {
+                    let j = rng.next_bounded(per as u64) as usize;
+                    if i != j {
+                        b.add_edge(
+                            NodeId::new((base + i) as u32),
+                            NodeId::new((base + j) as u32),
+                        );
+                    }
+                }
+            }
+        }
+        let graph = b.build();
+        let feats = beacon_graph::FeatureTable::synthetic(n, 64, 4);
+        let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
+            .build(&graph, &feats)
+            .unwrap();
+        (graph, dg)
+    }
+
+    fn digest(m: &ArrayRunMetrics) -> String {
+        m.metrics_registry().to_json_string()
     }
 
     #[test]
@@ -279,11 +1577,8 @@ mod tests {
     #[test]
     fn starved_fabric_caps_scaling() {
         let (dg, model, batches) = setup();
-        let thin = ArrayConfig {
-            ssds: 8,
-            p2p_bandwidth: 2_000_000,
-            p2p_hop_ns: 600,
-        };
+        let thin = ArrayConfig::pcie_p2p(8)
+            .with_fabric(FabricConfig::pcie_p2p().with_bandwidth(2_000_000));
         let s = evaluate_array(
             Platform::Bg2,
             thin,
@@ -305,27 +1600,7 @@ mod tests {
     fn locality_partition_reduces_cross_traffic() {
         // Build a clustered graph so a locality-aware partition can
         // shine, and reconstruct it for partitioning.
-        let mut b = beacon_graph::CsrGraphBuilder::new(2_000);
-        let mut rng = simkit::SplitMix64::new(4);
-        for c in 0..4usize {
-            let base = c * 500;
-            for i in 0..500usize {
-                for _ in 0..8 {
-                    let j = rng.next_bounded(500) as usize;
-                    if i != j {
-                        b.add_edge(
-                            NodeId::new((base + i) as u32),
-                            NodeId::new((base + j) as u32),
-                        );
-                    }
-                }
-            }
-        }
-        let graph = b.build();
-        let feats = beacon_graph::FeatureTable::synthetic(2_000, 64, 4);
-        let dg = DirectGraphBuilder::new(AddrLayout::for_page_size(4096).unwrap())
-            .build(&graph, &feats)
-            .unwrap();
+        let (graph, dg) = clustered_dg(4, 500);
         let model = GnnModelConfig::paper_default(64);
         let batches = vec![(0..64u32).map(|i| NodeId::new(i * 31 % 2_000)).collect()];
 
@@ -379,5 +1654,197 @@ mod tests {
             7,
         );
         assert!(eight.cross_fraction > two.cross_fraction);
+    }
+
+    // ---- simulated path ----
+
+    #[test]
+    fn array_thread_count_is_invisible() {
+        let (dg, model, batches) = setup();
+        let part = Partition::hash(&trivial_graph(3_000), 4);
+        let engine = ArrayEngine::new(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(4),
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            7,
+        );
+        let cascade = engine.record(&batches);
+        let reference = digest(&engine.run_recorded(&cascade, &part));
+        for threads in [2, 8] {
+            let m = ArrayEngine::new(
+                Platform::Bg2,
+                ArrayConfig::pcie_p2p(4),
+                SsdConfig::paper_default(),
+                model,
+                &dg,
+                7,
+            )
+            .threads(threads)
+            .run_recorded(&cascade, &part);
+            assert_eq!(digest(&m), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_device_array_is_serial_engine_exactly() {
+        let (dg, model, batches) = setup();
+        let serial =
+            Engine::new(Platform::Bg2, SsdConfig::paper_default(), model, &dg, 7).run(&batches);
+        let part = Partition::hash(&trivial_graph(3_000), 1);
+        let array = ArrayEngine::new(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(1),
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            7,
+        )
+        .run(&part, &batches);
+        assert_eq!(
+            array.metrics.metrics_registry().to_json_string(),
+            serial.metrics_registry().to_json_string()
+        );
+        assert_eq!(array.devices, 1);
+        assert_eq!(array.cross_edges, 0);
+        assert!((array.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_work_sums_to_single_engine() {
+        let (dg, model, batches) = setup();
+        let part = Partition::hash(&trivial_graph(3_000), 4);
+        let engine = ArrayEngine::new(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(4),
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            7,
+        );
+        let cascade = engine.record(&batches);
+        let single = cascade.single_metrics();
+        let (s_reads, s_visited, s_bytes, s_faults, s_targets) = (
+            single.flash_reads,
+            single.nodes_visited,
+            single.energy.channel_bytes,
+            single.sampler_faults,
+            single.targets,
+        );
+        let m = engine.run_recorded(&cascade, &part);
+        assert_eq!(
+            m.per_device.iter().map(|d| d.flash_reads).sum::<u64>(),
+            s_reads
+        );
+        assert_eq!(
+            m.per_device.iter().map(|d| d.nodes_visited).sum::<u64>(),
+            s_visited
+        );
+        assert_eq!(
+            m.per_device.iter().map(|d| d.channel_bytes).sum::<u64>(),
+            s_bytes
+        );
+        assert_eq!(
+            m.per_device.iter().map(|d| d.sampler_faults).sum::<u64>(),
+            s_faults
+        );
+        assert_eq!(
+            m.per_device.iter().map(|d| d.targets).sum::<u64>(),
+            s_targets
+        );
+        assert_eq!(m.metrics.flash_reads, s_reads);
+        assert_eq!(m.metrics.nodes_visited, s_visited);
+        // Every device did some work under a hash partition.
+        assert!(m.per_device.iter().all(|d| d.flash_reads > 0));
+        // Fabric carried the cross traffic the prepass counted.
+        assert_eq!(
+            m.fabric_bytes(),
+            m.cross_edges * CMD_HOP_BYTES + m.cross_feature_bytes
+        );
+    }
+
+    #[test]
+    fn thin_fabric_stretches_makespan() {
+        let (dg, model, batches) = setup();
+        let part = Partition::hash(&trivial_graph(3_000), 4);
+        let engine = ArrayEngine::new(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(4),
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            7,
+        );
+        let cascade = engine.record(&batches);
+        let ample = engine.run_recorded(&cascade, &part);
+        let thin = ArrayEngine::new(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(4)
+                .with_fabric(FabricConfig::pcie_p2p().with_bandwidth(50_000_000)),
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            7,
+        )
+        .run_recorded(&cascade, &part);
+        // Same command set, same fabric traffic — only slower links.
+        assert_eq!(thin.fabric_bytes(), ample.fabric_bytes());
+        assert!(
+            thin.metrics.makespan > ample.metrics.makespan,
+            "thin {} vs ample {}",
+            thin.metrics.makespan,
+            ample.metrics.makespan
+        );
+    }
+
+    #[test]
+    fn locality_partition_cuts_fabric_traffic_in_replay() {
+        let (graph, dg) = clustered_dg(4, 500);
+        let model = GnnModelConfig::paper_default(64);
+        let batches: Vec<Vec<NodeId>> =
+            vec![(0..64u32).map(|i| NodeId::new(i * 31 % 2_000)).collect()];
+        let engine = ArrayEngine::new(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(4),
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            3,
+        );
+        let cascade = engine.record(&batches);
+        let hash = engine.run_recorded(&cascade, &Partition::hash(&graph, 4));
+        let local = engine.run_recorded(&cascade, &Partition::bfs_grow(&graph, 4));
+        assert!(
+            local.fabric_bytes() < hash.fabric_bytes() / 2,
+            "bfs {} vs hash {}",
+            local.fabric_bytes(),
+            hash.fabric_bytes()
+        );
+        assert!(local.cross_fraction() < hash.cross_fraction());
+        // Work totals are partition-invariant (same recorded cascade).
+        assert_eq!(hash.metrics.flash_reads, local.metrics.flash_reads);
+    }
+
+    #[test]
+    fn array_metrics_registry_has_device_and_fabric_sections() {
+        let (dg, model, batches) = setup();
+        let part = Partition::hash(&trivial_graph(3_000), 2);
+        let m = ArrayEngine::new(
+            Platform::Bg2,
+            ArrayConfig::pcie_p2p(2),
+            SsdConfig::paper_default(),
+            model,
+            &dg,
+            7,
+        )
+        .run(&part, &batches);
+        let reg = m.metrics_registry();
+        let names = reg.section_names();
+        assert!(names.contains(&"array"));
+        assert!(names.contains(&"device_0"));
+        assert!(names.contains(&"device_1"));
+        assert!(names.contains(&"fabric_link_0"));
+        assert!(names.contains(&"fabric_link_1"));
     }
 }

@@ -334,6 +334,49 @@ impl OutcomePool {
     }
 }
 
+/// One flash command of a recorded sampling cascade: everything the
+/// array replay needs to re-time the command on another device without
+/// re-running the (stateful, order-dependent) die samplers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CascadeRec {
+    /// Target die (global index within the single-SSD geometry).
+    pub(crate) die: u32,
+    /// Visited node id, or `u32::MAX` when the command visited nothing
+    /// (secondary sections, faulted commands).
+    pub(crate) visited: u32,
+    /// Feature bytes the command retrieved.
+    pub(crate) feature_bytes: u32,
+    /// Bytes its channel transfer moved (useful-bytes granularity).
+    pub(crate) result_bytes: u32,
+    /// First child record index; children are consecutive and every
+    /// child index is greater than its parent's (topological order).
+    pub(crate) children_start: u32,
+    pub(crate) children_len: u32,
+    /// Sampling hop (0 = mini-batch target).
+    pub(crate) hop: u8,
+    /// Whether the on-die §VI-E check aborted the command.
+    pub(crate) fault: bool,
+}
+
+/// A full recorded cascade: every flash command of every batch, in
+/// spawn order. Batch `b`'s roots are the `batches[b].len()` records
+/// starting at `batch_roots[b]`, in target order.
+#[derive(Debug, Default)]
+pub(crate) struct CascadeLog {
+    pub(crate) recs: Vec<CascadeRec>,
+    pub(crate) batch_roots: Vec<u32>,
+}
+
+/// Recorder state while a cascade-logging run is in flight. Records are
+/// created at spawn and filled in as the command moves through the
+/// pipeline; `slot_rec` maps the live `CmdStates` slot to its record.
+#[derive(Debug, Default)]
+struct CascadeRecorder {
+    recs: Vec<CascadeRec>,
+    batch_roots: Vec<u32>,
+    slot_rec: Vec<u32>,
+}
+
 /// Reusable per-worker simulation buffers: the event calendar (with its
 /// slab pool), the sample-outcome pool, and the hop-release scratch.
 ///
@@ -418,6 +461,10 @@ pub struct Engine<'a> {
     /// bookkeeping that feeds `RouterStats`; the timing model is
     /// untouched.
     router: Option<CommandRouter>,
+    /// Cascade recorder, installed only by [`Engine::record_cascade`].
+    /// Plain runs never touch it (one `is_some` branch per site), so
+    /// recording cannot perturb ordinary timing or digests.
+    cascade: Option<CascadeRecorder>,
 }
 
 impl<'a> Engine<'a> {
@@ -494,6 +541,7 @@ impl<'a> Engine<'a> {
             trace: simkit::Trace::with_capacity(0),
             obs: SpanRecorder::disabled(),
             router: None,
+            cascade: None,
             ssd,
         }
     }
@@ -564,6 +612,43 @@ impl<'a> Engine<'a> {
     /// outcome pool from `scratch` so consecutive runs on one worker
     /// reuse warm allocations. Results are identical to [`Engine::run`].
     pub fn run_with(mut self, scratch: &mut EngineScratch, batches: &[Vec<NodeId>]) -> RunMetrics {
+        self.run_scoped(scratch, batches)
+    }
+
+    /// Like [`Engine::run_with`], but also records the functional
+    /// sampling cascade — every flash command with its die, transfer
+    /// bytes, visited node and children — for the array replay
+    /// (`crate::array::ArrayEngine`). Timing and metrics are identical
+    /// to an unrecorded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the spec is channel-separable
+    /// ([`PlatformSpec::channel_separable`]): hop barriers and
+    /// host-issued feature reads spawn commands outside the cascade's
+    /// parent/child structure.
+    pub(crate) fn record_cascade(
+        mut self,
+        scratch: &mut EngineScratch,
+        batches: &[Vec<NodeId>],
+    ) -> (RunMetrics, CascadeLog) {
+        assert!(
+            self.spec.channel_separable(),
+            "cascade recording requires a channel-separable spec"
+        );
+        self.cascade = Some(CascadeRecorder::default());
+        let metrics = self.run_scoped(scratch, batches);
+        let rec = self.cascade.take().expect("recorder installed above");
+        (
+            metrics,
+            CascadeLog {
+                recs: rec.recs,
+                batch_roots: rec.batch_roots,
+            },
+        )
+    }
+
+    fn run_scoped(&mut self, scratch: &mut EngineScratch, batches: &[Vec<NodeId>]) -> RunMetrics {
         scratch.calendar.reset();
         scratch.release_buf.clear();
         scratch.span_stage.clear();
@@ -811,6 +896,10 @@ impl<'a> Engine<'a> {
     /// the completion time.
     fn run_prep(&mut self, batch: &[NodeId], t0: SimTime) -> SimTime {
         let _prep_phase = profile::phase("engine/prep");
+        if let Some(c) = self.cascade.as_mut() {
+            c.batch_roots
+                .push(u32::try_from(c.recs.len()).expect("cascade log overflow"));
+        }
         for s in &mut self.hop_outstanding {
             *s = 0;
         }
@@ -886,6 +975,23 @@ impl<'a> Engine<'a> {
             self.hop_buffers[hop].push(cmd);
         } else {
             let si = self.states.acquire(cmd);
+            if let Some(c) = self.cascade.as_mut() {
+                let rid = u32::try_from(c.recs.len()).expect("cascade log overflow");
+                c.recs.push(CascadeRec {
+                    die: 0,
+                    visited: u32::MAX,
+                    feature_bytes: 0,
+                    result_bytes: 0,
+                    children_start: 0,
+                    children_len: 0,
+                    hop: cmd.sample.hop,
+                    fault: false,
+                });
+                if c.slot_rec.len() <= si as usize {
+                    c.slot_rec.resize(si as usize + 1, 0);
+                }
+                c.slot_rec[si as usize] = rid;
+            }
             self.calendar.schedule(at, ev(EV_ARRIVE, si));
         }
     }
@@ -1020,6 +1126,7 @@ impl<'a> Engine<'a> {
         // commands — no per-command heap allocation.
         let dg = self.dg;
         let oi = self.outcomes.acquire();
+        let mut fault = false;
         match cmd.kind {
             CmdKind::FeatureRead => {
                 let feature_bytes = self.model.feature_bytes();
@@ -1030,17 +1137,22 @@ impl<'a> Engine<'a> {
             CmdKind::Visit => {
                 // `execute_into` leaves the outcome cleared on error —
                 // exactly the empty outcome the abort path needs.
-                if self.samplers[die]
+                fault = self.samplers[die]
                     .execute_into(
                         &cmd.sample,
                         dg.image(),
                         &mut self.outcomes.slots[oi as usize],
                     )
-                    .is_err()
-                {
+                    .is_err();
+                if fault {
                     self.sampler_faults += 1;
                 }
             }
+        }
+        if let Some(c) = self.cascade.as_mut() {
+            let r = &mut c.recs[c.slot_rec[si as usize] as usize];
+            r.die = die as u32;
+            r.fault = fault;
         }
         self.cmd_breakdown.wait_before_flash.record_duration(
             grant
@@ -1082,6 +1194,9 @@ impl<'a> Engine<'a> {
             });
         }
         self.channel_bytes_accum += bytes;
+        if let Some(c) = self.cascade.as_mut() {
+            c.recs[c.slot_rec[si as usize] as usize].result_bytes = bytes as u32;
+        }
         // The command's own flash processing: die service (sense +
         // on-die sampling, from die grant start to `now`) plus its own
         // channel transfer. Queueing for the channel counts as wait
@@ -1223,6 +1338,16 @@ impl<'a> Engine<'a> {
                 // feature-table page as a separate host I/O.
                 self.spawn_feature_read(node, cmd.sample.hop, cmd.sample.subgraph, now);
             }
+        }
+        if let Some(c) = self.cascade.as_mut() {
+            let rid = c.slot_rec[si as usize] as usize;
+            let next = u32::try_from(c.recs.len()).expect("cascade log overflow");
+            let out = self.outcomes.get(oi);
+            let r = &mut c.recs[rid];
+            r.visited = out.visited.map_or(u32::MAX, |n| n.as_u32());
+            r.feature_bytes = out.feature_bytes as u32;
+            r.children_start = next;
+            r.children_len = out.new_commands.len() as u32;
         }
         // Children inherit this command's channel as their routing
         // source (observability only; `None` keeps the plain path free

@@ -12,6 +12,10 @@
 //! * [`PartitionedEngine`] — the same BG-2 pipeline as N per-channel
 //!   event loops under conservative lookahead (see [`partition`]),
 //!   with identical output at any worker-thread count.
+//! * [`ArrayEngine`] — the multi-SSD array simulation (see [`array`]):
+//!   one device lane per SSD behind a partition-aware host router,
+//!   with an explicit fabric cost model and the same determinism
+//!   guarantee.
 //! * [`RunMetrics`] — throughput, stage/command latency breakdowns, hop
 //!   timelines, die/channel utilization curves, and the energy ledger:
 //!   the raw material for every figure in §VII.
@@ -47,7 +51,10 @@ pub mod partition;
 pub mod query;
 pub mod spec;
 
-pub use array::{evaluate_array, evaluate_array_partitioned, ArrayConfig, ArrayScaling};
+pub use array::{
+    evaluate_array, evaluate_array_partitioned, ArrayCascade, ArrayConfig, ArrayEngine,
+    ArrayRunMetrics, ArrayScaling, DeviceMetrics, FabricLinkMetrics,
+};
 pub use engine::{Engine, EngineScratch};
 pub use metrics::{
     AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,

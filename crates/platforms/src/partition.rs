@@ -68,9 +68,7 @@ use crate::metrics::{
     AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
     TimelineBuilder,
 };
-use crate::spec::{
-    BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,
-};
+use crate::spec::{ComputeLocation, Platform, PlatformSpec};
 
 /// Sentinel for "lane calendar is empty" in the shared next-event
 /// atomics.
@@ -722,12 +720,7 @@ impl<'a> PartitionedEngine<'a> {
     /// barrier sits in the command path. Exactly BG-2 in the paper's
     /// lineup; every other platform falls back to the serial engine.
     pub fn partitionable(spec: &PlatformSpec) -> bool {
-        spec.backend_control == BackendControl::HardwareRouter
-            && spec.sampling == SamplingLocation::Die
-            && spec.transfer == TransferGranularity::Useful
-            && !spec.hop_barrier
-            && !spec.features_cross_pcie
-            && !spec.host_feature_lookup
+        spec.channel_separable()
     }
 
     /// Runs the workload. Non-partitionable platforms run on the serial
@@ -1105,7 +1098,7 @@ impl<'a> PartitionedEngine<'a> {
     }
 }
 
-fn accel_config(spec: &PlatformSpec) -> beacon_accel::AcceleratorConfig {
+pub(crate) fn accel_config(spec: &PlatformSpec) -> beacon_accel::AcceleratorConfig {
     match spec.compute {
         ComputeLocation::DiscreteAccel => beacon_accel::AcceleratorConfig::discrete_tpu(),
         ComputeLocation::SsdAccel => beacon_accel::AcceleratorConfig::ssd_internal(),

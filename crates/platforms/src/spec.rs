@@ -224,6 +224,24 @@ pub struct PlatformSpec {
     pub host_feature_lookup: bool,
 }
 
+impl PlatformSpec {
+    /// Whether the pipeline is channel-separable: the hardware router
+    /// controls the backend, sampling happens on the dies, only useful
+    /// bytes cross the channel, and neither the host nor a hop barrier
+    /// sits in the command path — so a command's whole lifetime touches
+    /// one channel's resources. Exactly BG-2 in the paper's lineup.
+    /// This is the precondition for both the partitioned per-channel
+    /// engine and the multi-SSD array replay.
+    pub fn channel_separable(&self) -> bool {
+        self.backend_control == BackendControl::HardwareRouter
+            && self.sampling == SamplingLocation::Die
+            && self.transfer == TransferGranularity::Useful
+            && !self.hop_barrier
+            && !self.features_cross_pcie
+            && !self.host_feature_lookup
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

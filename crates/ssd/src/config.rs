@@ -240,6 +240,63 @@ impl SsdConfig {
     }
 }
 
+/// The inter-device fabric of a §VIII storage array: the link each SSD
+/// uses to reach its peers (PCIe peer-to-peer through the switch, or an
+/// NVMe-oF hop through a NIC).
+///
+/// `hop_latency` is the minimum end-to-end cost of any cross-device
+/// message and therefore doubles as the conservative-lookahead window
+/// of the array simulation (see `beacon_platforms::ArrayEngine`): no
+/// device can affect another sooner than one hop, so device lanes may
+/// advance a full hop without synchronizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Per-device egress bandwidth onto the fabric, bytes/second.
+    pub bandwidth: u64,
+    /// Fixed one-way latency per cross-device hop (switch traversal or
+    /// NIC + network round).
+    pub hop_latency: Duration,
+}
+
+impl FabricConfig {
+    /// PCIe Gen4 peer-to-peer through a switch: ~4 GB/s effective per
+    /// device (§VIII assumes the P2P path sees about half the host
+    /// link), 600 ns switch traversal.
+    pub fn pcie_p2p() -> Self {
+        FabricConfig {
+            bandwidth: 4_000_000_000,
+            hop_latency: Duration::from_ns(600),
+        }
+    }
+
+    /// NVMe-over-Fabrics (RDMA): 100 GbE-class links (~10 GB/s usable)
+    /// but microsecond-scale hop latency through the NIC.
+    pub fn nvme_of() -> Self {
+        FabricConfig {
+            bandwidth: 10_000_000_000,
+            hop_latency: Duration::from_us(5),
+        }
+    }
+
+    /// Returns the fabric with a different per-device bandwidth.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Returns the fabric with a different hop latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero — the hop latency is the array
+    /// engine's lookahead window, which must be positive.
+    pub fn with_hop_latency(mut self, latency: Duration) -> Self {
+        assert!(!latency.is_zero(), "fabric hop latency must be positive");
+        self.hop_latency = latency;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +341,26 @@ mod tests {
         let fast = FirmwareCosts::at_clock(1_000_000_000);
         assert_eq!(slow.flash_issue.as_ns(), 2 * fast.flash_issue.as_ns());
         assert!(slow.per_command_overhead() > fast.per_command_overhead());
+    }
+
+    #[test]
+    fn fabric_presets_and_builders() {
+        let p2p = FabricConfig::pcie_p2p();
+        assert_eq!(p2p.bandwidth, 4_000_000_000);
+        assert_eq!(p2p.hop_latency, Duration::from_ns(600));
+        let nof = FabricConfig::nvme_of();
+        assert!(nof.hop_latency > p2p.hop_latency);
+        let thin = p2p
+            .with_bandwidth(2_000_000)
+            .with_hop_latency(Duration::from_us(1));
+        assert_eq!(thin.bandwidth, 2_000_000);
+        assert_eq!(thin.hop_latency, Duration::from_us(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "hop latency must be positive")]
+    fn zero_hop_latency_rejected() {
+        FabricConfig::pcie_p2p().with_hop_latency(Duration::ZERO);
     }
 
     #[test]

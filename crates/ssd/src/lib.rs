@@ -30,7 +30,7 @@ pub mod reliability;
 pub mod router;
 
 pub use bitmap::BlockBitmap;
-pub use config::{FirmwareCosts, HostCosts, SsdConfig};
+pub use config::{FabricConfig, FirmwareCosts, HostCosts, SsdConfig};
 pub use ftl::{BlockId, Ftl, FtlError, FtlStats, Ppa};
 pub use gnn_engine::{BatchState, GnnEngine};
 pub use host::{HostAdapter, HostError};
