@@ -1,0 +1,93 @@
+//! Replay-layer microbenchmarks: the three execution tiers of the
+//! record-once / replay-many cache, isolated on one BG-2 cell so a
+//! regression in any tier shows up here before it shows up as suite
+//! wall-clock drift.
+//!
+//! - **full_run** — the uncached baseline: sampler + event drain end to
+//!   end, exactly what a cell costs when its replay key misses.
+//! - **cascade_replay** — re-times a pre-recorded cascade under the
+//!   same config; measures the event drain alone, i.e. the irreducible
+//!   floor replay cannot go below. The full_run / cascade_replay ratio
+//!   is the honest per-cell replay speedup.
+//! - **memo_hit** — an exact-cell memo hit through the public matrix
+//!   path: the cache clones the memoized `RunMetrics` without touching
+//!   the engine. This tier is where the >100x suite wins come from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use beacon_platforms::{Engine, EngineScratch, Platform};
+use beacongnn::{ReplayCache, RunCell, RunMatrix, Workload};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Small enough for quick samples, large enough that the cascade
+/// crosses batch boundaries and the memo clone is non-trivial.
+fn bench_workload() -> Workload {
+    Workload::builder()
+        .nodes(2_000)
+        .batch_size(64)
+        .batches(2)
+        .seed(7)
+        .prepare()
+        .expect("synthetic workload prepares")
+}
+
+fn full_run(c: &mut Criterion) {
+    let w = bench_workload();
+    let mut g = c.benchmark_group("replay");
+    g.bench_function("full_run", |b| {
+        let mut scratch = EngineScratch::new();
+        b.iter(|| {
+            let m = Engine::new(
+                Platform::Bg2,
+                beacon_ssd::SsdConfig::paper_default()
+                    .with_page_size(w.directgraph().layout().page_size()),
+                w.model(),
+                w.directgraph(),
+                w.seed(),
+            )
+            .run_with(&mut scratch, w.batches());
+            black_box(m.makespan)
+        })
+    });
+    g.finish();
+}
+
+fn cascade_replay(c: &mut Criterion) {
+    let w = bench_workload();
+    let ssd = beacon_ssd::SsdConfig::paper_default()
+        .with_page_size(w.directgraph().layout().page_size());
+    let mut scratch = EngineScratch::new();
+    let (_, recording) = Engine::new(Platform::Bg2, ssd, w.model(), w.directgraph(), w.seed())
+        .record_cascade(&mut scratch, w.batches());
+    let mut g = c.benchmark_group("replay");
+    g.bench_function("cascade_replay", |b| {
+        b.iter(|| {
+            let m = Engine::new(Platform::Bg2, ssd, w.model(), w.directgraph(), w.seed())
+                .replay_with(&mut scratch, &recording, w.batches());
+            black_box(m.makespan)
+        })
+    });
+    g.finish();
+}
+
+fn memo_hit(c: &mut Criterion) {
+    let w = Arc::new(bench_workload());
+    let mut matrix = RunMatrix::new();
+    matrix.push(RunCell::new(Platform::Bg2, Arc::clone(&w)));
+    let cache = ReplayCache::in_memory();
+    // Seed the memo; every timed pass below is a pure hit (clone).
+    let seeded = matrix.run_sequential_with(&cache);
+    assert_eq!(seeded.len(), 1);
+    let mut g = c.benchmark_group("replay");
+    g.bench_function("memo_hit", |b| {
+        b.iter(|| {
+            let r = matrix.run_sequential_with(&cache);
+            black_box(r[0].makespan)
+        })
+    });
+    assert!(cache.stats().memo_hits > 0, "timed passes must hit the memo");
+    g.finish();
+}
+
+criterion_group!(benches, full_run, cascade_replay, memo_hit);
+criterion_main!(benches);

@@ -26,6 +26,7 @@ use beacon_bench as bench;
 use beacon_bench::{Sweep, DEFAULT_BATCH, DEFAULT_NODES};
 use beacon_platforms::Platform;
 use beacongnn::report::{percent, ratio, Table};
+use beacongnn::{ParallelRunner, ReplayCache};
 
 fn main() {
     let mut jobs = beacongnn::default_jobs();
@@ -103,11 +104,17 @@ fn run_all(jobs: usize) {
     let tb = Instant::now();
     let matrix = bench::fig14_matrix(DEFAULT_NODES, DEFAULT_BATCH);
     let workload_build_s = tb.elapsed().as_secs_f64();
+    // The calibration measures parallel speedup of *full* execution, so
+    // it pins the disabled replay cache: record-once/replay-many (or the
+    // exact-cell memo) would otherwise collapse the second pass and turn
+    // the speedup into a cache benchmark. Results are byte-identical
+    // either way; only the wall-clock semantics are at stake.
+    let no_replay = ReplayCache::disabled();
     let t0 = Instant::now();
-    let seq_results = matrix.run_sequential();
+    let seq_results = matrix.run_sequential_with(&no_replay);
     let sequential_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let par_results = matrix.run_parallel(jobs);
+    let par_results = ParallelRunner::new(jobs).run_with(&matrix, &no_replay);
     let parallel_s = t1.elapsed().as_secs_f64();
     drop(seq_results);
     let fig14_out = fig14_render(&bench::fig14_rows(&par_results));

@@ -17,7 +17,9 @@ use std::path::Path;
 use beacon_bench as bench;
 use beacon_bench::{Sweep, DEFAULT_BATCH, DEFAULT_NODES};
 use beacon_platforms::Platform;
-use beacongnn::Dataset;
+use beacongnn::{Dataset, Experiment};
+use simkit::obs::format_f64;
+use simkit::MetricValue;
 
 fn main() -> std::io::Result<()> {
     let mut jobs = beacongnn::default_jobs();
@@ -225,6 +227,30 @@ fn main() -> std::io::Result<()> {
                 r.batch_window.as_ns(),
                 r.expected_deferral.as_ns()
             )?;
+        }
+    }
+
+    // Full metrics registry, one row per field. Sections and fields
+    // are enumerated generically, so sections added later (`pools`,
+    // `replay`, ...) land here automatically instead of being dropped
+    // by a hardcoded list.
+    {
+        let mut w = writer(dir, "metrics_registry.csv")?;
+        writeln!(w, "platform,section,field,value")?;
+        let wl = bench::workload(Dataset::Amazon, DEFAULT_NODES, DEFAULT_BATCH);
+        for p in Platform::BG_CHAIN {
+            let m = Experiment::new(&wl).run(p);
+            for (section, s) in m.metrics_registry().iter() {
+                for (field, value) in s.iter() {
+                    let v = match value {
+                        MetricValue::Bool(b) => b.to_string(),
+                        MetricValue::U64(x) => x.to_string(),
+                        MetricValue::F64(x) => format_f64(*x),
+                        MetricValue::Str(s) => s.clone(),
+                    };
+                    writeln!(w, "{p},{section},{field},{v}")?;
+                }
+            }
         }
     }
 

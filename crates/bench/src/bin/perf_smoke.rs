@@ -12,7 +12,7 @@
 //! cargo run --release -p beacon-bench --bin perf_smoke -- --iters 5 --json perf.json
 //! ```
 //!
-//! Four phases, reported separately so a regression can be attributed:
+//! Nine phases, reported separately so a regression can be attributed:
 //!
 //! 1. **workload build sweep** — synthesizing one 8k-node graph and its
 //!    DirectGraph image at each power of two of build threads up to
@@ -44,6 +44,15 @@
 //!    at 1 and `--array-threads` device-lane workers. Reports must be
 //!    byte-identical; the wall-clock ratio feeds the
 //!    `--min-array-speedup` gate.
+//! 9. **record-once / replay-many** — the phase-5 matrix re-run through
+//!    a fresh [`beacongnn::ReplayCache`]: the first pass records the
+//!    shared cascade once, later passes replay it warm. Every replayed
+//!    registry must be byte-identical to the phase-5 full run; the
+//!    full/warm-replay wall-clock ratio feeds the
+//!    `--min-replay-speedup` gate. The exact-cell memo path (identical
+//!    cells served by cloning) is timed alongside. (Phases 4–5 pin
+//!    `ReplayCache::disabled()` so their numbers keep measuring the
+//!    untouched full path.)
 //!
 //! Timings go to stderr. Stdout carries only deterministic content:
 //! `digest …` lines that must be byte-identical between cold- and
@@ -54,7 +63,9 @@
 //! (and `--min-run-speedup X` for phase 7) auto-skip (with a warning)
 //! when the host has fewer cores than that
 //! count — a single-core container cannot exhibit parallel speedup, and
-//! failing there would only punish the hardware. `--max-ns-per-event X`
+//! failing there would only punish the hardware. `--min-replay-speedup
+//! X` gates the phase-9 full/replay ratio, soft-skipping when the full
+//! pass is too fast to time reliably. `--max-ns-per-event X`
 //! gates the phase-3 wall-clock per simulated event (soft-skipping if
 //! the run reports zero events). `--baseline-json PATH
 //! --max-regress-pct X` gates the phase-5 obs-disabled wall-clock
@@ -67,8 +78,8 @@ use std::time::Instant;
 
 use beacon_bench as bench;
 use beacongnn::{
-    ArrayConfig, Dataset, Experiment, Partition, Platform, RunCell, RunMatrix, SsdConfig, Workload,
-    WorkloadCache,
+    ArrayConfig, Dataset, Experiment, ParallelRunner, Partition, Platform, ReplayCache, RunCell,
+    RunMatrix, SsdConfig, Workload, WorkloadCache,
 };
 
 /// Fixed smoke-test shape: large enough that the event calendar and
@@ -115,6 +126,7 @@ fn main() {
     let mut min_build_speedup: Option<f64> = None;
     let mut min_run_speedup: Option<f64> = None;
     let mut min_array_speedup: Option<f64> = None;
+    let mut min_replay_speedup: Option<f64> = None;
     let mut max_ns_per_event: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut baseline_json: Option<String> = None;
@@ -138,6 +150,9 @@ fn main() {
             "--min-array-speedup" => {
                 min_array_speedup = Some(parse_arg(&mut args, "--min-array-speedup"))
             }
+            "--min-replay-speedup" => {
+                min_replay_speedup = Some(parse_arg(&mut args, "--min-replay-speedup"))
+            }
             "--max-ns-per-event" => {
                 max_ns_per_event = Some(parse_arg(&mut args, "--max-ns-per-event"))
             }
@@ -151,7 +166,7 @@ fn main() {
                     "unknown argument `{other}`; usage: perf_smoke [--iters N] [--jobs N] \
                      [--build-jobs N] [--run-threads N] [--array-devices N] [--array-threads N] \
                      [--min-speedup X] [--min-build-speedup X] [--min-run-speedup X] \
-                     [--min-array-speedup X] [--max-ns-per-event X] \
+                     [--min-array-speedup X] [--min-replay-speedup X] [--max-ns-per-event X] \
                      [--json PATH] [--baseline-json PATH] [--max-regress-pct X]"
                 );
                 std::process::exit(2);
@@ -274,8 +289,14 @@ fn main() {
         matrix.len()
     );
 
+    // Phases 4–5 pin the disabled replay cache: their wall-clocks are
+    // hot-path numbers (the `--baseline-json` gate tracks phase 5), so
+    // they must keep timing full execution even though the default
+    // entry points now record/replay shared cascades. Phase 9 measures
+    // the replay delta explicitly.
+    let no_replay = ReplayCache::disabled();
     let ts = Instant::now();
-    let baseline = matrix.run_sequential();
+    let baseline = matrix.run_sequential_with(&no_replay);
     let sequential_s = ts.elapsed().as_secs_f64();
     eprintln!("matrix sequential: {sequential_s:.3} s");
     let matrix_digest = baseline.iter().fold(FNV_OFFSET, |h, m| {
@@ -295,7 +316,7 @@ fn main() {
     let mut rows: Vec<(usize, f64, f64)> = Vec::new();
     for &j in &job_counts {
         let t = Instant::now();
-        let results = matrix.run_parallel(j);
+        let results = ParallelRunner::new(j).run_with(&matrix, &no_replay);
         let secs = t.elapsed().as_secs_f64();
         for (a, b) in baseline.iter().zip(&results) {
             assert_eq!(
@@ -324,7 +345,7 @@ fn main() {
         }
     }
     let t = Instant::now();
-    let fig18_results = fig18_matrix.run_sequential();
+    let fig18_results = fig18_matrix.run_sequential_with(&no_replay);
     let fig18_matrix_s = t.elapsed().as_secs_f64();
     let fig18_digest = fig18_results.iter().fold(FNV_OFFSET, |h, m| {
         let h = fnv1a_fold(h, &m.nodes_visited.to_le_bytes());
@@ -496,6 +517,83 @@ fn main() {
     );
     println!("digest array 0x{array_digest:016x}");
 
+    // Phase 9: record-once / replay-many. The phase-5 matrix (16 cells,
+    // one shared workload ⇒ one replay key) re-run through a fresh
+    // in-memory ReplayCache. The cold pass pays the single canonical
+    // recording; warm passes replay every cell. Every replayed registry
+    // must be byte-identical to the phase-5 full run — the invariant
+    // that makes replay a pure performance decision — and the
+    // full/warm-replay ratio feeds the `--min-replay-speedup` gate.
+    let replay_cache = ReplayCache::in_memory().without_memo();
+    let t = Instant::now();
+    let replay_cold = fig18_matrix.run_sequential_with(&replay_cache);
+    let replay_cold_s = t.elapsed().as_secs_f64();
+    let mut replay_times = Vec::with_capacity(iters);
+    let mut replay_warm = replay_cold;
+    for _ in 0..iters {
+        let t = Instant::now();
+        replay_warm = fig18_matrix.run_sequential_with(&replay_cache);
+        replay_times.push(t.elapsed().as_secs_f64());
+    }
+    for (full, replayed) in fig18_results.iter().zip(&replay_warm) {
+        assert_eq!(
+            full.metrics_registry().to_json_string(),
+            replayed.metrics_registry().to_json_string(),
+            "replayed registry must be byte-identical to the full run"
+        );
+    }
+    let replay_stats = replay_cache.stats();
+    assert_eq!(replay_stats.records, 1, "one shared key records once");
+    assert_eq!(replay_stats.fallbacks, 0, "all smoke cells are replayable");
+    let replay_warm_best = replay_times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let replay_speedup = if replay_warm_best > 0.0 {
+        fig18_matrix_s / replay_warm_best
+    } else {
+        1.0
+    };
+    // The exact-cell memo path: re-running the *same* matrix through a
+    // memoizing cache serves every cell by cloning its first result —
+    // the cross-figure deduplication the experiments suite leans on.
+    let memo_cache = ReplayCache::in_memory();
+    let memo_seed = fig18_matrix.run_sequential_with(&memo_cache);
+    let mut memo_times = Vec::with_capacity(iters);
+    let mut memo_warm = memo_seed;
+    for _ in 0..iters {
+        let t = Instant::now();
+        memo_warm = fig18_matrix.run_sequential_with(&memo_cache);
+        memo_times.push(t.elapsed().as_secs_f64());
+    }
+    for (full, memoed) in fig18_results.iter().zip(&memo_warm) {
+        assert_eq!(
+            full.metrics_registry().to_json_string(),
+            memoed.metrics_registry().to_json_string(),
+            "memoized registry must be byte-identical to the full run"
+        );
+    }
+    assert_eq!(
+        memo_cache.stats().memo_hits,
+        (fig18_matrix.len() * iters) as u64,
+        "warm passes must be served entirely from the memo"
+    );
+    let memo_warm_best = memo_times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let memo_speedup = if memo_warm_best > 0.0 {
+        fig18_matrix_s / memo_warm_best
+    } else {
+        1.0
+    };
+    let replay_digest = replay_warm.iter().fold(FNV_OFFSET, |h, m| {
+        fnv1a_fold(h, m.metrics_registry().to_json_string().as_bytes())
+    });
+    eprintln!(
+        "replay matrix ({} cells): full {fig18_matrix_s:.3} s, cold (record+replay) \
+         {replay_cold_s:.3} s, warm best {replay_warm_best:.3} s, speedup {replay_speedup:.2}x, \
+         {} records, {} hits; memo warm best {memo_warm_best:.3} s ({memo_speedup:.1}x)",
+        fig18_matrix.len(),
+        replay_stats.records,
+        replay_stats.hits
+    );
+    println!("digest replay 0x{replay_digest:016x}");
+
     let mut json = String::new();
     json.push('{');
     let _ = write!(json, "\"platform\": \"BG-2\", ");
@@ -581,8 +679,19 @@ fn main() {
          \"record_s\": {array_record_s:.6}, \"t1_best_s\": {array_t1_best:.6}, \
          \"tn_best_s\": {array_tn_best:.6}, \"speedup\": {array_speedup:.4}, \
          \"events_processed\": {array_events}, \"ns_per_event\": {array_ns_per_event:.2}, \
-         \"efficiency\": {:.6}, \"digest\": \"0x{array_digest:016x}\"}}",
+         \"efficiency\": {:.6}, \"digest\": \"0x{array_digest:016x}\"}}, ",
         array_serial.efficiency()
+    );
+    let _ = write!(
+        json,
+        "\"replay\": {{\"cells\": {}, \"full_s\": {fig18_matrix_s:.6}, \
+         \"cold_s\": {replay_cold_s:.6}, \"warm_best_s\": {replay_warm_best:.6}, \
+         \"speedup\": {replay_speedup:.4}, \"records\": {}, \"hits\": {}, \
+         \"memo_warm_best_s\": {memo_warm_best:.6}, \"memo_speedup\": {memo_speedup:.4}, \
+         \"digest\": \"0x{replay_digest:016x}\"}}",
+        fig18_matrix.len(),
+        replay_stats.records,
+        replay_stats.hits
     );
     json.push_str("}\n");
 
@@ -659,6 +768,26 @@ fn main() {
             failed = true;
         } else {
             eprintln!("array speedup gate passed: {array_speedup:.2}x >= {min:.2}x");
+        }
+    }
+    if let Some(min) = min_replay_speedup {
+        // No core-count skip here — replay saves work, it does not
+        // parallelize it — but a full pass too fast to time reliably
+        // makes the ratio pure noise, so soft-skip like the ns/event
+        // gate does on zero events.
+        if fig18_matrix_s < 0.05 {
+            eprintln!(
+                "replay speedup gate skipped: full pass {fig18_matrix_s:.3} s is too fast \
+                 to time reliably"
+            );
+        } else if replay_speedup < min {
+            eprintln!(
+                "replay speedup gate FAILED: {replay_speedup:.2}x warm replay \
+                 (required >= {min:.2}x)"
+            );
+            failed = true;
+        } else {
+            eprintln!("replay speedup gate passed: {replay_speedup:.2}x >= {min:.2}x");
         }
     }
     if let Some(max) = max_ns_per_event {

@@ -45,6 +45,13 @@
 //! unset defaults to `target/workload-cache` in the workspace. Writes
 //! go to a temp file and are atomically renamed into place, so
 //! concurrent processes never observe partial files.
+//!
+//! **Cascade recordings.** The same directory also holds `brc1-` files:
+//! serialized [`CascadeRecording`]s keyed by the record/replay cache
+//! (see [`crate::replaycache`]), in an identical container (magic
+//! `BRC1`, the shared [`FORMAT_VERSION`], key echo, checksum, atomic
+//! publish). Workloads and the cascades recorded from them invalidate
+//! together.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -52,11 +59,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use beacon_gnn::GnnModelConfig;
 use beacon_graph::{CsrGraph, Dataset, DatasetSpec, FeatureTable, NodeId};
+use beacon_platforms::CascadeRecording;
 use directgraph::DirectGraph;
 
 use crate::workload::Workload;
 
 const MAGIC: &[u8; 4] = b"BWC1";
+const RECORDING_MAGIC: &[u8; 4] = b"BRC1";
 
 /// Container+pipeline version; see the module docs for the bump rule.
 pub const FORMAT_VERSION: u32 = 1;
@@ -280,8 +289,91 @@ fn try_load(path: &Path, fingerprint: &str) -> Option<Workload> {
         return None;
     }
     Some(Workload::from_parts(
-        spec, graph, features, dg, model, batches, seed,
+        spec,
+        graph,
+        features,
+        dg,
+        model,
+        batches,
+        seed,
+        Some(fingerprint.to_string()),
     ))
+}
+
+/// The cascade-recording cache file path for a replay key inside `dir`.
+///
+/// Recordings live beside the BWC1 workload files in the same
+/// directory, under their own `brc1-` prefix, and follow the same
+/// container discipline: magic, [`FORMAT_VERSION`], key echo, FNV-1a
+/// checksum, atomic temp-file publish. The shared version constant is
+/// deliberate — anything that invalidates a cached workload (generator
+/// streams, DirectGraph placement, batch drawing) also invalidates any
+/// cascade recorded from it.
+pub(crate) fn recording_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("brc1-{:016x}.bin", fnv1a(key.as_bytes())))
+}
+
+/// Attempts to load the cascade recording for `key` from `dir`.
+/// Returns `None` on any validation failure; callers re-record.
+pub(crate) fn load_recording(dir: &Path, key: &str) -> Option<CascadeRecording> {
+    let _p = simkit::profile::phase("replay/disk_cache_load");
+    let bytes = std::fs::read(recording_path(dir, key)).ok()?;
+    if bytes.len() < RECORDING_MAGIC.len() + 8 || &bytes[..RECORDING_MAGIC.len()] != RECORDING_MAGIC
+    {
+        return None;
+    }
+    let (payload, tail) =
+        bytes[RECORDING_MAGIC.len()..].split_at(bytes.len() - RECORDING_MAGIC.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv1a(payload) != stored {
+        return None;
+    }
+    let mut cur = Cursor { buf: payload };
+    if cur.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    if cur.bytes()? != key.as_bytes() {
+        return None;
+    }
+    let body_len = cur.u64()? as usize;
+    if cur.buf.len() != body_len {
+        return None;
+    }
+    let body = cur.take(body_len)?;
+    CascadeRecording::from_bytes(body)
+}
+
+/// Best-effort save of `recording` under `key` in `dir`; I/O failures
+/// only cost the next process a re-record.
+pub(crate) fn save_recording(dir: &Path, key: &str, recording: &CascadeRecording) {
+    let _ = try_save_recording(dir, key, recording);
+}
+
+fn try_save_recording(dir: &Path, key: &str, recording: &CascadeRecording) -> std::io::Result<()> {
+    let _p = simkit::profile::phase("replay/disk_cache_save");
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    put_bytes(&mut payload, key.as_bytes());
+    put_bytes(&mut payload, &recording.to_bytes());
+
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        "tmp-rec-{}-{:016x}",
+        std::process::id(),
+        fnv1a(key.as_bytes())
+    ));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(RECORDING_MAGIC)?;
+        file.write_all(&payload)?;
+        file.write_all(&fnv1a(&payload).to_le_bytes())?;
+        file.sync_all()?;
+    }
+    let result = std::fs::rename(&tmp, recording_path(dir, key));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 struct Cursor<'a> {

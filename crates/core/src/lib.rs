@@ -44,6 +44,7 @@
 
 pub mod diskcache;
 pub mod matrix;
+pub mod replaycache;
 pub mod report;
 pub mod runner;
 pub mod workload;
@@ -51,10 +52,11 @@ pub mod workload;
 pub use beacon_gnn::GnnModelConfig;
 pub use beacon_graph::{Dataset, DatasetSpec, NodeId, Partition};
 pub use beacon_platforms::{
-    ArrayCascade, ArrayConfig, ArrayEngine, ArrayRunMetrics, Platform, RunMetrics,
+    ArrayCascade, ArrayConfig, ArrayEngine, ArrayRunMetrics, CascadeRecording, Platform, RunMetrics,
 };
 pub use beacon_ssd::{FabricConfig, SsdConfig};
 pub use matrix::{default_jobs, ParallelRunner, RunCell, RunMatrix, WorkloadCache};
+pub use replaycache::{replay_key, ReplayCache, ReplayStats};
 pub use runner::{Experiment, ThroughputStats};
 pub use workload::{Workload, WorkloadBuilder, WorkloadError};
 

@@ -33,6 +33,7 @@ use beacon_platforms::{Engine, EngineScratch, Platform, RunMetrics};
 use beacon_ssd::SsdConfig;
 
 use crate::diskcache;
+use crate::replaycache::ReplayCache;
 use crate::workload::{Workload, WorkloadBuilder, WorkloadError};
 
 // The whole module rests on experiment inputs being freely shareable
@@ -220,11 +221,26 @@ impl RunMatrix {
 
     /// Executes every cell on the calling thread, in order, sharing one
     /// warm scratch across cells.
+    ///
+    /// Cells whose replay key (workload fingerprint + seed) is shared by
+    /// other cells — or already recorded — execute by **replaying** one
+    /// cascade recording under their own platform/SSD timing instead of
+    /// re-running the sampler (see [`crate::replaycache`]). Replay is
+    /// byte-identical to the full path, so results never depend on
+    /// whether a cell replayed.
     pub fn run_sequential(&self) -> Vec<RunMetrics> {
+        self.run_sequential_with(ReplayCache::global())
+    }
+
+    /// [`RunMatrix::run_sequential`] against a caller-owned
+    /// [`ReplayCache`] (tests inject isolated or disabled caches).
+    pub fn run_sequential_with(&self, cache: &ReplayCache) -> Vec<RunMetrics> {
+        let plan = cache.plan(&self.cells);
         let mut scratch = EngineScratch::new();
         self.cells
             .iter()
-            .map(|c| c.execute_with(&mut scratch))
+            .zip(&plan)
+            .map(|(c, k)| cache.execute_cell(c, k.as_deref(), &mut scratch))
             .collect()
     }
 
@@ -271,11 +287,21 @@ impl ParallelRunner {
     ///
     /// Panics if a worker thread panics (a cell's simulation panicked).
     pub fn run(&self, matrix: &RunMatrix) -> Vec<RunMetrics> {
+        self.run_with(matrix, ReplayCache::global())
+    }
+
+    /// [`ParallelRunner::run`] against a caller-owned [`ReplayCache`]
+    /// (tests inject isolated or disabled caches). The replay plan is
+    /// fixed before any worker starts — the identical plan the
+    /// sequential path computes — so the work-stealing schedule cannot
+    /// influence which cells replay.
+    pub fn run_with(&self, matrix: &RunMatrix, cache: &ReplayCache) -> Vec<RunMetrics> {
         let cells = matrix.cells();
         let jobs = self.jobs.min(cells.len().max(1));
         if jobs <= 1 {
-            return matrix.run_sequential();
+            return matrix.run_sequential_with(cache);
         }
+        let plan = cache.plan(cells);
         let next = AtomicUsize::new(0);
         let mut results: Vec<Option<RunMetrics>> = Vec::new();
         results.resize_with(cells.len(), || None);
@@ -293,7 +319,8 @@ impl ParallelRunner {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(cell) = cells.get(i) else { break };
-                            mine.push((i, cell.execute_with(&mut scratch)));
+                            let key = plan[i].as_deref();
+                            mine.push((i, cache.execute_cell(cell, key, &mut scratch)));
                         }
                         mine
                     })

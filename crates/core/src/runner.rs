@@ -6,6 +6,7 @@ use beacon_platforms::{
 };
 use beacon_ssd::SsdConfig;
 
+use crate::replaycache::ReplayCache;
 use crate::workload::Workload;
 
 /// Runs platforms on a prepared workload under a device configuration.
@@ -59,15 +60,17 @@ impl<'a> Experiment<'a> {
     }
 
     /// Runs one platform end-to-end.
+    ///
+    /// The run is served through [`ReplayCache::global`]: an identical
+    /// earlier run (same platform, device configuration, workload and
+    /// seed — whether from an [`Experiment`] or a matrix cell) returns
+    /// its memoized metrics, a workload whose cascade is already
+    /// recorded replays it under this configuration, and anything else
+    /// executes the full engine. All three paths are byte-identical
+    /// (property-tested); disable with `BEACON_REPLAY=0` or
+    /// [`ReplayCache::set_enabled`]`(false)` to force full execution.
     pub fn run(&self, platform: Platform) -> RunMetrics {
-        Engine::new(
-            platform,
-            self.ssd,
-            self.workload.model(),
-            self.workload.directgraph(),
-            self.seed,
-        )
-        .run(self.workload.batches())
+        ReplayCache::global().run_single(platform, self.ssd, self.workload, self.seed)
     }
 
     /// Runs one platform on the partitioned per-channel engine with

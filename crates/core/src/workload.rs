@@ -142,6 +142,7 @@ impl WorkloadBuilder {
     /// conversion fails.
     pub fn prepare(self) -> Result<Workload, WorkloadError> {
         let _prep_phase = simkit::profile::phase("workload/prepare");
+        let fingerprint = self.fingerprint();
         let layout = AddrLayout::for_page_size(self.page_size)
             .ok_or(WorkloadError::BadPageSize(self.page_size))?;
         let mut spec = DatasetSpec::preset(self.dataset).at_scale(self.nodes);
@@ -185,6 +186,7 @@ impl WorkloadBuilder {
             model,
             batches,
             seed: self.seed,
+            fingerprint,
         })
     }
 }
@@ -199,6 +201,7 @@ pub struct Workload {
     model: GnnModelConfig,
     batches: Vec<Vec<NodeId>>,
     seed: u64,
+    fingerprint: Option<String>,
 }
 
 impl Workload {
@@ -206,6 +209,7 @@ impl Workload {
     /// load path). Callers are responsible for the parts being mutually
     /// consistent — the cache validates them against its checksum and
     /// fingerprint before getting here.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         spec: DatasetSpec,
         graph: CsrGraph,
@@ -214,6 +218,7 @@ impl Workload {
         model: GnnModelConfig,
         batches: Vec<Vec<NodeId>>,
         seed: u64,
+        fingerprint: Option<String>,
     ) -> Self {
         Workload {
             spec,
@@ -223,6 +228,7 @@ impl Workload {
             model,
             batches,
             seed,
+            fingerprint,
         }
     }
 
@@ -280,6 +286,15 @@ impl Workload {
     /// The synthesis seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The builder fingerprint this workload was prepared from, if it
+    /// has one. Workloads built from a caller-supplied graph have no
+    /// fingerprint — they carry no stable identity to key a cache on —
+    /// and are excluded from both the workload disk cache and the
+    /// cascade record/replay cache.
+    pub fn fingerprint(&self) -> Option<&str> {
+        self.fingerprint.as_deref()
     }
 }
 

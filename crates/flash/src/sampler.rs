@@ -158,12 +158,20 @@ impl From<SectionParseError> for SamplerError {
 
 /// The functional model of one die's sampler logic.
 ///
-/// Each die owns a TRNG (paper Fig 10); we model it as a seeded
-/// xoshiro256** stream so runs are reproducible.
+/// Each die owns a TRNG (paper Fig 10); we model its *distribution*
+/// with a xoshiro256** stream. Draws are **command-content-keyed**: the
+/// stream for one command is derived from the run seed and the
+/// command's own fields (see [`draw_stream_seed`]), never from the
+/// order commands happen to reach the die. That makes the sampled
+/// cascade a pure function of (graph image, mini-batches, model
+/// configuration, run seed) — independent of device timing, geometry,
+/// and platform wiring — which is what lets one recorded cascade be
+/// replayed byte-identically under any re-timing (see
+/// `beacon_platforms::replay`).
 #[derive(Debug, Clone)]
 pub struct DieSampler {
     config: GnnDieConfig,
-    trng: Xoshiro256StarStar,
+    seed: u64,
     executed: u64,
     /// Reusable `(secondary index, coalesced count)` scratch for
     /// overflow-hit coalescing, so the hot path allocates nothing in
@@ -171,13 +179,26 @@ pub struct DieSampler {
     coalesce: Vec<(usize, u16)>,
 }
 
+/// The draw-stream seed for one command: a full-avalanche mix of the
+/// run seed and the command's content. Two commands with identical
+/// content share a stream (they sample the same realization); any field
+/// difference yields a statistically independent stream.
+#[inline]
+pub fn draw_stream_seed(seed: u64, cmd: &SampleCommand) -> u64 {
+    use simkit::rng::mix64;
+    let lo = (cmd.hop as u64) | ((cmd.count as u64) << 8) | ((cmd.subgraph as u64) << 24);
+    mix64(mix64(seed ^ mix64(cmd.target.to_raw() as u64)) ^ lo ^ ((cmd.parent as u64) << 32))
+}
+
 impl DieSampler {
-    /// Creates a sampler with the given global configuration and TRNG
-    /// seed (use the die id for per-die streams).
-    pub fn new(config: GnnDieConfig, trng_seed: u64) -> Self {
+    /// Creates a sampler with the given global configuration and draw
+    /// seed. Samplers with the same seed produce identical outcomes for
+    /// identical commands regardless of which die they model — per-die
+    /// streams come from the command content, not the constructor.
+    pub fn new(config: GnnDieConfig, seed: u64) -> Self {
         DieSampler {
             config,
-            trng: Xoshiro256StarStar::seeded(trng_seed),
+            seed,
             executed: 0,
             coalesce: Vec::new(),
         }
@@ -244,6 +265,7 @@ impl DieSampler {
         out.feature_bytes = 0;
         out.new_commands.clear();
         self.executed += 1;
+        let mut trng = Xoshiro256StarStar::seeded(draw_stream_seed(self.seed, cmd));
         let section = store.parse_section_view(cmd.target)?;
         match section {
             SectionView::Primary(p) => {
@@ -269,7 +291,7 @@ impl DieSampler {
                 // plus one sort beats a per-command tree allocation.
                 debug_assert!(self.coalesce.is_empty());
                 for _ in 0..fanout {
-                    let r = self.trng.next_bounded(total);
+                    let r = trng.next_bounded(total);
                     if r < inline {
                         out.new_commands.push(SampleCommand {
                             target: p.inline_neighbor(r as usize),
@@ -311,7 +333,7 @@ impl DieSampler {
                     return Ok(());
                 }
                 for _ in 0..cmd.count {
-                    let idx = self.trng.next_bounded(n) as usize;
+                    let idx = trng.next_bounded(n) as usize;
                     out.new_commands.push(SampleCommand {
                         target: s.neighbor(idx),
                         hop: cmd.hop + 1,

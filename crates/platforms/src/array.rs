@@ -26,9 +26,11 @@
 //!
 //! 1. [`ArrayEngine::record`] runs the serial single-SSD engine once
 //!    and logs the functional sampling cascade — every flash command
-//!    with its die, transfer bytes, visited node and children
-//!    ([`CascadeLog`](crate::engine): one record per command, children
-//!    consecutive, child index > parent index).
+//!    with its content, die, transfer bytes, visited node and children
+//!    ([`CascadeRecording`](crate::replay): one record per command,
+//!    children consecutive, child index > parent index). The same
+//!    recording type also drives [`Engine::replay_with`]'s single-SSD
+//!    timing replay across the experiment matrix.
 //! 2. [`ArrayEngine::run_recorded`] re-times that fixed command set on
 //!    N devices. A prepass assigns every record an *owner* device (the
 //!    partition of its visited node; secondary-section records inherit
@@ -70,15 +72,13 @@ use simkit::obs::SpanRecorder;
 use simkit::sync::{EpochWindow, MessagePool};
 use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime, Trace};
 
-use crate::engine::{
-    CascadeLog, CascadeRec, Engine, EngineScratch, FlashServiceMemo, NODE_ID_BYTES,
-    ON_DIE_SAMPLE_TIME,
-};
+use crate::engine::{Engine, EngineScratch, FlashServiceMemo, NODE_ID_BYTES, ON_DIE_SAMPLE_TIME};
 use crate::metrics::{
     AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
     TimelineBuilder,
 };
 use crate::partition::accel_config;
+use crate::replay::{CascadeRec, CascadeRecording};
 use crate::spec::Platform;
 
 /// Sentinel for "lane calendar is empty" in the shared next-event
@@ -309,7 +309,7 @@ pub fn evaluate_array_partitioned(
 /// one cascade can be replayed across a whole device-count × partition
 /// × fabric sweep.
 pub struct ArrayCascade {
-    log: CascadeLog,
+    recording: CascadeRecording,
     single: RunMetrics,
     batches: Vec<Vec<NodeId>>,
 }
@@ -320,9 +320,15 @@ impl ArrayCascade {
         &self.single
     }
 
+    /// The shared cascade recording (also replayable through
+    /// [`Engine::replay_with`](crate::Engine)).
+    pub fn recording(&self) -> &CascadeRecording {
+        &self.recording
+    }
+
     /// Flash commands recorded.
     pub fn commands(&self) -> usize {
-        self.log.recs.len()
+        self.recording.commands()
     }
 }
 
@@ -480,7 +486,7 @@ struct Prepass {
     cross_feature_bytes: u64,
 }
 
-fn prepass(log: &CascadeLog, batches: &[Vec<NodeId>], partition: &Partition) -> Prepass {
+fn prepass(log: &CascadeRecording, batches: &[Vec<NodeId>], partition: &Partition) -> Prepass {
     let recs = &log.recs;
     let mut owner = vec![0u32; recs.len()];
     let mut home = vec![0u32; recs.len()];
@@ -1024,16 +1030,16 @@ impl<'a> ArrayEngine<'a> {
         let mut scratch = EngineScratch::new();
         let engine = Engine::new(self.platform, self.ssd, self.model, self.dg, self.seed);
         if self.platform.spec().channel_separable() {
-            let (single, log) = engine.record_cascade(&mut scratch, batches);
+            let (single, recording) = engine.record_cascade(&mut scratch, batches);
             ArrayCascade {
-                log,
+                recording,
                 single,
                 batches: batches.to_vec(),
             }
         } else {
             let single = engine.run_with(&mut scratch, batches);
             ArrayCascade {
-                log: CascadeLog::default(),
+                recording: CascadeRecording::default(),
                 single,
                 batches: batches.to_vec(),
             }
@@ -1062,7 +1068,7 @@ impl<'a> ArrayEngine<'a> {
             devs,
             "partition/array size mismatch"
         );
-        let pre = prepass(&cascade.log, &cascade.batches, partition);
+        let pre = prepass(&cascade.recording, &cascade.batches, partition);
         let single_throughput = cascade.single.throughput();
         if devs == 1 {
             let m = cascade.single.clone();
@@ -1110,7 +1116,7 @@ impl<'a> ArrayEngine<'a> {
         let devs = self.array.ssds;
         let hops = self.model.hops as usize + 2;
         let ctx = ReplayCtx {
-            recs: &cascade.log.recs,
+            recs: &cascade.recording.recs,
             owner: &pre.owner,
             home: &pre.home,
         };
@@ -1243,7 +1249,7 @@ impl<'a> ArrayEngine<'a> {
                 *slot = SimTime::ZERO;
             }
 
-            let base = cascade.log.batch_roots[bi];
+            let base = cascade.recording.batch_roots[bi];
             for j in 0..batch.len() {
                 let rec = base + j as u32;
                 let owner = ctx.owner[rec as usize] as usize;

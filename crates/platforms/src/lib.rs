@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod motivation;
 pub mod partition;
 pub mod query;
+pub mod replay;
 pub mod spec;
 
 pub use array::{
@@ -61,6 +62,7 @@ pub use metrics::{
     TimelineBuilder,
 };
 pub use partition::PartitionedEngine;
+pub use replay::CascadeRecording;
 pub use query::{measure_query_latency, query_latency_under_load, QueryLatency};
 pub use spec::{
     BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,

@@ -183,20 +183,26 @@ impl TimelineBuilder {
 /// pools (populated per run; see `simkit::profile` for the richer
 /// opt-in instrumentation).
 ///
-/// In steady state both pools should plateau: `*_allocated` counts the
-/// slots ever created (bounded by peak concurrency), `*_reused` the
-/// schedules/commands served by recycling — the allocations avoided.
+/// Values are *cold-equivalent*: `*_allocated` is the run's peak slots
+/// in use (what a fresh slab would have grown to), `*_reused` the
+/// schedules/commands served within that peak. They describe the run's
+/// concurrency demand, not how warm the executing worker's scratch
+/// happened to be — so they are byte-identical at any worker count and
+/// under record/replay. Actual warm-scratch slab growth is reported
+/// through the `engine/*` profile counters instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolCounters {
     /// Events dispatched by the engine's drain loop.
     pub events_processed: u64,
-    /// Calendar slab slots ever created.
+    /// Peak calendar slab slots in use (cold-equivalent allocations).
     pub event_slots_allocated: u64,
-    /// Calendar schedules served from the free list.
+    /// Calendar schedules served within the peak (cold-equivalent
+    /// free-list reuse).
     pub event_slots_reused: u64,
-    /// Sample-outcome slots ever created.
+    /// Peak sample-outcome slots in use (cold-equivalent allocations).
     pub outcome_slots_allocated: u64,
-    /// Sample-outcome acquisitions served from the free list.
+    /// Sample-outcome acquisitions served within the peak
+    /// (cold-equivalent free-list reuse).
     pub outcome_slots_reused: u64,
     /// High-water mark of events resident in the calendar's near-horizon
     /// wheel during the run (max across lanes for partitioned runs).
@@ -429,6 +435,18 @@ impl RunMetrics {
         trace.set_u64("spans", self.spans.len() as u64);
         trace.set_u64("spans_dropped", self.spans.dropped());
         trace.set_u64("legacy_events", self.trace.len() as u64);
+
+        // The functional sampling cascade, as the record/replay layer
+        // sees it. Every value here is *path-invariant*: a replayed run
+        // reports exactly what its full-run twin would, so the section
+        // never breaks replay byte-identity. (Cache hit/miss/fallback
+        // counts are process-wide, not per-run — see
+        // `simkit::profile`'s `replay/*` counters.)
+        let replay = reg.section("replay");
+        replay.set_u64("cascade_commands", self.sampler_executed);
+        replay.set_u64("cascade_roots", self.targets);
+        replay.set_u64("cascade_faults", self.sampler_faults);
+        replay.set_u64("cascade_edges", self.nodes_visited.saturating_sub(self.targets));
 
         reg
     }

@@ -195,13 +195,10 @@ impl<'a> Lane<'a> {
         obs_capacity: usize,
     ) -> Self {
         let geo = &ssd.geometry;
-        // Global die d lives on channel d % channels; this lane owns
-        // d = channel, channel + C, channel + 2C, ... (local index d/C).
+        // Samplers draw from command content, not die identity, so all
+        // dies share the run seed and the cascade is partition-invariant.
         let samplers = (0..geo.dies_per_channel)
-            .map(|k| {
-                let d = (channel + k * geo.channels) as u64;
-                DieSampler::new(die_cfg, seed ^ d.wrapping_mul(0x9E3779B9))
-            })
+            .map(|_| DieSampler::new(die_cfg, seed))
             .collect();
         Lane {
             channel,

@@ -430,6 +430,12 @@ impl Section {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Entries in insertion order — lets exporters enumerate fields
+    /// generically instead of hardcoding (and silently missing) names.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -474,6 +480,13 @@ impl MetricsRegistry {
     /// Section names in order (mainly for tests and schema checks).
     pub fn section_names(&self) -> Vec<&str> {
         self.sections.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Sections in insertion order. Consumers that iterate here see
+    /// every section the run produced — including ones added after
+    /// they were written (e.g. `replay`) — rather than a fixed list.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Section)> {
+        self.sections.iter().map(|(n, s)| (n.as_str(), s))
     }
 
     /// Renders the report as pretty JSON (2-space indent, stable
