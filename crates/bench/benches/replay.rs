@@ -13,9 +13,9 @@
 //!   path: the cache clones the memoized `RunMetrics` without touching
 //!   the engine. This tier is where the >100x suite wins come from.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use beacon_platforms::{Engine, EngineScratch, Platform};
 use beacongnn::{ReplayCache, RunCell, RunMatrix, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -54,8 +54,8 @@ fn full_run(c: &mut Criterion) {
 
 fn cascade_replay(c: &mut Criterion) {
     let w = bench_workload();
-    let ssd = beacon_ssd::SsdConfig::paper_default()
-        .with_page_size(w.directgraph().layout().page_size());
+    let ssd =
+        beacon_ssd::SsdConfig::paper_default().with_page_size(w.directgraph().layout().page_size());
     let mut scratch = EngineScratch::new();
     let (_, recording) = Engine::new(Platform::Bg2, ssd, w.model(), w.directgraph(), w.seed())
         .record_cascade(&mut scratch, w.batches());
@@ -85,7 +85,10 @@ fn memo_hit(c: &mut Criterion) {
             black_box(r[0].makespan)
         })
     });
-    assert!(cache.stats().memo_hits > 0, "timed passes must hit the memo");
+    assert!(
+        cache.stats().memo_hits > 0,
+        "timed passes must hit the memo"
+    );
     g.finish();
 }
 

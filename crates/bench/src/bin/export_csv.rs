@@ -217,6 +217,30 @@ fn main() -> std::io::Result<()> {
         }
     }
     {
+        let mut w = writer(dir, "ext_latency_tail.csv")?;
+        writeln!(
+            w,
+            "platform,batch_size,mean_ns,p50_ns,p99_ns,p999_ns,max_ns,\
+             queue_frac,dominant,dominant_frac"
+        )?;
+        for r in bench::latency_figure(DEFAULT_NODES) {
+            writeln!(
+                w,
+                "{},{},{:.1},{},{},{},{},{:.4},{},{:.4}",
+                r.platform,
+                r.batch_size,
+                r.mean_ns,
+                r.p50_ns,
+                r.p99_ns,
+                r.p999_ns,
+                r.max_ns,
+                r.queue_frac,
+                r.dominant,
+                r.dominant_frac
+            )?;
+        }
+    }
+    {
         let mut w = writer(dir, "ext_interference.csv")?;
         writeln!(w, "batch_size,batch_window_ns,expected_deferral_ns")?;
         for r in bench::interference(DEFAULT_NODES) {

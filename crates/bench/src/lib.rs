@@ -837,6 +837,110 @@ pub fn obs_report(
     (m, reg)
 }
 
+// ---------------------------------------------------------------------
+// Latency figure — per-query tail latency vs arrival intensity.
+// ---------------------------------------------------------------------
+
+/// Platforms compared by the latency figure: BG-2 against the
+/// software-defined baseline (CC) and the barriered in-storage design
+/// (BG-1).
+pub const LATENCY_PLATFORMS: [Platform; 3] = [Platform::Cc, Platform::Bg1, Platform::Bg2];
+
+/// Arrival intensities (mini-batch sizes) swept by the latency figure.
+pub const LATENCY_BATCHES: [usize; 4] = [32, 64, 128, 256];
+
+/// Windowing epoch of the latency report's time series.
+pub const LATENCY_EPOCH: Duration = Duration::from_ms(1);
+
+/// One latency-figure cell: a platform at one arrival intensity, with
+/// its tail percentiles and the critical-path split between queueing
+/// and the dominant service stage.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Platform.
+    pub platform: Platform,
+    /// Mini-batch size (the arrival-intensity knob: every query in a
+    /// batch is submitted at once, so larger batches mean more
+    /// contention per query).
+    pub batch_size: usize,
+    /// Mean per-query latency.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// Tail percentiles.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Worst query.
+    pub max_ns: u64,
+    /// Queueing share of the summed critical paths.
+    pub queue_frac: f64,
+    /// The non-queue stage owning the largest critical-path share.
+    pub dominant: &'static str,
+    /// That stage's share of the summed critical paths.
+    pub dominant_frac: f64,
+}
+
+fn latency_row(platform: Platform, batch_size: usize, m: &RunMetrics) -> LatencyRow {
+    use simkit::Stage;
+    let lat = &m.latency;
+    let h = lat.histogram();
+    let total = Stage::ALL
+        .iter()
+        .map(|&s| lat.stage_total_ns(s))
+        .sum::<u64>()
+        .max(1) as f64;
+    let (dominant, dom_ns) = Stage::ALL
+        .iter()
+        .filter(|&&s| s != Stage::Queue)
+        .map(|&s| (s.as_str(), lat.stage_total_ns(s)))
+        .max_by_key(|&(_, ns)| ns)
+        .unwrap_or(("other", 0));
+    LatencyRow {
+        platform,
+        batch_size,
+        mean_ns: h.mean_ns().unwrap_or(0.0),
+        p50_ns: h.percentile_ns(50, 100).unwrap_or(0),
+        p99_ns: h.percentile_ns(99, 100).unwrap_or(0),
+        p999_ns: h.percentile_ns(999, 1000).unwrap_or(0),
+        max_ns: h.max_ns().unwrap_or(0),
+        queue_frac: lat.stage_total_ns(Stage::Queue) as f64 / total,
+        dominant,
+        dominant_frac: dom_ns as f64 / total,
+    }
+}
+
+/// Runs the latency figure: [`LATENCY_PLATFORMS`] at each arrival
+/// intensity of [`LATENCY_BATCHES`], with per-query latency tracking
+/// on. Each intensity's sampling cascade is recorded once and replayed
+/// per platform (replay is byte-identical to the full path, so whether
+/// `BEACON_REPLAY` is on changes only the wall-clock).
+pub fn latency_figure(nodes: usize) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for &batch in &LATENCY_BATCHES {
+        let w = workload_with(Dataset::Amazon, nodes, batch, 2);
+        let exp = Experiment::new(&w);
+        exp.prime_replay();
+        for p in LATENCY_PLATFORMS {
+            let m = exp.run_latency(p, LATENCY_EPOCH);
+            rows.push(latency_row(p, batch, &m));
+        }
+    }
+    rows
+}
+
+/// The latency figure's showcase cell — BG-2 at the highest swept
+/// intensity — whose full metrics (per-query rows, windowed
+/// histograms, registry sections) back the `experiments latency`
+/// export flags.
+pub fn latency_showcase(nodes: usize) -> RunMetrics {
+    let batch = LATENCY_BATCHES[LATENCY_BATCHES.len() - 1];
+    let w = workload_with(Dataset::Amazon, nodes, batch, 2);
+    let exp = Experiment::new(&w);
+    exp.prime_replay();
+    exp.run_latency(Platform::Bg2, LATENCY_EPOCH)
+}
+
 /// Measures the §VI-G deferral window across batch sizes on BG-2.
 pub fn interference(nodes: usize) -> Vec<InterferenceRow> {
     let sizes = [32usize, 64, 128, 256];

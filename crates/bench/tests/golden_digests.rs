@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use beacon_bench as bench;
-use beacongnn::{Dataset, Platform, RunCell, RunMatrix, SsdConfig, Workload};
+use beacongnn::{Dataset, Experiment, Platform, RunCell, RunMatrix, SsdConfig, Workload};
 
 /// FNV-1a fold, mirroring `perf_smoke`'s digest of result streams.
 fn fnv1a_fold(hash: u64, bytes: &[u8]) -> u64 {
@@ -87,6 +87,32 @@ fn perf_smoke_fig18_digest_is_pinned() {
         0x1cf7241d101629eb,
         "perf_smoke fig18-matrix digest drifted"
     );
+}
+
+/// The per-query latency report on the smoke-scale BG-2 cell: folds the
+/// full query stream (latency + per-stage attribution) plus the derived
+/// tail percentiles, so both the histogram math and the critical-path
+/// split are pinned, not just the aggregate makespan.
+#[test]
+fn latency_report_digest_is_pinned() {
+    let w = bench::workload(Dataset::Amazon, 4_000, 64);
+    let m = Experiment::new(&w).run_latency(Platform::Bg2, simkit::Duration::from_ms(1));
+    let lat = &m.latency;
+    let h = lat.histogram();
+    let mut d = FNV_OFFSET;
+    d = fnv1a_fold(d, &h.count().to_le_bytes());
+    for q in [50, 90, 99] {
+        d = fnv1a_fold(d, &h.percentile_ns(q, 100).unwrap_or(0).to_le_bytes());
+    }
+    d = fnv1a_fold(d, &h.percentile_ns(999, 1000).unwrap_or(0).to_le_bytes());
+    d = fnv1a_fold(d, &h.max_ns().unwrap_or(0).to_le_bytes());
+    for stage in simkit::Stage::ALL {
+        d = fnv1a_fold(d, &lat.stage_total_ns(stage).to_le_bytes());
+    }
+    for q in lat.queries() {
+        d = fnv1a_fold(d, &q.latency_ns().to_le_bytes());
+    }
+    assert_eq!(d, 0xf3d6_a300_bf3d_1676, "latency report digest drifted");
 }
 
 /// The Fig 7b barrier-cost sweep at harness scale — the rows behind the

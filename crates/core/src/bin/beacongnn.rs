@@ -47,7 +47,8 @@ fn print_usage() {
         "usage:\n  beacongnn convert --dataset <name> [--nodes N] --out <file.dgr>\n  \
          beacongnn inspect <file.dgr>\n  \
          beacongnn run --dataset <name> [--nodes N] [--platform P] [--batch N] [--batches N]\n      \
-         [--trace out.json|out.csv] [--metrics out.metrics.json]\n  \
+         [--trace out.json|out.csv] [--metrics out.metrics.json]\n      \
+         [--latency-csv out.csv] [--latency-epoch-us N]\n  \
          beacongnn compare --dataset <name> [--nodes N] [--batch N]\n\
          datasets: reddit amazon movielens ogbn ppi\n\
          platforms: CC SmartSage GList BG-1 BG-DG BG-SP BG-DGSP BG-2"
@@ -180,6 +181,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let w = build_workload(&flags)?;
     let trace_path = flags.get("--trace");
     let metrics_path = flags.get("--metrics");
+    let latency_csv = flags.get("--latency-csv");
+    let latency_epoch = simkit::Duration::from_us(flags.parse("--latency-epoch-us", 1_000u64)?);
     // `--trace foo.csv` keeps the legacy event-ring CSV; any other
     // extension gets a Chrome trace-event JSON (Perfetto-loadable).
     let csv_trace = trace_path.is_some_and(|p| p.ends_with(".csv"));
@@ -194,6 +197,20 @@ fn run(args: &[String]) -> Result<(), String> {
         )
         .with_trace(1 << 20)
         .run(w.batches())
+    } else if latency_csv.is_some() {
+        // Per-query latency tracking, optionally alongside spans.
+        let mut engine = beacongnn::platforms::Engine::new(
+            platform,
+            Experiment::new(&w).config(),
+            w.model(),
+            w.directgraph(),
+            w.seed(),
+        )
+        .with_latency(latency_epoch);
+        if trace_path.is_some() || metrics_path.is_some() {
+            engine = engine.with_obs(1 << 20);
+        }
+        engine.run(w.batches())
     } else if trace_path.is_some() || metrics_path.is_some() {
         Experiment::new(&w).run_observed(platform, 1 << 20)
     } else {
@@ -218,6 +235,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 m.spans.len(),
                 m.spans.dropped()
             );
+            if m.spans.dropped() > 0 {
+                eprintln!(
+                    "warning: {} spans were dropped at capacity {} — the exported trace \
+                     is incomplete",
+                    m.spans.dropped(),
+                    m.spans.capacity()
+                );
+            }
         }
     }
     if let Some(path) = metrics_path {
@@ -227,6 +252,16 @@ fn run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("metrics written to {path}");
     }
+    if let Some(path) = latency_csv {
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        m.latency
+            .write_query_csv(BufWriter::new(file))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "per-query latency written to {path} ({} queries)",
+            m.latency.queries().len()
+        );
+    }
     let mut t = Table::new(&["metric", "value"]);
     t.row_owned(vec!["platform".into(), m.platform.to_string()]);
     t.row_owned(vec!["targets".into(), m.targets.to_string()]);
@@ -235,6 +270,21 @@ fn run(args: &[String]) -> Result<(), String> {
     t.row_owned(vec!["prep time".into(), format!("{}", m.prep_time)]);
     t.row_owned(vec!["compute time".into(), format!("{}", m.compute_time)]);
     t.row_owned(vec!["flash reads".into(), m.flash_reads.to_string()]);
+    if m.latency.is_enabled() {
+        let h = m.latency.histogram();
+        let q = |num, den| {
+            format!(
+                "{}",
+                simkit::Duration::from_ns(h.percentile_ns(num, den).unwrap_or(0))
+            )
+        };
+        t.row_owned(vec!["query p50".into(), q(50, 100)]);
+        t.row_owned(vec!["query p99".into(), q(99, 100)]);
+        t.row_owned(vec![
+            "query max".into(),
+            format!("{}", simkit::Duration::from_ns(h.max_ns().unwrap_or(0))),
+        ]);
+    }
     t.row_owned(vec!["die utilization".into(), percent(m.die_utilization())]);
     t.row_owned(vec![
         "channel utilization".into(),

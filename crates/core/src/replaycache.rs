@@ -246,22 +246,26 @@ impl ReplayCache {
     /// memo cannot serve it (memo off, cache inactive, or no workload
     /// fingerprint). `SsdConfig`'s `Debug` form is the same identity
     /// string [`RunCell::derive_seed`](crate::RunCell::derive_seed)
-    /// hashes.
+    /// hashes. Latency-tracked runs key under a `|lat=` variant so a
+    /// plain run's memoized metrics (whose latency report is disabled)
+    /// are never served to a latency request, or vice versa.
     fn memo_key(
         &self,
         platform: Platform,
         ssd: &SsdConfig,
         workload: &Workload,
         seed: u64,
+        lat: Option<simkit::Duration>,
     ) -> Option<String> {
         if !self.memoize || !self.is_active() {
             return None;
         }
         let key = replay_key(workload, seed)?;
-        Some(format!(
-            "{key}|platform={}|ssd={ssd:?}",
-            platform.spec().name
-        ))
+        let mut key = format!("{key}|platform={}|ssd={ssd:?}", platform.spec().name);
+        if let Some(epoch) = lat {
+            key.push_str(&format!("|lat={}", epoch.as_ns()));
+        }
+        Some(key)
     }
 
     /// Serves a memoized cell, if present.
@@ -331,7 +335,7 @@ impl ReplayCache {
         key: Option<&str>,
         scratch: &mut EngineScratch,
     ) -> RunMetrics {
-        let memo_key = self.memo_key(cell.platform, &cell.ssd, &cell.workload, cell.seed);
+        let memo_key = self.memo_key(cell.platform, &cell.ssd, &cell.workload, cell.seed, None);
         if let Some(mk) = &memo_key {
             if let Some(m) = self.memo_get(mk) {
                 return m;
@@ -380,14 +384,50 @@ impl ReplayCache {
         workload: &Workload,
         seed: u64,
     ) -> RunMetrics {
-        let full_run = || {
-            Engine::new(platform, ssd, workload.model(), workload.directgraph(), seed)
-                .run(workload.batches())
+        self.run_single_inner(platform, ssd, workload, seed, None)
+    }
+
+    /// [`ReplayCache::run_single`] with per-query latency tracking
+    /// enabled at `epoch` (the [`crate::Experiment::run_latency`]
+    /// path). Latency runs share the same recordings as plain runs —
+    /// the cascade does not depend on whether latency is tracked — but
+    /// memoize under their own `|lat=` variant key.
+    pub(crate) fn run_single_lat(
+        &self,
+        platform: Platform,
+        ssd: SsdConfig,
+        workload: &Workload,
+        seed: u64,
+        epoch: simkit::Duration,
+    ) -> RunMetrics {
+        self.run_single_inner(platform, ssd, workload, seed, Some(epoch))
+    }
+
+    fn run_single_inner(
+        &self,
+        platform: Platform,
+        ssd: SsdConfig,
+        workload: &Workload,
+        seed: u64,
+        lat: Option<simkit::Duration>,
+    ) -> RunMetrics {
+        let engine = || {
+            let e = Engine::new(
+                platform,
+                ssd,
+                workload.model(),
+                workload.directgraph(),
+                seed,
+            );
+            match lat {
+                Some(epoch) => e.with_latency(epoch),
+                None => e,
+            }
         };
         if !self.is_active() {
-            return full_run();
+            return engine().run(workload.batches());
         }
-        let mk = self.memo_key(platform, &ssd, workload, seed);
+        let mk = self.memo_key(platform, &ssd, workload, seed, lat);
         if let Some(mk) = &mk {
             if let Some(m) = self.memo_get(mk) {
                 return m;
@@ -399,15 +439,34 @@ impl ReplayCache {
                 let recording = self.get_or_record(&key, workload, seed, &mut scratch);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 profile::count("replay/hit", 1);
-                Engine::new(platform, ssd, workload.model(), workload.directgraph(), seed)
-                    .replay_with(&mut scratch, &recording, workload.batches())
+                engine().replay_with(&mut scratch, &recording, workload.batches())
             }
-            None => full_run(),
+            None => engine().run(workload.batches()),
         };
         if let Some(mk) = mk {
             self.memo_put(mk, &metrics);
         }
         metrics
+    }
+
+    /// Records the workload's sampling cascade into this cache (loading
+    /// it from disk if a sibling process already recorded it) so that
+    /// subsequent [`ReplayCache::run_single`] /
+    /// [`ReplayCache::run_single_lat`] calls replay instead of running
+    /// the sampler. Returns whether a recording is now available —
+    /// `false` when the cache is inactive or the workload has no
+    /// fingerprint. The record cost amortizes whenever more than one
+    /// platform or device configuration runs the same workload.
+    pub fn prime_recording(&self, workload: &Workload, seed: u64) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let Some(key) = replay_key(workload, seed) else {
+            return false;
+        };
+        let mut scratch = EngineScratch::new();
+        self.get_or_record(&key, workload, seed, &mut scratch);
+        true
     }
 
     /// Returns the recording for `key`, recording it from a canonical
@@ -453,8 +512,8 @@ impl ReplayCache {
         // the cheapest well-defined choice.
         self.records.fetch_add(1, Ordering::Relaxed);
         profile::count("replay/record", 1);
-        let ssd = SsdConfig::paper_default()
-            .with_page_size(workload.directgraph().layout().page_size());
+        let ssd =
+            SsdConfig::paper_default().with_page_size(workload.directgraph().layout().page_size());
         let (_, recording) = Engine::new(
             Platform::Bg2,
             ssd,

@@ -144,6 +144,35 @@ impl<'a> Experiment<'a> {
         .run(self.workload.batches())
     }
 
+    /// Runs one platform with per-query latency tracking enabled: the
+    /// returned metrics carry the streaming latency histogram, tail
+    /// percentiles and per-query critical-path stage attribution (the
+    /// `latency` and `latency_breakdown` registry sections), with
+    /// per-window percentile rows every `epoch` of sim time.
+    ///
+    /// Timing is identical to [`Experiment::run`]; latency tracking is
+    /// bookkeeping only. The run is served through
+    /// [`ReplayCache::global`] like [`Experiment::run`] — a cached
+    /// cascade replays (byte-identical, property-tested) and identical
+    /// latency runs are memoized under their own variant key, so a
+    /// plain run's metrics (whose latency report is disabled) are never
+    /// served here.
+    pub fn run_latency(&self, platform: Platform, epoch: simkit::Duration) -> RunMetrics {
+        ReplayCache::global().run_single_lat(platform, self.ssd, self.workload, self.seed, epoch)
+    }
+
+    /// Records this experiment's sampling cascade into the global
+    /// replay cache (or loads a previously persisted recording), so
+    /// that subsequent [`Experiment::run`] / [`Experiment::run_latency`]
+    /// calls over the same workload and seed replay it instead of
+    /// re-running the sampler. Returns whether a recording is
+    /// available; `false` when replay is disabled or the workload has
+    /// no fingerprint. Worth calling once before sweeping several
+    /// platforms or device configurations over one workload.
+    pub fn prime_replay(&self) -> bool {
+        ReplayCache::global().prime_recording(self.workload, self.seed)
+    }
+
     /// Runs several platforms and returns `(platform, metrics)` pairs.
     pub fn run_all(&self, platforms: &[Platform]) -> Vec<(Platform, RunMetrics)> {
         platforms.iter().map(|&p| (p, self.run(p))).collect()

@@ -70,7 +70,10 @@ use beacon_ssd::{FabricConfig, SsdConfig};
 use directgraph::DirectGraph;
 use simkit::obs::SpanRecorder;
 use simkit::sync::{EpochWindow, MessagePool};
-use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime, Trace};
+use simkit::{
+    profile, BandwidthResource, Calendar, ChainTable, Duration, LatencyReport, PathArena, PathAttr,
+    QueryLat, SerialResource, SimTime, Stage, Trace, NO_PATH,
+};
 
 use crate::engine::{Engine, EngineScratch, FlashServiceMemo, NODE_ID_BYTES, ON_DIE_SAMPLE_TIME};
 use crate::metrics::{
@@ -481,6 +484,9 @@ struct Prepass {
     owner: Vec<u32>,
     /// Home device of each record (owner of its root target).
     home: Vec<u32>,
+    /// Global query index of each record's root target (roots are
+    /// numbered sequentially across batches; children inherit).
+    qid: Vec<u32>,
     total_edges: u64,
     cross_edges: u64,
     cross_feature_bytes: u64,
@@ -490,22 +496,26 @@ fn prepass(log: &CascadeRecording, batches: &[Vec<NodeId>], partition: &Partitio
     let recs = &log.recs;
     let mut owner = vec![0u32; recs.len()];
     let mut home = vec![0u32; recs.len()];
+    let mut qid = vec![0u32; recs.len()];
     let mut total_edges = 0u64;
     let mut cross_edges = 0u64;
     let mut cross_feature_bytes = 0u64;
     // Roots first: a root's visited node is its target.
+    let mut next_qid = 0u32;
     for (bi, batch) in batches.iter().enumerate() {
         let base = log.batch_roots[bi] as usize;
         for (j, &target) in batch.iter().enumerate() {
             let p = partition.part_of(target);
             owner[base + j] = p;
             home[base + j] = p;
+            qid[base + j] = next_qid;
+            next_qid += 1;
         }
     }
     // One forward pass assigns children (every child index is greater
     // than its parent's, so parents are always resolved first).
     for i in 0..recs.len() {
-        let (po, ph) = (owner[i], home[i]);
+        let (po, ph, pq) = (owner[i], home[i], qid[i]);
         let cs = recs[i].children_start as usize;
         for c in cs..cs + recs[i].children_len as usize {
             let visited = recs[c].visited;
@@ -521,6 +531,7 @@ fn prepass(log: &CascadeRecording, batches: &[Vec<NodeId>], partition: &Partitio
             };
             owner[c] = co;
             home[c] = ph;
+            qid[c] = pq;
         }
     }
     for (i, r) in recs.iter().enumerate() {
@@ -531,6 +542,7 @@ fn prepass(log: &CascadeRecording, batches: &[Vec<NodeId>], partition: &Partitio
     Prepass {
         owner,
         home,
+        qid,
         total_edges,
         cross_edges,
         cross_feature_bytes,
@@ -542,6 +554,7 @@ struct ReplayCtx<'c> {
     recs: &'c [CascadeRec],
     owner: &'c [u32],
     home: &'c [u32],
+    qid: &'c [u32],
 }
 
 /// Device-lane pipeline events. `Arrive` carries only the record index
@@ -562,9 +575,24 @@ enum DevEvent {
 #[derive(Debug, Clone, Copy)]
 enum AMsg {
     /// Forward a sampled child command to its owning device.
-    Spawn { from: u32, to: u32, rec: u32 },
+    Spawn {
+        from: u32,
+        to: u32,
+        rec: u32,
+        /// Inherited critical-path attribution (zeroed when latency
+        /// tracking is off).
+        path: PathAttr,
+    },
     /// Return retrieved feature bytes to the record's home device.
-    Feature { from: u32, to: u32, bytes: u64 },
+    Feature {
+        from: u32,
+        to: u32,
+        rec: u32,
+        bytes: u64,
+        /// The retrieving command's attribution at retirement, so the
+        /// fabric return extends its query's chain.
+        path: PathAttr,
+    },
 }
 
 fn spawn_key(rec: u32) -> u128 {
@@ -603,10 +631,21 @@ struct DevLane {
     dram_bytes: u64,
     events_processed: u64,
     prep_end: SimTime,
+
+    /// Per-query latency tracking (off by default; see
+    /// [`ArrayEngine::with_latency`]).
+    lat_on: bool,
+    /// Attributions of this device's in-flight records.
+    arena: PathArena,
+    /// Record index → arena handle ([`NO_PATH`] when idle; empty when
+    /// tracking is off).
+    lat_of: Vec<u32>,
+    /// Winning chain per global query id (merged in device order).
+    chains: ChainTable,
 }
 
 impl DevLane {
-    fn new(dev: usize, ssd: SsdConfig, hops: usize) -> Self {
+    fn new(dev: usize, ssd: SsdConfig, hops: usize, lat: Option<(usize, usize)>) -> Self {
         let geo = &ssd.geometry;
         DevLane {
             dev,
@@ -631,6 +670,10 @@ impl DevLane {
             dram_bytes: 0,
             events_processed: 0,
             prep_end: SimTime::ZERO,
+            lat_on: lat.is_some(),
+            arena: PathArena::default(),
+            lat_of: lat.map_or_else(Vec::new, |(recs, _)| vec![NO_PATH; recs]),
+            chains: ChainTable::new(lat.map_or(0, |(_, queries)| queries)),
             ssd,
         }
     }
@@ -664,12 +707,28 @@ impl DevLane {
         }
     }
 
+    /// The arena handle of an in-flight record ([`NO_PATH`] when
+    /// tracking is off).
+    fn lat(&self, rec: u32) -> u32 {
+        if self.lat_on {
+            self.lat_of[rec as usize]
+        } else {
+            NO_PATH
+        }
+    }
+
     fn on_arrive(&mut self, ctx: &ReplayCtx<'_>, rec: u32, now: SimTime) {
         if self.record_hops {
             let h = ctx.recs[rec as usize].hop as usize;
             self.hop_first[h] = Some(self.hop_first[h].map_or(now, |t| t.min(now)));
         }
         self.router_cmds += 1;
+        let h = self.lat(rec);
+        if h != NO_PATH {
+            self.arena
+                .get_mut(h)
+                .add(Stage::Other, self.ssd.router_latency);
+        }
         self.calendar
             .schedule(now + self.ssd.router_latency, DevEvent::Die(rec, now));
     }
@@ -685,6 +744,12 @@ impl DevLane {
         self.cmd_breakdown
             .wait_before_flash
             .record_duration(grant.start.saturating_duration_since(created));
+        let h = self.lat(rec);
+        if h != NO_PATH {
+            let p = self.arena.get_mut(h);
+            p.add(Stage::Queue, grant.start.saturating_duration_since(now));
+            p.add(Stage::DieSense, grant.end - grant.start);
+        }
         self.calendar
             .schedule(grant.end, DevEvent::Xfer(rec, grant.start, created));
     }
@@ -708,6 +773,13 @@ impl DevLane {
         self.cmd_breakdown
             .flash
             .record_duration((now - die_start) + (grant.end - grant.start));
+        let h = self.lat(rec);
+        if h != NO_PATH {
+            let p = self.arena.get_mut(h);
+            p.add(Stage::Queue, chan_wait);
+            p.add(Stage::Channel, grant.end - grant.start);
+            p.add(Stage::Other, self.ssd.router_latency);
+        }
         // Trailing router parse is a fixed, contention-free hop.
         self.calendar.schedule(
             grant.end + self.ssd.router_latency,
@@ -730,6 +802,12 @@ impl DevLane {
             // shared-DRAM coordinator round trip).
             let grant = self.dram.transfer(now, fb);
             self.dram_bytes += fb;
+            let h = self.lat(rec);
+            if h != NO_PATH {
+                let p = self.arena.get_mut(h);
+                p.add(Stage::Queue, grant.start.saturating_duration_since(now));
+                p.add(Stage::Dram, grant.end - grant.start);
+            }
             self.calendar
                 .schedule(grant.end, DevEvent::Finish(rec, xfer_end, chan_wait));
         } else {
@@ -757,11 +835,28 @@ impl DevLane {
         if r.visited != u32::MAX {
             self.nodes_visited += 1;
         }
+        // At retirement the record's chain competes for its query's
+        // longest path, and children inherit the attribution so far.
+        let inherit = {
+            let h = self.lat(rec);
+            if h != NO_PATH {
+                let p = *self.arena.get(h);
+                self.chains.observe(ctx.qid[ri] as usize, now, &p);
+                self.arena.release(h);
+                self.lat_of[ri] = NO_PATH;
+                p
+            } else {
+                PathAttr::default()
+            }
+        };
         let me = self.dev as u32;
         let cs = r.children_start;
         for c in cs..cs + r.children_len {
             let to = ctx.owner[c as usize];
             if to == me {
+                if self.lat_on {
+                    self.lat_of[c as usize] = self.arena.alloc(inherit);
+                }
                 self.calendar.schedule(now, DevEvent::Arrive(c));
             } else {
                 self.outbox.push(
@@ -771,6 +866,7 @@ impl DevLane {
                         from: me,
                         to,
                         rec: c,
+                        path: inherit,
                     },
                 );
             }
@@ -782,13 +878,20 @@ impl DevLane {
                 AMsg::Feature {
                     from: me,
                     to: ctx.home[ri],
+                    rec,
                     bytes: r.feature_bytes as u64,
+                    path: inherit,
                 },
             );
         }
         self.prep_end = self.prep_end.max(now);
     }
 }
+
+/// An inbound delivery queued for a device lane: `(time_ns, event,
+/// inherited path attribution)` — the path rider is `None` when
+/// latency tracking is off.
+type ADelivery = (u64, DevEvent, Option<PathAttr>);
 
 /// State shared between the coordinator (main thread) and the lane
 /// workers; the exact shape of the per-channel engine's, lifted to
@@ -800,7 +903,8 @@ struct AShared {
     record_hops: AtomicBool,
     prep_end_max: AtomicU64,
     next_times: Vec<AtomicU64>,
-    mailboxes: Vec<Mutex<Vec<(u64, DevEvent)>>>,
+    /// Per-device inbound deliveries.
+    mailboxes: Vec<Mutex<Vec<ADelivery>>>,
     pool: Mutex<MessagePool<AMsg>>,
     barrier: Barrier,
 }
@@ -828,7 +932,12 @@ fn lane_round(lane: &mut DevLane, ctx: &ReplayCtx<'_>, shared: &AShared, li: usi
     let horizon = SimTime::from_ns(shared.horizon.load(Ordering::Acquire));
     lane.record_hops = shared.record_hops.load(Ordering::Acquire);
     let inbound = std::mem::take(&mut *shared.mailboxes[li].lock().expect("mailbox"));
-    for (t, ev) in inbound {
+    for (t, ev, path) in inbound {
+        // An inbound arrival materializes its inherited path in this
+        // device's arena.
+        if let (Some(p), DevEvent::Arrive(rec)) = (path, ev) {
+            lane.lat_of[rec as usize] = lane.arena.alloc(p);
+        }
         lane.calendar.schedule(SimTime::from_ns(t), ev);
     }
     lane.run_round(ctx, horizon);
@@ -890,6 +999,22 @@ struct ACoordinator {
     targets_total: u64,
     rounds: u64,
     messages: u64,
+    lat_on: bool,
+    /// Chains extended by cross-device feature returns (the fabric leg
+    /// from the retrieving device back to the query's home device).
+    lat_chains: ChainTable,
+    lat_batches: Vec<ABatchLat>,
+}
+
+/// One mini-batch's shared latency context in the array engine: the
+/// global prep barrier plus per-device compute windows and feature
+/// gates (queries retire on their home device's accelerator).
+struct ABatchLat {
+    submit: SimTime,
+    prep_gate: SimTime,
+    feature_ready: Vec<SimTime>,
+    compute_start: Vec<SimTime>,
+    compute_end: Vec<SimTime>,
 }
 
 impl ACoordinator {
@@ -899,7 +1024,7 @@ impl ACoordinator {
     /// into lane mailboxes, feature returns fold into the home
     /// device's batch-level readiness. Returns the earliest delivery
     /// time, or [`IDLE`].
-    fn process_messages(&mut self, shared: &AShared) -> u64 {
+    fn process_messages(&mut self, ctx: &ReplayCtx<'_>, shared: &AShared) -> u64 {
         let mut pool = shared.pool.lock().expect("pool");
         if pool.is_empty() {
             return IDLE;
@@ -908,22 +1033,53 @@ impl ACoordinator {
         for (at, _key, msg) in pool.drain_sorted() {
             self.messages += 1;
             match msg {
-                AMsg::Spawn { from, to, rec } => {
+                AMsg::Spawn {
+                    from,
+                    to,
+                    rec,
+                    path,
+                } => {
                     let grant = self.links[from as usize].transfer(at, CMD_HOP_BYTES);
                     self.link_bytes[from as usize] += CMD_HOP_BYTES;
                     self.link_msgs[from as usize] += 1;
                     let arrive = shared.epochs.quantize(at, grant.end + self.hop_latency);
+                    let path = self.lat_on.then(|| {
+                        let mut p = path;
+                        p.add(Stage::Queue, grant.start.saturating_duration_since(at));
+                        p.add(Stage::Fabric, (grant.end - grant.start) + self.hop_latency);
+                        p.add(
+                            Stage::Queue,
+                            arrive.saturating_duration_since(grant.end + self.hop_latency),
+                        );
+                        p
+                    });
                     shared.mailboxes[to as usize]
                         .lock()
                         .expect("mailbox")
-                        .push((arrive.as_ns(), DevEvent::Arrive(rec)));
+                        .push((arrive.as_ns(), DevEvent::Arrive(rec), path));
                     min_delivery = min_delivery.min(arrive.as_ns());
                 }
-                AMsg::Feature { from, to, bytes } => {
+                AMsg::Feature {
+                    from,
+                    to,
+                    rec,
+                    bytes,
+                    path,
+                } => {
                     let grant = self.links[from as usize].transfer(at, bytes);
                     self.link_bytes[from as usize] += bytes;
                     self.link_msgs[from as usize] += 1;
                     let ready = grant.end + self.hop_latency;
+                    if self.lat_on {
+                        // The return leg extends the retrieving chain to
+                        // the home device, competing for the query's
+                        // longest path.
+                        let mut p = path;
+                        p.add(Stage::Queue, grant.start.saturating_duration_since(at));
+                        p.add(Stage::Fabric, (grant.end - grant.start) + self.hop_latency);
+                        self.lat_chains
+                            .observe(ctx.qid[rec as usize] as usize, ready, &p);
+                    }
                     let slot = &mut self.feature_ready[to as usize];
                     *slot = (*slot).max(ready);
                 }
@@ -970,6 +1126,7 @@ pub struct ArrayEngine<'a> {
     dg: &'a DirectGraph,
     seed: u64,
     threads: usize,
+    lat_epoch: Option<Duration>,
 }
 
 impl<'a> ArrayEngine<'a> {
@@ -1007,6 +1164,7 @@ impl<'a> ArrayEngine<'a> {
             dg,
             seed,
             threads: 1,
+            lat_epoch: None,
         }
     }
 
@@ -1015,6 +1173,19 @@ impl<'a> ArrayEngine<'a> {
     /// below 2 the round protocol runs inline with no threads.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables per-query latency tracking (see
+    /// [`Engine::with_latency`](crate::Engine::with_latency)): chains
+    /// are followed per device lane — fabric hops included — and merged
+    /// in device order, so [`RunMetrics::latency`] is byte-identical at
+    /// any thread count. Also applies to the recording run, so a
+    /// 1-device array returns the serial engine's latency report
+    /// verbatim. `epoch` is the windowed time-series granularity
+    /// ([`Duration::ZERO`] for a single window).
+    pub fn with_latency(mut self, epoch: Duration) -> Self {
+        self.lat_epoch = Some(epoch);
         self
     }
 
@@ -1028,7 +1199,10 @@ impl<'a> ArrayEngine<'a> {
     pub fn record(&self, batches: &[Vec<NodeId>]) -> ArrayCascade {
         let _phase = profile::phase("array/record");
         let mut scratch = EngineScratch::new();
-        let engine = Engine::new(self.platform, self.ssd, self.model, self.dg, self.seed);
+        let mut engine = Engine::new(self.platform, self.ssd, self.model, self.dg, self.seed);
+        if let Some(epoch) = self.lat_epoch {
+            engine = engine.with_latency(epoch);
+        }
         if self.platform.spec().channel_separable() {
             let (single, recording) = engine.record_cascade(&mut scratch, batches);
             ArrayCascade {
@@ -1119,10 +1293,17 @@ impl<'a> ArrayEngine<'a> {
             recs: &cascade.recording.recs,
             owner: &pre.owner,
             home: &pre.home,
+            qid: &pre.qid,
         };
+        let lat = self.lat_epoch.map(|_| {
+            (
+                cascade.recording.recs.len(),
+                cascade.batches.iter().map(Vec::len).sum::<usize>(),
+            )
+        });
         let mut lanes: Vec<DevLane> = (0..devs)
             .map(|d| {
-                let mut lane = DevLane::new(d, self.ssd, hops);
+                let mut lane = DevLane::new(d, self.ssd, hops, lat);
                 lane.cal_base = lane.calendar.pool_stats();
                 lane
             })
@@ -1152,6 +1333,9 @@ impl<'a> ArrayEngine<'a> {
             targets_total: 0,
             rounds: 0,
             messages: 0,
+            lat_on: self.lat_epoch.is_some(),
+            lat_chains: ChainTable::new(lat.map_or(0, |(_, queries)| queries)),
+            lat_batches: Vec::new(),
         };
 
         if workers == 0 {
@@ -1250,13 +1434,15 @@ impl<'a> ArrayEngine<'a> {
             }
 
             let base = cascade.recording.batch_roots[bi];
+            let root_path = coord.lat_on.then(PathAttr::default);
             for j in 0..batch.len() {
                 let rec = base + j as u32;
                 let owner = ctx.owner[rec as usize] as usize;
-                shared.mailboxes[owner]
-                    .lock()
-                    .expect("mailbox")
-                    .push((start.as_ns(), DevEvent::Arrive(rec)));
+                shared.mailboxes[owner].lock().expect("mailbox").push((
+                    start.as_ns(),
+                    DevEvent::Arrive(rec),
+                    root_path,
+                ));
             }
             let mut pending_min = start.as_ns();
 
@@ -1275,7 +1461,7 @@ impl<'a> ArrayEngine<'a> {
                 shared.horizon.store(horizon.as_ns(), Ordering::Release);
                 driver.round(ctx, shared);
                 coord.rounds += 1;
-                pending_min = coord.process_messages(shared);
+                pending_min = coord.process_messages(ctx, shared);
             }
 
             let prep_end = SimTime::from_ns(shared.prep_end_max.load(Ordering::Acquire)).max(start);
@@ -1287,6 +1473,7 @@ impl<'a> ArrayEngine<'a> {
             // drained, its inbound feature returns landed, and its own
             // accelerator freed up.
             let mut ends = vec![SimTime::ZERO; devs];
+            let mut starts = vec![SimTime::ZERO; devs];
             let mut home_counts = vec![0u64; devs];
             for &t in batch {
                 home_counts[partition.part_of(t) as usize] += 1;
@@ -1294,10 +1481,12 @@ impl<'a> ArrayEngine<'a> {
             for (d, &count) in home_counts.iter().enumerate() {
                 if count == 0 {
                     ends[d] = compute_free[d];
+                    starts[d] = compute_free[d];
                     continue;
                 }
                 let wl = MinibatchWorkload::new(self.model, count).with_training(true);
                 let compute_start = prep_end.max(coord.feature_ready[d]).max(compute_free[d]);
+                starts[d] = compute_start;
                 if !self.ssd.dram_bypass {
                     let bytes =
                         count * self.model.subgraph_nodes() * self.model.feature_bytes() as u64;
@@ -1314,6 +1503,15 @@ impl<'a> ArrayEngine<'a> {
                 coord.energy.reduce_ops += wl.total_reduce_ops();
             }
             coord.makespan = coord.makespan.max(prep_end);
+            if coord.lat_on {
+                coord.lat_batches.push(ABatchLat {
+                    submit: start,
+                    prep_gate: prep_end,
+                    feature_ready: coord.feature_ready.clone(),
+                    compute_start: starts.clone(),
+                    compute_end: ends.clone(),
+                });
+            }
             compute_ends.push(ends);
         }
     }
@@ -1455,6 +1653,53 @@ impl<'a> ArrayEngine<'a> {
             }
         };
 
+        let latency = if let Some(epoch) = self.lat_epoch {
+            // Chain tables fold commutatively, but keep the fixed
+            // device order anyway (cheap, and self-evidently stable).
+            let mut chains = ChainTable::new(coord.targets_total as usize);
+            chains.absorb(&coord.lat_chains);
+            for lane in &lanes {
+                chains.absorb(&lane.chains);
+            }
+            // Extend each query's winning chain through its home
+            // device's compute tail: the wait for the prep barrier is
+            // queueing, the wait for the last inbound feature return is
+            // fabric time, the wait for the accelerator is queueing,
+            // and the compute window is accelerator time — so stage
+            // nanoseconds sum exactly to `end - submit`.
+            let mut queries = Vec::with_capacity(coord.targets_total as usize);
+            let mut qid = 0usize;
+            for (bi, batch) in cascade.batches.iter().enumerate() {
+                let b = &coord.lat_batches[bi];
+                let base = cascade.recording.batch_roots[bi] as usize;
+                for slot in 0..batch.len() {
+                    let d = pre.owner[base + slot] as usize;
+                    let (chain_end, mut path) = match chains.get(qid) {
+                        Some(&(e, p)) => (e, p),
+                        None => (b.submit, PathAttr::default()),
+                    };
+                    let g1 = b.prep_gate.max(chain_end);
+                    path.add(Stage::Queue, g1 - chain_end);
+                    let g2 = g1.max(b.feature_ready[d]);
+                    path.add(Stage::Fabric, g2 - g1);
+                    let cs = b.compute_start[d];
+                    path.add(Stage::Queue, cs.saturating_duration_since(g2));
+                    path.add(Stage::Accel, b.compute_end[d] - cs);
+                    queries.push(QueryLat {
+                        batch: bi as u32,
+                        slot: slot as u32,
+                        submit: b.submit,
+                        end: b.compute_end[d],
+                        path,
+                    });
+                    qid += 1;
+                }
+            }
+            LatencyReport::build(epoch, queries)
+        } else {
+            LatencyReport::disabled()
+        };
+
         let metrics = RunMetrics {
             platform: spec.name,
             targets: coord.targets_total,
@@ -1480,6 +1725,7 @@ impl<'a> ArrayEngine<'a> {
             router: None,
             ftl: None,
             accel_occupancy,
+            latency,
         };
 
         ArrayRunMetrics {

@@ -28,8 +28,13 @@ use beacon_graph::NodeId;
 use beacon_ssd::{CommandRouter, Ftl, FtlStats, HostAdapter, SsdConfig};
 use directgraph::DirectGraph;
 use simkit::obs::{SpanRecorder, UnitKind};
-use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime};
+use simkit::resource::Grant;
+use simkit::{
+    profile, BandwidthResource, Calendar, ChainTable, Duration, LatencyReport, PathAttr,
+    SerialResource, SimTime, Stage,
+};
 
+use crate::lat::{self, BatchLat};
 use crate::metrics::{
     AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
     TimelineBuilder,
@@ -451,6 +456,29 @@ pub struct Engine<'a> {
     /// Visit commands served from the replay recording (mirrors the
     /// samplers' `executed` counters, faults included).
     replay_executed: u64,
+
+    // Per-query latency tracking (off by default; every site is behind
+    // one `lat_on` branch, like the span recorder's `is_enabled`).
+    lat_on: bool,
+    /// Windowed time-series epoch width (zero disables windows).
+    lat_epoch: Duration,
+    /// Per-slot critical-path attribution, parallel to `states`.
+    lat_paths: Vec<PathAttr>,
+    /// Attribution of hop-barrier-buffered commands (spawn time +
+    /// inherited path), parallel to `hop_buffers` — buffered commands
+    /// hold no state slot, so the path cannot ride in `lat_paths`.
+    lat_hop_bufs: Vec<Vec<(SimTime, PathAttr)>>,
+    /// Path staged for inheritance by commands spawned from the command
+    /// currently retiring (children and host feature reads).
+    lat_inherit: PathAttr,
+    /// Per-query best-chain reduction, keyed by global query id.
+    lat_chains: ChainTable,
+    /// Global query-id base of the batch currently in preparation.
+    lat_qid_base: u32,
+    /// Submission time of the batch currently in preparation.
+    lat_submit: SimTime,
+    /// Per-batch compute-tail context for `lat::finalize`.
+    lat_batches: Vec<BatchLat>,
 }
 
 impl<'a> Engine<'a> {
@@ -530,8 +558,31 @@ impl<'a> Engine<'a> {
             cascade: None,
             replay: None,
             replay_executed: 0,
+            lat_on: false,
+            lat_epoch: Duration::ZERO,
+            lat_paths: Vec::new(),
+            lat_hop_bufs: vec![Vec::new(); hops],
+            lat_inherit: PathAttr::default(),
+            lat_chains: ChainTable::default(),
+            lat_qid_base: 0,
+            lat_submit: SimTime::ZERO,
+            lat_batches: Vec::new(),
             ssd,
         }
+    }
+
+    /// Enables per-query latency tracking: end-to-end latency and
+    /// critical-path stage attribution for every target node, reported
+    /// through [`RunMetrics::latency`]. `epoch` is the windowed
+    /// time-series bucket width ([`Duration::ZERO`] disables windows).
+    ///
+    /// Tracking is pure bookkeeping on the side of the event loop —
+    /// simulated timing, metrics and digests are identical with it on
+    /// or off, and a replayed run produces a byte-identical report.
+    pub fn with_latency(mut self, epoch: Duration) -> Self {
+        self.lat_on = true;
+        self.lat_epoch = epoch;
+        self
     }
 
     /// Enables event tracing bounded to `capacity` events. The trace
@@ -702,6 +753,13 @@ impl<'a> Engine<'a> {
         let mut prep_cursor = SimTime::ZERO;
         let mut compute_ends: Vec<SimTime> = Vec::with_capacity(batches.len());
 
+        if self.lat_on {
+            let total: usize = batches.iter().map(Vec::len).sum();
+            self.lat_chains.reset(total);
+            self.lat_batches.clear();
+            self.lat_qid_base = 0;
+        }
+
         for (bi, batch) in batches.iter().enumerate() {
             targets_total += batch.len() as u64;
             self.record_hops = bi == 0;
@@ -727,6 +785,7 @@ impl<'a> Engine<'a> {
             // workload includes the backward pass.
             let wl = MinibatchWorkload::new(self.model, batch.len() as u64).with_training(true);
             let mut compute_start = prep_end.max(compute_free);
+            let mut lat_pcie = None;
             if self.spec.features_cross_pcie {
                 // Ship the batch's features + subgraph metadata to the
                 // discrete accelerator.
@@ -734,6 +793,7 @@ impl<'a> Engine<'a> {
                     * self.model.subgraph_nodes()
                     * (self.model.feature_bytes() as u64 + NODE_ID_BYTES);
                 let grant = self.pcie.transfer(compute_start, bytes);
+                lat_pcie = Some((grant.start, grant.end));
                 self.energy.pcie_bytes += bytes;
                 if self.obs.is_enabled() {
                     self.obs.record(
@@ -771,6 +831,18 @@ impl<'a> Engine<'a> {
             makespan = makespan.max(compute_free).max(prep_end);
             self.energy.macs += wl.total_macs();
             self.energy.reduce_ops += wl.total_reduce_ops();
+            if self.lat_on {
+                self.lat_batches.push(BatchLat {
+                    base: self.lat_qid_base,
+                    len: batch.len() as u32,
+                    submit: self.lat_submit,
+                    prep_gate: prep_end,
+                    pcie: lat_pcie,
+                    compute_start,
+                    compute_end: compute_free,
+                });
+                self.lat_qid_base += batch.len() as u32;
+            }
         }
 
         // Energy from resource busy totals.
@@ -878,6 +950,11 @@ impl<'a> Engine<'a> {
         } else {
             None
         };
+        let latency = if self.lat_on {
+            lat::finalize(self.lat_epoch, &self.lat_chains, &self.lat_batches)
+        } else {
+            LatencyReport::disabled()
+        };
 
         RunMetrics {
             platform: self.spec.name,
@@ -905,6 +982,7 @@ impl<'a> Engine<'a> {
             router: self.router.as_ref().map(CommandRouter::stats),
             ftl,
             accel_occupancy,
+            latency,
         }
     }
 
@@ -957,6 +1035,12 @@ impl<'a> Engine<'a> {
         };
         let start = t0 + host_setup;
         self.energy.pcie_bytes += batch.len() as u64 * NODE_ID_BYTES;
+        if self.lat_on {
+            // Roots start with an empty path; the chain clock starts at
+            // `start` (the host handed the batch to the device).
+            self.lat_inherit = PathAttr::default();
+            self.lat_submit = start;
+        }
 
         // Each visit expands to a handful of pipeline events; reserving
         // for the batch's full sampled subgraph up front keeps the
@@ -1024,6 +1108,9 @@ impl<'a> Engine<'a> {
             // actually enters the pipeline. (`cmd.rec` rides along in
             // the buffered command.)
             self.hop_buffers[hop].push(cmd);
+            if self.lat_on {
+                self.lat_hop_bufs[hop].push((at, self.lat_inherit));
+            }
         } else {
             if let Some(c) = self.cascade.as_mut() {
                 // Records are appended in spawn order, so a record's
@@ -1032,8 +1119,22 @@ impl<'a> Engine<'a> {
                 cmd.rec = c.append(&cmd.sample);
             }
             let si = self.states.acquire(cmd);
+            if self.lat_on {
+                let p = self.lat_inherit;
+                self.lat_set_path(si, p);
+            }
             self.calendar.schedule(at, ev(EV_ARRIVE, si));
         }
+    }
+
+    /// Installs a command's inherited path at its state slot, growing
+    /// the sidecar to match a warm scratch's slot range.
+    fn lat_set_path(&mut self, si: u32, p: PathAttr) {
+        let i = si as usize;
+        if self.lat_paths.len() <= i {
+            self.lat_paths.resize(i + 1, PathAttr::default());
+        }
+        self.lat_paths[i] = p;
     }
 
     fn drain(&mut self) {
@@ -1118,9 +1219,25 @@ impl<'a> Engine<'a> {
                 self.calendar.schedule(now, ev(EV_DIE_REQ, si));
             }
             Some(step) => {
-                let end = self.exec_step(step, now);
-                self.calendar.schedule(end, ev(EV_PRE, si));
+                let g = self.exec_step(step, now);
+                if self.lat_on {
+                    let p = &mut self.lat_paths[si as usize];
+                    p.add(Stage::Queue, g.start.saturating_duration_since(now));
+                    p.add(Self::step_stage(step), g.end - g.start);
+                }
+                self.calendar.schedule(g.end, ev(EV_PRE, si));
             }
+        }
+    }
+
+    /// The critical-path stage a pipeline step's service time lands in.
+    fn step_stage(step: Step) -> Stage {
+        match step {
+            Step::Core(_) => Stage::Firmware,
+            Step::Host(_) => Stage::Host,
+            Step::Dram(_) => Stage::Dram,
+            Step::Pcie(_) => Stage::Pcie,
+            Step::Fixed(_) => Stage::Other,
         }
     }
 
@@ -1129,6 +1246,11 @@ impl<'a> Engine<'a> {
         let die = self.die_of(cmd);
         let grant = self.dies[die].acquire(now, self.memo.die_service);
         self.die_timeline.push(grant.start, grant.end);
+        if self.lat_on {
+            let p = &mut self.lat_paths[si as usize];
+            p.add(Stage::Queue, grant.start.saturating_duration_since(now));
+            p.add(Stage::DieSense, grant.end - grant.start);
+        }
         if self.trace.is_enabled() {
             self.trace
                 .record(grant.start, "die_sense", die as u64, cmd.sample.hop as f64);
@@ -1228,6 +1350,11 @@ impl<'a> Engine<'a> {
         let service = self.memo.xfer_service(bytes);
         let grant = self.channels[channel].acquire(now, service);
         self.channel_timeline.push(grant.start, grant.end);
+        if self.lat_on {
+            let p = &mut self.lat_paths[si as usize];
+            p.add(Stage::Queue, grant.start.saturating_duration_since(now));
+            p.add(Stage::Channel, grant.end - grant.start);
+        }
         if self.trace.is_enabled() {
             self.trace
                 .record(grant.start, "chan_xfer", channel as u64, bytes as f64);
@@ -1345,14 +1472,28 @@ impl<'a> Engine<'a> {
 
     fn on_post(&mut self, si: u32, now: SimTime) {
         if let Some(step) = self.states.steps[si as usize].pop_front() {
-            let end = self.exec_step(step, now);
-            self.calendar.schedule(end, ev(EV_POST, si));
+            let g = self.exec_step(step, now);
+            if self.lat_on {
+                let p = &mut self.lat_paths[si as usize];
+                p.add(Stage::Queue, g.start.saturating_duration_since(now));
+                p.add(Self::step_stage(step), g.end - g.start);
+            }
+            self.calendar.schedule(g.end, ev(EV_POST, si));
             return;
         }
         let cmd = self.states.cmd[si as usize];
         let xfer_end = self.states.tmark[si as usize];
         let chan_wait = self.states.chan_wait[si as usize];
         let oi = self.states.oi[si as usize];
+        if self.lat_on {
+            // The command retires here: offer its chain to the query's
+            // reduction and stage its path for any spawns below
+            // (children, host feature reads) to inherit.
+            let p = self.lat_paths[si as usize];
+            self.lat_chains
+                .observe((self.lat_qid_base + cmd.sample.subgraph) as usize, now, &p);
+            self.lat_inherit = p;
+        }
         // Command fully processed. Channel-queue wait counts toward
         // wait_after_flash (it happens after the sense completes).
         self.cmd_breakdown
@@ -1476,30 +1617,42 @@ impl<'a> Engine<'a> {
         for i in 0..self.release_buf.len() {
             let cmd = self.release_buf[i];
             let si = self.states.acquire(cmd);
+            if self.lat_on {
+                // Barrier wait from spawn to release is queueing.
+                let (at, mut p) = self.lat_hop_bufs[hop as usize][i];
+                p.add(Stage::Queue, now.saturating_duration_since(at));
+                self.lat_set_path(si, p);
+            }
             self.calendar.schedule(now, ev(EV_ARRIVE, si));
         }
         self.release_buf.clear();
+        if self.lat_on {
+            self.lat_hop_bufs[hop as usize].clear();
+        }
     }
 
-    fn exec_step(&mut self, step: Step, now: SimTime) -> SimTime {
+    fn exec_step(&mut self, step: Step, now: SimTime) -> Grant {
         match step {
             Step::Core(d) => {
                 let core = Self::least_loaded(&self.cores);
-                self.cores[core].acquire(now, d).end
+                self.cores[core].acquire(now, d)
             }
             Step::Host(d) => {
                 let core = Self::least_loaded(&self.host_cores);
-                self.host_cores[core].acquire(now, d).end
+                self.host_cores[core].acquire(now, d)
             }
             Step::Dram(bytes) => {
                 self.energy.dram_bytes += bytes;
-                self.dram.transfer(now, bytes).end
+                self.dram.transfer(now, bytes)
             }
             Step::Pcie(bytes) => {
                 self.energy.pcie_bytes += bytes;
-                self.pcie.transfer(now, bytes).end
+                self.pcie.transfer(now, bytes)
             }
-            Step::Fixed(d) => now + d,
+            Step::Fixed(d) => Grant {
+                start: now,
+                end: now + d,
+            },
         }
     }
 
@@ -1771,6 +1924,8 @@ mod tests {
             "\"energy\"",
             "\"pools\"",
             "\"trace\"",
+            "\"latency\"",
+            "\"latency_breakdown\"",
             "\"replay\"",
         ] {
             assert!(a.contains(section), "missing section {section}");
@@ -1843,8 +1998,14 @@ mod tests {
         // invisible: cold, first-warm and second-warm runs report the
         // same registry bytes (the property the record/replay matrix
         // path depends on at any --jobs count).
-        assert_eq!(second.pools, first.pools, "pool counters leaked scratch warmth");
-        assert_eq!(second.pools, fresh.pools, "pool counters leaked scratch warmth");
+        assert_eq!(
+            second.pools, first.pools,
+            "pool counters leaked scratch warmth"
+        );
+        assert_eq!(
+            second.pools, fresh.pools,
+            "pool counters leaked scratch warmth"
+        );
         assert_eq!(second.pools.events_processed, first.pools.events_processed);
     }
 

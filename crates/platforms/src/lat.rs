@@ -1,0 +1,140 @@
+//! Shared per-query latency plumbing for the engines.
+//!
+//! The engines accumulate two things while they run: a
+//! [`ChainTable`] holding each query's winning (longest) command chain
+//! through data preparation, and one [`BatchLat`] per mini-batch
+//! describing the shared tail every query in the batch rides through —
+//! the prep barrier, the optional PCIe feature shipment, and the
+//! accelerator window. [`finalize`] stitches the two together into the
+//! run's [`LatencyReport`].
+
+use simkit::{ChainTable, Duration, LatencyReport, PathAttr, QueryLat, SimTime, Stage};
+
+/// One mini-batch's shared latency context.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchLat {
+    /// Global query-id base of this batch (`qid = base + slot`).
+    pub base: u32,
+    /// Query (target-node) count.
+    pub len: u32,
+    /// Submission time: the host handed the batch's root commands to
+    /// the device (end of the NVMe setup).
+    pub submit: SimTime,
+    /// Data-preparation completion — the barrier every query's chain
+    /// waits on before compute.
+    pub prep_gate: SimTime,
+    /// Batch feature shipment over PCIe (platforms whose features cross
+    /// the link before compute), as a `(start, end)` grant.
+    pub pcie: Option<(SimTime, SimTime)>,
+    /// Accelerator window start.
+    pub compute_start: SimTime,
+    /// Accelerator window end — every query in the batch retires here.
+    pub compute_end: SimTime,
+}
+
+/// Extends each query's winning chain through its batch's shared
+/// compute tail and builds the run's [`LatencyReport`].
+///
+/// The extension preserves the invariant that a query's stage
+/// nanoseconds sum exactly to `end - submit`: the gap from the chain's
+/// retirement to the prep barrier is queueing, the PCIe grant splits
+/// into queueing plus link time, the wait for the accelerator is
+/// queueing, and the compute window is accelerator time.
+pub(crate) fn finalize(
+    epoch: Duration,
+    chains: &ChainTable,
+    batches: &[BatchLat],
+) -> LatencyReport {
+    let total: usize = batches.iter().map(|b| b.len as usize).sum();
+    let mut queries = Vec::with_capacity(total);
+    for (bi, b) in batches.iter().enumerate() {
+        for slot in 0..b.len {
+            let qid = (b.base + slot) as usize;
+            let (chain_end, mut path) = match chains.get(qid) {
+                Some(&(e, p)) => (e, p),
+                // A query whose chain never retired (cannot happen for
+                // well-formed runs: every root command completes) —
+                // attribute its whole life to queueing.
+                None => (b.submit, PathAttr::default()),
+            };
+            let gate = b.prep_gate.max(chain_end);
+            path.add(Stage::Queue, gate - chain_end);
+            let mut t = gate;
+            if let Some((s, e)) = b.pcie {
+                path.add(Stage::Queue, s.saturating_duration_since(t));
+                path.add(Stage::Pcie, e - s);
+                t = t.max(e);
+            }
+            path.add(Stage::Queue, b.compute_start.saturating_duration_since(t));
+            path.add(Stage::Accel, b.compute_end - b.compute_start);
+            queries.push(QueryLat {
+                batch: bi as u32,
+                slot,
+                submit: b.submit,
+                end: b.compute_end,
+                path,
+            });
+        }
+    }
+    LatencyReport::build(epoch, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_extends_chain_through_compute_tail() {
+        let mut chains = ChainTable::new(2);
+        let mut p = PathAttr::default();
+        p.add(Stage::DieSense, Duration::from_ns(40));
+        p.add(Stage::Queue, Duration::from_ns(10));
+        chains.observe(0, SimTime::from_ns(150), &p);
+        let mut p1 = PathAttr::default();
+        p1.add(Stage::Queue, Duration::from_ns(80));
+        chains.observe(1, SimTime::from_ns(180), &p1);
+        let batches = [BatchLat {
+            base: 0,
+            len: 2,
+            submit: SimTime::from_ns(100),
+            prep_gate: SimTime::from_ns(200),
+            pcie: Some((SimTime::from_ns(210), SimTime::from_ns(240))),
+            compute_start: SimTime::from_ns(240),
+            compute_end: SimTime::from_ns(300),
+        }];
+        let report = finalize(Duration::ZERO, &chains, &batches);
+        assert_eq!(report.queries().len(), 2);
+        for q in report.queries() {
+            assert_eq!(q.submit, SimTime::from_ns(100));
+            assert_eq!(q.end, SimTime::from_ns(300));
+            // Stage sum covers the whole end-to-end latency exactly.
+            assert_eq!(q.path.total_ns(), q.latency_ns());
+        }
+        let q0 = &report.queries()[0];
+        assert_eq!(q0.path.get(Stage::DieSense), 40);
+        assert_eq!(q0.path.get(Stage::Pcie), 30);
+        assert_eq!(q0.path.get(Stage::Accel), 60);
+        // 10 (chain) + 50 (barrier) + 10 (pcie wait) + 0 (accel wait).
+        assert_eq!(q0.path.get(Stage::Queue), 70);
+    }
+
+    #[test]
+    fn finalize_handles_unobserved_chain() {
+        let chains = ChainTable::new(1);
+        let batches = [BatchLat {
+            base: 0,
+            len: 1,
+            submit: SimTime::from_ns(10),
+            prep_gate: SimTime::from_ns(50),
+            pcie: None,
+            compute_start: SimTime::from_ns(60),
+            compute_end: SimTime::from_ns(90),
+        }];
+        let report = finalize(Duration::from_ns(1_000), &chains, &batches);
+        let q = &report.queries()[0];
+        assert_eq!(q.latency_ns(), 80);
+        assert_eq!(q.path.total_ns(), 80);
+        assert_eq!(q.path.get(Stage::Accel), 30);
+        assert_eq!(report.windows().len(), 1);
+    }
+}

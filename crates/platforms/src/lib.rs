@@ -45,6 +45,7 @@
 
 pub mod array;
 pub mod engine;
+pub(crate) mod lat;
 pub mod metrics;
 pub mod motivation;
 pub mod partition;
@@ -62,8 +63,8 @@ pub use metrics::{
     TimelineBuilder,
 };
 pub use partition::PartitionedEngine;
-pub use replay::CascadeRecording;
 pub use query::{measure_query_latency, query_latency_under_load, QueryLatency};
+pub use replay::CascadeRecording;
 pub use spec::{
     BackendControl, ComputeLocation, Platform, PlatformSpec, SamplingLocation, TransferGranularity,
 };

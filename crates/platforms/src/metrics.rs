@@ -4,7 +4,7 @@ use beacon_energy::EnergyLedger;
 use beacon_ssd::{FtlStats, RouterStats};
 use simkit::obs::{MetricsRegistry, SpanRecorder};
 use simkit::stats::Summary;
-use simkit::{Duration, SimTime};
+use simkit::{Duration, LatencyReport, SimTime};
 
 /// Per-command latency phases (paper Fig 17). Lifetime runs from when
 /// the command's address is available at the frontend controller to when
@@ -288,6 +288,10 @@ pub struct RunMetrics {
     pub ftl: Option<FtlStats>,
     /// Accelerator array occupancy over the compute window.
     pub accel_occupancy: AccelOccupancy,
+    /// Per-query latency report (disabled/empty unless enabled via
+    /// [`Engine::with_latency`](crate::Engine::with_latency) or the
+    /// partitioned/array equivalents).
+    pub latency: LatencyReport,
 }
 
 impl RunMetrics {
@@ -436,6 +440,14 @@ impl RunMetrics {
         trace.set_u64("spans_dropped", self.spans.dropped());
         trace.set_u64("legacy_events", self.trace.len() as u64);
 
+        // Per-query latency: tail percentiles and critical-path stage
+        // totals. Rendered even when tracking was off (`enabled` tells
+        // the two apart) so the report schema is shape-stable.
+        let lat = reg.section("latency");
+        self.latency.render_latency(lat);
+        let lb = reg.section("latency_breakdown");
+        self.latency.render_breakdown(lb);
+
         // The functional sampling cascade, as the record/replay layer
         // sees it. Every value here is *path-invariant*: a replayed run
         // reports exactly what its full-run twin would, so the section
@@ -446,7 +458,10 @@ impl RunMetrics {
         replay.set_u64("cascade_commands", self.sampler_executed);
         replay.set_u64("cascade_roots", self.targets);
         replay.set_u64("cascade_faults", self.sampler_faults);
-        replay.set_u64("cascade_edges", self.nodes_visited.saturating_sub(self.targets));
+        replay.set_u64(
+            "cascade_edges",
+            self.nodes_visited.saturating_sub(self.targets),
+        );
 
         reg
     }

@@ -61,9 +61,13 @@ use beacon_ssd::SsdConfig;
 use directgraph::DirectGraph;
 use simkit::obs::{SpanRecorder, UnitKind};
 use simkit::sync::{EpochWindow, MessagePool};
-use simkit::{profile, BandwidthResource, Calendar, Duration, SerialResource, SimTime, Trace};
+use simkit::{
+    profile, BandwidthResource, Calendar, ChainTable, Duration, LatencyReport, PathArena, PathAttr,
+    SerialResource, SimTime, Stage, Trace, NO_PATH,
+};
 
 use crate::engine::{Engine, FlashServiceMemo, OutcomePool, NODE_ID_BYTES, ON_DIE_SAMPLE_TIME};
+use crate::lat::{self, BatchLat};
 use crate::metrics::{
     AccelOccupancy, CmdBreakdown, HopWindow, PoolCounters, RunMetrics, StageBreakdown,
     TimelineBuilder,
@@ -94,6 +98,9 @@ struct LCmd {
     tree_index: u64,
     /// Frontend arrival (lifetime start, for wait accounting).
     created: SimTime,
+    /// Handle into the lane's [`PathArena`] ([`NO_PATH`] when latency
+    /// tracking is off).
+    lat: u32,
 }
 
 impl LCmd {
@@ -139,6 +146,9 @@ enum Msg {
         lane: u32,
         sample: SampleCommand,
         tree_index: u64,
+        /// Inherited critical-path attribution (zeroed when latency
+        /// tracking is off).
+        path: PathAttr,
     },
 }
 
@@ -180,6 +190,17 @@ struct Lane<'a> {
     prep_end: SimTime,
     trace: Trace,
     obs: SpanRecorder,
+
+    /// Per-query latency tracking (off by default; see
+    /// [`PartitionedEngine::with_latency`]).
+    lat_on: bool,
+    /// Global query-id base of the batch in flight (copied from
+    /// [`Shared::qid_base`] at the start of every round).
+    lat_qid_base: u32,
+    /// Attributions of this lane's in-flight commands.
+    arena: PathArena,
+    /// Winning chain per global query id (merged in channel order).
+    chains: ChainTable,
 }
 
 impl<'a> Lane<'a> {
@@ -193,6 +214,7 @@ impl<'a> Lane<'a> {
         hops: usize,
         trace_capacity: usize,
         obs_capacity: usize,
+        lat_queries: Option<usize>,
     ) -> Self {
         let geo = &ssd.geometry;
         // Samplers draw from command content, not die identity, so all
@@ -233,6 +255,10 @@ impl<'a> Lane<'a> {
             } else {
                 SpanRecorder::disabled()
             },
+            lat_on: lat_queries.is_some(),
+            lat_qid_base: 0,
+            arena: PathArena::default(),
+            chains: ChainTable::new(lat_queries.unwrap_or(0)),
             ssd,
         }
     }
@@ -274,6 +300,11 @@ impl<'a> Lane<'a> {
             self.hop_first[h] = Some(self.hop_first[h].map_or(now, |t| t.min(now)));
         }
         self.router_cmds += 1;
+        if cmd.lat != NO_PATH {
+            self.arena
+                .get_mut(cmd.lat)
+                .add(Stage::Other, self.ssd.router_latency);
+        }
         self.calendar
             .schedule(now + self.ssd.router_latency, LaneEvent::Die(cmd));
     }
@@ -312,6 +343,11 @@ impl<'a> Lane<'a> {
         self.cmd_breakdown
             .wait_before_flash
             .record_duration(grant.start.saturating_duration_since(cmd.created));
+        if cmd.lat != NO_PATH {
+            let p = self.arena.get_mut(cmd.lat);
+            p.add(Stage::Queue, grant.start.saturating_duration_since(now));
+            p.add(Stage::DieSense, grant.end - grant.start);
+        }
         self.calendar
             .schedule(grant.end, LaneEvent::Xfer(cmd, grant.start, oi));
     }
@@ -340,6 +376,12 @@ impl<'a> Lane<'a> {
         self.cmd_breakdown
             .flash
             .record_duration((now - die_start) + (grant.end - grant.start));
+        if cmd.lat != NO_PATH {
+            let p = self.arena.get_mut(cmd.lat);
+            p.add(Stage::Queue, chan_wait);
+            p.add(Stage::Channel, grant.end - grant.start);
+            p.add(Stage::Other, self.ssd.router_latency);
+        }
         // Trailing router parse is a fixed, contention-free hop.
         self.calendar.schedule(
             grant.end + self.ssd.router_latency,
@@ -421,6 +463,17 @@ impl<'a> Lane<'a> {
         if self.outcomes.get(oi).visited.is_some() {
             self.nodes_visited += 1;
         }
+        // At retirement the command's chain competes for its query's
+        // longest path, and children inherit the attribution so far.
+        let inherit = if cmd.lat != NO_PATH {
+            let p = *self.arena.get(cmd.lat);
+            self.chains
+                .observe((self.lat_qid_base + cmd.sample.subgraph) as usize, now, &p);
+            self.arena.release(cmd.lat);
+            p
+        } else {
+            PathAttr::default()
+        };
         let channels = self.ssd.geometry.channels;
         for i in 0..self.outcomes.get(oi).new_commands.len() {
             let child = self.outcomes.get(oi).new_commands[i];
@@ -430,12 +483,18 @@ impl<'a> Lane<'a> {
                 .wrapping_add(i as u64 + 1);
             let lane = self.die_of(&child) % channels;
             if lane == self.channel {
+                let lat = if cmd.lat != NO_PATH {
+                    self.arena.alloc(inherit)
+                } else {
+                    NO_PATH
+                };
                 self.calendar.schedule(
                     now,
                     LaneEvent::Arrive(LCmd {
                         sample: child,
                         tree_index: ti,
                         created: now,
+                        lat,
                     }),
                 );
             } else {
@@ -446,6 +505,7 @@ impl<'a> Lane<'a> {
                         lane: lane as u32,
                         sample: child,
                         tree_index: ti,
+                        path: inherit,
                     },
                 );
             }
@@ -454,6 +514,11 @@ impl<'a> Lane<'a> {
         self.prep_end = self.prep_end.max(now);
     }
 }
+
+/// An inbound delivery queued for a lane: `(time_ns, event, path
+/// rider)` — the inherited attribution of an `Arrive` or the DRAM
+/// round-trip delta of a `Finish`, `None` when latency tracking is off.
+type Delivery = (u64, LaneEvent, Option<PathAttr>);
 
 /// State shared between the coordinator (main thread) and the lane
 /// workers; every field is either atomic or mutex-guarded, and every
@@ -464,11 +529,14 @@ struct Shared {
     done: AtomicBool,
     record_hops: AtomicBool,
     prep_end_max: AtomicU64,
+    /// Global query-id base of the batch in flight (batches run
+    /// sequentially, so a relaxed per-batch store is race-free).
+    qid_base: AtomicU64,
     next_times: Vec<AtomicU64>,
-    /// Per-lane inbound deliveries `(time_ns, event)`, written by the
-    /// coordinator in globally sorted order, drained by the lane at the
-    /// start of its next round.
-    mailboxes: Vec<Mutex<Vec<(u64, LaneEvent)>>>,
+    /// Per-lane inbound deliveries, written by the coordinator in
+    /// globally sorted order, drained by the lane at the start of its
+    /// next round.
+    mailboxes: Vec<Mutex<Vec<Delivery>>>,
     /// The round's outbound messages from all lanes, merged and sorted
     /// by the coordinator at the barrier.
     pool: Mutex<MessagePool<Msg>>,
@@ -483,6 +551,7 @@ impl Shared {
             done: AtomicBool::new(false),
             record_hops: AtomicBool::new(true),
             prep_end_max: AtomicU64::new(0),
+            qid_base: AtomicU64::new(0),
             next_times: (0..lanes).map(|_| AtomicU64::new(IDLE)).collect(),
             mailboxes: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
             pool: Mutex::new(MessagePool::new()),
@@ -497,8 +566,29 @@ impl Shared {
 fn lane_round(lane: &mut Lane<'_>, shared: &Shared, li: usize) {
     let horizon = SimTime::from_ns(shared.horizon.load(Ordering::Acquire));
     lane.record_hops = shared.record_hops.load(Ordering::Acquire);
+    if lane.lat_on {
+        lane.lat_qid_base = shared.qid_base.load(Ordering::Acquire) as u32;
+    }
     let inbound = std::mem::take(&mut *shared.mailboxes[li].lock().expect("mailbox"));
-    for (t, ev) in inbound {
+    for (t, ev, path) in inbound {
+        let ev = match (path, ev) {
+            // An inbound arrival materializes its inherited path in
+            // this lane's arena; a DRAM completion folds the
+            // coordinator-side round-trip delta into the parked
+            // command's path.
+            (Some(p), LaneEvent::Arrive(mut cmd)) => {
+                cmd.lat = lane.arena.alloc(p);
+                LaneEvent::Arrive(cmd)
+            }
+            (Some(p), LaneEvent::Finish(slot)) => {
+                let h = lane.parked[slot as usize].cmd.lat;
+                if h != NO_PATH {
+                    lane.arena.get_mut(h).merge(&p);
+                }
+                LaneEvent::Finish(slot)
+            }
+            (_, ev) => ev,
+        };
         lane.calendar.schedule(SimTime::from_ns(t), ev);
     }
     lane.run_round(horizon);
@@ -556,6 +646,8 @@ struct Coordinator {
     targets_total: u64,
     rounds: u64,
     messages: u64,
+    lat_on: bool,
+    lat_batches: Vec<BatchLat>,
 }
 
 impl Coordinator {
@@ -570,12 +662,13 @@ impl Coordinator {
             return IDLE;
         }
         let horizon = shared.horizon.load(Ordering::Acquire);
+        let lat_on = self.lat_on;
         let mut min_delivery = IDLE;
-        let mut deliver = |lane: usize, at: u64, ev: LaneEvent| {
+        let mut deliver = |lane: usize, at: u64, ev: LaneEvent, path: Option<PathAttr>| {
             shared.mailboxes[lane]
                 .lock()
                 .expect("mailbox")
-                .push((at, ev));
+                .push((at, ev, path));
             min_delivery = min_delivery.min(at);
         };
         for (at, key, msg) in pool.drain_sorted() {
@@ -590,19 +683,29 @@ impl Coordinator {
                     self.energy.dram_bytes += bytes;
                     // A completion may not land in a drained epoch:
                     // post it at the horizon at the earliest.
-                    deliver(
-                        lane as usize,
-                        grant.end.as_ns().max(horizon),
-                        LaneEvent::Finish(parked),
-                    );
+                    let deliver_at = grant.end.as_ns().max(horizon);
+                    let path = lat_on.then(|| {
+                        let mut p = PathAttr::default();
+                        p.add(Stage::Queue, grant.start.saturating_duration_since(at));
+                        p.add(Stage::Dram, grant.end - grant.start);
+                        p.add_ns(Stage::Queue, deliver_at - grant.end.as_ns());
+                        p
+                    });
+                    deliver(lane as usize, deliver_at, LaneEvent::Finish(parked), path);
                 }
                 Msg::Spawn {
                     lane,
                     sample,
                     tree_index,
+                    path,
                 } => {
                     let arrive = shared.epochs.next_boundary(at);
                     let _ = key;
+                    let path = lat_on.then(|| {
+                        let mut p = path;
+                        p.add(Stage::Queue, arrive - at);
+                        p
+                    });
                     deliver(
                         lane as usize,
                         arrive.as_ns(),
@@ -610,7 +713,9 @@ impl Coordinator {
                             sample,
                             tree_index,
                             created: arrive,
+                            lat: NO_PATH,
                         }),
+                        path,
                     );
                 }
             }
@@ -654,6 +759,7 @@ pub struct PartitionedEngine<'a> {
     threads: usize,
     trace_capacity: usize,
     obs_capacity: usize,
+    lat_epoch: Option<Duration>,
 }
 
 impl<'a> PartitionedEngine<'a> {
@@ -685,6 +791,7 @@ impl<'a> PartitionedEngine<'a> {
             threads: 1,
             trace_capacity: 0,
             obs_capacity: 0,
+            lat_epoch: None,
         }
     }
 
@@ -711,6 +818,17 @@ impl<'a> PartitionedEngine<'a> {
         self
     }
 
+    /// Enables per-query latency tracking (see
+    /// [`Engine::with_latency`]): critical-path chains are followed
+    /// per lane and merged in channel order, so the resulting
+    /// [`RunMetrics::latency`] report is byte-identical at any thread
+    /// count. `epoch` is the windowed time-series granularity
+    /// ([`Duration::ZERO`] for a single window).
+    pub fn with_latency(mut self, epoch: Duration) -> Self {
+        self.lat_epoch = Some(epoch);
+        self
+    }
+
     /// Whether a platform's pipeline is channel-separable: the hardware
     /// router controls the backend, sampling happens on the dies, only
     /// useful bytes cross the channel, and neither the host nor a hop
@@ -733,6 +851,9 @@ impl<'a> PartitionedEngine<'a> {
             if self.obs_capacity > 0 {
                 engine = engine.with_obs(self.obs_capacity);
             }
+            if let Some(epoch) = self.lat_epoch {
+                engine = engine.with_latency(epoch);
+            }
             return engine.run(batches);
         }
         self.run_partitioned(&spec, batches)
@@ -748,6 +869,9 @@ impl<'a> PartitionedEngine<'a> {
             feature_bytes: self.model.feature_bytes() as u16,
         };
         let hops = self.model.hops as usize + 2;
+        let lat_queries = self
+            .lat_epoch
+            .map(|_| batches.iter().map(Vec::len).sum::<usize>());
         let mut lanes: Vec<Lane<'a>> = (0..lanes_n)
             .map(|c| {
                 let mut lane = Lane::new(
@@ -759,6 +883,7 @@ impl<'a> PartitionedEngine<'a> {
                     hops,
                     self.trace_capacity,
                     self.obs_capacity,
+                    lat_queries,
                 );
                 lane.cal_base = lane.calendar.pool_stats();
                 lane
@@ -787,6 +912,8 @@ impl<'a> PartitionedEngine<'a> {
             targets_total: 0,
             rounds: 0,
             messages: 0,
+            lat_on: self.lat_epoch.is_some(),
+            lat_batches: Vec::new(),
         };
 
         if workers == 0 {
@@ -854,6 +981,7 @@ impl<'a> PartitionedEngine<'a> {
         let mut compute_free = SimTime::ZERO;
         let mut prep_cursor = SimTime::ZERO;
         let mut compute_ends: Vec<SimTime> = Vec::with_capacity(batches.len());
+        let mut qid_base = 0u64;
 
         for (bi, batch) in batches.iter().enumerate() {
             let _prep_phase = profile::phase("partition/prep");
@@ -872,6 +1000,8 @@ impl<'a> PartitionedEngine<'a> {
 
             let mut pending_min = IDLE;
             {
+                shared.qid_base.store(qid_base, Ordering::Release);
+                let root_path = coord.lat_on.then(PathAttr::default);
                 let channels = self.ssd.geometry.channels;
                 for (slot, &target) in batch.iter().enumerate() {
                     let addr = self
@@ -888,7 +1018,9 @@ impl<'a> PartitionedEngine<'a> {
                             sample,
                             tree_index: 0,
                             created: start,
+                            lat: NO_PATH,
                         }),
+                        root_path,
                     ));
                 }
                 pending_min = pending_min.min(start.as_ns());
@@ -948,6 +1080,20 @@ impl<'a> PartitionedEngine<'a> {
             coord.makespan = coord.makespan.max(compute_free).max(prep_end);
             coord.energy.macs += wl.total_macs();
             coord.energy.reduce_ops += wl.total_reduce_ops();
+            if coord.lat_on {
+                // Features stage through shared DRAM on BG-2 — no batch
+                // PCIe shipment gates compute.
+                coord.lat_batches.push(BatchLat {
+                    base: qid_base as u32,
+                    len: batch.len() as u32,
+                    submit: start,
+                    prep_gate: prep_end,
+                    pcie: None,
+                    compute_start,
+                    compute_end: compute_free,
+                });
+            }
+            qid_base += batch.len() as u64;
         }
     }
 
@@ -1065,6 +1211,17 @@ impl<'a> PartitionedEngine<'a> {
         } else {
             None
         };
+        let latency = if let Some(epoch) = self.lat_epoch {
+            // Chain tables fold commutatively, but keep the fixed
+            // channel order anyway (cheap, and self-evidently stable).
+            let mut chains = ChainTable::new(coord.targets_total as usize);
+            for lane in &lanes {
+                chains.absorb(&lane.chains);
+            }
+            lat::finalize(epoch, &chains, &coord.lat_batches)
+        } else {
+            LatencyReport::disabled()
+        };
 
         RunMetrics {
             platform: spec.name,
@@ -1091,6 +1248,7 @@ impl<'a> PartitionedEngine<'a> {
             router: None,
             ftl,
             accel_occupancy,
+            latency,
         }
     }
 }

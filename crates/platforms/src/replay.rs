@@ -161,7 +161,8 @@ impl CascadeRecording {
     /// identity — persistent layers (see `beacongnn::diskcache`) wrap
     /// it in their own envelope.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16 + self.recs.len() * REC_BYTES + self.batch_roots.len() * 4);
+        let mut buf =
+            Vec::with_capacity(16 + self.recs.len() * REC_BYTES + self.batch_roots.len() * 4);
         buf.extend_from_slice(&(self.recs.len() as u64).to_le_bytes());
         buf.extend_from_slice(&(self.batch_roots.len() as u64).to_le_bytes());
         for r in &self.recs {
@@ -406,6 +407,11 @@ mod tests {
         let batch = vec![NodeId::new(7)];
         assert!(rec.matches_batches(std::slice::from_ref(&batch)));
         assert!(!rec.matches_batches(&[batch.clone(), batch.clone()]));
-        assert!(!rec.matches_batches(&[vec![NodeId::new(1), NodeId::new(2), NodeId::new(3), NodeId::new(4)]]));
+        assert!(!rec.matches_batches(&[vec![
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+            NodeId::new(4)
+        ]]));
     }
 }

@@ -51,6 +51,9 @@ pub mod time;
 pub mod trace;
 
 pub use calendar::{Calendar, EventKey, PoolStats};
+pub use obs::latency::{
+    ChainTable, LatencyHistogram, LatencyReport, PathArena, PathAttr, QueryLat, Stage, NO_PATH,
+};
 pub use obs::{
     ChromeTraceWriter, MetricValue, MetricsRegistry, Section, Span, SpanRecorder, UnitKind,
 };

@@ -26,6 +26,8 @@ use std::io::{self, Write};
 use crate::stats::{Histogram, Summary};
 use crate::time::{Duration, SimTime};
 
+pub mod latency;
+
 /// The classes of simulated units spans are keyed by.
 ///
 /// The discriminant doubles as the Chrome-trace `pid`, so the Perfetto
@@ -202,6 +204,11 @@ impl SpanRecorder {
         self.dropped
     }
 
+    /// The retention capacity this recorder was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Iterates retained spans in record order.
     pub fn iter(&self) -> impl Iterator<Item = &Span> {
         self.spans.iter()
@@ -274,9 +281,18 @@ impl ChromeTraceWriter {
         w.write_all(b"{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")?;
         let sorted = spans.sorted();
         let mut first = true;
-        // Name each unit kind present (plus sort order) exactly once.
+        // Name each unit kind present (plus sort order) exactly once,
+        // then each unit within it, so Perfetto rows read "die 3"
+        // rather than bare pid/tid numbers.
         for kind in UnitKind::ALL {
-            if !sorted.iter().any(|s| s.kind == kind) {
+            let mut units: Vec<u32> = sorted
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.unit)
+                .collect();
+            units.sort_unstable();
+            units.dedup();
+            if units.is_empty() {
                 continue;
             }
             Self::sep(&mut w, &mut first)?;
@@ -287,6 +303,16 @@ impl ChromeTraceWriter {
                 pid = kind.pid(),
                 name = kind.as_str(),
             )?;
+            for unit in units {
+                Self::sep(&mut w, &mut first)?;
+                write!(
+                    w,
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name} {tid}\"}}}}",
+                    pid = kind.pid(),
+                    tid = unit,
+                    name = kind.as_str(),
+                )?;
+            }
         }
         for s in &sorted {
             Self::sep(&mut w, &mut first)?;
@@ -615,6 +641,9 @@ mod tests {
         assert!(s.contains("\"dur\":3.000"));
         assert!(s.contains("\"name\":\"process_name\""));
         assert!(s.contains("{\"name\":\"die\"}"));
+        assert!(s.contains("\"name\":\"thread_name\""));
+        assert!(s.contains("{\"name\":\"die 2\"}"));
+        assert!(s.contains("{\"name\":\"engine 0\"}"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 

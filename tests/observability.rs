@@ -54,6 +54,8 @@ fn metrics_report_is_byte_identical_across_runs() {
         "ftl",
         "accelerator",
         "energy",
+        "latency",
+        "latency_breakdown",
     ] {
         assert!(a.get(section).is_some(), "missing section `{section}`");
     }
